@@ -1,0 +1,164 @@
+//! Shared types for the baseline compilers.
+
+use parallax_circuit::Circuit;
+use parallax_hardware::{within_blockade, Point};
+
+/// Output of a baseline (SWAP-routing) compiler.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Compiler name ("eldi" / "graphine").
+    pub name: &'static str,
+    /// The routed circuit in the {U3, CZ} basis, SWAPs already lowered to
+    /// three CZ gates each.
+    pub routed: Circuit,
+    /// Number of SWAP gates the router inserted.
+    pub swap_count: usize,
+    /// Static atom positions, µm (atoms never move in these baselines).
+    pub positions: Vec<Point>,
+    /// Rydberg interaction radius, µm.
+    pub interaction_radius_um: f64,
+    /// Final logical-to-physical mapping: `mapping[logical] = physical`.
+    pub final_mapping: Vec<u32>,
+    /// Hardware-serialized execution layers (indices into `routed`),
+    /// respecting the Rydberg blockade constraint.
+    pub layers: Vec<Vec<usize>>,
+}
+
+impl BaselineResult {
+    /// Total CZ gates executed (original + 3 per SWAP) — the Fig. 9 metric.
+    pub fn cz_count(&self) -> usize {
+        self.routed.cz_count()
+    }
+
+    /// Total U3 gates.
+    pub fn u3_count(&self) -> usize {
+        self.routed.u3_count()
+    }
+
+    /// Number of serialized layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Split ASAP layers so no two CZ gates within a layer blockade each other
+/// (the hardware adjustment the paper applied to both baselines).
+///
+/// Returns layers of gate indices into `circuit`.
+pub fn serialize_layers(
+    circuit: &Circuit,
+    positions: &[Point],
+    r_um: f64,
+    blockade_factor: f64,
+) -> Vec<Vec<usize>> {
+    let gates = circuit.gates();
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for layer in parallax_circuit::layers(circuit) {
+        // Greedy first-fit into conflict-free sublayers.
+        let mut sublayers: Vec<Vec<usize>> = Vec::new();
+        for &g in &layer {
+            let qubits = gates[g].qubits();
+            let is_cz = gates[g].is_two_qubit();
+            let mut placed = false;
+            for sub in sublayers.iter_mut() {
+                let conflict = is_cz
+                    && sub.iter().any(|&other| {
+                        if !gates[other].is_two_qubit() {
+                            return false;
+                        }
+                        qubits.as_slice().iter().any(|&p| {
+                            gates[other].qubits().as_slice().iter().any(|&q| {
+                                within_blockade(
+                                    &positions[p as usize],
+                                    &positions[q as usize],
+                                    r_um,
+                                    blockade_factor,
+                                )
+                            })
+                        })
+                    });
+                if !conflict {
+                    sub.push(g);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                sublayers.push(vec![g]);
+            }
+        }
+        out.extend(sublayers);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::CircuitBuilder;
+
+    #[test]
+    fn serialize_splits_blockading_gates() {
+        // Four atoms in a tight cluster: the two parallel CZs must serialize.
+        let mut b = CircuitBuilder::new(4);
+        b.cz(0, 1).cz(2, 3);
+        let c = b.build();
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(7.0, 0.0),
+            Point::new(0.0, 7.0),
+            Point::new(7.0, 7.0),
+        ];
+        let layers = serialize_layers(&c, &positions, 7.0, 2.5);
+        assert_eq!(layers.len(), 2);
+    }
+
+    #[test]
+    fn distant_gates_stay_parallel() {
+        let mut b = CircuitBuilder::new(4);
+        b.cz(0, 1).cz(2, 3);
+        let c = b.build();
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(7.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(107.0, 100.0),
+        ];
+        let layers = serialize_layers(&c, &positions, 7.0, 2.5);
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0].len(), 2);
+    }
+
+    #[test]
+    fn u3_gates_never_serialize() {
+        let mut b = CircuitBuilder::new(3);
+        b.h(0).h(1).h(2);
+        let c = b.build();
+        let positions =
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let layers = serialize_layers(&c, &positions, 7.0, 2.5);
+        assert_eq!(layers.len(), 1);
+    }
+
+    #[test]
+    fn every_gate_appears_once() {
+        let mut b = CircuitBuilder::new(4);
+        b.h(0).cz(0, 1).cz(2, 3).h(2).cz(1, 2);
+        let c = b.build();
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(7.0, 0.0),
+            Point::new(14.0, 0.0),
+            Point::new(21.0, 0.0),
+        ];
+        let layers = serialize_layers(&c, &positions, 7.0, 2.5);
+        let mut seen = vec![false; c.len()];
+        for l in &layers {
+            for &g in l {
+                assert!(!seen[g]);
+                seen[g] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,230 @@
+//! ELDI baseline (Baker et al., ISCA 2021; extended by Litteken et al.).
+//!
+//! ELDI maps qubits onto a square grid of static atoms and routes
+//! out-of-range CZ gates with SWAP chains, exploiting long-distance Rydberg
+//! interactions (its interaction radius spans multiple grid sites). As in
+//! the paper, we hardware-adjust it: the grid uses the machine's
+//! discretization pitch and the 2.5x blockade radius serializes layers.
+
+use crate::common::{serialize_layers, BaselineResult};
+use crate::swap_route::route;
+use parallax_circuit::Circuit;
+use parallax_graphine::InteractionGraph;
+use parallax_hardware::{MachineSpec, Point};
+
+/// ELDI configuration.
+#[derive(Debug, Clone)]
+pub struct EldiConfig {
+    /// Interaction radius in units of grid pitch (long-distance
+    /// interactions reach beyond nearest neighbours; default 2 sites).
+    pub radius_sites: f64,
+}
+
+impl Default for EldiConfig {
+    fn default() -> Self {
+        Self { radius_sites: 2.0 }
+    }
+}
+
+/// Compile `circuit` with the ELDI baseline on `machine`.
+pub fn compile_eldi(
+    circuit: &Circuit,
+    machine: &MachineSpec,
+    config: &EldiConfig,
+) -> BaselineResult {
+    let positions = grid_placement(circuit, machine);
+    let r_um = config.radius_sites * machine.site_pitch_um();
+    let routed = route(circuit, &positions, r_um);
+    let layers =
+        serialize_layers(&routed.circuit, &positions, r_um, machine.blockade_factor);
+    BaselineResult {
+        name: "eldi",
+        routed: routed.circuit,
+        swap_count: routed.swap_count,
+        positions,
+        interaction_radius_um: r_um,
+        final_mapping: routed.final_mapping,
+        layers,
+    }
+}
+
+/// Greedy compact grid placement: qubits are placed (busiest first) on the
+/// free site minimizing the weighted distance to already-placed partners;
+/// the first qubit sits at the grid centre.
+pub fn grid_placement(circuit: &Circuit, machine: &MachineSpec) -> Vec<Point> {
+    let n = circuit.num_qubits();
+    assert!(n <= machine.num_sites(), "circuit does not fit on {}", machine.name);
+    let dim = machine.grid_dim;
+    let pitch = machine.site_pitch_um();
+    let graph = InteractionGraph::from_circuit(circuit);
+    let degrees = graph.weighted_degrees();
+
+    // Adjacency with weights for the greedy attachment order.
+    let mut weights = vec![Vec::new(); n];
+    for &(a, b, w) in &graph.edges {
+        weights[a as usize].push((b as usize, w));
+        weights[b as usize].push((a as usize, w));
+    }
+
+    // Site spiral: all sites sorted by distance from the grid centre.
+    let centre = ((dim as f64 - 1.0) / 2.0, (dim as f64 - 1.0) / 2.0);
+    let mut spiral: Vec<(u16, u16)> = (0..dim as u16)
+        .flat_map(|x| (0..dim as u16).map(move |y| (x, y)))
+        .collect();
+    spiral.sort_by(|&a, &b| {
+        let da = (a.0 as f64 - centre.0).powi(2) + (a.1 as f64 - centre.1).powi(2);
+        let db = (b.0 as f64 - centre.0).powi(2) + (b.1 as f64 - centre.1).powi(2);
+        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+    });
+
+    let mut occupied = vec![false; dim * dim];
+    let mut positions: Vec<Option<Point>> = vec![None; n];
+    let site_pos = |s: (u16, u16)| Point::new(s.0 as f64 * pitch, s.1 as f64 * pitch);
+    let site_idx = |s: (u16, u16)| s.1 as usize * dim + s.0 as usize;
+
+    // Placement order: highest connectivity to the already-placed set,
+    // seeded by the globally busiest qubit.
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best = usize::MAX;
+        let mut best_key = (-1.0f64, -1.0f64);
+        for q in 0..n {
+            if placed[q] {
+                continue;
+            }
+            let attach: f64 = weights[q]
+                .iter()
+                .filter(|&&(p, _)| placed[p])
+                .map(|&(_, w)| w)
+                .sum();
+            let key = (attach, degrees[q]);
+            if best == usize::MAX || key > best_key {
+                best = q;
+                best_key = key;
+            }
+        }
+        placed[best] = true;
+        order.push(best);
+    }
+
+    for q in order {
+        // Choose the free site minimizing weighted distance to placed
+        // partners; with no placed partner, the innermost free spiral site.
+        let mut best_site = None;
+        let mut best_cost = f64::INFINITY;
+        let partners: Vec<(usize, f64)> = weights[q]
+            .iter()
+            .filter(|&&(p, _)| positions[p].is_some())
+            .cloned()
+            .collect();
+        for &s in &spiral {
+            if occupied[site_idx(s)] {
+                continue;
+            }
+            let pos = site_pos(s);
+            let cost = if partners.is_empty() {
+                // Spiral order is already centre-out; first free wins.
+                0.0
+            } else {
+                partners
+                    .iter()
+                    .map(|&(p, w)| w * pos.distance(&positions[p].unwrap()))
+                    .sum()
+            };
+            if cost < best_cost {
+                best_cost = cost;
+                best_site = Some(s);
+            }
+            if partners.is_empty() {
+                break;
+            }
+        }
+        let s = best_site.expect("grid has free sites");
+        occupied[site_idx(s)] = true;
+        positions[q] = Some(site_pos(s));
+    }
+    positions.into_iter().map(|p| p.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::CircuitBuilder;
+
+    fn chain(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new(n);
+        b.h(0);
+        for i in 0..(n as u32 - 1) {
+            b.cx(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn placement_is_compact() {
+        let machine = MachineSpec::quera_aquila_256();
+        let pos = grid_placement(&chain(9), &machine);
+        assert_eq!(pos.len(), 9);
+        // All 9 atoms within a few pitches of each other.
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                assert!(pos[i].distance(&pos[j]) <= 6.0 * machine.site_pitch_um());
+            }
+        }
+        // No two share a site.
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                assert!(pos[i].distance(&pos[j]) >= machine.site_pitch_um() - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_on_grid_needs_few_swaps() {
+        let machine = MachineSpec::quera_aquila_256();
+        let r = compile_eldi(&chain(6), &machine, &EldiConfig::default());
+        // A linear chain placed compactly is mostly nearest-neighbour.
+        assert!(r.swap_count <= 2, "swaps {}", r.swap_count);
+        assert_eq!(r.cz_count(), chain(6).cz_count() + 3 * r.swap_count);
+    }
+
+    #[test]
+    fn all_to_all_circuit_pays_swaps() {
+        let machine = MachineSpec::quera_aquila_256();
+        let mut b = CircuitBuilder::new(12);
+        for i in 0..12u32 {
+            for j in (i + 1)..12 {
+                b.cz(i, j);
+            }
+        }
+        let c = b.build();
+        let r = compile_eldi(&c, &machine, &EldiConfig::default());
+        assert!(r.swap_count > 0);
+        assert_eq!(r.cz_count(), c.cz_count() + 3 * r.swap_count);
+    }
+
+    #[test]
+    fn layers_cover_all_gates() {
+        let machine = MachineSpec::quera_aquila_256();
+        let r = compile_eldi(&chain(5), &machine, &EldiConfig::default());
+        let total: usize = r.layers.iter().map(|l| l.len()).sum();
+        assert_eq!(total, r.routed.len());
+    }
+
+    #[test]
+    fn radius_scales_with_config() {
+        let machine = MachineSpec::quera_aquila_256();
+        let near = compile_eldi(
+            &chain(10),
+            &machine,
+            &EldiConfig { radius_sites: 1.0 },
+        );
+        let far = compile_eldi(
+            &chain(10),
+            &machine,
+            &EldiConfig { radius_sites: 4.0 },
+        );
+        assert!(far.swap_count <= near.swap_count);
+    }
+}

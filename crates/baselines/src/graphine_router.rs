@@ -1,0 +1,100 @@
+//! GRAPHINE baseline (Patel et al., SC 2023), hardware-adjusted.
+//!
+//! GRAPHINE generates an application-specific static layout (the same
+//! annealed placement Parallax starts from, discretized to the machine
+//! grid per the paper's comparability adjustments) but supports no atom
+//! movement: out-of-range CZ gates are SWAP-routed exactly like ELDI, just
+//! over the custom topology with the annealer's connected interaction
+//! radius.
+
+use crate::common::{serialize_layers, BaselineResult};
+use crate::swap_route::route;
+use parallax_circuit::Circuit;
+use parallax_core::discretize;
+use parallax_graphine::{GraphineLayout, PlacementConfig};
+use parallax_hardware::{MachineSpec, Point};
+
+/// Compile `circuit` with the GRAPHINE baseline on `machine`.
+pub fn compile_graphine(
+    circuit: &Circuit,
+    machine: &MachineSpec,
+    placement: &PlacementConfig,
+) -> BaselineResult {
+    let layout = GraphineLayout::generate(circuit, placement);
+    compile_graphine_with_layout(circuit, machine, &layout)
+}
+
+/// Compile with a pre-computed annealed layout (shared with Parallax in
+/// head-to-head experiments so both see the identical step-1 topology).
+pub fn compile_graphine_with_layout(
+    circuit: &Circuit,
+    machine: &MachineSpec,
+    layout: &GraphineLayout,
+) -> BaselineResult {
+    let disc = discretize(circuit, layout, *machine);
+    let positions: Vec<Point> =
+        (0..circuit.num_qubits() as u32).map(|q| disc.array.position(q)).collect();
+    let r_um = disc.interaction_radius_um;
+    let routed = route(circuit, &positions, r_um);
+    let layers =
+        serialize_layers(&routed.circuit, &positions, r_um, machine.blockade_factor);
+    BaselineResult {
+        name: "graphine",
+        routed: routed.circuit,
+        swap_count: routed.swap_count,
+        positions,
+        interaction_radius_um: r_um,
+        final_mapping: routed.final_mapping,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::CircuitBuilder;
+
+    fn ring(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new(n);
+        for i in 0..n as u32 {
+            b.cx(i, (i + 1) % n as u32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn compiles_ring() {
+        let c = ring(6);
+        let machine = MachineSpec::quera_aquila_256();
+        let r = compile_graphine(&c, &machine, &PlacementConfig::quick(1));
+        assert_eq!(r.name, "graphine");
+        assert_eq!(r.cz_count(), c.cz_count() + 3 * r.swap_count);
+        let total: usize = r.layers.iter().map(|l| l.len()).sum();
+        assert_eq!(total, r.routed.len());
+    }
+
+    #[test]
+    fn shared_layout_is_deterministic() {
+        let c = ring(5);
+        let machine = MachineSpec::quera_aquila_256();
+        let layout = GraphineLayout::generate(&c, &PlacementConfig::quick(3));
+        let a = compile_graphine_with_layout(&c, &machine, &layout);
+        let b = compile_graphine_with_layout(&c, &machine, &layout);
+        assert_eq!(a.swap_count, b.swap_count);
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn positions_sit_on_grid_sites() {
+        let c = ring(4);
+        let machine = MachineSpec::quera_aquila_256();
+        let r = compile_graphine(&c, &machine, &PlacementConfig::quick(2));
+        let pitch = machine.site_pitch_um();
+        for p in &r.positions {
+            let fx = p.x / pitch;
+            let fy = p.y / pitch;
+            assert!((fx - fx.round()).abs() < 1e-9);
+            assert!((fy - fy.round()).abs() < 1e-9);
+        }
+    }
+}

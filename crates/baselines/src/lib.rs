@@ -1,0 +1,36 @@
+//! Baseline neutral-atom compilers for the Parallax evaluation.
+//!
+//! The paper compares Parallax against two state-of-the-art techniques,
+//! both re-implemented here and hardware-adjusted exactly as the paper
+//! describes (discretized grid pitch, 2.5x blockade serialization):
+//!
+//! * **ELDI** ([`eldi`]): square-grid mapping with long-distance Rydberg
+//!   interactions and SWAP routing (Baker et al. ISCA'21 / Litteken et al.
+//!   QCE'22).
+//! * **GRAPHINE** ([`graphine_router`]): application-specific annealed
+//!   static layout, no atom movement, SWAP routing (Patel et al. SC'23).
+//!
+//! Both keep atoms stationary, so every out-of-range CZ costs SWAPs (three
+//! CZs each) — the error source Parallax eliminates.
+//!
+//! # Example
+//! ```
+//! use parallax_circuit::CircuitBuilder;
+//! use parallax_baselines::{compile_eldi, EldiConfig};
+//! use parallax_hardware::MachineSpec;
+//!
+//! let mut b = CircuitBuilder::new(4);
+//! b.h(0).cx(0, 3).cx(1, 2);
+//! let result = compile_eldi(&b.build(), &MachineSpec::quera_aquila_256(), &EldiConfig::default());
+//! assert_eq!(result.cz_count(), result.routed.cz_count());
+//! ```
+
+pub mod common;
+pub mod eldi;
+pub mod graphine_router;
+pub mod swap_route;
+
+pub use common::{serialize_layers, BaselineResult};
+pub use eldi::{compile_eldi, grid_placement, EldiConfig};
+pub use graphine_router::{compile_graphine, compile_graphine_with_layout};
+pub use swap_route::{route, RoutedCircuit};

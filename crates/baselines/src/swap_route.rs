@@ -1,0 +1,234 @@
+//! Greedy SWAP routing over a static atom layout.
+//!
+//! Both baselines (ELDI and the GRAPHINE router) keep atoms stationary and
+//! bring distant CZ operands together by exchanging qubit *states* through
+//! chains of SWAP gates (three CZs each, ~1.43% error — the cost Parallax
+//! eliminates). The router processes gates in program order, maintains the
+//! logical-to-physical mapping, and inserts SWAPs along BFS shortest paths
+//! in the interaction graph (atoms within the Rydberg radius are adjacent).
+
+use parallax_circuit::{Circuit, Gate};
+use parallax_hardware::Point;
+use std::collections::VecDeque;
+
+/// Result of routing: the rewritten circuit plus mapping bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// Rewritten circuit; every SWAP is already lowered to three CZ gates.
+    pub circuit: Circuit,
+    /// Number of SWAPs inserted.
+    pub swap_count: usize,
+    /// `mapping[logical] = physical` after the final gate.
+    pub final_mapping: Vec<u32>,
+}
+
+/// Route `circuit` over static `positions` with interaction radius `r_um`.
+///
+/// # Panics
+/// Panics if the interaction graph over `positions` is disconnected (the
+/// radius-selection stage guarantees connectivity).
+pub fn route(circuit: &Circuit, positions: &[Point], r_um: f64) -> RoutedCircuit {
+    let n = circuit.num_qubits();
+    assert_eq!(positions.len(), n);
+    // Adjacency by radius.
+    let adj: Vec<Vec<u32>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| {
+                    j != i && positions[i].distance(&positions[j]) <= r_um + 1e-9
+                })
+                .map(|j| j as u32)
+                .collect()
+        })
+        .collect();
+
+    // mapping: logical -> physical; inverse: physical -> logical.
+    let mut phys_of: Vec<u32> = (0..n as u32).collect();
+    let mut logical_at: Vec<u32> = (0..n as u32).collect();
+    let mut out = Circuit::new(n);
+    let mut swap_count = 0usize;
+
+    let adjacent = |a: u32, b: u32| -> bool {
+        positions[a as usize].distance(&positions[b as usize]) <= r_um + 1e-9
+    };
+
+    for g in circuit.gates() {
+        match *g {
+            Gate::U3 { q, theta, phi, lam } => {
+                out.push(Gate::u3(phys_of[q as usize], theta, phi, lam));
+            }
+            Gate::Cz { a, b } => {
+                let (mut pa, pb) = (phys_of[a as usize], phys_of[b as usize]);
+                if !adjacent(pa, pb) {
+                    let path = bfs_path(&adj, pa, pb)
+                        .expect("interaction graph must be connected");
+                    // Swap the state of `a` along the path until adjacent.
+                    let mut idx = 0usize;
+                    while !adjacent(pa, pb) {
+                        idx += 1;
+                        let next = path[idx];
+                        if next == pb {
+                            // One hop short: swap into the predecessor is
+                            // enough since path[idx-1] is adjacent to pb.
+                            break;
+                        }
+                        emit_swap(&mut out, pa, next);
+                        swap_count += 1;
+                        // Exchange logical occupants of pa and next.
+                        let la = logical_at[pa as usize];
+                        let ln = logical_at[next as usize];
+                        logical_at[pa as usize] = ln;
+                        logical_at[next as usize] = la;
+                        phys_of[la as usize] = next;
+                        phys_of[ln as usize] = pa;
+                        pa = next;
+                    }
+                }
+                out.push(Gate::cz(pa, pb));
+            }
+        }
+    }
+    RoutedCircuit { circuit: out, swap_count, final_mapping: phys_of }
+}
+
+/// Lower one SWAP into three CZ gates with basis-change U3s (the exact
+/// `cx;cx;cx` identity in the CZ basis).
+fn emit_swap(out: &mut Circuit, a: u32, b: u32) {
+    // swap = cx(a,b) cx(b,a) cx(a,b); cx(x,y) = h(y) cz(x,y) h(y).
+    out.push(Gate::h(b));
+    out.push(Gate::cz(a, b));
+    out.push(Gate::h(b));
+    out.push(Gate::h(a));
+    out.push(Gate::cz(b, a));
+    out.push(Gate::h(a));
+    out.push(Gate::h(b));
+    out.push(Gate::cz(a, b));
+    out.push(Gate::h(b));
+}
+
+/// BFS shortest path from `from` to `to` in `adj`; includes both endpoints.
+fn bfs_path(adj: &[Vec<u32>], from: u32, to: u32) -> Option<Vec<u32>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut prev: Vec<Option<u32>> = vec![None; adj.len()];
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    prev[from as usize] = Some(from);
+    while let Some(v) = queue.pop_front() {
+        for &w in &adj[v as usize] {
+            if prev[w as usize].is_none() {
+                prev[w as usize] = Some(v);
+                if w == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = prev[cur as usize].unwrap();
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::CircuitBuilder;
+
+    /// A line of atoms spaced exactly one radius apart.
+    fn line_positions(n: usize, spacing: f64) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn adjacent_gate_needs_no_swaps() {
+        let mut b = CircuitBuilder::new(3);
+        b.cz(0, 1);
+        let r = route(&b.build(), &line_positions(3, 7.0), 7.0);
+        assert_eq!(r.swap_count, 0);
+        assert_eq!(r.circuit.cz_count(), 1);
+        assert_eq!(r.final_mapping, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        // 0 and 3 are three hops apart: state must travel two hops.
+        let mut b = CircuitBuilder::new(4);
+        b.cz(0, 3);
+        let r = route(&b.build(), &line_positions(4, 7.0), 7.0);
+        assert_eq!(r.swap_count, 2);
+        // 1 original CZ + 3 per swap.
+        assert_eq!(r.circuit.cz_count(), 1 + 3 * 2);
+        // Logical 0's state now sits at physical 2.
+        assert_eq!(r.final_mapping[0], 2);
+    }
+
+    #[test]
+    fn larger_radius_reduces_swaps() {
+        let mut b = CircuitBuilder::new(4);
+        b.cz(0, 3);
+        let c = b.build();
+        let near = route(&c, &line_positions(4, 7.0), 7.0);
+        let far = route(&c, &line_positions(4, 7.0), 14.0);
+        assert!(far.swap_count < near.swap_count);
+        let very_far = route(&c, &line_positions(4, 7.0), 21.0);
+        assert_eq!(very_far.swap_count, 0);
+    }
+
+    #[test]
+    fn mapping_tracks_multiple_swaps() {
+        let mut b = CircuitBuilder::new(4);
+        b.cz(0, 3).cz(0, 3);
+        let r = route(&b.build(), &line_positions(4, 7.0), 7.0);
+        // Second CZ is free: logical 0 already lives next to physical 3.
+        assert_eq!(r.swap_count, 2);
+        assert_eq!(r.circuit.cz_count(), 2 + 6);
+    }
+
+    #[test]
+    fn u3_gates_follow_their_logical_qubit() {
+        let mut b = CircuitBuilder::new(3);
+        b.cz(0, 2).rz(0.5, 0);
+        let r = route(&b.build(), &line_positions(3, 7.0), 7.0);
+        // Logical 0 moved to physical 1; its rz must target physical 1.
+        let last = *r.circuit.gates().last().unwrap();
+        match last {
+            Gate::U3 { q, lam, .. } => {
+                assert_eq!(q, r.final_mapping[0]);
+                assert!((lam - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected U3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_panics() {
+        let mut b = CircuitBuilder::new(2);
+        b.cz(0, 1);
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)];
+        let _ = route(&b.build(), &positions, 7.0);
+    }
+
+    #[test]
+    fn swap_lowering_is_nine_gates() {
+        let mut c = Circuit::new(2);
+        emit_swap(&mut c, 0, 1);
+        assert_eq!(c.len(), 9);
+        assert_eq!(c.cz_count(), 3);
+    }
+
+    #[test]
+    fn bfs_finds_shortest() {
+        let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let p = bfs_path(&adj, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        assert_eq!(bfs_path(&adj, 2, 2).unwrap(), vec![2]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Microbenchmarks of the individual compiler stages (not a paper figure;
+//! supports the paper's compile-time complexity discussion in Section III).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_circuit::optimize;
+use parallax_core::{discretize, select_aod_qubits, CompilerConfig};
+use parallax_graphine::{GraphineLayout, InteractionGraph, PlacementConfig};
+use parallax_hardware::MachineSpec;
+
+fn bench_stages(c: &mut Criterion) {
+    let bench = parallax_workloads::benchmark("SQRT").unwrap();
+    let raw = bench.raw_circuit(0);
+    let circuit = bench.circuit(0);
+    let placement = PlacementConfig::quick(0);
+    let layout = GraphineLayout::generate(&circuit, &placement);
+    let machine = MachineSpec::quera_aquila_256();
+
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.bench_function("transpile/SQRT", |b| b.iter(|| optimize(&raw)));
+    group.bench_function("interaction_graph/SQRT", |b| {
+        b.iter(|| InteractionGraph::from_circuit(&circuit))
+    });
+    group.bench_function("placement_anneal/SQRT", |b| {
+        b.iter(|| GraphineLayout::generate(&circuit, &placement))
+    });
+    group.bench_function("discretize/SQRT", |b| {
+        b.iter(|| discretize(&circuit, &layout, machine))
+    });
+    group.bench_function("aod_select/SQRT", |b| {
+        b.iter(|| {
+            let mut d = discretize(&circuit, &layout, machine);
+            select_aod_qubits(&circuit, &mut d, &CompilerConfig::quick(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

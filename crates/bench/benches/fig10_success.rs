@@ -1,0 +1,31 @@
+//! Fig. 10 bench: probability of success across compilers. Measures the
+//! fidelity-model evaluation and prints the figure's rows once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_bench::{fig10_rows, render_table, run_comparison, selected_benchmarks};
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_hardware::MachineSpec;
+use parallax_sim::{parallax_fidelity_inputs, success_probability};
+
+fn bench_fig10(c: &mut Criterion) {
+    let machine = MachineSpec::quera_aquila_256();
+    let rows = run_comparison(&selected_benchmarks(true), machine, 0);
+    let (h, d) = fig10_rows(&rows);
+    eprintln!("\n== Fig. 10 (quick subset): probability of success ==\n{}", render_table(&h, &d));
+
+    let bench = parallax_workloads::benchmark("GCM").unwrap();
+    let circuit = bench.circuit(0);
+    let result = ParallaxCompiler::new(machine, CompilerConfig::quick(0)).compile(&circuit);
+
+    let mut group = c.benchmark_group("fig10");
+    group.bench_function("fidelity_model/GCM", |b| {
+        b.iter(|| {
+            let inputs = parallax_fidelity_inputs(&result);
+            success_probability(&inputs, &machine.params)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 11 bench: total execution time vs logical-shot parallelization on
+//! the 1,225-qubit machine. Prints the series once and measures the
+//! replication-planning step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_bench::{fig11_rows, render_table};
+use parallax_core::{replication_plan, CompilerConfig, ParallaxCompiler};
+use parallax_hardware::MachineSpec;
+
+fn bench_fig11(c: &mut Criterion) {
+    let (h, d) = fig11_rows(0, true);
+    eprintln!(
+        "\n== Fig. 11 (quick subset): total execution time vs parallelization ==\n{}",
+        render_table(&h, &d)
+    );
+
+    let machine = MachineSpec::atom_1225();
+    let bench = parallax_workloads::benchmark("ADV").unwrap();
+    let circuit = bench.circuit(0);
+    let result = ParallaxCompiler::new(machine, CompilerConfig::quick(0)).compile(&circuit);
+
+    let mut group = c.benchmark_group("fig11");
+    group.bench_function("replication_plan/ADV", |b| {
+        b.iter(|| replication_plan(&result, &machine));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 12 bench: home-return ablation. Prints the ablation rows once and
+//! measures scheduling with and without the home-return pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_bench::{fig12_rows, render_table, selected_benchmarks};
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_graphine::{GraphineLayout, PlacementConfig};
+use parallax_hardware::MachineSpec;
+
+fn bench_fig12(c: &mut Criterion) {
+    let (h, d) = fig12_rows(&selected_benchmarks(true), 0);
+    eprintln!("\n== Fig. 12 (quick subset): home-return ablation ==\n{}", render_table(&h, &d));
+
+    let machine = MachineSpec::atom_1225();
+    let bench = parallax_workloads::benchmark("QAOA").unwrap();
+    let circuit = bench.circuit(0);
+    let placement = PlacementConfig::quick(0);
+    let layout = GraphineLayout::generate(&circuit, &placement);
+
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("return_home", CompilerConfig { seed: 0, placement: placement.clone(), ..Default::default() }),
+        (
+            "stay_out",
+            CompilerConfig { seed: 0, placement: placement.clone(), ..Default::default() }
+                .without_home_return(),
+        ),
+    ] {
+        group.bench_function(format!("schedule/QAOA/{label}"), |b| {
+            b.iter(|| {
+                ParallaxCompiler::new(machine, cfg.clone())
+                    .compile_with_layout(&circuit, &layout)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 13 bench: AOD row/column count ablation {1, 5, 10, 20, 40}.
+//! Prints the ablation rows once and measures compilation per AOD count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_bench::{fig13_rows, render_table, selected_benchmarks};
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_graphine::{GraphineLayout, PlacementConfig};
+use parallax_hardware::MachineSpec;
+
+fn bench_fig13(c: &mut Criterion) {
+    let (h, d) = fig13_rows(&selected_benchmarks(true), 0);
+    eprintln!("\n== Fig. 13 (quick subset): AOD count ablation ==\n{}", render_table(&h, &d));
+
+    let bench = parallax_workloads::benchmark("SECA").unwrap();
+    let circuit = bench.circuit(0);
+    let placement = PlacementConfig::quick(0);
+    let layout = GraphineLayout::generate(&circuit, &placement);
+
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    for aod in [1usize, 5, 10, 20, 40] {
+        let machine = MachineSpec::atom_1225().with_aod_dim(aod);
+        let cfg = CompilerConfig { seed: 0, placement: placement.clone(), ..Default::default() };
+        group.bench_function(format!("schedule/SECA/aod{aod}"), |b| {
+            b.iter(|| {
+                ParallaxCompiler::new(machine, cfg.clone())
+                    .compile_with_layout(&circuit, &layout)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

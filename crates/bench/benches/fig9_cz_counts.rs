@@ -1,0 +1,29 @@
+//! Fig. 9 bench: CZ gate counts of Parallax vs ELDI vs GRAPHINE on the
+//! 256-qubit machine. The Criterion measurement times one full three-way
+//! comparison; the rows of the figure are printed once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_bench::{compare_benchmark, fig9_rows, render_table, run_comparison, selected_benchmarks};
+use parallax_hardware::MachineSpec;
+
+fn bench_fig9(c: &mut Criterion) {
+    let machine = MachineSpec::quera_aquila_256();
+
+    // Regenerate and print the figure's data once.
+    let rows = run_comparison(&selected_benchmarks(true), machine, 0);
+    let (h, d) = fig9_rows(&rows);
+    eprintln!("\n== Fig. 9 (quick subset): CZ gate counts ==\n{}", render_table(&h, &d));
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for name in ["ADD", "QAOA", "QFT"] {
+        let bench = parallax_workloads::benchmark(name).unwrap();
+        group.bench_function(format!("compare/{name}"), |b| {
+            b.iter(|| compare_benchmark(&bench, machine, 0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

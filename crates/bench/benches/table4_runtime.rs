@@ -1,0 +1,32 @@
+//! Table IV bench: single-shot circuit runtime on the 256- and 1,225-qubit
+//! machines. Prints the (quick-subset) table once and measures the
+//! compile+runtime-model pipeline per machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_bench::{render_table, selected_benchmarks, table4_rows};
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_hardware::MachineSpec;
+use parallax_sim::parallax_runtime_us;
+
+fn bench_table4(c: &mut Criterion) {
+    let (h, d) = table4_rows(&selected_benchmarks(true), 0);
+    eprintln!("\n== Table IV (quick subset): circuit runtime (µs) ==\n{}", render_table(&h, &d));
+
+    let bench = parallax_workloads::benchmark("QEC").unwrap();
+    let circuit = bench.circuit(0);
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for machine in [MachineSpec::quera_aquila_256(), MachineSpec::atom_1225()] {
+        group.bench_function(format!("compile_runtime/QEC/{}", machine.name), |b| {
+            b.iter(|| {
+                let r = ParallaxCompiler::new(machine, CompilerConfig::quick(0))
+                    .compile(&circuit);
+                parallax_runtime_us(&r)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

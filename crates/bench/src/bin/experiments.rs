@@ -1,0 +1,109 @@
+//! Regenerate the Parallax paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! experiments [table2|table3|fig9|fig10|table4|fig11|fig12|fig13|summary|all]
+//!             [--quick] [--seed N]
+//! ```
+//!
+//! `--quick` restricts to six small benchmarks (useful in debug builds);
+//! the full suite is intended for `cargo run --release -p parallax-bench
+//! --bin experiments -- all`.
+
+use parallax_bench::*;
+use parallax_hardware::MachineSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.as_str() != seed.to_string())
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let run = |name: &str| which == name || which == "all";
+
+    if run("table2") {
+        let (h, d) = table2_rows();
+        println!("== Table II: hardware parameters ==\n{}", render_table(&h, &d));
+    }
+    if run("table3") {
+        let (h, d) = table3_rows(seed);
+        println!("== Table III: benchmarks ==\n{}", render_table(&h, &d));
+    }
+
+    if run("fig9") || run("fig10") || run("summary") {
+        let benches = selected_benchmarks(quick);
+        eprintln!("[experiments] compiling {} benchmarks x 3 compilers...", benches.len());
+        let rows = run_comparison(&benches, MachineSpec::quera_aquila_256(), seed);
+        if run("fig9") {
+            let (h, d) = fig9_rows(&rows);
+            println!("== Fig. 9: CZ gate counts (QuEra-256) ==\n{}", render_table(&h, &d));
+        }
+        if run("fig10") {
+            let (h, d) = fig10_rows(&rows);
+            println!(
+                "== Fig. 10: probability of success (QuEra-256) ==\n{}",
+                render_table(&h, &d)
+            );
+        }
+        if run("summary") {
+            let s = summarize(&rows);
+            println!("== Headline summary (paper: -39%/-25% CZ, +46%/+28% success, 1.3% trap changes) ==");
+            println!(
+                "CZ reduction vs Graphine: {:.1}%   (paper: 39%)",
+                100.0 * s.cz_reduction_vs_graphine
+            );
+            println!(
+                "CZ reduction vs Eldi:     {:.1}%   (paper: 25%)",
+                100.0 * s.cz_reduction_vs_eldi
+            );
+            println!(
+                "Success gain vs Graphine: {:.1}%   (paper: 46%)",
+                100.0 * s.success_gain_vs_graphine
+            );
+            println!(
+                "Success gain vs Eldi:     {:.1}%   (paper: 28%)",
+                100.0 * s.success_gain_vs_eldi
+            );
+            println!(
+                "Trap changes per CZ:      {:.2}%   (paper: ~1.3%)\n",
+                100.0 * s.trap_change_rate
+            );
+        }
+    }
+
+    if run("table4") {
+        let benches = selected_benchmarks(quick);
+        eprintln!("[experiments] Table IV: compiling on both machines...");
+        let (h, d) = table4_rows(&benches, seed);
+        println!("== Table IV: circuit runtime (µs) ==\n{}", render_table(&h, &d));
+    }
+
+    if run("fig11") {
+        let (h, d) = fig11_rows(seed, quick);
+        println!(
+            "== Fig. 11: total execution time vs parallelization (Atom-1225, 8000 shots) ==\n{}",
+            render_table(&h, &d)
+        );
+    }
+
+    if run("fig12") {
+        let benches = selected_benchmarks(quick);
+        let (h, d) = fig12_rows(&benches, seed);
+        println!("== Fig. 12: home-return ablation (Atom-1225) ==\n{}", render_table(&h, &d));
+    }
+
+    if run("fig13") {
+        let benches = selected_benchmarks(quick);
+        let (h, d) = fig13_rows(&benches, seed);
+        println!("== Fig. 13: AOD count ablation (Atom-1225) ==\n{}", render_table(&h, &d));
+    }
+}

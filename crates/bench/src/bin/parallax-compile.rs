@@ -1,0 +1,160 @@
+//! Command-line compiler: QASM 2.0 in, compilation report out.
+//!
+//! ```text
+//! parallax-compile <file.qasm|-> [--machine quera|atom] [--seed N]
+//!                  [--compiler parallax|eldi|graphine] [--schedule]
+//!                  [--no-return-home] [--aod-dim N]
+//! ```
+//!
+//! Mirrors the paper's open-source tool: reads an OpenQASM 2.0 circuit,
+//! transpiles it to the {U3, CZ} basis, compiles it with Parallax (or a
+//! baseline for comparison), and prints the evaluation metrics. `--schedule`
+//! additionally dumps the per-layer gate/movement plan.
+
+use parallax_baselines::{compile_eldi, compile_graphine, EldiConfig};
+use parallax_circuit::{from_qasm, optimize};
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_graphine::PlacementConfig;
+use parallax_hardware::MachineSpec;
+use parallax_sim::{
+    baseline_fidelity_inputs, parallax_fidelity_inputs, success_probability,
+    success_probability_with_readout,
+};
+use std::io::Read;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: parallax-compile <file.qasm|-> [--machine quera|atom] [--seed N] \
+         [--compiler parallax|eldi|graphine] [--schedule] [--no-return-home] [--aod-dim N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut machine = MachineSpec::quera_aquila_256();
+    let mut seed = 0u64;
+    let mut which = "parallax".to_string();
+    let mut show_schedule = false;
+    let mut return_home = true;
+    let mut aod_dim: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => match it.next().map(String::as_str) {
+                Some("quera") => machine = MachineSpec::quera_aquila_256(),
+                Some("atom") => machine = MachineSpec::atom_1225(),
+                _ => die("--machine expects 'quera' or 'atom'"),
+            },
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --seed"))
+            }
+            "--compiler" => {
+                which = it.next().cloned().unwrap_or_else(|| die("bad --compiler"));
+            }
+            "--schedule" => show_schedule = true,
+            "--no-return-home" => return_home = false,
+            "--aod-dim" => {
+                aod_dim =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --aod-dim")))
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    let path = path.unwrap_or_else(|| die("missing input file (use '-' for stdin)"));
+    if let Some(dim) = aod_dim {
+        machine = machine.with_aod_dim(dim);
+    }
+
+    let source = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| die(&e.to_string()));
+        buf
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+    };
+
+    let program = parallax_qasm::parse(&source).unwrap_or_else(|e| die(&e.to_string()));
+    let raw = from_qasm(&program).unwrap_or_else(|e| die(&e.to_string()));
+    let circuit = optimize(&raw);
+    println!("input:     {raw}");
+    println!("transpiled: {circuit}");
+    if circuit.num_qubits() > machine.num_sites() {
+        die(&format!(
+            "circuit needs {} qubits but {} has {} sites",
+            circuit.num_qubits(),
+            machine.name,
+            machine.num_sites()
+        ));
+    }
+
+    match which.as_str() {
+        "parallax" => {
+            let config = CompilerConfig {
+                seed,
+                placement: PlacementConfig { seed, ..Default::default() },
+                return_home,
+                ..Default::default()
+            };
+            let result = ParallaxCompiler::new(machine, config).compile(&circuit);
+            let stats = &result.schedule.stats;
+            let inputs = parallax_fidelity_inputs(&result);
+            println!("\n== parallax on {} ==", machine.name);
+            println!("layers:                {}", stats.layer_count);
+            println!("CZ / U3 / SWAP:        {} / {} / 0", stats.cz_count, stats.u3_count);
+            println!("AOD atoms:             {:?}", result.aod_selection.selected);
+            println!("moves / trap changes:  {} / {}", stats.moves_planned, stats.trap_changes);
+            println!("interaction radius:    {:.1} µm", result.interaction_radius_um);
+            println!("runtime:               {:.1} µs", inputs.runtime_us);
+            println!(
+                "success probability:   {:.4e} ({:.4e} incl. readout)",
+                success_probability(&inputs, &machine.params),
+                success_probability_with_readout(&inputs, &machine.params),
+            );
+            if show_schedule {
+                println!("\nlayer  gates  moves  trap  move_um  return_um");
+                for (i, l) in result.schedule.layers.iter().enumerate() {
+                    println!(
+                        "{i:>5}  {:>5}  {:>5}  {:>4}  {:>7.1}  {:>9.1}",
+                        l.gate_indices.len(),
+                        l.moves.len(),
+                        l.trap_changes,
+                        l.move_distance_um,
+                        l.return_distance_um
+                    );
+                }
+            }
+        }
+        "eldi" | "graphine" => {
+            let result = if which == "eldi" {
+                compile_eldi(&circuit, &machine, &EldiConfig::default())
+            } else {
+                compile_graphine(
+                    &circuit,
+                    &machine,
+                    &PlacementConfig { seed, ..Default::default() },
+                )
+            };
+            let inputs = baseline_fidelity_inputs(&result, &machine.params);
+            println!("\n== {which} on {} ==", machine.name);
+            println!("layers:              {}", result.layer_count());
+            println!(
+                "CZ / U3 / SWAP:      {} / {} / {}",
+                result.cz_count(),
+                result.u3_count(),
+                result.swap_count
+            );
+            println!("interaction radius:  {:.1} µm", result.interaction_radius_um);
+            println!("runtime:             {:.1} µs", inputs.runtime_us);
+            println!(
+                "success probability: {:.4e}",
+                success_probability(&inputs, &machine.params)
+            );
+        }
+        other => die(&format!("unknown compiler '{other}'")),
+    }
+}

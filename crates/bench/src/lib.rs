@@ -1,0 +1,515 @@
+//! Experiment harness regenerating every table and figure of the Parallax
+//! paper's evaluation (Section IV).
+//!
+//! The library half computes results; the `experiments` binary and the
+//! Criterion benches print/measure them. Every experiment is deterministic
+//! per seed and fans out over worker threads.
+//!
+//! | Paper artifact | Function |
+//! |----------------|----------|
+//! | Table II (hardware parameters) | [`table2_rows`] |
+//! | Table III (benchmarks)         | [`table3_rows`] |
+//! | Fig. 9 (CZ gate counts)        | [`run_comparison`] -> [`fig9_rows`] |
+//! | Fig. 10 (probability of success) | [`run_comparison`] -> [`fig10_rows`] |
+//! | Table IV (circuit runtimes, 256 & 1,225) | [`table4_rows`] |
+//! | Fig. 11 (parallel shots vs execution time) | [`fig11_rows`] |
+//! | Fig. 12 (home-return ablation) | [`fig12_rows`] |
+//! | Fig. 13 (AOD count ablation)   | [`fig13_rows`] |
+
+use parallax_baselines::{compile_eldi, compile_graphine_with_layout, EldiConfig};
+use parallax_circuit::Circuit;
+use parallax_core::{replication_plan, CompilerConfig, ParallaxCompiler};
+use parallax_graphine::{GraphineLayout, PlacementConfig};
+use parallax_hardware::{HardwareParams, MachineSpec};
+use parallax_sim::{
+    baseline_fidelity_inputs, parallax_fidelity_inputs, success_probability, ShotModel,
+};
+use parallax_workloads::{all_benchmarks, Benchmark};
+
+/// Metrics of one compiler on one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledMetrics {
+    /// Executed CZ gates.
+    pub cz: usize,
+    /// Executed U3 gates.
+    pub u3: usize,
+    /// SWAPs inserted (0 for Parallax).
+    pub swaps: usize,
+    /// Single-shot circuit runtime, µs.
+    pub runtime_us: f64,
+    /// Probability of success (gate errors x decoherence).
+    pub success: f64,
+    /// Executed layers.
+    pub layers: usize,
+    /// Trap changes (Parallax only; 0 for baselines).
+    pub trap_changes: usize,
+}
+
+/// Three-way comparison on one benchmark.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Benchmark acronym.
+    pub name: String,
+    /// Qubit count.
+    pub qubits: usize,
+    /// GRAPHINE baseline metrics.
+    pub graphine: CompiledMetrics,
+    /// ELDI baseline metrics.
+    pub eldi: CompiledMetrics,
+    /// Parallax metrics.
+    pub parallax: CompiledMetrics,
+}
+
+/// Which benchmarks to evaluate.
+pub fn selected_benchmarks(quick: bool) -> Vec<Benchmark> {
+    let all = all_benchmarks();
+    if quick {
+        all.into_iter()
+            .filter(|b| ["ADD", "ADV", "HLF", "QAOA", "QEC", "SECA"].contains(&b.name))
+            .collect()
+    } else {
+        all
+    }
+}
+
+/// Placement settings: the full anneal is expensive for 128-qubit TFIM, so
+/// the iteration budget shrinks with qubit count.
+pub fn placement_for(qubits: usize, seed: u64) -> PlacementConfig {
+    let max_iter = if qubits > 64 {
+        120
+    } else if qubits > 24 {
+        250
+    } else {
+        400
+    };
+    PlacementConfig { seed, max_iter, local_search_evals: 800, ..Default::default() }
+}
+
+fn parallax_metrics(
+    circuit: &Circuit,
+    layout: &GraphineLayout,
+    machine: MachineSpec,
+    config: &CompilerConfig,
+) -> CompiledMetrics {
+    let result = ParallaxCompiler::new(machine, config.clone()).compile_with_layout(circuit, layout);
+    let inputs = parallax_fidelity_inputs(&result);
+    CompiledMetrics {
+        cz: result.cz_count(),
+        u3: result.u3_count(),
+        swaps: 0,
+        runtime_us: inputs.runtime_us,
+        success: success_probability(&inputs, &machine.params),
+        layers: result.schedule.layers.len(),
+        trap_changes: result.schedule.stats.trap_changes,
+    }
+}
+
+fn eldi_metrics(circuit: &Circuit, machine: &MachineSpec) -> CompiledMetrics {
+    let result = compile_eldi(circuit, machine, &EldiConfig::default());
+    let inputs = baseline_fidelity_inputs(&result, &machine.params);
+    CompiledMetrics {
+        cz: result.cz_count(),
+        u3: result.u3_count(),
+        swaps: result.swap_count,
+        runtime_us: inputs.runtime_us,
+        success: success_probability(&inputs, &machine.params),
+        layers: result.layer_count(),
+        trap_changes: 0,
+    }
+}
+
+fn graphine_metrics(
+    circuit: &Circuit,
+    layout: &GraphineLayout,
+    machine: &MachineSpec,
+) -> CompiledMetrics {
+    let result = compile_graphine_with_layout(circuit, machine, layout);
+    let inputs = baseline_fidelity_inputs(&result, &machine.params);
+    CompiledMetrics {
+        cz: result.cz_count(),
+        u3: result.u3_count(),
+        swaps: result.swap_count,
+        runtime_us: inputs.runtime_us,
+        success: success_probability(&inputs, &machine.params),
+        layers: result.layer_count(),
+        trap_changes: 0,
+    }
+}
+
+/// Run the three compilers on one benchmark. Parallax and the GRAPHINE
+/// baseline share the identical annealed layout, as in the paper.
+pub fn compare_benchmark(bench: &Benchmark, machine: MachineSpec, seed: u64) -> ComparisonRow {
+    let circuit = bench.circuit(seed);
+    let placement = placement_for(bench.qubits, seed);
+    let layout = GraphineLayout::generate(&circuit, &placement);
+    let config = CompilerConfig { seed, placement: placement.clone(), ..Default::default() };
+    ComparisonRow {
+        name: bench.name.to_string(),
+        qubits: bench.qubits,
+        graphine: graphine_metrics(&circuit, &layout, &machine),
+        eldi: eldi_metrics(&circuit, &machine),
+        parallax: parallax_metrics(&circuit, &layout, machine, &config),
+    }
+}
+
+/// Run the full three-way comparison across `benches`, fanned out over
+/// worker threads.
+pub fn run_comparison(
+    benches: &[Benchmark],
+    machine: MachineSpec,
+    seed: u64,
+) -> Vec<ComparisonRow> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..benches.len() {
+        task_tx.send(i).expect("open queue");
+    }
+    drop(task_tx);
+    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, ComparisonRow)>();
+    let mut slots: Vec<Option<ComparisonRow>> = vec![None; benches.len()];
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(benches.len().max(1)) {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok(i) = task_rx.recv() {
+                    let row = compare_benchmark(&benches[i], machine, seed);
+                    if result_tx.send((i, row)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        while let Ok((i, row)) = result_rx.recv() {
+            slots[i] = Some(row);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("all rows computed")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table rendering
+// ---------------------------------------------------------------------------
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 9: CZ gate counts per benchmark per compiler.
+pub fn fig9_rows(rows: &[ComparisonRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["Bench", "Qubits", "Graphine CZ", "Eldi CZ", "Parallax CZ", "vs Graphine", "vs Eldi"];
+    let data = rows
+        .iter()
+        .map(|r| {
+            let vs_g = 100.0 * (1.0 - r.parallax.cz as f64 / r.graphine.cz.max(1) as f64);
+            let vs_e = 100.0 * (1.0 - r.parallax.cz as f64 / r.eldi.cz.max(1) as f64);
+            vec![
+                r.name.clone(),
+                r.qubits.to_string(),
+                r.graphine.cz.to_string(),
+                r.eldi.cz.to_string(),
+                r.parallax.cz.to_string(),
+                format!("{vs_g:+.1}%"),
+                format!("{vs_e:+.1}%"),
+            ]
+        })
+        .collect();
+    (headers, data)
+}
+
+/// Fig. 10: probability of success per benchmark per compiler.
+pub fn fig10_rows(rows: &[ComparisonRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["Bench", "Graphine", "Eldi", "Parallax"];
+    let data = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.2e}", r.graphine.success),
+                format!("{:.2e}", r.eldi.success),
+                format!("{:.2e}", r.parallax.success),
+            ]
+        })
+        .collect();
+    (headers, data)
+}
+
+/// Table IV: circuit runtimes on both machines.
+pub fn table4_rows(
+    benches: &[Benchmark],
+    seed: u64,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let quera = run_comparison(benches, MachineSpec::quera_aquila_256(), seed);
+    let atom = run_comparison(benches, MachineSpec::atom_1225(), seed);
+    let headers = vec![
+        "Bench", "Eldi-256", "Graphine-256", "Parallax-256", "Eldi-1225", "Graphine-1225",
+        "Parallax-1225",
+    ];
+    let data = quera
+        .iter()
+        .zip(&atom)
+        .map(|(q, a)| {
+            vec![
+                q.name.clone(),
+                format!("{:.0}", q.eldi.runtime_us),
+                format!("{:.0}", q.graphine.runtime_us),
+                format!("{:.0}", q.parallax.runtime_us),
+                format!("{:.0}", a.eldi.runtime_us),
+                format!("{:.0}", a.graphine.runtime_us),
+                format!("{:.0}", a.parallax.runtime_us),
+            ]
+        })
+        .collect();
+    (headers, data)
+}
+
+/// Fig. 11: total execution time of 8,000 shots vs parallelization factor
+/// on the 1,225-qubit machine, for the paper's six showcased benchmarks.
+pub fn fig11_rows(seed: u64, quick: bool) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let names: &[&str] =
+        if quick { &["ADV", "SECA"] } else { &["ADV", "KNN", "QV", "SECA", "SQRT", "WST"] };
+    let machine = MachineSpec::atom_1225();
+    let shot_model = ShotModel::default();
+    let headers = vec!["Bench", "Factor", "PhysShots", "TotalExec (s)"];
+    let mut data = Vec::new();
+    for name in names {
+        let bench = parallax_workloads::benchmark(name).expect("known benchmark");
+        let circuit = bench.circuit(seed);
+        let placement = placement_for(bench.qubits, seed);
+        let config = CompilerConfig { seed, placement: placement.clone(), ..Default::default() };
+        let result = ParallaxCompiler::new(machine, config).compile(&circuit);
+        let runtime = parallax_sim::parallax_runtime_us(&result);
+        let max_plan = replication_plan(&result, &machine);
+        let mut factors: Vec<usize> = Vec::new();
+        for k in 1..=max_plan.copies_x.min(max_plan.copies_y) {
+            factors.push(k * k);
+        }
+        let full = max_plan.factor();
+        if factors.last() != Some(&full) {
+            factors.push(full);
+        }
+        for f in factors {
+            let total = shot_model.total_execution_time_us(runtime, f);
+            data.push(vec![
+                bench.name.to_string(),
+                f.to_string(),
+                shot_model.logical_shots.div_ceil(f).to_string(),
+                format!("{:.4}", total * 1e-6),
+            ]);
+        }
+    }
+    (headers, data)
+}
+
+/// Fig. 12: circuit runtime with vs without AOD home-return.
+pub fn fig12_rows(benches: &[Benchmark], seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let machine = MachineSpec::atom_1225();
+    let headers = vec!["Bench", "NoReturn (µs)", "Return (µs)", "Return saves"];
+    let mut data = Vec::new();
+    for bench in benches {
+        let circuit = bench.circuit(seed);
+        let placement = placement_for(bench.qubits, seed);
+        let layout = GraphineLayout::generate(&circuit, &placement);
+        let cfg_home = CompilerConfig { seed, placement: placement.clone(), ..Default::default() };
+        let cfg_stay = cfg_home.clone().without_home_return();
+        let home = parallax_metrics(&circuit, &layout, machine, &cfg_home);
+        let stay = parallax_metrics(&circuit, &layout, machine, &cfg_stay);
+        let saving = 100.0 * (1.0 - home.runtime_us / stay.runtime_us.max(1e-9));
+        data.push(vec![
+            bench.name.to_string(),
+            format!("{:.0}", stay.runtime_us),
+            format!("{:.0}", home.runtime_us),
+            format!("{saving:+.1}%"),
+        ]);
+    }
+    (headers, data)
+}
+
+/// Fig. 13: circuit runtime across AOD row/column counts {1, 5, 10, 20, 40}.
+pub fn fig13_rows(benches: &[Benchmark], seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let counts = [1usize, 5, 10, 20, 40];
+    let headers = vec!["Bench", "AOD=1", "AOD=5", "AOD=10", "AOD=20", "AOD=40"];
+    let mut data = Vec::new();
+    for bench in benches {
+        let circuit = bench.circuit(seed);
+        let placement = placement_for(bench.qubits, seed);
+        let layout = GraphineLayout::generate(&circuit, &placement);
+        let mut row = vec![bench.name.to_string()];
+        for &count in &counts {
+            let machine = MachineSpec::atom_1225().with_aod_dim(count);
+            let cfg = CompilerConfig { seed, placement: placement.clone(), ..Default::default() };
+            let m = parallax_metrics(&circuit, &layout, machine, &cfg);
+            row.push(format!("{:.0}", m.runtime_us));
+        }
+        data.push(row);
+    }
+    (headers, data)
+}
+
+/// Table II as printable rows.
+pub fn table2_rows() -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let p = HardwareParams::table2();
+    let headers = vec!["Parameter", "Value"];
+    let data = vec![
+        vec!["Number of Qubits".into(), "256 & 1,225".into()],
+        vec!["Time to Switch Traps (µs)".into(), format!("{}", p.trap_switch_time_us)],
+        vec!["AOD Movement Speed (µm/µs)".into(), format!("{}", p.aod_move_speed_um_per_us)],
+        vec!["T1 Coherence Time (s)".into(), format!("{}", p.t1_seconds)],
+        vec!["T2 Coherence Time (s)".into(), format!("{}", p.t2_seconds)],
+        vec!["SWAP Gate Error".into(), format!("{}", p.swap_gate_error)],
+        vec!["Atom Loss Rate".into(), format!("{}", p.atom_loss_rate)],
+        vec!["U3 Gate Error".into(), format!("{}", p.u3_gate_error)],
+        vec!["U3 Gate Time (µs)".into(), format!("{}", p.u3_gate_time_us)],
+        vec!["CZ Gate Error".into(), format!("{}", p.cz_gate_error)],
+        vec!["CZ Gate Time (µs)".into(), format!("{}", p.cz_gate_time_us)],
+        vec!["Readout Error".into(), format!("{}", p.readout_error)],
+    ];
+    (headers, data)
+}
+
+/// Table III as printable rows.
+pub fn table3_rows(seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["Acronym", "Qubits", "CZ (transpiled)", "Description"];
+    let data = all_benchmarks()
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.to_string(),
+                b.qubits.to_string(),
+                b.circuit(seed).cz_count().to_string(),
+                b.description.to_string(),
+            ]
+        })
+        .collect();
+    (headers, data)
+}
+
+/// Headline aggregate numbers (abstract / Section IV claims).
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Mean CZ reduction vs GRAPHINE (paper: 39%).
+    pub cz_reduction_vs_graphine: f64,
+    /// Mean CZ reduction vs ELDI (paper: 25%).
+    pub cz_reduction_vs_eldi: f64,
+    /// Mean relative success improvement vs GRAPHINE (paper: 46%).
+    pub success_gain_vs_graphine: f64,
+    /// Mean relative success improvement vs ELDI (paper: 28%).
+    pub success_gain_vs_eldi: f64,
+    /// Mean trap changes per CZ gate (paper: ~1.3%).
+    pub trap_change_rate: f64,
+}
+
+/// Compute the headline aggregates from comparison rows.
+pub fn summarize(rows: &[ComparisonRow]) -> Summary {
+    let n = rows.len() as f64;
+    let mean = |f: &dyn Fn(&ComparisonRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
+    Summary {
+        cz_reduction_vs_graphine: mean(&|r| {
+            1.0 - r.parallax.cz as f64 / r.graphine.cz.max(1) as f64
+        }),
+        cz_reduction_vs_eldi: mean(&|r| 1.0 - r.parallax.cz as f64 / r.eldi.cz.max(1) as f64),
+        success_gain_vs_graphine: mean(&|r| {
+            relative_gain(r.parallax.success, r.graphine.success)
+        }),
+        success_gain_vs_eldi: mean(&|r| relative_gain(r.parallax.success, r.eldi.success)),
+        trap_change_rate: mean(&|r| r.parallax.trap_changes as f64 / r.parallax.cz.max(1) as f64),
+    }
+}
+
+/// Bounded relative improvement: how much closer to ideal success Parallax
+/// lands, capped so near-zero baselines don't produce absurd ratios.
+fn relative_gain(ours: f64, theirs: f64) -> f64 {
+    if theirs <= 1e-30 {
+        return 1.0;
+    }
+    ((ours - theirs) / theirs).clamp(-1.0, 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_comparison_shapes_hold() {
+        let benches = selected_benchmarks(true);
+        assert_eq!(benches.len(), 6);
+        let rows = run_comparison(&benches, MachineSpec::quera_aquila_256(), 1);
+        for r in &rows {
+            // Zero SWAPs: Parallax CZ never exceeds either baseline's.
+            assert!(r.parallax.cz <= r.eldi.cz, "{}: {} > {}", r.name, r.parallax.cz, r.eldi.cz);
+            assert!(r.parallax.cz <= r.graphine.cz, "{}", r.name);
+            assert_eq!(r.parallax.swaps, 0);
+            // Success ordering follows gate counts.
+            assert!(r.parallax.success > 0.0);
+        }
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(&["A", "Long"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('A'));
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    fn table2_and_3_render() {
+        let (h2, d2) = table2_rows();
+        assert_eq!(h2.len(), 2);
+        assert_eq!(d2.len(), 12);
+        let (h3, d3) = table3_rows(0);
+        assert_eq!(h3.len(), 4);
+        assert_eq!(d3.len(), 18);
+    }
+
+    #[test]
+    fn summary_of_synthetic_rows() {
+        let m = |cz: usize, success: f64| CompiledMetrics {
+            cz,
+            u3: 0,
+            swaps: 0,
+            runtime_us: 1.0,
+            success,
+            layers: 1,
+            trap_changes: 0,
+        };
+        let rows = vec![ComparisonRow {
+            name: "X".into(),
+            qubits: 2,
+            graphine: m(200, 0.2),
+            eldi: m(100, 0.5),
+            parallax: m(80, 0.6),
+        }];
+        let s = summarize(&rows);
+        assert!((s.cz_reduction_vs_graphine - 0.6).abs() < 1e-12);
+        assert!((s.cz_reduction_vs_eldi - 0.2).abs() < 1e-12);
+        assert!((s.success_gain_vs_eldi - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,271 @@
+//! Ergonomic programmatic circuit construction.
+//!
+//! The workload generators build the 18 Table III benchmarks directly in
+//! Rust; [`CircuitBuilder`] gives them the same named-gate vocabulary a QASM
+//! file would have, lowering every call straight to the {U3, CZ} basis via
+//! [`crate::lower::apply_named`].
+
+use crate::circuit::Circuit;
+use crate::lower::apply_named;
+
+/// Builder over a growing [`Circuit`].
+///
+/// All methods panic on misuse (bad qubit index, repeated operands) since
+/// builder callers are in-repo generators, not untrusted input.
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+}
+
+macro_rules! one_qubit {
+    ($(#[$doc:meta] $fn_name:ident => $gate:literal),+ $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $fn_name(&mut self, q: u32) -> &mut Self {
+                self.apply($gate, &[], &[q])
+            }
+        )+
+    };
+}
+
+macro_rules! one_qubit_param {
+    ($(#[$doc:meta] $fn_name:ident => $gate:literal),+ $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $fn_name(&mut self, angle: f64, q: u32) -> &mut Self {
+                self.apply($gate, &[angle], &[q])
+            }
+        )+
+    };
+}
+
+macro_rules! two_qubit {
+    ($(#[$doc:meta] $fn_name:ident => $gate:literal),+ $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $fn_name(&mut self, a: u32, b: u32) -> &mut Self {
+                self.apply($gate, &[], &[a, b])
+            }
+        )+
+    };
+}
+
+macro_rules! two_qubit_param {
+    ($(#[$doc:meta] $fn_name:ident => $gate:literal),+ $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $fn_name(&mut self, angle: f64, a: u32, b: u32) -> &mut Self {
+                self.apply($gate, &[angle], &[a, b])
+            }
+        )+
+    };
+}
+
+impl CircuitBuilder {
+    /// Start building a circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self { circuit: Circuit::new(num_qubits) }
+    }
+
+    /// Finish and return the built circuit.
+    pub fn build(self) -> Circuit {
+        self.circuit
+    }
+
+    /// Read access to the circuit under construction.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Apply any named qelib gate.
+    pub fn apply(&mut self, name: &str, params: &[f64], qubits: &[u32]) -> &mut Self {
+        apply_named(&mut self.circuit, name, params, qubits)
+            .unwrap_or_else(|e| panic!("builder misuse: {e}"));
+        self
+    }
+
+    one_qubit! {
+        /// Hadamard.
+        h => "h",
+        /// Pauli-X.
+        x => "x",
+        /// Pauli-Y.
+        y => "y",
+        /// Pauli-Z.
+        z => "z",
+        /// Phase gate S.
+        s => "s",
+        /// S-dagger.
+        sdg => "sdg",
+        /// T gate.
+        t => "t",
+        /// T-dagger.
+        tdg => "tdg",
+        /// Square-root of X.
+        sx => "sx",
+    }
+
+    one_qubit_param! {
+        /// X-rotation.
+        rx => "rx",
+        /// Y-rotation.
+        ry => "ry",
+        /// Z-rotation.
+        rz => "rz",
+        /// Phase gate `p(lambda)`.
+        p => "p",
+    }
+
+    two_qubit! {
+        /// Controlled-X.
+        cx => "cx",
+        /// Controlled-Z.
+        cz => "cz",
+        /// Controlled-Y.
+        cy => "cy",
+        /// Controlled-H.
+        ch => "ch",
+        /// SWAP (three CZ after lowering).
+        swap => "swap",
+    }
+
+    two_qubit_param! {
+        /// Controlled phase.
+        cp => "cp",
+        /// Controlled X-rotation.
+        crx => "crx",
+        /// Controlled Y-rotation.
+        cry => "cry",
+        /// Controlled Z-rotation.
+        crz => "crz",
+        /// Ising ZZ interaction.
+        rzz => "rzz",
+        /// Ising XX interaction.
+        rxx => "rxx",
+        /// Ising YY interaction.
+        ryy => "ryy",
+    }
+
+    /// General one-qubit rotation.
+    pub fn u3(&mut self, theta: f64, phi: f64, lam: f64, q: u32) -> &mut Self {
+        self.apply("u3", &[theta, phi, lam], &[q])
+    }
+
+    /// Controlled-U3.
+    pub fn cu3(&mut self, theta: f64, phi: f64, lam: f64, c: u32, t: u32) -> &mut Self {
+        self.apply("cu3", &[theta, phi, lam], &[c, t])
+    }
+
+    /// Toffoli.
+    pub fn ccx(&mut self, a: u32, b: u32, c: u32) -> &mut Self {
+        self.apply("ccx", &[], &[a, b, c])
+    }
+
+    /// Controlled-controlled-Z.
+    pub fn ccz(&mut self, a: u32, b: u32, c: u32) -> &mut Self {
+        self.apply("ccz", &[], &[a, b, c])
+    }
+
+    /// Fredkin (controlled-SWAP).
+    pub fn cswap(&mut self, c: u32, a: u32, b: u32) -> &mut Self {
+        self.apply("cswap", &[], &[c, a, b])
+    }
+
+    /// Multi-controlled X over arbitrarily many controls using a clean
+    /// ancilla chain (ancillas must be distinct from controls and target and
+    /// are returned to |0>). With zero controls this is `x`; with one, `cx`;
+    /// with two, `ccx`. For `k >= 3` controls, `k - 2` ancillas are required.
+    pub fn mcx(&mut self, controls: &[u32], target: u32, ancillas: &[u32]) -> &mut Self {
+        match controls.len() {
+            0 => return self.x(target),
+            1 => return self.cx(controls[0], target),
+            2 => return self.ccx(controls[0], controls[1], target),
+            k => assert!(
+                ancillas.len() >= k - 2,
+                "mcx with {k} controls needs {} ancillas, got {}",
+                k - 2,
+                ancillas.len()
+            ),
+        }
+        let k = controls.len();
+        // Forward ladder of Toffolis into ancillas.
+        self.ccx(controls[0], controls[1], ancillas[0]);
+        for i in 2..k - 1 {
+            self.ccx(controls[i], ancillas[i - 2], ancillas[i - 1]);
+        }
+        self.ccx(controls[k - 1], ancillas[k - 3], target);
+        // Uncompute the ladder.
+        for i in (2..k - 1).rev() {
+            self.ccx(controls[i], ancillas[i - 2], ancillas[i - 1]);
+        }
+        self.ccx(controls[0], controls[1], ancillas[0]);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_bell_pair() {
+        let mut b = CircuitBuilder::new(2);
+        b.h(0).cx(0, 1);
+        let c = b.build();
+        assert_eq!(c.cz_count(), 1);
+        assert_eq!(c.u3_count(), 3); // h + (h cz h)
+    }
+
+    #[test]
+    fn chained_calls_accumulate() {
+        let mut b = CircuitBuilder::new(3);
+        b.h(0).h(1).h(2).cz(0, 1).cz(1, 2).rz(0.5, 0);
+        assert_eq!(b.circuit().len(), 6);
+    }
+
+    #[test]
+    fn ising_gates_lower() {
+        let mut b = CircuitBuilder::new(2);
+        b.rzz(0.3, 0, 1);
+        assert_eq!(b.circuit().cz_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside circuit")]
+    fn bad_qubit_panics() {
+        let mut b = CircuitBuilder::new(1);
+        b.cx(0, 1);
+    }
+
+    #[test]
+    fn mcx_small_cases() {
+        let mut b = CircuitBuilder::new(4);
+        b.mcx(&[], 0, &[]);
+        b.mcx(&[0], 1, &[]);
+        b.mcx(&[0, 1], 2, &[]);
+        // 1 (x) + 1 (cx) + 6 (ccx) CZ after lowering = 0 + 1 + 6
+        assert_eq!(b.circuit().cz_count(), 7);
+    }
+
+    #[test]
+    fn mcx_with_ancillas_uncomputes() {
+        let mut b = CircuitBuilder::new(8);
+        // 4 controls, 2 ancillas: 2*(k-2)+1 = 5 Toffolis.
+        b.mcx(&[0, 1, 2, 3], 6, &[4, 5]);
+        assert_eq!(b.circuit().cz_count(), 5 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ancillas")]
+    fn mcx_without_enough_ancillas_panics() {
+        let mut b = CircuitBuilder::new(5);
+        b.mcx(&[0, 1, 2], 3, &[]);
+    }
+
+    #[test]
+    fn cu3_expands_to_two_cz() {
+        let mut b = CircuitBuilder::new(2);
+        b.cu3(0.1, 0.2, 0.3, 0, 1);
+        assert_eq!(b.circuit().cz_count(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! The flat circuit container shared by all compilers.
+
+use crate::gate::Gate;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A quantum circuit over the {U3, CZ} basis.
+///
+/// Gates are stored in program order. Two gates commute for scheduling
+/// purposes iff they act on disjoint qubits; all compilers in this suite
+/// preserve the per-qubit gate order (the dependency model of the paper's
+/// Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Create an empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self { num_qubits, gates: Vec::new() }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// All gates in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Append a gate, validating its qubit indices.
+    ///
+    /// # Panics
+    /// Panics if a qubit index is out of range.
+    pub fn push(&mut self, gate: Gate) {
+        for q in &gate.qubits() {
+            assert!(
+                (q as usize) < self.num_qubits,
+                "gate {gate} references qubit {q} outside circuit of {} qubits",
+                self.num_qubits
+            );
+        }
+        self.gates.push(gate);
+    }
+
+    /// Append every gate of `other` (qubit indices are shared).
+    pub fn extend_from(&mut self, other: &Circuit) {
+        assert!(other.num_qubits <= self.num_qubits);
+        for g in &other.gates {
+            self.push(*g);
+        }
+    }
+
+    /// Number of two-qubit CZ gates — metric (1) of the paper's evaluation.
+    pub fn cz_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Number of one-qubit U3 gates.
+    pub fn u3_count(&self) -> usize {
+        self.gates.len() - self.cz_count()
+    }
+
+    /// Interaction multiset: for every unordered qubit pair `(min, max)`,
+    /// the number of CZ gates between them. This is the weighted graph
+    /// GRAPHINE anneals over.
+    pub fn cz_pair_counts(&self) -> BTreeMap<(u32, u32), usize> {
+        let mut map = BTreeMap::new();
+        for g in &self.gates {
+            if let Gate::Cz { a, b } = *g {
+                let key = (a.min(b), a.max(b));
+                *map.entry(key).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// Number of distinct partners each qubit shares a CZ with (the paper's
+    /// notion of qubit connectivity, used to explain Fig. 9).
+    pub fn connectivity(&self) -> Vec<usize> {
+        let mut partners: Vec<std::collections::BTreeSet<u32>> =
+            vec![Default::default(); self.num_qubits];
+        for g in &self.gates {
+            if let Gate::Cz { a, b } = *g {
+                partners[a as usize].insert(b);
+                partners[b as usize].insert(a);
+            }
+        }
+        partners.into_iter().map(|s| s.len()).collect()
+    }
+
+    /// Circuit depth counted in parallel layers (see [`crate::dag::layers`]).
+    pub fn depth(&self) -> usize {
+        crate::dag::layers(self).len()
+    }
+
+    /// Per-qubit lists of gate indices in program order, the structure the
+    /// schedulers consume.
+    pub fn qubit_gate_indices(&self) -> Vec<Vec<usize>> {
+        let mut per_qubit = vec![Vec::new(); self.num_qubits];
+        for (i, g) in self.gates.iter().enumerate() {
+            for q in &g.qubits() {
+                per_qubit[q as usize].push(i);
+            }
+        }
+        per_qubit
+    }
+
+    /// Render as OpenQASM 2.0 text (inverse of `from_qasm` up to
+    /// decomposition).
+    pub fn to_qasm(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "OPENQASM 2.0;");
+        let _ = writeln!(out, "include \"qelib1.inc\";");
+        let _ = writeln!(out, "qreg q[{}];", self.num_qubits);
+        let _ = writeln!(out, "creg c[{}];", self.num_qubits);
+        for g in &self.gates {
+            let _ = writeln!(out, "{g};");
+        }
+        let _ = writeln!(out, "measure q -> c;");
+        out
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Circuit({} qubits, {} gates: {} U3 + {} CZ, depth {})",
+            self.num_qubits,
+            self.len(),
+            self.u3_count(),
+            self.cz_count(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::cz(1, 2));
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::x(2));
+        c
+    }
+
+    #[test]
+    fn counts() {
+        let c = sample();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.cz_count(), 3);
+        assert_eq!(c.u3_count(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside circuit")]
+    fn push_validates_qubits() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cz(0, 2));
+    }
+
+    #[test]
+    fn pair_counts_are_unordered() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::cz(1, 0));
+        let pairs = c.cz_pair_counts();
+        assert_eq!(pairs[&(0, 1)], 2);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn connectivity_counts_distinct_partners() {
+        let c = sample();
+        assert_eq!(c.connectivity(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn qubit_gate_indices_in_order() {
+        let c = sample();
+        let per_q = c.qubit_gate_indices();
+        assert_eq!(per_q[0], vec![0, 1, 3]);
+        assert_eq!(per_q[1], vec![1, 2, 3]);
+        assert_eq!(per_q[2], vec![2, 4]);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = Circuit::new(3);
+        a.push(Gate::h(0));
+        let b = sample();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn to_qasm_reparses() {
+        let c = sample();
+        let text = c.to_qasm();
+        let p = parallax_qasm::parse(&text).unwrap();
+        assert_eq!(p.total_qubits(), 3);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let c = sample();
+        let s = c.to_string();
+        assert!(s.contains("3 qubits"));
+        assert!(s.contains("3 CZ"));
+    }
+}

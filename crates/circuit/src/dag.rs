@@ -1,0 +1,200 @@
+//! Dependency analysis and ASAP layering.
+//!
+//! Gates on the same qubit must execute in program order; gates on disjoint
+//! qubits may run in parallel (Fig. 1 of the paper). [`layers`] computes the
+//! as-soon-as-possible layering; [`DependencyDag`] exposes the predecessor
+//! structure the schedulers walk.
+
+use crate::circuit::Circuit;
+
+/// Compute ASAP layers: each inner `Vec` holds indices of gates that can run
+/// in the same layer assuming full hardware parallelism.
+pub fn layers(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let mut qubit_depth = vec![0usize; circuit.num_qubits()];
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for (i, g) in circuit.gates().iter().enumerate() {
+        let layer = g.qubits().as_slice().iter().map(|&q| qubit_depth[q as usize]).max().unwrap();
+        if layer == out.len() {
+            out.push(Vec::new());
+        }
+        out[layer].push(i);
+        for &q in g.qubits().as_slice() {
+            qubit_depth[q as usize] = layer + 1;
+        }
+    }
+    out
+}
+
+/// Explicit gate dependency DAG.
+///
+/// `preds[i]` lists the gate indices that must complete before gate `i`
+/// (at most one per operand qubit — the previous gate on that qubit).
+#[derive(Debug, Clone)]
+pub struct DependencyDag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl DependencyDag {
+    /// Build the DAG for `circuit`.
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        for (i, g) in circuit.gates().iter().enumerate() {
+            for &q in g.qubits().as_slice() {
+                if let Some(p) = last_on_qubit[q as usize] {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+                last_on_qubit[q as usize] = Some(i);
+            }
+        }
+        Self { preds, succs }
+    }
+
+    /// Gates that must run before gate `i`.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Gates that directly depend on gate `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Number of gates in the DAG.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True for an empty circuit.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Verify that `order` (a permutation of gate indices) respects every
+    /// dependency edge. Used by tests and the simulator to validate
+    /// schedules produced by the compilers.
+    pub fn respects_order(&self, order: &[usize]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.len()];
+        for (at, &g) in order.iter().enumerate() {
+            if g >= self.len() || pos[g] != usize::MAX {
+                return false;
+            }
+            pos[g] = at;
+        }
+        for (i, ps) in self.preds.iter().enumerate() {
+            for &p in ps {
+                if pos[p] >= pos[i] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn fredkin_like() -> Circuit {
+        // Mirrors the structure of the paper's Fig. 1: interleaved U3 and CZ.
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(1)); // 0
+        c.push(Gate::h(2)); // 1
+        c.push(Gate::cz(1, 2)); // 2
+        c.push(Gate::h(0)); // 3
+        c.push(Gate::cz(0, 1)); // 4
+        c.push(Gate::cz(0, 2)); // 5
+        c.push(Gate::x(1)); // 6
+        c
+    }
+
+    #[test]
+    fn layers_pack_parallel_gates() {
+        let c = fredkin_like();
+        let ls = layers(&c);
+        // Layer 0: h(1), h(2), h(0) all parallel.
+        assert_eq!(ls[0], vec![0, 1, 3]);
+        // Layer 1: cz(1,2).
+        assert_eq!(ls[1], vec![2]);
+        assert_eq!(ls[2], vec![4]);
+        assert_eq!(ls[3], vec![5, 6]);
+        assert_eq!(c.depth(), 4);
+    }
+
+    #[test]
+    fn every_gate_appears_exactly_once_in_layers() {
+        let c = fredkin_like();
+        let mut seen = vec![false; c.len()];
+        for l in layers(&c) {
+            for i in l {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn dag_predecessors() {
+        let c = fredkin_like();
+        let dag = DependencyDag::build(&c);
+        assert!(dag.predecessors(0).is_empty());
+        assert_eq!(dag.predecessors(2), &[0, 1]);
+        assert_eq!(dag.predecessors(4), &[3, 2]);
+        assert_eq!(dag.predecessors(5), &[4, 2]);
+        assert_eq!(dag.predecessors(6), &[4]);
+        assert!(dag.successors(0).contains(&2));
+    }
+
+    #[test]
+    fn program_order_respects_dag() {
+        let c = fredkin_like();
+        let dag = DependencyDag::build(&c);
+        let order: Vec<usize> = (0..c.len()).collect();
+        assert!(dag.respects_order(&order));
+    }
+
+    #[test]
+    fn swapped_dependent_gates_rejected() {
+        let c = fredkin_like();
+        let dag = DependencyDag::build(&c);
+        let order = vec![0, 1, 4, 3, 2, 5, 6]; // cz(0,1) before cz(1,2)
+        assert!(!dag.respects_order(&order));
+    }
+
+    #[test]
+    fn commuting_reorder_accepted() {
+        let c = fredkin_like();
+        let dag = DependencyDag::build(&c);
+        let order = vec![3, 1, 0, 2, 4, 6, 5]; // only disjoint-qubit swaps
+        assert!(dag.respects_order(&order));
+    }
+
+    #[test]
+    fn malformed_orders_rejected() {
+        let c = fredkin_like();
+        let dag = DependencyDag::build(&c);
+        assert!(!dag.respects_order(&[0, 1])); // wrong length
+        assert!(!dag.respects_order(&[0, 0, 1, 2, 3, 4, 5])); // duplicate
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(2);
+        assert!(layers(&c).is_empty());
+        let dag = DependencyDag::build(&c);
+        assert!(dag.is_empty());
+        assert!(dag.respects_order(&[]));
+    }
+}

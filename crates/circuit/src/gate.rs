@@ -1,0 +1,238 @@
+//! The {U3, CZ} universal basis used by every compiler in this suite.
+//!
+//! The Parallax paper compiles all circuits to one-qubit `U3` rotations
+//! (implemented on hardware by Raman transitions) and two-qubit `CZ` gates
+//! (implemented by Rydberg interactions). A SWAP is three CZ gates; Parallax
+//! never emits one, the baselines do.
+
+use std::fmt;
+
+/// Angle tolerance for treating two gates as equal / a rotation as identity.
+pub const ANGLE_EPS: f64 = 1e-9;
+
+/// A gate in the neutral-atom basis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// General one-qubit rotation `U3(theta, phi, lambda)`.
+    U3 {
+        /// Target qubit.
+        q: u32,
+        /// Polar rotation angle.
+        theta: f64,
+        /// First phase angle.
+        phi: f64,
+        /// Second phase angle.
+        lam: f64,
+    },
+    /// Two-qubit controlled-Z (symmetric in its operands).
+    Cz {
+        /// First qubit.
+        a: u32,
+        /// Second qubit.
+        b: u32,
+    },
+}
+
+impl Gate {
+    /// Construct a `U3` gate.
+    pub fn u3(q: u32, theta: f64, phi: f64, lam: f64) -> Self {
+        Gate::U3 { q, theta, phi, lam }
+    }
+
+    /// Construct a `CZ` gate. Panics if `a == b`.
+    pub fn cz(a: u32, b: u32) -> Self {
+        assert_ne!(a, b, "CZ requires two distinct qubits");
+        Gate::Cz { a, b }
+    }
+
+    /// Hadamard as a `U3`.
+    pub fn h(q: u32) -> Self {
+        Gate::u3(q, std::f64::consts::FRAC_PI_2, 0.0, std::f64::consts::PI)
+    }
+
+    /// Pauli-X as a `U3`.
+    pub fn x(q: u32) -> Self {
+        Gate::u3(q, std::f64::consts::PI, 0.0, std::f64::consts::PI)
+    }
+
+    /// Z-rotation (`u1`) as a `U3`.
+    pub fn rz(q: u32, lam: f64) -> Self {
+        Gate::u3(q, 0.0, 0.0, lam)
+    }
+
+    /// True for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cz { .. })
+    }
+
+    /// The qubits this gate acts on (one or two entries).
+    pub fn qubits(&self) -> GateQubits {
+        match *self {
+            Gate::U3 { q, .. } => GateQubits { qs: [q, 0], len: 1 },
+            Gate::Cz { a, b } => GateQubits { qs: [a, b], len: 2 },
+        }
+    }
+
+    /// First operand qubit.
+    pub fn q0(&self) -> u32 {
+        match *self {
+            Gate::U3 { q, .. } => q,
+            Gate::Cz { a, .. } => a,
+        }
+    }
+
+    /// Second operand qubit for `CZ`, `None` for `U3`.
+    pub fn q1(&self) -> Option<u32> {
+        match *self {
+            Gate::U3 { .. } => None,
+            Gate::Cz { b, .. } => Some(b),
+        }
+    }
+
+    /// Whether the gate acts on qubit `q`.
+    pub fn acts_on(&self, q: u32) -> bool {
+        match *self {
+            Gate::U3 { q: t, .. } => t == q,
+            Gate::Cz { a, b } => a == q || b == q,
+        }
+    }
+
+    /// For a `CZ` acting on `q`, the other operand.
+    pub fn partner(&self, q: u32) -> Option<u32> {
+        match *self {
+            Gate::Cz { a, b } if a == q => Some(b),
+            Gate::Cz { a, b } if b == q => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True if this `U3` is the identity up to global phase (within
+    /// [`ANGLE_EPS`]). `CZ` gates are never identity.
+    pub fn is_identity(&self) -> bool {
+        match *self {
+            Gate::U3 { theta, phi, lam, .. } => {
+                let theta_zero = (theta.rem_euclid(2.0 * std::f64::consts::PI)).min(
+                    (2.0 * std::f64::consts::PI) - theta.rem_euclid(2.0 * std::f64::consts::PI),
+                ) < ANGLE_EPS;
+                if !theta_zero {
+                    return false;
+                }
+                let total = (phi + lam).rem_euclid(2.0 * std::f64::consts::PI);
+                total.min(2.0 * std::f64::consts::PI - total) < ANGLE_EPS
+            }
+            Gate::Cz { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::U3 { q, theta, phi, lam } => {
+                write!(f, "u3({theta:.6},{phi:.6},{lam:.6}) q[{q}]")
+            }
+            Gate::Cz { a, b } => write!(f, "cz q[{a}],q[{b}]"),
+        }
+    }
+}
+
+/// Small fixed-capacity qubit list returned by [`Gate::qubits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateQubits {
+    qs: [u32; 2],
+    len: u8,
+}
+
+impl GateQubits {
+    /// View as a slice of qubit indices.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.qs[..self.len as usize]
+    }
+
+    /// Number of qubits (1 or 2).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false: a gate acts on at least one qubit.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl<'a> IntoIterator for &'a GateQubits {
+    type Item = u32;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u32>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn qubit_accessors() {
+        let g = Gate::cz(2, 5);
+        assert_eq!(g.q0(), 2);
+        assert_eq!(g.q1(), Some(5));
+        assert_eq!(g.qubits().as_slice(), &[2, 5]);
+        assert!(g.is_two_qubit());
+        assert!(g.acts_on(2) && g.acts_on(5) && !g.acts_on(3));
+        assert_eq!(g.partner(2), Some(5));
+        assert_eq!(g.partner(5), Some(2));
+        assert_eq!(g.partner(9), None);
+
+        let u = Gate::h(1);
+        assert_eq!(u.q0(), 1);
+        assert_eq!(u.q1(), None);
+        assert_eq!(u.qubits().len(), 1);
+        assert!(!u.is_two_qubit());
+        assert_eq!(u.partner(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn cz_rejects_equal_qubits() {
+        let _ = Gate::cz(3, 3);
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(Gate::u3(0, 0.0, 0.0, 0.0).is_identity());
+        assert!(Gate::u3(0, 0.0, PI, -PI).is_identity());
+        assert!(Gate::u3(0, 2.0 * PI, 0.0, 0.0).is_identity());
+        assert!(!Gate::h(0).is_identity());
+        assert!(!Gate::rz(0, 0.1).is_identity());
+        assert!(!Gate::cz(0, 1).is_identity());
+    }
+
+    #[test]
+    fn rz_is_theta_zero() {
+        match Gate::rz(4, 1.25) {
+            Gate::U3 { q, theta, phi, lam } => {
+                assert_eq!(q, 4);
+                assert_eq!(theta, 0.0);
+                assert_eq!(phi, 0.0);
+                assert_eq!(lam, 1.25);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Gate::cz(0, 1).to_string(), "cz q[0],q[1]");
+        assert!(Gate::h(2).to_string().starts_with("u3("));
+    }
+
+    #[test]
+    fn gate_qubits_iterates() {
+        let g = Gate::cz(7, 3);
+        let v: Vec<u32> = (&g.qubits()).into_iter().collect();
+        assert_eq!(v, vec![7, 3]);
+    }
+}

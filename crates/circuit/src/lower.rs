@@ -1,0 +1,391 @@
+//! Lowering from the QASM AST to a flat [`Circuit`] in the {U3, CZ} basis.
+//!
+//! This pass plays the role of the basis-translation stage of the Qiskit
+//! transpiler in the paper's methodology: every gate call is recursively
+//! expanded through its (built-in or user) definition until only `u3`-family
+//! and `cx`/`cz` primitives remain, which map onto [`Gate::U3`] and
+//! [`Gate::Cz`]. Register arguments broadcast per QASM 2.0 semantics.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::qelib;
+use parallax_qasm::ast::{Argument, GateDef, Program, Statement};
+use parallax_qasm::expr::Expr;
+use std::collections::HashMap;
+use std::f64::consts::FRAC_PI_2;
+use std::fmt;
+
+/// Maximum depth of nested gate-definition expansion.
+const MAX_EXPANSION_DEPTH: usize = 64;
+
+/// An error produced while lowering a parsed program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lower a parsed QASM program to a flat circuit.
+///
+/// `measure` and `barrier` statements are accepted and dropped (every
+/// compiler in the suite measures all qubits at the end of the circuit, as
+/// the paper's shot model assumes); `reset` and classical conditionals are
+/// rejected — no Table III benchmark uses them.
+pub fn from_qasm(program: &Program) -> Result<Circuit, LowerError> {
+    let num_qubits = program.total_qubits();
+    if num_qubits == 0 {
+        return Err(LowerError("program declares no qubits".into()));
+    }
+    let offsets = program.qubit_offsets();
+    let qreg_sizes: HashMap<String, usize> = program.qregs().into_iter().collect();
+    let mut defs: HashMap<String, GateDef> = qelib::builtin_defs().clone();
+    let mut circuit = Circuit::new(num_qubits);
+
+    for stmt in &program.statements {
+        match stmt {
+            Statement::Include(_) => {} // builtins are always available
+            Statement::QRegDecl { .. } | Statement::CRegDecl { .. } => {}
+            Statement::GateDef(def) => {
+                defs.insert(def.name.clone(), def.clone());
+            }
+            Statement::Measure { .. } | Statement::Barrier(_) => {}
+            Statement::Reset(_) => {
+                return Err(LowerError("reset statements are not supported".into()));
+            }
+            Statement::Conditional { .. } => {
+                return Err(LowerError("classical conditionals are not supported".into()));
+            }
+            Statement::GateCall { name, params, args } => {
+                for concrete in broadcast(args, &offsets, &qreg_sizes)? {
+                    let values: Vec<f64> = params
+                        .iter()
+                        .map(|e| e.eval_const().map_err(LowerError))
+                        .collect::<Result<_, _>>()?;
+                    expand_numeric(name, &values, &concrete, &defs, &mut circuit, 0)?;
+                }
+            }
+        }
+    }
+    Ok(circuit)
+}
+
+/// Resolve arguments to flat qubit indices, broadcasting whole-register
+/// arguments (all register args must agree in size).
+fn broadcast(
+    args: &[Argument],
+    offsets: &HashMap<String, usize>,
+    sizes: &HashMap<String, usize>,
+) -> Result<Vec<Vec<u32>>, LowerError> {
+    let mut width: Option<usize> = None;
+    for a in args {
+        if let Argument::Register(r) = a {
+            let size =
+                *sizes.get(r).ok_or_else(|| LowerError(format!("unknown register '{r}'")))?;
+            match width {
+                None => width = Some(size),
+                Some(w) if w == size => {}
+                Some(w) => {
+                    return Err(LowerError(format!(
+                        "broadcast size mismatch: register '{r}' has {size} qubits, expected {w}"
+                    )))
+                }
+            }
+        }
+    }
+    let width = width.unwrap_or(1);
+    let mut out = Vec::with_capacity(width);
+    for k in 0..width {
+        let mut concrete = Vec::with_capacity(args.len());
+        for a in args {
+            let (reg, idx) = match a {
+                Argument::Register(r) => (r, k),
+                Argument::Indexed(r, i) => (r, *i),
+            };
+            let off =
+                *offsets.get(reg).ok_or_else(|| LowerError(format!("unknown register '{reg}'")))?;
+            let size = sizes[reg];
+            if idx >= size {
+                return Err(LowerError(format!(
+                    "index {idx} out of range for register '{reg}' of size {size}"
+                )));
+            }
+            concrete.push((off + idx) as u32);
+        }
+        let mut sorted = concrete.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != concrete.len() {
+            return Err(LowerError("gate call repeats a qubit operand".into()));
+        }
+        out.push(concrete);
+    }
+    Ok(out)
+}
+
+/// Expand a gate call whose parameters are already numeric.
+fn expand_numeric(
+    name: &str,
+    params: &[f64],
+    qubits: &[u32],
+    defs: &HashMap<String, GateDef>,
+    out: &mut Circuit,
+    depth: usize,
+) -> Result<(), LowerError> {
+    if depth > MAX_EXPANSION_DEPTH {
+        return Err(LowerError(format!("gate expansion too deep at '{name}' (cycle?)")));
+    }
+    let arity_err = |want: usize| {
+        LowerError(format!("gate '{name}' expects {want} qubit(s), got {}", qubits.len()))
+    };
+    let param_err = |want: usize| {
+        LowerError(format!("gate '{name}' expects {want} parameter(s), got {}", params.len()))
+    };
+    match name {
+        "u3" | "u" | "U" => {
+            if qubits.len() != 1 {
+                return Err(arity_err(1));
+            }
+            if params.len() != 3 {
+                return Err(param_err(3));
+            }
+            out.push(Gate::u3(qubits[0], params[0], params[1], params[2]));
+        }
+        "u2" => {
+            if qubits.len() != 1 {
+                return Err(arity_err(1));
+            }
+            if params.len() != 2 {
+                return Err(param_err(2));
+            }
+            out.push(Gate::u3(qubits[0], FRAC_PI_2, params[0], params[1]));
+        }
+        "u1" | "p" => {
+            if qubits.len() != 1 {
+                return Err(arity_err(1));
+            }
+            if params.len() != 1 {
+                return Err(param_err(1));
+            }
+            out.push(Gate::rz(qubits[0], params[0]));
+        }
+        "id" => {
+            if qubits.len() != 1 {
+                return Err(arity_err(1));
+            }
+        }
+        "cx" | "CX" => {
+            if qubits.len() != 2 {
+                return Err(arity_err(2));
+            }
+            // CX(a, b) = (I ⊗ H) CZ (I ⊗ H) — exact identity.
+            out.push(Gate::h(qubits[1]));
+            out.push(Gate::cz(qubits[0], qubits[1]));
+            out.push(Gate::h(qubits[1]));
+        }
+        "cz" => {
+            if qubits.len() != 2 {
+                return Err(arity_err(2));
+            }
+            out.push(Gate::cz(qubits[0], qubits[1]));
+        }
+        _ => {
+            let def = defs
+                .get(name)
+                .ok_or_else(|| LowerError(format!("unknown gate '{name}'")))?;
+            if def.opaque {
+                return Err(LowerError(format!("cannot expand opaque gate '{name}'")));
+            }
+            if def.params.len() != params.len() {
+                return Err(param_err(def.params.len()));
+            }
+            if def.qubits.len() != qubits.len() {
+                return Err(arity_err(def.qubits.len()));
+            }
+            let param_env: HashMap<String, f64> =
+                def.params.iter().cloned().zip(params.iter().copied()).collect();
+            let qubit_env: HashMap<&str, u32> =
+                def.qubits.iter().map(String::as_str).zip(qubits.iter().copied()).collect();
+            for body in &def.body {
+                let values: Vec<f64> = body
+                    .params
+                    .iter()
+                    .map(|e| eval_with(e, &param_env))
+                    .collect::<Result<_, _>>()?;
+                let mapped: Vec<u32> = body
+                    .qubits
+                    .iter()
+                    .map(|q| {
+                        qubit_env.get(q.as_str()).copied().ok_or_else(|| {
+                            LowerError(format!("unknown qubit formal '{q}' in gate '{name}'"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                expand_numeric(&body.name, &values, &mapped, defs, out, depth + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval_with(e: &Expr, env: &HashMap<String, f64>) -> Result<f64, LowerError> {
+    e.eval(env).map_err(LowerError)
+}
+
+/// Apply a named gate (primitive or built-in qelib gate) with numeric
+/// parameters directly to a circuit. This is the programmatic twin of a QASM
+/// gate call and is what [`crate::builder::CircuitBuilder`] delegates to.
+pub fn apply_named(
+    circuit: &mut Circuit,
+    name: &str,
+    params: &[f64],
+    qubits: &[u32],
+) -> Result<(), LowerError> {
+    expand_numeric(name, params, qubits, qelib::builtin_defs(), circuit, 0)
+}
+
+/// Convenience: parse QASM source and lower it in one step.
+pub fn circuit_from_qasm_str(source: &str) -> Result<Circuit, LowerError> {
+    let program = parallax_qasm::parse(source).map_err(|e| LowerError(e.to_string()))?;
+    from_qasm(&program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn lower(src: &str) -> Circuit {
+        circuit_from_qasm_str(src).unwrap()
+    }
+
+    #[test]
+    fn lowers_primitives_directly() {
+        let c = lower("OPENQASM 2.0;\nqreg q[2];\nu3(0.1,0.2,0.3) q[0];\ncz q[0],q[1];\n");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.cz_count(), 1);
+    }
+
+    #[test]
+    fn cx_becomes_h_cz_h() {
+        let c = lower("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.gates()[0], Gate::h(1));
+        assert_eq!(c.gates()[1], Gate::cz(0, 1));
+        assert_eq!(c.gates()[2], Gate::h(1));
+    }
+
+    #[test]
+    fn builtin_gates_expand() {
+        let c = lower("OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[2];\n");
+        // ccx has 6 cx -> 6 CZ plus single-qubit gates.
+        assert_eq!(c.cz_count(), 6);
+    }
+
+    #[test]
+    fn swap_is_three_cz() {
+        let c = lower("OPENQASM 2.0;\nqreg q[2];\nswap q[0],q[1];\n");
+        assert_eq!(c.cz_count(), 3);
+    }
+
+    #[test]
+    fn user_gate_with_params_expands() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\ngate mine(t) a,b { rz(t/2) a; cx a,b; rz(-t/2) b; }\nmine(pi) q[0],q[1];\n";
+        let c = lower(src);
+        assert_eq!(c.cz_count(), 1);
+        match c.gates()[0] {
+            Gate::U3 { q: 0, theta, lam, .. } => {
+                assert_eq!(theta, 0.0);
+                assert!((lam - PI / 2.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected first gate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_broadcast() {
+        let c = lower("OPENQASM 2.0;\nqreg q[4];\nh q;\n");
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.u3_count(), 4);
+    }
+
+    #[test]
+    fn two_register_broadcast() {
+        let c = lower("OPENQASM 2.0;\nqreg a[3];\nqreg b[3];\ncx a,b;\n");
+        assert_eq!(c.cz_count(), 3);
+        // cx a[i], b[i] pairs with flat offsets 0..3 and 3..6.
+        assert_eq!(c.gates()[1], Gate::cz(0, 3));
+    }
+
+    #[test]
+    fn mixed_broadcast_repeats_indexed_arg() {
+        let c = lower("OPENQASM 2.0;\nqreg a[1];\nqreg b[3];\ncx a[0],b;\n");
+        assert_eq!(c.cz_count(), 3);
+        assert_eq!(c.gates()[1], Gate::cz(0, 1));
+        assert_eq!(c.gates()[4], Gate::cz(0, 2));
+    }
+
+    #[test]
+    fn broadcast_size_mismatch_errors() {
+        let r = circuit_from_qasm_str("OPENQASM 2.0;\nqreg a[2];\nqreg b[3];\ncx a,b;\n");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn repeated_operand_errors() {
+        let r = circuit_from_qasm_str("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\n");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn out_of_range_index_errors() {
+        let r = circuit_from_qasm_str("OPENQASM 2.0;\nqreg q[2];\nh q[5];\n");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unknown_gate_errors() {
+        let r = circuit_from_qasm_str("OPENQASM 2.0;\nqreg q[1];\nwarp q[0];\n");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reset_and_conditionals_rejected() {
+        assert!(circuit_from_qasm_str("OPENQASM 2.0;\nqreg q[1];\nreset q[0];\n").is_err());
+        assert!(circuit_from_qasm_str(
+            "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif (c == 0) x q[0];\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn measure_and_barrier_dropped() {
+        let c = lower(
+            "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nbarrier q[0],q[1];\nmeasure q -> c;\n",
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn id_gate_is_dropped() {
+        let c = lower("OPENQASM 2.0;\nqreg q[1];\nid q[0];\n");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn recursive_user_gate_errors_not_hangs() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\ngate loop a { loop a; }\nloop q[0];\n";
+        assert!(circuit_from_qasm_str(src).is_err());
+    }
+
+    #[test]
+    fn multi_register_offsets() {
+        let c = lower("OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\ncz a[1],b[0];\n");
+        assert_eq!(c.gates()[0], Gate::cz(1, 2));
+        assert_eq!(c.num_qubits(), 4);
+    }
+}

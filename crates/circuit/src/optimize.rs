@@ -1,0 +1,269 @@
+//! Peephole optimization over the {U3, CZ} basis.
+//!
+//! Plays the role of the Qiskit transpiler's highest optimization level in
+//! the paper's methodology: adjacent one-qubit gates are resynthesized into
+//! a single `U3` (via the 2x2 unitary product and ZYZ re-extraction) and
+//! adjacent identical `CZ` pairs cancel (CZ is self-inverse). Passes run to
+//! a fixpoint.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::unitary::{zyz_decompose, Mat2};
+
+/// Tolerance for treating a merged one-qubit unitary as the identity.
+const IDENTITY_EPS: f64 = 1e-9;
+
+/// Merge runs of adjacent `U3` gates on each qubit into single gates and
+/// drop resulting identities. Returns the optimized circuit and whether
+/// anything changed.
+pub fn merge_u3(circuit: &Circuit) -> (Circuit, bool) {
+    let mut out = Circuit::new(circuit.num_qubits());
+    let mut pending: Vec<Option<Mat2>> = vec![None; circuit.num_qubits()];
+    let mut pending_count = vec![0usize; circuit.num_qubits()];
+    let mut changed = false;
+
+    let flush = |q: usize,
+                 pending: &mut Vec<Option<Mat2>>,
+                 pending_count: &mut Vec<usize>,
+                 out: &mut Circuit,
+                 changed: &mut bool| {
+        if let Some(m) = pending[q].take() {
+            if m.phase_distance(&Mat2::IDENTITY) < IDENTITY_EPS {
+                *changed = true; // gates annihilated entirely
+            } else {
+                let (theta, phi, lam) = zyz_decompose(&m);
+                if pending_count[q] > 1 {
+                    *changed = true;
+                }
+                out.push(Gate::u3(q as u32, theta, phi, lam));
+            }
+            pending_count[q] = 0;
+        }
+    };
+
+    for g in circuit.gates() {
+        match *g {
+            Gate::U3 { q, theta, phi, lam } => {
+                let m = Mat2::u3(theta, phi, lam);
+                let qi = q as usize;
+                pending[qi] = Some(match pending[qi].take() {
+                    Some(prev) => m.mul(&prev), // apply prev first
+                    None => m,
+                });
+                pending_count[qi] += 1;
+            }
+            Gate::Cz { a, b } => {
+                flush(a as usize, &mut pending, &mut pending_count, &mut out, &mut changed);
+                flush(b as usize, &mut pending, &mut pending_count, &mut out, &mut changed);
+                out.push(*g);
+            }
+        }
+    }
+    for q in 0..circuit.num_qubits() {
+        flush(q, &mut pending, &mut pending_count, &mut out, &mut changed);
+    }
+    (out, changed)
+}
+
+/// Cancel `CZ(a,b); CZ(a,b)` pairs with no intervening gate on either qubit.
+/// Returns the optimized circuit and whether anything changed.
+pub fn cancel_cz(circuit: &Circuit) -> (Circuit, bool) {
+    let n = circuit.len();
+    let mut removed = vec![false; n];
+    let mut changed = false;
+    // `last_cz[q]`: index of the most recent surviving gate acting on q, if
+    // that gate is a CZ and nothing on q has happened since.
+    let mut last_touch: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for (i, g) in circuit.gates().iter().enumerate() {
+        match *g {
+            Gate::U3 { q, .. } => {
+                last_touch[q as usize] = Some(i);
+            }
+            Gate::Cz { a, b } => {
+                let (ai, bi) = (a as usize, b as usize);
+                if let (Some(pa), Some(pb)) = (last_touch[ai], last_touch[bi]) {
+                    if pa == pb && !removed[pa] {
+                        if let Gate::Cz { a: x, b: y } = circuit.gates()[pa] {
+                            let same_pair =
+                                (x == a && y == b) || (x == b && y == a);
+                            if same_pair {
+                                removed[pa] = true;
+                                removed[i] = true;
+                                changed = true;
+                                // Both qubits' last surviving touch reverts to
+                                // "unknown"; conservatively block further
+                                // cancellation through this point.
+                                last_touch[ai] = None;
+                                last_touch[bi] = None;
+                                continue;
+                            }
+                        }
+                    }
+                }
+                last_touch[ai] = Some(i);
+                last_touch[bi] = Some(i);
+            }
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    for (i, g) in circuit.gates().iter().enumerate() {
+        if !removed[i] {
+            out.push(*g);
+        }
+    }
+    (out, changed)
+}
+
+/// Run [`merge_u3`] and [`cancel_cz`] to a fixpoint (bounded, in practice
+/// 2-4 iterations).
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    for _ in 0..32 {
+        let (merged, ch1) = merge_u3(&current);
+        let (canceled, ch2) = cancel_cz(&merged);
+        current = canceled;
+        if !ch1 && !ch2 {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::circuit_from_qasm_str;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn merges_adjacent_rotations() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::rz(0, 0.3));
+        c.push(Gate::rz(0, 0.4));
+        let (o, changed) = merge_u3(&c);
+        assert!(changed);
+        assert_eq!(o.len(), 1);
+        match o.gates()[0] {
+            Gate::U3 { lam, theta, .. } => {
+                assert!(theta.abs() < 1e-9);
+                assert!((lam - 0.7).rem_euclid(2.0 * PI) < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn h_h_annihilates() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::h(0));
+        c.push(Gate::h(0));
+        let (o, changed) = merge_u3(&c);
+        assert!(changed);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn cz_blocks_merge() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::rz(0, 0.3));
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::rz(0, 0.4));
+        let (o, _) = merge_u3(&c);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn merge_on_other_qubit_unaffected_by_cz() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::rz(2, 0.3));
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::rz(2, 0.4));
+        let (o, changed) = merge_u3(&c);
+        assert!(changed);
+        assert_eq!(o.len(), 2); // merged rz(0.7) on q2 + the cz
+    }
+
+    #[test]
+    fn adjacent_cz_pair_cancels() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::cz(1, 0)); // unordered match
+        let (o, changed) = cancel_cz(&c);
+        assert!(changed);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::h(0));
+        c.push(Gate::cz(0, 1));
+        let (o, changed) = cancel_cz(&c);
+        assert!(!changed);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn gate_on_one_qubit_only_blocks_cancellation() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::h(1));
+        c.push(Gate::cz(0, 1));
+        let (_, changed) = cancel_cz(&c);
+        assert!(!changed);
+    }
+
+    #[test]
+    fn different_pairs_do_not_cancel() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::cz(1, 2));
+        let (o, changed) = cancel_cz(&c);
+        assert!(!changed);
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn cx_cx_fully_cancels_through_fixpoint() {
+        // cx;cx lowers to h cz h h cz h: needs merge (h h -> id) then cancel
+        // (cz cz) then merge (h h -> id).
+        let c =
+            circuit_from_qasm_str("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\ncx q[0],q[1];\n")
+                .unwrap();
+        let o = optimize(&c);
+        assert!(o.is_empty(), "leftover: {:?}", o.gates());
+    }
+
+    #[test]
+    fn swap_swap_cancels() {
+        let c = circuit_from_qasm_str(
+            "OPENQASM 2.0;\nqreg q[2];\nswap q[0],q[1];\nswap q[0],q[1];\n",
+        )
+        .unwrap();
+        let o = optimize(&c);
+        assert!(o.is_empty(), "leftover: {:?}", o.gates());
+    }
+
+    #[test]
+    fn optimize_preserves_cz_structure_of_irreducible_circuit() {
+        let c = circuit_from_qasm_str(
+            "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\nrz(0.25) q[2];\n",
+        )
+        .unwrap();
+        let o = optimize(&c);
+        assert_eq!(o.cz_count(), 2);
+        assert!(o.len() <= c.len());
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let c = circuit_from_qasm_str(
+            "OPENQASM 2.0;\nqreg q[4];\nh q;\ncx q[0],q[1];\nccx q[1],q[2],q[3];\nh q;\n",
+        )
+        .unwrap();
+        let once = optimize(&c);
+        let twice = optimize(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,107 @@
+//! Built-in gate library equivalent to `qelib1.inc`.
+//!
+//! The benchmarks reference the standard OpenQASM 2.0 gate set. Rather than
+//! resolving the include from disk, the definitions are embedded here in
+//! QASM syntax and parsed once on first use. Every definition bottoms out in
+//! the primitives `u3`/`u2`/`u1`/`cx`/`cz`/`id`, which the lowering pass in
+//! [`crate::lower`] maps onto the {U3, CZ} hardware basis.
+//!
+//! All decompositions are the exact (global-phase-respecting where it
+//! matters, i.e. inside controlled constructions) textbook identities used
+//! by `qelib1.inc` itself, so lowering preserves circuit semantics — a fact
+//! the statevector equivalence tests in `parallax-sim` verify.
+
+use parallax_qasm::ast::GateDef;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// QASM source of the built-in library.
+pub const QELIB_SRC: &str = r#"OPENQASM 2.0;
+gate x a { u3(pi,0,pi) a; }
+gate y a { u3(pi,pi/2,pi/2) a; }
+gate z a { u1(pi) a; }
+gate h a { u2(0,pi) a; }
+gate s a { u1(pi/2) a; }
+gate sdg a { u1(-pi/2) a; }
+gate t a { u1(pi/4) a; }
+gate tdg a { u1(-pi/4) a; }
+gate rx(theta) a { u3(theta,-pi/2,pi/2) a; }
+gate ry(theta) a { u3(theta,0,0) a; }
+gate rz(phi) a { u1(phi) a; }
+gate sx a { sdg a; h a; sdg a; }
+gate sxdg a { s a; h a; s a; }
+gate cy a,b { sdg b; cx a,b; s b; }
+gate swap a,b { cx a,b; cx b,a; cx a,b; }
+gate ch a,b { h b; sdg b; cx a,b; h b; t b; cx a,b; t b; h b; s b; x b; s a; }
+gate ccx a,b,c { h c; cx b,c; tdg c; cx a,c; t c; cx b,c; tdg c; cx a,c; t b; t c; h c; cx a,b; t a; tdg b; cx a,b; }
+gate ccz a,b,c { h c; ccx a,b,c; h c; }
+gate cswap a,b,c { cx c,b; ccx a,b,c; cx c,b; }
+gate crx(lambda) a,b { u1(pi/2) b; cx a,b; u3(-lambda/2,0,0) b; cx a,b; u3(lambda/2,-pi/2,0) b; }
+gate cry(lambda) a,b { ry(lambda/2) b; cx a,b; ry(-lambda/2) b; cx a,b; }
+gate crz(lambda) a,b { rz(lambda/2) b; cx a,b; rz(-lambda/2) b; cx a,b; }
+gate cu1(lambda) a,b { u1(lambda/2) a; cx a,b; u1(-lambda/2) b; cx a,b; u1(lambda/2) b; }
+gate cp(lambda) a,b { cu1(lambda) a,b; }
+gate cu3(theta,phi,lambda) c,t { u1((lambda+phi)/2) c; u1((lambda-phi)/2) t; cx c,t; u3(-theta/2,0,-(phi+lambda)/2) t; cx c,t; u3(theta/2,phi,0) t; }
+gate rzz(theta) a,b { cx a,b; u1(theta) b; cx a,b; }
+gate rxx(theta) a,b { h a; h b; cx a,b; u1(theta) b; cx a,b; h a; h b; }
+gate ryy(theta) a,b { rx(pi/2) a; rx(pi/2) b; cx a,b; u1(theta) b; cx a,b; rx(-pi/2) a; rx(-pi/2) b; }
+"#;
+
+/// Names handled directly by the lowering pass (never looked up in the
+/// definition table).
+pub const PRIMITIVES: &[&str] = &["u3", "u2", "u1", "u", "p", "U", "CX", "cx", "cz", "id"];
+
+/// True when `name` is a lowering primitive.
+pub fn is_primitive(name: &str) -> bool {
+    PRIMITIVES.contains(&name)
+}
+
+/// The parsed built-in definitions, keyed by gate name.
+pub fn builtin_defs() -> &'static HashMap<String, GateDef> {
+    static DEFS: OnceLock<HashMap<String, GateDef>> = OnceLock::new();
+    DEFS.get_or_init(|| {
+        parallax_qasm::parse(QELIB_SRC)
+            .expect("embedded qelib source must parse")
+            .gate_defs()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_library_parses() {
+        let defs = builtin_defs();
+        for name in [
+            "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "sx", "sxdg", "cy",
+            "swap", "ch", "ccx", "ccz", "cswap", "crx", "cry", "crz", "cu1", "cp", "cu3", "rzz",
+            "rxx", "ryy",
+        ] {
+            assert!(defs.contains_key(name), "missing builtin gate '{name}'");
+        }
+    }
+
+    #[test]
+    fn ccx_has_fifteen_operations() {
+        assert_eq!(builtin_defs()["ccx"].body.len(), 15);
+    }
+
+    #[test]
+    fn primitives_are_not_defined_as_gates() {
+        let defs = builtin_defs();
+        for p in PRIMITIVES {
+            assert!(!defs.contains_key(*p), "primitive '{p}' must stay primitive");
+        }
+        assert!(is_primitive("u3"));
+        assert!(is_primitive("cz"));
+        assert!(!is_primitive("ccx"));
+    }
+
+    #[test]
+    fn parameterized_builtins_record_formals() {
+        let defs = builtin_defs();
+        assert_eq!(defs["cu3"].params, vec!["theta", "phi", "lambda"]);
+        assert_eq!(defs["cu3"].qubits, vec!["c", "t"]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Minimal complex/2x2-unitary arithmetic used by the peephole optimizer
+//! and the statevector simulator.
+//!
+//! Implemented from scratch (no external complex-number crate) so the whole
+//! suite stays within the offline dependency allowlist.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Complex zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// Complex one.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Construct from rectangular components.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Argument in `(-pi, pi]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Self { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+/// A 2x2 complex matrix in row-major order `[[m00, m01], [m10, m11]]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat2 {
+    /// Entries `[m00, m01, m10, m11]`.
+    pub m: [C64; 4],
+}
+
+impl Mat2 {
+    /// Identity matrix.
+    pub const IDENTITY: Mat2 =
+        Mat2 { m: [C64 { re: 1.0, im: 0.0 }, C64::ZERO, C64::ZERO, C64 { re: 1.0, im: 0.0 }] };
+
+    /// Build from rows.
+    pub fn new(m00: C64, m01: C64, m10: C64, m11: C64) -> Self {
+        Self { m: [m00, m01, m10, m11] }
+    }
+
+    /// The matrix of `U3(theta, phi, lambda)` following the OpenQASM
+    /// convention used in the paper's background section.
+    pub fn u3(theta: f64, phi: f64, lam: f64) -> Self {
+        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        Mat2::new(
+            C64::new(c, 0.0),
+            -(C64::cis(lam).scale(s)),
+            C64::cis(phi).scale(s),
+            C64::cis(phi + lam).scale(c),
+        )
+    }
+
+    /// Matrix product `self * rhs` (applies `rhs` first).
+    pub fn mul(&self, rhs: &Mat2) -> Mat2 {
+        let a = &self.m;
+        let b = &rhs.m;
+        Mat2::new(
+            a[0] * b[0] + a[1] * b[2],
+            a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2],
+            a[2] * b[1] + a[3] * b[3],
+        )
+    }
+
+    /// Frobenius distance to `other` after aligning global phase, i.e. the
+    /// distance between the projective unitaries. Zero means the matrices
+    /// are equal up to global phase.
+    pub fn phase_distance(&self, other: &Mat2) -> f64 {
+        // Align phases using the largest-magnitude entry of `other`.
+        let (mut best, mut idx) = (0.0f64, 0usize);
+        for (i, e) in other.m.iter().enumerate() {
+            if e.abs() > best {
+                best = e.abs();
+                idx = i;
+            }
+        }
+        if best < 1e-12 {
+            return f64::INFINITY;
+        }
+        let phase = self.m[idx].arg() - other.m[idx].arg();
+        let rot = C64::cis(-phase);
+        let mut d = 0.0;
+        for i in 0..4 {
+            let diff = self.m[i] * rot - other.m[i];
+            d += diff.norm_sq();
+        }
+        d.sqrt()
+    }
+
+    /// Whether the matrix is unitary within `eps`.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        // U * U^dagger == I
+        let a = &self.m;
+        let entries = [
+            a[0] * a[0].conj() + a[1] * a[1].conj(),
+            a[0] * a[2].conj() + a[1] * a[3].conj(),
+            a[2] * a[0].conj() + a[3] * a[1].conj(),
+            a[2] * a[2].conj() + a[3] * a[3].conj(),
+        ];
+        (entries[0] - C64::ONE).abs() < eps
+            && entries[1].abs() < eps
+            && entries[2].abs() < eps
+            && (entries[3] - C64::ONE).abs() < eps
+    }
+}
+
+/// Decompose a 2x2 unitary into `(theta, phi, lambda)` such that
+/// `U = e^{i alpha} * U3(theta, phi, lambda)` for some global phase `alpha`.
+///
+/// This is the ZYZ-style extraction the peephole optimizer uses to merge
+/// chains of adjacent one-qubit gates back into a single `U3`.
+pub fn zyz_decompose(u: &Mat2) -> (f64, f64, f64) {
+    let m = &u.m;
+    let c = m[0].abs().clamp(0.0, 1.0);
+    let s = m[2].abs().clamp(0.0, 1.0);
+    let theta = 2.0 * s.atan2(c);
+    // Degenerate branches: theta ~ 0 (diagonal) and theta ~ pi (anti-diagonal).
+    if s < 1e-12 {
+        // Diagonal: U = e^{i alpha} diag(1, e^{i(phi+lam)}); put it all in lambda.
+        let alpha = m[0].arg();
+        let lam = m[3].arg() - alpha;
+        return (0.0, 0.0, lam);
+    }
+    if c < 1e-12 {
+        // Anti-diagonal: U = e^{i alpha} [[0, -e^{i lam}], [e^{i phi}, 0]];
+        // choose phi = 0 and absorb the rest into alpha and lambda.
+        let alpha = m[2].arg();
+        let lam = (-m[1]).arg() - alpha;
+        return (std::f64::consts::PI, 0.0, lam);
+    }
+    let alpha = m[0].arg();
+    let phi = m[2].arg() - alpha;
+    let lam = (-m[1]).arg() - alpha;
+    (theta, phi, lam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+        assert_eq!(a.conj(), C64::new(1.0, -2.0));
+        assert_close(C64::cis(FRAC_PI_2).im, 1.0);
+        assert_close(C64::new(3.0, 4.0).abs(), 5.0);
+    }
+
+    #[test]
+    fn u3_special_values() {
+        // U3(pi, 0, pi) == X
+        let x = Mat2::u3(PI, 0.0, PI);
+        assert!(x.m[0].abs() < 1e-12);
+        assert_close(x.m[1].re, 1.0);
+        assert_close(x.m[2].re, 1.0);
+        assert!(x.m[3].abs() < 1e-12);
+
+        // U3(0, 0, pi) == Z
+        let z = Mat2::u3(0.0, 0.0, PI);
+        assert_close(z.m[0].re, 1.0);
+        assert_close(z.m[3].re, -1.0);
+
+        // U3(pi/2, 0, pi) == H up to sign conventions
+        let h = Mat2::u3(FRAC_PI_2, 0.0, PI);
+        let inv = 1.0 / 2.0_f64.sqrt();
+        assert_close(h.m[0].re, inv);
+        assert_close(h.m[1].re, inv);
+        assert_close(h.m[2].re, inv);
+        assert_close(h.m[3].re, -inv);
+    }
+
+    #[test]
+    fn u3_matrices_are_unitary() {
+        for &(t, p, l) in
+            &[(0.3, 1.1, -0.7), (0.0, 0.0, 0.0), (PI, 2.0, 3.0), (FRAC_PI_2, -1.0, 0.5)]
+        {
+            assert!(Mat2::u3(t, p, l).is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn matrix_multiplication_against_known_product() {
+        // H * H == I
+        let h = Mat2::u3(FRAC_PI_2, 0.0, PI);
+        let hh = h.mul(&h);
+        assert!(hh.phase_distance(&Mat2::IDENTITY) < 1e-9);
+    }
+
+    #[test]
+    fn zyz_roundtrip_generic() {
+        let cases = [
+            (0.7, 0.3, -1.2),
+            (2.1, -0.4, 0.9),
+            (1.0, 0.0, 0.0),
+            (0.0, 0.0, 1.3),
+            (PI, 0.0, 0.4),
+            (3.14159, 2.5, -2.5),
+        ];
+        for &(t, p, l) in &cases {
+            let u = Mat2::u3(t, p, l);
+            let (t2, p2, l2) = zyz_decompose(&u);
+            let v = Mat2::u3(t2, p2, l2);
+            assert!(
+                u.phase_distance(&v) < 1e-8,
+                "roundtrip failed for ({t},{p},{l}) -> ({t2},{p2},{l2})"
+            );
+        }
+    }
+
+    #[test]
+    fn zyz_handles_phased_inputs() {
+        // Multiply by a global phase; the decomposition must still match
+        // projectively.
+        let u = Mat2::u3(1.1, 0.2, 0.3);
+        let phased = Mat2::new(
+            u.m[0] * C64::cis(0.77),
+            u.m[1] * C64::cis(0.77),
+            u.m[2] * C64::cis(0.77),
+            u.m[3] * C64::cis(0.77),
+        );
+        let (t, p, l) = zyz_decompose(&phased);
+        assert!(Mat2::u3(t, p, l).phase_distance(&u) < 1e-8);
+    }
+
+    #[test]
+    fn phase_distance_detects_difference() {
+        let a = Mat2::u3(1.0, 0.0, 0.0);
+        let b = Mat2::u3(1.0, 0.5, 0.0);
+        assert!(a.phase_distance(&b) > 1e-3);
+        assert!(a.phase_distance(&a) < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Compiler configuration.
+
+use parallax_graphine::PlacementConfig;
+
+/// Tuning knobs for the Parallax compiler. Defaults follow the paper.
+#[derive(Debug, Clone)]
+pub struct CompilerConfig {
+    /// Seed for every stochastic component (placement annealing, layer
+    /// shuffles). Equal seeds give identical compilations.
+    pub seed: u64,
+    /// GRAPHINE placement settings (step 1).
+    pub placement: PlacementConfig,
+    /// Return AOD atoms to their home positions after each layer
+    /// (Section II-D; ablated in Fig. 12).
+    pub return_home: bool,
+    /// Hard cap on recursive move iterations before a move is declared
+    /// failed and resolved with a trap change (the paper uses 80).
+    pub max_move_recursion: usize,
+    /// Weight of the out-of-range-interaction criterion in AOD qubit
+    /// selection (paper: 0.99).
+    pub oor_weight: f64,
+    /// Weight of the blockade-serialization criterion (paper: 0.01).
+    pub blockade_weight: f64,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            placement: PlacementConfig::default(),
+            return_home: true,
+            max_move_recursion: 80,
+            oor_weight: 0.99,
+            blockade_weight: 0.01,
+        }
+    }
+}
+
+impl CompilerConfig {
+    /// Cheap preset for unit tests: fast placement annealing.
+    pub fn quick(seed: u64) -> Self {
+        Self { seed, placement: PlacementConfig::quick(seed), ..Default::default() }
+    }
+
+    /// Disable the home-return behaviour (Fig. 12 ablation arm).
+    pub fn without_home_return(mut self) -> Self {
+        self.return_home = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CompilerConfig::default();
+        assert!(c.return_home);
+        assert_eq!(c.max_move_recursion, 80);
+        assert_eq!(c.oor_weight, 0.99);
+        assert_eq!(c.blockade_weight, 0.01);
+    }
+
+    #[test]
+    fn ablation_toggle() {
+        let c = CompilerConfig::default().without_home_return();
+        assert!(!c.return_home);
+    }
+}

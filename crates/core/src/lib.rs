@@ -1,0 +1,58 @@
+//! # Parallax: a zero-SWAP compiler for neutral-atom quantum computers
+//!
+//! Rust reproduction of *"Parallax: A Compiler for Neutral Atom Quantum
+//! Computers under Hardware Constraints"* (Ludmir & Patel, SC 2024). The
+//! compiler takes a circuit in the {U3, CZ} basis and produces an
+//! executable schedule of gate layers and AOD atom movements that never
+//! inserts a SWAP gate, via the paper's four-step pipeline (Fig. 4):
+//!
+//! 1. **Placement** — GRAPHINE dual-annealed layout (`parallax-graphine`).
+//! 2. **Discretization** — snap to the machine's site grid under the
+//!    minimum-separation/padding rule ([`discretize`]).
+//! 3. **AOD selection** — score atoms by out-of-range interactions (0.99)
+//!    and blockade serialization (0.01); one atom per AOD row/column pair
+//!    ([`aod_select`]).
+//! 4. **Scheduling** — Algorithm 1: layered execution with one recursive
+//!    move per layer, trap-change fallback, shuffled blockade-interference
+//!    ejection, and home-return ([`scheduler`], [`movement`]).
+//!
+//! Logical shots are parallelized by tiling circuit copies that share the
+//! AOD movement scheme ([`parallelize`], Section II-E), and independent
+//! compilations fan out across threads ([`parallel`]).
+//!
+//! # Example
+//! ```
+//! use parallax_circuit::CircuitBuilder;
+//! use parallax_core::{CompilerConfig, ParallaxCompiler};
+//! use parallax_hardware::MachineSpec;
+//!
+//! let mut b = CircuitBuilder::new(3);
+//! b.h(0).cx(0, 1).cx(1, 2);
+//! let circuit = b.build();
+//!
+//! let compiler = ParallaxCompiler::new(
+//!     MachineSpec::quera_aquila_256(),
+//!     CompilerConfig::quick(0),
+//! );
+//! let result = compiler.compile(&circuit);
+//! assert_eq!(result.schedule.stats.swap_count, 0); // zero SWAPs, always
+//! assert_eq!(result.cz_count(), circuit.cz_count());
+//! ```
+
+pub mod aod_select;
+pub mod compiler;
+pub mod config;
+pub mod discretize;
+pub mod movement;
+pub mod parallel;
+pub mod parallelize;
+pub mod scheduler;
+
+pub use aod_select::{select_aod_qubits, AodSelection};
+pub use compiler::{CompilationResult, ParallaxCompiler};
+pub use config::CompilerConfig;
+pub use discretize::{discretize, DiscretizedLayout};
+pub use movement::{plan_move_into_range, plan_return_home, MoveFailure, MovePlan};
+pub use parallel::compile_batch;
+pub use parallelize::{replication_plan, sweep_factors, ReplicationPlan};
+pub use scheduler::{schedule_gates, CompileStats, Schedule, ScheduledLayer};

@@ -1,0 +1,450 @@
+//! Step 4a: recursive AOD movement planning.
+//!
+//! Section II-D: to execute an out-of-range CZ, Parallax moves an
+//! AOD-trapped operand within the interaction radius of its partner. If the
+//! destination violates the minimum separation against another AOD atom,
+//! that atom is recursively displaced; if the mover's row/column would get
+//! too close to another AOD row/column, those lines are recursively pushed
+//! away. Recursion is capped (80 iterations in the paper); a failed plan is
+//! resolved by the scheduler with a trap change. Static SLM atoms are never
+//! show-stoppers — the discretization pitch guarantees navigable space, so
+//! the planner simply picks a different approach angle around the target.
+
+use parallax_hardware::{AodMove, AtomArray, Point, Trap, Violation};
+
+/// Why a movement plan could not be produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveFailure {
+    /// The mover is not AOD-trapped.
+    NotInAod,
+    /// The recursive displacement budget was exhausted.
+    RecursionLimit,
+    /// No approach angle produced a valid configuration.
+    NoValidEndpoint,
+}
+
+/// A validated batch of AOD moves ready to commit.
+#[derive(Debug, Clone)]
+pub struct MovePlan {
+    /// The mover plus every recursively displaced atom.
+    pub moves: Vec<AodMove>,
+    /// Maximum displacement among all moved atoms, µm. Atoms move in
+    /// parallel, so this determines the movement time of the layer.
+    pub max_distance_um: f64,
+    /// Number of recursive resolution iterations consumed (diagnostic).
+    pub recursion_used: usize,
+}
+
+impl MovePlan {
+    fn from_moves(array: &AtomArray, moves: Vec<AodMove>, recursion_used: usize) -> Self {
+        let max_distance_um = moves
+            .iter()
+            .map(|m| array.position(m.q).distance(&Point::new(m.x, m.y)))
+            .fold(0.0, f64::max);
+        Self { moves, max_distance_um, recursion_used }
+    }
+}
+
+/// Plan to bring `mover` (AOD-trapped) within radius `r_um` of `target`.
+///
+/// The returned plan has already been validated against the array; the
+/// caller commits it with [`AtomArray::apply_aod_moves`].
+pub fn plan_move_into_range(
+    array: &AtomArray,
+    mover: u32,
+    target: u32,
+    r_um: f64,
+    max_recursion: usize,
+) -> Result<MovePlan, MoveFailure> {
+    if !array.is_aod(mover) {
+        return Err(MoveFailure::NotInAod);
+    }
+    let target_pos = array.position(target);
+    let mover_pos = array.position(mover);
+    let min_sep = array.spec().min_separation_um;
+    // Candidate approach distances, closest first: the discretization
+    // pitch (2 x min separation + padding) guarantees clearance right next
+    // to any SLM atom, so parking just outside the separation distance
+    // nearly always works; wider stops are fallbacks for crowded AOD
+    // neighbourhoods.
+    let approaches = [
+        (min_sep + 0.5).min(r_um - 1e-6),
+        (0.5 * r_um).max(min_sep + 0.5).min(r_um - 1e-6),
+        (0.9 * r_um).max(min_sep + 0.5).min(r_um - 1e-6),
+    ];
+
+    // Approach angles, nearest-to-current-direction first.
+    let base = (mover_pos.y - target_pos.y).atan2(mover_pos.x - target_pos.x);
+    let offsets = [
+        0.0,
+        std::f64::consts::FRAC_PI_8,
+        -std::f64::consts::FRAC_PI_8,
+        std::f64::consts::FRAC_PI_4,
+        -std::f64::consts::FRAC_PI_4,
+        3.0 * std::f64::consts::FRAC_PI_8,
+        -3.0 * std::f64::consts::FRAC_PI_8,
+        std::f64::consts::FRAC_PI_2,
+        -std::f64::consts::FRAC_PI_2,
+        5.0 * std::f64::consts::FRAC_PI_8,
+        -5.0 * std::f64::consts::FRAC_PI_8,
+        3.0 * std::f64::consts::FRAC_PI_4,
+        -3.0 * std::f64::consts::FRAC_PI_4,
+        7.0 * std::f64::consts::FRAC_PI_8,
+        -7.0 * std::f64::consts::FRAC_PI_8,
+        std::f64::consts::PI,
+    ];
+
+    // When both operands are AOD-trapped, line ordering imposes hard side
+    // constraints: rows (columns) strictly between the two atoms' line
+    // indices keep at least `gap` per index step between their
+    // coordinates. Try the tightest corner satisfying those constraints
+    // first; fail fast when no point within the radius can satisfy them.
+    if let (Some(Trap::Aod { row: mr, col: mc }), Some(Trap::Aod { row: tr, col: tc })) =
+        (array.trap(mover), array.trap(target))
+    {
+        let gap = array.line_gap();
+        let dr = i32::from(mr) - i32::from(tr);
+        let dc = i32::from(mc) - i32::from(tc);
+        let dy_req = gap * dr.unsigned_abs() as f64 + 0.3;
+        let dx_req = gap * dc.unsigned_abs() as f64 + 0.3;
+        if dx_req * dx_req + dy_req * dy_req > r_um * r_um {
+            return Err(MoveFailure::NoValidEndpoint);
+        }
+        // Sample the feasible quadrant (offsets at least the index-implied
+        // minima, within the radius), nearest corners first, so an SLM atom
+        // sitting on one candidate does not kill the move.
+        let step = gap * 0.55;
+        let mut candidates: Vec<(f64, f64, f64)> = Vec::new();
+        for k in 0..5 {
+            for j in 0..5 {
+                let dx = dx_req + k as f64 * step;
+                let dy = dy_req + j as f64 * step;
+                if dx * dx + dy * dy <= r_um * r_um {
+                    candidates.push((dx + dy, dx, dy));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (_, dx, dy) in candidates {
+            let corner = Point::new(
+                target_pos.x + dx * dc.signum() as f64,
+                target_pos.y + dy * dr.signum() as f64,
+            );
+            let mut budget = max_recursion;
+            if let Ok(moves) = try_endpoint(array, mover, target, corner, &mut budget) {
+                let used = max_recursion - budget;
+                return Ok(MovePlan::from_moves(array, moves, used));
+            }
+        }
+    }
+
+    let mut saw_recursion_limit = false;
+    for approach in approaches {
+        for off in offsets {
+            // Each attempt gets its own recursion allowance (the paper's
+            // 80-iteration cap applies per resolution attempt).
+            let mut recursion_budget = max_recursion;
+            let angle = base + off;
+            let endpoint = Point::new(
+                target_pos.x + approach * angle.cos(),
+                target_pos.y + approach * angle.sin(),
+            );
+            match try_endpoint(array, mover, target, endpoint, &mut recursion_budget) {
+                Ok(moves) => {
+                    debug_assert!(
+                        !moves.iter().any(|m| m.q == target),
+                        "plan displaced the gate's target atom"
+                    );
+                    let used = max_recursion - recursion_budget;
+                    return Ok(MovePlan::from_moves(array, moves, used));
+                }
+                Err(EndpointFailure::Recursion) => {
+                    saw_recursion_limit = true;
+                    continue;
+                }
+                Err(EndpointFailure::Angle) => continue,
+            }
+        }
+    }
+    if saw_recursion_limit {
+        Err(MoveFailure::RecursionLimit)
+    } else {
+        Err(MoveFailure::NoValidEndpoint)
+    }
+}
+
+enum EndpointFailure {
+    /// This approach angle cannot work (e.g. a static atom sits there).
+    Angle,
+    /// The shared recursion budget ran out.
+    Recursion,
+}
+
+/// Attempt one endpoint, recursively displacing obstructing AOD atoms and
+/// lines until the batch validates or the budget dies.
+fn try_endpoint(
+    array: &AtomArray,
+    mover: u32,
+    target: u32,
+    endpoint: Point,
+    budget: &mut usize,
+) -> Result<Vec<AodMove>, EndpointFailure> {
+    let gap = array.line_gap();
+    let min_sep = array.spec().min_separation_um;
+    // Neither the mover (its endpoint is the point of the move) nor the
+    // target (the gate needs it where it is) may be displaced.
+    let pinned = |q: u32| q == mover || q == target;
+    let mut moves: Vec<AodMove> = vec![AodMove { q: mover, x: endpoint.x, y: endpoint.y }];
+    // Oscillation guard: a violation signature recurring means the cascade
+    // is geometrically infeasible for this endpoint (e.g. an atom squeezed
+    // between two pinned lines) — bail to the next angle instead of
+    // burning the whole recursion budget.
+    let mut seen: Vec<(u8, u32, u32)> = Vec::new();
+
+    loop {
+        let violations = array.check_aod_moves(&moves);
+        let Some(&v) = violations.first() else {
+            return Ok(moves);
+        };
+        if *budget == 0 {
+            return Err(EndpointFailure::Recursion);
+        }
+        *budget -= 1;
+        let signature = match v {
+            Violation::Separation { q1, q2, .. } => (0u8, q1, q2),
+            Violation::RowOrdering { row_a, row_b } => (1, row_a as u32, row_b as u32),
+            Violation::ColOrdering { col_a, col_b } => (2, col_a as u32, col_b as u32),
+            Violation::OutOfBounds { q } => (3, q, 0),
+        };
+        if seen.iter().filter(|&&s| s == signature).count() >= 2 {
+            return Err(EndpointFailure::Angle);
+        }
+        seen.push(signature);
+
+        let planned = |q: u32, moves: &[AodMove]| -> Point {
+            moves
+                .iter()
+                .find(|m| m.q == q)
+                .map(|m| Point::new(m.x, m.y))
+                .unwrap_or_else(|| array.position(q))
+        };
+
+        match v {
+            Violation::Separation { q1, q2, .. } => {
+                // q1 is always a moved (hence AOD) atom; q2 may be a static
+                // SLM atom, a parked AOD atom, or another moved atom.
+                // Displace an AOD party that is not the mover; if the only
+                // conflict partner is static, this approach angle is dead.
+                let push_q = if array.is_aod(q2) && !pinned(q2) {
+                    q2
+                } else if !pinned(q1) {
+                    q1
+                } else {
+                    return Err(EndpointFailure::Angle);
+                };
+                let anchor_q = if push_q == q1 { q2 } else { q1 };
+                let anchor = planned(anchor_q, &moves);
+                let current = planned(push_q, &moves);
+                // Axis-aligned displacement along the dominant separation
+                // axis: keeps the push consistent with AOD line ordering
+                // (the axis gap also satisfies the line-gap constraint), so
+                // separation and ordering fixes converge instead of
+                // oscillating.
+                let dx = current.x - anchor.x;
+                let dy = current.y - anchor.y;
+                let dist = min_sep.max(gap) + 0.6;
+                let new = if dx.abs() >= dy.abs() {
+                    let dir = if dx != 0.0 { dx.signum() } else { 1.0 };
+                    Point::new(anchor.x + dir * dist, current.y)
+                } else {
+                    let dir = if dy != 0.0 { dy.signum() } else { 1.0 };
+                    Point::new(current.x, anchor.y + dir * dist)
+                };
+                upsert(&mut moves, push_q, new);
+            }
+            Violation::RowOrdering { row_a, row_b } => {
+                // Push whichever line's owner is not pinned.
+                let qa = owner_of_row(array, row_a);
+                let qb = owner_of_row(array, row_b);
+                let (push_q, fixed_q, push_up) =
+                    if pinned(qa) { (qb, qa, true) } else { (qa, qb, false) };
+                if pinned(push_q) {
+                    return Err(EndpointFailure::Angle);
+                }
+                let fixed_y = planned(fixed_q, &moves).y;
+                let cur = planned(push_q, &moves);
+                let new_y = if push_up { fixed_y + gap + 0.25 } else { fixed_y - gap - 0.25 };
+                upsert(&mut moves, push_q, Point::new(cur.x, new_y));
+            }
+            Violation::ColOrdering { col_a, col_b } => {
+                let qa = owner_of_col(array, col_a);
+                let qb = owner_of_col(array, col_b);
+                let (push_q, fixed_q, push_right) =
+                    if pinned(qa) { (qb, qa, true) } else { (qa, qb, false) };
+                if pinned(push_q) {
+                    return Err(EndpointFailure::Angle);
+                }
+                let fixed_x = planned(fixed_q, &moves).x;
+                let cur = planned(push_q, &moves);
+                let new_x = if push_right { fixed_x + gap + 0.25 } else { fixed_x - gap - 0.25 };
+                upsert(&mut moves, push_q, Point::new(new_x, cur.y));
+            }
+            Violation::OutOfBounds { q } => {
+                if q == mover {
+                    return Err(EndpointFailure::Angle);
+                }
+                // A recursively displaced atom left the grid; this angle's
+                // cascade will not settle.
+                return Err(EndpointFailure::Angle);
+            }
+        }
+    }
+}
+
+fn upsert(moves: &mut Vec<AodMove>, q: u32, p: Point) {
+    if let Some(m) = moves.iter_mut().find(|m| m.q == q) {
+        m.x = p.x;
+        m.y = p.y;
+    } else {
+        moves.push(AodMove { q, x: p.x, y: p.y });
+    }
+}
+
+fn owner_of_row(array: &AtomArray, row: u16) -> u32 {
+    array
+        .aod_qubits()
+        .into_iter()
+        .find(|&q| matches!(array.trap(q), Some(Trap::Aod { row: r, .. }) if r == row))
+        .expect("ordering violation names an owned row")
+}
+
+fn owner_of_col(array: &AtomArray, col: u16) -> u32 {
+    array
+        .aod_qubits()
+        .into_iter()
+        .find(|&q| matches!(array.trap(q), Some(Trap::Aod { col: c, .. }) if c == col))
+        .expect("ordering violation names an owned column")
+}
+
+/// Plan the reverse (home-return) batch for the given `(qubit, home)` pairs.
+/// The home configuration was valid when recorded, so this plan always
+/// validates; it is returned as a plan for uniform commit/accounting.
+pub fn plan_return_home(array: &AtomArray, homes: &[(u32, Point)]) -> MovePlan {
+    let moves: Vec<AodMove> = homes
+        .iter()
+        .filter(|(q, home)| array.position(*q).distance(home) > 1e-9)
+        .map(|&(q, home)| AodMove { q, x: home.x, y: home.y })
+        .collect();
+    MovePlan::from_moves(array, moves, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_hardware::MachineSpec;
+
+    /// Build an array with the given SLM sites; returns it with all atoms
+    /// static.
+    fn array_with(sites: &[(u16, u16)]) -> AtomArray {
+        let mut a = AtomArray::new(MachineSpec::quera_aquila_256(), sites.len());
+        for (q, &s) in sites.iter().enumerate() {
+            a.place_in_slm(q as u32, s);
+        }
+        a
+    }
+
+    #[test]
+    fn simple_move_into_range() {
+        let mut a = array_with(&[(2, 2), (12, 12)]);
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let r = 7.0;
+        assert!(a.distance(0, 1) > r);
+        let plan = plan_move_into_range(&a, 0, 1, r, 80).unwrap();
+        assert_eq!(plan.moves.len(), 1);
+        a.apply_aod_moves(&plan.moves).unwrap();
+        assert!(a.distance(0, 1) <= r);
+        assert!(a.validate().is_empty());
+        assert!(plan.max_distance_um > 0.0);
+    }
+
+    #[test]
+    fn non_aod_mover_fails() {
+        let a = array_with(&[(2, 2), (12, 12)]);
+        match plan_move_into_range(&a, 0, 1, 7.0, 80) {
+            Err(MoveFailure::NotInAod) => {}
+            other => panic!("expected NotInAod, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn navigates_around_static_obstruction() {
+        // Target at (8,8); a static atom sits directly on the straight-line
+        // approach point; the planner must pick a different angle.
+        let mut a = array_with(&[(2, 8), (8, 8), (7, 8)]);
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let r = 7.5; // approach distance ~6.75 µm: site (7,8) is 7 µm from target
+        let plan = plan_move_into_range(&a, 0, 1, r, 80).unwrap();
+        let mut b = a.clone();
+        b.apply_aod_moves(&plan.moves).unwrap();
+        assert!(b.distance(0, 1) <= r);
+        assert!(b.validate().is_empty());
+    }
+
+    #[test]
+    fn recursively_displaces_aod_obstructor() {
+        // q2 is an AOD atom parked near the approach point of q0 -> q1
+        // (distinct row/column coordinates so the transfers are legal).
+        let mut a = array_with(&[(2, 2), (12, 3), (11, 3)]);
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a.transfer_to_aod(2, 1, 1).unwrap();
+        let r = 7.5;
+        let plan = plan_move_into_range(&a, 0, 1, r, 80).unwrap();
+        let mut b = a.clone();
+        b.apply_aod_moves(&plan.moves).unwrap();
+        assert!(b.distance(0, 1) <= r, "distance {}", b.distance(0, 1));
+        assert!(b.validate().is_empty());
+    }
+
+    #[test]
+    fn zero_budget_reports_recursion_limit_or_endpoint() {
+        let mut a = array_with(&[(2, 2), (12, 3), (11, 3)]);
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a.transfer_to_aod(2, 1, 1).unwrap();
+        // With no recursion budget the obstructed approach cannot resolve.
+        let res = plan_move_into_range(&a, 0, 1, 7.5, 0);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn return_home_restores_positions() {
+        let mut a = array_with(&[(2, 2), (12, 12)]);
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let home = a.position(0);
+        let plan = plan_move_into_range(&a, 0, 1, 7.0, 80).unwrap();
+        a.apply_aod_moves(&plan.moves).unwrap();
+        let back = plan_return_home(&a, &[(0, home)]);
+        assert_eq!(back.moves.len(), 1);
+        a.apply_aod_moves(&back.moves).unwrap();
+        assert_eq!(a.position(0), home);
+    }
+
+    #[test]
+    fn return_home_skips_unmoved_atoms() {
+        let mut a = array_with(&[(2, 2), (12, 12)]);
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let home = a.position(0);
+        let plan = plan_return_home(&a, &[(0, home)]);
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.max_distance_um, 0.0);
+    }
+
+    #[test]
+    fn plan_never_moves_static_atoms() {
+        let mut a = array_with(&[(2, 2), (12, 12), (8, 8), (6, 10)]);
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let plan = plan_move_into_range(&a, 0, 1, 7.0, 80).unwrap();
+        for m in &plan.moves {
+            assert!(a.is_aod(m.q), "plan moved non-AOD atom q{}", m.q);
+        }
+    }
+}

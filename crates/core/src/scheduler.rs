@@ -1,0 +1,525 @@
+//! Step 4: gate and movement scheduling (Algorithm 1 of the paper).
+//!
+//! Layers are built greedily from the dependency frontier; out-of-range CZ
+//! gates trigger at most one recursive AOD move per layer (others defer);
+//! gates whose operands are both static and out of range fall back to a
+//! trap change (release/retrap, 100 µs); the layer is shuffled before the
+//! Rydberg-blockade interference pass ejects conflicting gates back to the
+//! unexecuted list; and moved AOD atoms return to their pre-layer homes
+//! after execution (the Fig. 12 ablation toggles this off).
+
+use crate::aod_select::AodSelection;
+use crate::config::CompilerConfig;
+use crate::discretize::DiscretizedLayout;
+use crate::movement::{plan_move_into_range, plan_return_home};
+use parallax_circuit::{Circuit, DependencyDag, Gate};
+use parallax_hardware::{within_blockade, AodMove, Point};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One executed layer of the compiled schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduledLayer {
+    /// Indices (into the input circuit's gate list) executed in this layer.
+    pub gate_indices: Vec<usize>,
+    /// AOD moves committed before the layer's gates fire.
+    pub moves: Vec<AodMove>,
+    /// Longest single-atom displacement of the move batch, µm (atoms move
+    /// in parallel, so this bounds the movement time).
+    pub move_distance_um: f64,
+    /// Longest displacement of the home-return batch, µm.
+    pub return_distance_um: f64,
+    /// Trap changes (release/retrap) performed for this layer's gates.
+    pub trap_changes: usize,
+    /// Whether any U3 gate executes in this layer.
+    pub has_u3: bool,
+    /// Whether any CZ gate executes in this layer.
+    pub has_cz: bool,
+}
+
+/// Aggregate statistics of a compilation (the paper's evaluation metrics).
+#[derive(Debug, Clone, Default)]
+pub struct CompileStats {
+    /// Two-qubit CZ gates executed — identical to the input circuit's count
+    /// because Parallax introduces zero SWAPs.
+    pub cz_count: usize,
+    /// One-qubit U3 gates executed.
+    pub u3_count: usize,
+    /// SWAP gates inserted (always 0 for Parallax; baselines differ).
+    pub swap_count: usize,
+    /// Number of executed layers.
+    pub layer_count: usize,
+    /// Total trap-change operations (the paper observes ~1.3% of CZ gates).
+    pub trap_changes: usize,
+    /// Successfully planned into-range AOD moves.
+    pub moves_planned: usize,
+    /// Moves that failed (recursion limit / no endpoint) and fell back to a
+    /// trap change.
+    pub failed_moves: usize,
+    /// Sum of per-layer maximum move distances, µm.
+    pub total_move_distance_um: f64,
+    /// Gates deferred because the layer's single move was already spent.
+    pub deferred_gates: usize,
+    /// Gates ejected by the Rydberg blockade interference check.
+    pub blockade_ejections: usize,
+}
+
+/// A compiled schedule: executable layers plus statistics.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Executed layers in order.
+    pub layers: Vec<ScheduledLayer>,
+    /// Aggregate statistics.
+    pub stats: CompileStats,
+}
+
+impl Schedule {
+    /// Flattened gate execution order (indices into the input circuit).
+    pub fn gate_order(&self) -> Vec<usize> {
+        self.layers.iter().flat_map(|l| l.gate_indices.iter().copied()).collect()
+    }
+}
+
+/// Safety factor on scheduling iterations before declaring livelock.
+fn iteration_cap(num_gates: usize) -> usize {
+    10 * num_gates + 1000
+}
+
+/// Run Algorithm 1. Mutates `layout.array` (atom motion and trap state).
+pub fn schedule_gates(
+    circuit: &Circuit,
+    layout: &mut DiscretizedLayout,
+    _selection: &AodSelection,
+    config: &CompilerConfig,
+) -> Schedule {
+    let gates = circuit.gates();
+    let num_gates = gates.len();
+    let qubit_gates = circuit.qubit_gate_indices();
+    let mut ptr = vec![0usize; circuit.num_qubits()];
+    let mut executed = vec![false; num_gates];
+    let mut executed_count = 0usize;
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5eed);
+    let r = layout.interaction_radius_um;
+    let blockade_factor = layout.array.spec().blockade_factor;
+
+    let mut layers = Vec::new();
+    let mut stats = CompileStats {
+        cz_count: circuit.cz_count(),
+        u3_count: circuit.u3_count(),
+        ..Default::default()
+    };
+
+    let mut guard = 0usize;
+    let cap = iteration_cap(num_gates);
+    while executed_count < num_gates {
+        guard += 1;
+        assert!(guard <= cap, "scheduler livelock: {executed_count}/{num_gates} gates executed");
+
+        // ---- Lines 7-11: build the dependency frontier layer. ----
+        let mut curr: Vec<usize> = Vec::new();
+        for q in 0..circuit.num_qubits() {
+            let Some(&g) = qubit_gates[q].get(ptr[q]) else { continue };
+            match gates[g] {
+                Gate::U3 { .. } => curr.push(g),
+                Gate::Cz { a, b } => {
+                    // Ready only when it is the next gate on *both* qubits;
+                    // dedupe by letting the smaller operand add it.
+                    let (ai, bi) = (a as usize, b as usize);
+                    let ready = qubit_gates[ai].get(ptr[ai]) == Some(&g)
+                        && qubit_gates[bi].get(ptr[bi]) == Some(&g);
+                    if ready && q == ai.min(bi) {
+                        curr.push(g);
+                    }
+                }
+            }
+        }
+        assert!(!curr.is_empty(), "dependency frontier is empty before completion");
+
+        // ---- Lines 12-19: movement resolution for out-of-range CZs. ----
+        let mut moved_this_layer = false;
+        let mut committed_moves: Vec<AodMove> = Vec::new();
+        let mut move_distance_um = 0.0f64;
+        let mut moved_homes: Vec<(u32, Point)> = Vec::new();
+        let mut trap_changes = 0usize;
+        // Gates that executed via trap change: (gate, virtually moved qubit).
+        let mut trap_changed: Vec<(usize, u32)> = Vec::new();
+        let mut kept: Vec<usize> = Vec::new();
+        let mut deferred = 0usize;
+
+        for &g in &curr {
+            let Gate::Cz { a, b } = gates[g] else {
+                kept.push(g);
+                continue;
+            };
+            if layout.array.distance(a, b) <= r + 1e-9 {
+                kept.push(g);
+                continue;
+            }
+            let aod_operand = if layout.array.is_aod(a) {
+                Some(a)
+            } else if layout.array.is_aod(b) {
+                Some(b)
+            } else {
+                None
+            };
+            match aod_operand {
+                Some(mover) if !moved_this_layer => {
+                    let target = if mover == a { b } else { a };
+                    let mut attempt = plan_move_into_range(
+                        &layout.array,
+                        mover,
+                        target,
+                        r,
+                        config.max_move_recursion,
+                    );
+                    // With both operands mobile, either may be the mover;
+                    // retry in the other direction before giving up.
+                    if attempt.is_err() && layout.array.is_aod(target) {
+                        attempt = plan_move_into_range(
+                            &layout.array,
+                            target,
+                            mover,
+                            r,
+                            config.max_move_recursion,
+                        );
+                    }
+                    match attempt {
+                        Ok(plan) => {
+                            for m in &plan.moves {
+                                moved_homes.push((m.q, layout.array.position(m.q)));
+                            }
+                            layout
+                                .array
+                                .apply_aod_moves(&plan.moves)
+                                .expect("validated plan must commit");
+                            committed_moves = plan.moves;
+                            move_distance_um = plan.max_distance_um;
+                            moved_this_layer = true;
+                            stats.moves_planned += 1;
+                            stats.total_move_distance_um += plan.max_distance_um;
+                            kept.push(g);
+                        }
+                        Err(_) => {
+                            // Failed move: resolve with a trap change
+                            // (Section III: "Failed moves are resolved using
+                            // trap changes").
+                            stats.failed_moves += 1;
+                            trap_changes += 1;
+                            trap_changed.push((g, mover));
+                            kept.push(g);
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Line 16-17: one move per layer; defer this gate.
+                    deferred += 1;
+                    continue;
+                }
+                None => {
+                    // Lines 18-19: neither operand is mobile — release and
+                    // retrap one of them (the ~1.3% case).
+                    trap_changes += 1;
+                    trap_changed.push((g, a));
+                    kept.push(g);
+                }
+            }
+        }
+        stats.deferred_gates += deferred;
+
+        // The committed move may have displaced atoms of *other* kept CZ
+        // gates out of range; those defer too (they cannot move again).
+        if moved_this_layer {
+            kept.retain(|&g| match gates[g] {
+                Gate::Cz { a, b } => {
+                    let in_range = layout.array.distance(a, b) <= r + 1e-9
+                        || trap_changed.iter().any(|&(tg, _)| tg == g);
+                    if !in_range {
+                        stats.deferred_gates += 1;
+                    }
+                    in_range
+                }
+                _ => true,
+            });
+        }
+
+        // ---- Line 20: shuffle to avoid starving any one qubit. ----
+        kept.shuffle(&mut rng);
+
+        // ---- Lines 21-22: Rydberg blockade interference ejection. ----
+        // A trap-changed atom spends the gate adjacent to its partner, so
+        // its effective position is its partner's side. Precompute the
+        // effective operand positions of every kept CZ gate.
+        let mut effective: std::collections::HashMap<usize, [Point; 2]> =
+            std::collections::HashMap::new();
+        for &g in &kept {
+            if let Gate::Cz { a, b } = gates[g] {
+                let mut pa = layout.array.position(a);
+                let mut pb = layout.array.position(b);
+                if let Some(&(_, moved)) = trap_changed.iter().find(|&&(tg, _)| tg == g) {
+                    if moved == a {
+                        pa = pb;
+                    } else if moved == b {
+                        pb = pa;
+                    }
+                }
+                effective.insert(g, [pa, pb]);
+            }
+        }
+        let mut accepted: Vec<usize> = Vec::new();
+        let mut accepted_cz: Vec<usize> = Vec::new();
+        for &g in &kept {
+            match gates[g] {
+                Gate::U3 { .. } => accepted.push(g),
+                Gate::Cz { .. } => {
+                    let mine = effective[&g];
+                    let conflict = accepted_cz.iter().any(|&other| {
+                        let theirs = effective[&other];
+                        mine.iter().any(|p| {
+                            theirs.iter().any(|q| within_blockade(p, q, r, blockade_factor))
+                        })
+                    });
+                    if conflict {
+                        stats.blockade_ejections += 1;
+                        // If this was the trap-changed gate, the trap change
+                        // did not happen after all.
+                        if let Some(pos) = trap_changed.iter().position(|&(tg, _)| tg == g) {
+                            trap_changed.remove(pos);
+                            trap_changes -= 1;
+                        }
+                    } else {
+                        accepted.push(g);
+                        accepted_cz.push(g);
+                    }
+                }
+            }
+        }
+        assert!(
+            !accepted.is_empty(),
+            "blockade pass emptied a layer: curr={curr:?} kept={kept:?} moved={moved_this_layer} trap_changed={trap_changed:?}"
+        );
+
+        // ---- Line 23: execute. ----
+        let mut has_u3 = false;
+        let mut has_cz = false;
+        for &g in &accepted {
+            executed[g] = true;
+            executed_count += 1;
+            match gates[g] {
+                Gate::U3 { q, .. } => {
+                    has_u3 = true;
+                    ptr[q as usize] += 1;
+                }
+                Gate::Cz { a, b } => {
+                    has_cz = true;
+                    ptr[a as usize] += 1;
+                    ptr[b as usize] += 1;
+                }
+            }
+        }
+
+        // ---- Line 24: return moved atoms home. ----
+        let mut return_distance_um = 0.0;
+        if config.return_home && !moved_homes.is_empty() {
+            let plan = plan_return_home(&layout.array, &moved_homes);
+            return_distance_um = plan.max_distance_um;
+            if !plan.moves.is_empty() {
+                layout
+                    .array
+                    .apply_aod_moves(&plan.moves)
+                    .expect("home configuration is always valid");
+            }
+        }
+
+        stats.layer_count += 1;
+        stats.trap_changes += trap_changes;
+        layers.push(ScheduledLayer {
+            gate_indices: accepted,
+            moves: committed_moves,
+            move_distance_um,
+            return_distance_um,
+            trap_changes,
+            has_u3,
+            has_cz,
+        });
+    }
+
+    let schedule = Schedule { layers, stats };
+    debug_assert!(
+        DependencyDag::build(circuit).respects_order(&schedule.gate_order()),
+        "schedule violates gate dependencies"
+    );
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aod_select::select_aod_qubits;
+    use crate::discretize::discretize;
+    use parallax_circuit::CircuitBuilder;
+    use parallax_graphine::{GraphineLayout, PlacementConfig};
+    use parallax_hardware::MachineSpec;
+
+    fn compile_with(
+        n: usize,
+        build: impl Fn(&mut CircuitBuilder),
+        cfg: &CompilerConfig,
+    ) -> (Circuit, Schedule) {
+        let mut b = CircuitBuilder::new(n);
+        build(&mut b);
+        let c = b.build();
+        let layout = GraphineLayout::generate(&c, &cfg.placement);
+        let mut d = discretize(&c, &layout, MachineSpec::quera_aquila_256());
+        let sel = select_aod_qubits(&c, &mut d, cfg);
+        let s = schedule_gates(&c, &mut d, &sel, cfg);
+        (c, s)
+    }
+
+    #[test]
+    fn all_gates_execute_exactly_once() {
+        let cfg = CompilerConfig::quick(1);
+        let (c, s) = compile_with(4, |b| {
+            b.h(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 3).h(3);
+        }, &cfg);
+        let order = s.gate_order();
+        assert_eq!(order.len(), c.len());
+        let mut seen = vec![false; c.len()];
+        for g in order {
+            assert!(!seen[g], "gate {g} executed twice");
+            seen[g] = true;
+        }
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let cfg = CompilerConfig::quick(2);
+        let (c, s) = compile_with(5, |b| {
+            b.h(0).cx(0, 1).cx(1, 2).rz(0.4, 2).cx(2, 3).cx(3, 4).cx(0, 4);
+        }, &cfg);
+        let dag = DependencyDag::build(&c);
+        assert!(dag.respects_order(&s.gate_order()));
+    }
+
+    #[test]
+    fn zero_swaps_always() {
+        let cfg = CompilerConfig::quick(3);
+        let (c, s) = compile_with(6, |b| {
+            for i in 0..6u32 {
+                for j in (i + 1)..6 {
+                    b.cx(i, j);
+                }
+            }
+        }, &cfg);
+        assert_eq!(s.stats.swap_count, 0);
+        assert_eq!(s.stats.cz_count, c.cz_count());
+    }
+
+    #[test]
+    fn stats_account_for_every_gate() {
+        let cfg = CompilerConfig::quick(4);
+        let (c, s) = compile_with(3, |b| {
+            b.h(0).h(1).h(2).cx(0, 1).cx(1, 2).ccx(0, 1, 2);
+        }, &cfg);
+        assert_eq!(s.stats.cz_count + s.stats.u3_count, c.len());
+        assert_eq!(s.stats.layer_count, s.layers.len());
+        let executed: usize = s.layers.iter().map(|l| l.gate_indices.len()).sum();
+        assert_eq!(executed, c.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let build = |b: &mut CircuitBuilder| {
+            b.h(0).cx(0, 3).cx(1, 2).cx(0, 2).cx(1, 3).ccx(0, 1, 2);
+        };
+        let cfg = CompilerConfig::quick(7);
+        let (_, s1) = compile_with(4, build, &cfg);
+        let (_, s2) = compile_with(4, build, &cfg);
+        assert_eq!(s1.gate_order(), s2.gate_order());
+        assert_eq!(s1.stats.trap_changes, s2.stats.trap_changes);
+    }
+
+    #[test]
+    fn array_state_stays_valid_throughout() {
+        let cfg = CompilerConfig::quick(5);
+        let mut b = CircuitBuilder::new(8);
+        for i in 0..8u32 {
+            b.h(i);
+        }
+        for i in 0..8u32 {
+            b.cx(i, (i + 3) % 8);
+        }
+        let c = b.build();
+        let layout = GraphineLayout::generate(&c, &cfg.placement);
+        let mut d = discretize(&c, &layout, MachineSpec::quera_aquila_256());
+        let sel = select_aod_qubits(&c, &mut d, &cfg);
+        let _ = schedule_gates(&c, &mut d, &sel, &cfg);
+        assert!(d.array.validate().is_empty());
+    }
+
+    #[test]
+    fn home_return_restores_aod_positions() {
+        let cfg = CompilerConfig::quick(6);
+        let mut b = CircuitBuilder::new(6);
+        for i in 0..6u32 {
+            b.cx(i, (i + 2) % 6);
+        }
+        let c = b.build();
+        let layout = GraphineLayout::generate(&c, &cfg.placement);
+        let mut d = discretize(&c, &layout, MachineSpec::quera_aquila_256());
+        let sel = select_aod_qubits(&c, &mut d, &cfg);
+        let homes: Vec<(u32, Point)> =
+            sel.selected.iter().map(|&q| (q, d.array.position(q))).collect();
+        let _ = schedule_gates(&c, &mut d, &sel, &cfg);
+        for (q, home) in homes {
+            assert!(
+                d.array.position(q).distance(&home) < 1e-6,
+                "q{q} did not return home"
+            );
+        }
+    }
+
+    #[test]
+    fn without_home_return_atoms_may_stay_displaced() {
+        // Same circuit twice; the no-return variant accumulates movement
+        // savings (Fig. 12 shows lower *total* distance is NOT guaranteed,
+        // only that the toggle changes behaviour).
+        let cfg_home = CompilerConfig::quick(8);
+        let cfg_stay = CompilerConfig::quick(8).without_home_return();
+        let build = |b: &mut CircuitBuilder| {
+            for i in 0..6u32 {
+                b.cx(i, (i + 2) % 6);
+            }
+            for i in 0..6u32 {
+                b.cx(i, (i + 3) % 6);
+            }
+        };
+        let (_, s_home) = compile_with(6, build, &cfg_home);
+        let (_, s_stay) = compile_with(6, build, &cfg_stay);
+        let return_home_total: f64 = s_home.layers.iter().map(|l| l.return_distance_um).sum();
+        let return_stay_total: f64 = s_stay.layers.iter().map(|l| l.return_distance_um).sum();
+        assert!(return_stay_total <= return_home_total);
+        assert_eq!(s_stay.stats.cz_count, s_home.stats.cz_count);
+    }
+
+    #[test]
+    fn single_qubit_circuit_schedules() {
+        let cfg = CompilerConfig::quick(9);
+        let (c, s) = compile_with(1, |b| {
+            b.h(0).rz(0.5, 0).h(0);
+        }, &cfg);
+        assert_eq!(s.gate_order().len(), c.len());
+        assert_eq!(s.stats.trap_changes, 0);
+        assert_eq!(s.stats.moves_planned, 0);
+    }
+
+    #[test]
+    fn parallel_u3_gates_share_a_layer() {
+        let cfg = CompilerConfig::quick(10);
+        let (_, s) = compile_with(4, |b| {
+            b.h(0).h(1).h(2).h(3);
+        }, &cfg);
+        assert_eq!(s.layers.len(), 1);
+        assert_eq!(s.layers[0].gate_indices.len(), 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Circuit-to-graph conversion.
+//!
+//! GRAPHINE represents a circuit as a weighted graph: qubits are nodes and
+//! the number of CZ gates between a pair is the edge weight (Section II-A).
+
+use parallax_circuit::Circuit;
+
+/// Weighted interaction graph of a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionGraph {
+    /// Number of qubits (nodes).
+    pub num_qubits: usize,
+    /// Edges `(a, b, weight)` with `a < b` and `weight` = CZ count.
+    pub edges: Vec<(u32, u32, f64)>,
+}
+
+impl InteractionGraph {
+    /// Build the graph from a circuit.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let edges = circuit
+            .cz_pair_counts()
+            .into_iter()
+            .map(|((a, b), w)| (a, b, w as f64))
+            .collect();
+        Self { num_qubits: circuit.num_qubits(), edges }
+    }
+
+    /// Sum of all edge weights (total CZ gates).
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Per-qubit weighted degree.
+    pub fn weighted_degrees(&self) -> Vec<f64> {
+        let mut deg = vec![0.0; self.num_qubits];
+        for &(a, b, w) in &self.edges {
+            deg[a as usize] += w;
+            deg[b as usize] += w;
+        }
+        deg
+    }
+
+    /// Whether the graph (ignoring weights) is connected. Isolated qubits
+    /// count as disconnected components.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        let mut adj = vec![Vec::new(); self.num_qubits];
+        for &(a, b, _) in &self.edges {
+            adj[a as usize].push(b as usize);
+            adj[b as usize].push(a as usize);
+        }
+        let mut seen = vec![false; self.num_qubits];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &n in &adj[v] {
+                if !seen[n] {
+                    seen[n] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == self.num_qubits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::CircuitBuilder;
+
+    #[test]
+    fn graph_from_circuit_counts_cz() {
+        let mut b = CircuitBuilder::new(3);
+        b.cz(0, 1).cz(0, 1).cz(1, 2).h(0);
+        let g = InteractionGraph::from_circuit(&b.build());
+        assert_eq!(g.num_qubits, 3);
+        assert_eq!(g.edges, vec![(0, 1, 2.0), (1, 2, 1.0)]);
+        assert_eq!(g.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn weighted_degrees() {
+        let mut b = CircuitBuilder::new(3);
+        b.cz(0, 1).cz(0, 1).cz(1, 2);
+        let g = InteractionGraph::from_circuit(&b.build());
+        assert_eq!(g.weighted_degrees(), vec![2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut b = CircuitBuilder::new(4);
+        b.cz(0, 1).cz(2, 3);
+        let g = InteractionGraph::from_circuit(&b.build());
+        assert!(!g.is_connected());
+        let mut b2 = CircuitBuilder::new(4);
+        b2.cz(0, 1).cz(1, 2).cz(2, 3);
+        assert!(InteractionGraph::from_circuit(&b2.build()).is_connected());
+    }
+
+    #[test]
+    fn isolated_qubit_disconnects() {
+        let mut b = CircuitBuilder::new(3);
+        b.cz(0, 1).h(2);
+        let g = InteractionGraph::from_circuit(&b.build());
+        assert!(!g.is_connected());
+    }
+}

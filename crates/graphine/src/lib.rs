@@ -1,0 +1,75 @@
+//! GRAPHINE-style application-specific atom placement.
+//!
+//! Reimplements the placement stage of GRAPHINE (Patel et al., SC 2023)
+//! that the Parallax paper uses both as step 1 of its own pipeline and as a
+//! comparison baseline: the input circuit becomes a weighted interaction
+//! graph ([`graph`]), dual annealing embeds it in the `[0,1]^2` plane
+//! ([`placement`]), and the Rydberg interaction radius is chosen as the
+//! smallest radius keeping all atoms mutually reachable ([`radius`] — the
+//! longest Euclidean-MST edge).
+//!
+//! # Example
+//! ```
+//! use parallax_circuit::CircuitBuilder;
+//! use parallax_graphine::{GraphineLayout, PlacementConfig};
+//!
+//! let mut b = CircuitBuilder::new(4);
+//! b.cx(0, 1).cx(1, 2).cx(2, 3);
+//! let layout = GraphineLayout::generate(&b.build(), &PlacementConfig::quick(0));
+//! assert_eq!(layout.positions.len(), 4);
+//! assert!(layout.interaction_radius > 0.0);
+//! ```
+
+pub mod graph;
+pub mod placement;
+pub mod radius;
+
+pub use graph::InteractionGraph;
+pub use placement::{place, placement_energy, Placement, PlacementConfig};
+pub use radius::{connecting_radius, is_geometrically_connected};
+
+use parallax_circuit::Circuit;
+
+/// The full GRAPHINE output: annealed positions plus interaction radius.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphineLayout {
+    /// Per-qubit normalized `(x, y)` positions in `[0,1]^2`.
+    pub positions: Vec<(f64, f64)>,
+    /// Rydberg interaction radius in the same normalized units: the minimal
+    /// radius under which the placed qubits form a connected graph.
+    pub interaction_radius: f64,
+    /// Final placement objective value (for diagnostics).
+    pub energy: f64,
+}
+
+impl GraphineLayout {
+    /// Run the full GRAPHINE pipeline on `circuit`.
+    pub fn generate(circuit: &Circuit, config: &PlacementConfig) -> Self {
+        let graph = InteractionGraph::from_circuit(circuit);
+        let placement = place(&graph, config);
+        let interaction_radius = connecting_radius(&placement.positions);
+        Self { positions: placement.positions, interaction_radius, energy: placement.energy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::CircuitBuilder;
+
+    #[test]
+    fn layout_radius_connects_all_qubits() {
+        let mut b = CircuitBuilder::new(5);
+        b.cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4).cx(0, 4);
+        let layout = GraphineLayout::generate(&b.build(), &PlacementConfig::quick(2));
+        assert!(is_geometrically_connected(&layout.positions, layout.interaction_radius));
+    }
+
+    #[test]
+    fn single_qubit_layout() {
+        let b = CircuitBuilder::new(1);
+        let layout = GraphineLayout::generate(&b.build(), &PlacementConfig::quick(0));
+        assert_eq!(layout.positions, vec![(0.5, 0.5)]);
+        assert_eq!(layout.interaction_radius, 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Dual-annealed 2D qubit placement.
+//!
+//! Section II-A: the circuit graph is embedded in the `[0,1]^2` plane with
+//! dual annealing, "optimized to place pairs of qubits with high-weight
+//! edges closer together". The objective combines weighted attraction along
+//! circuit edges with a short-range repulsion that keeps atoms from
+//! stacking (the separation constraint is enforced later by
+//! discretization; repulsion merely keeps the annealer's output usable).
+
+use crate::graph::InteractionGraph;
+use parallax_anneal::{dual_annealing, AnnealParams};
+
+/// Configuration for the placement annealer.
+#[derive(Debug, Clone)]
+pub struct PlacementConfig {
+    /// RNG seed (deterministic placement for equal seeds).
+    pub seed: u64,
+    /// Outer annealing iterations.
+    pub max_iter: usize,
+    /// Evaluation budget per local refinement.
+    pub local_search_evals: usize,
+    /// Repulsion strength relative to total edge weight.
+    pub repulsion_scale: f64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        Self { seed: 0, max_iter: 400, local_search_evals: 1500, repulsion_scale: 1.0 }
+    }
+}
+
+impl PlacementConfig {
+    /// Cheap preset for unit tests and debug builds.
+    pub fn quick(seed: u64) -> Self {
+        Self { seed, max_iter: 80, local_search_evals: 400, ..Default::default() }
+    }
+}
+
+/// Annealed positions in the normalized `[0,1]^2` plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Per-qubit `(x, y)` in `[0,1]`.
+    pub positions: Vec<(f64, f64)>,
+    /// Final objective value.
+    pub energy: f64,
+}
+
+/// The placement objective: weighted squared edge lengths plus soft-core
+/// repulsion below the target spacing `r0 ~ 1/sqrt(q)`.
+pub fn placement_energy(
+    positions: &[(f64, f64)],
+    graph: &InteractionGraph,
+    repulsion_scale: f64,
+) -> f64 {
+    let q = graph.num_qubits.max(1);
+    let r0 = 0.8 / (q as f64).sqrt();
+    let mut e = 0.0;
+    for &(a, b, w) in &graph.edges {
+        let (pa, pb) = (positions[a as usize], positions[b as usize]);
+        let dx = pa.0 - pb.0;
+        let dy = pa.1 - pb.1;
+        e += w * (dx * dx + dy * dy);
+    }
+    // Repulsion competes with the attraction on equal footing: scale by the
+    // mean edge weight so dense circuits do not collapse.
+    let lambda = repulsion_scale
+        * (graph.total_weight() / graph.edges.len().max(1) as f64).max(1.0)
+        * 4.0;
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            let dx = positions[i].0 - positions[j].0;
+            let dy = positions[i].1 - positions[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d < r0 {
+                let overlap = (r0 - d) / r0;
+                e += lambda * overlap * overlap;
+            }
+        }
+    }
+    e
+}
+
+/// Run the annealed placement for `graph`.
+pub fn place(graph: &InteractionGraph, config: &PlacementConfig) -> Placement {
+    let q = graph.num_qubits;
+    if q == 0 {
+        return Placement { positions: Vec::new(), energy: 0.0 };
+    }
+    if q == 1 {
+        return Placement { positions: vec![(0.5, 0.5)], energy: 0.0 };
+    }
+    let bounds = vec![(0.0, 1.0); 2 * q];
+    let mut scratch = vec![(0.0f64, 0.0f64); q];
+    let objective = |x: &[f64]| {
+        for (i, s) in scratch.iter_mut().enumerate() {
+            *s = (x[2 * i], x[2 * i + 1]);
+        }
+        placement_energy(&scratch, graph, config.repulsion_scale)
+    };
+    let params = AnnealParams {
+        seed: config.seed,
+        max_iter: config.max_iter,
+        local_search_evals: config.local_search_evals,
+        ..Default::default()
+    };
+    let result = dual_annealing(objective, &bounds, &params);
+    let positions =
+        (0..q).map(|i| (result.x[2 * i], result.x[2 * i + 1])).collect::<Vec<_>>();
+    Placement { positions, energy: result.energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::CircuitBuilder;
+
+    fn line_graph(weights: &[f64]) -> InteractionGraph {
+        InteractionGraph {
+            num_qubits: weights.len() + 1,
+            edges: weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (i as u32, i as u32 + 1, w))
+                .collect(),
+        }
+    }
+
+    fn dist(p: &[(f64, f64)], a: usize, b: usize) -> f64 {
+        let dx = p[a].0 - p[b].0;
+        let dy = p[a].1 - p[b].1;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    #[test]
+    fn heavy_edges_end_up_shorter() {
+        // Chain 0-1-2 with weight 50 on (0,1) and 1 on (1,2).
+        let g = line_graph(&[50.0, 1.0]);
+        let p = place(&g, &PlacementConfig::quick(7));
+        assert!(
+            dist(&p.positions, 0, 1) < dist(&p.positions, 1, 2),
+            "heavy edge should be shorter: {:?}",
+            p.positions
+        );
+    }
+
+    #[test]
+    fn repulsion_prevents_collapse() {
+        let mut b = CircuitBuilder::new(4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.cz(i, j);
+            }
+        }
+        let g = InteractionGraph::from_circuit(&b.build());
+        let p = place(&g, &PlacementConfig::quick(3));
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(
+                    dist(&p.positions, i, j) > 0.02,
+                    "atoms {i},{j} collapsed: {:?}",
+                    p.positions
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_unit_square() {
+        let g = line_graph(&[1.0, 2.0, 3.0, 4.0]);
+        let p = place(&g, &PlacementConfig::quick(11));
+        for &(x, y) in &p.positions {
+            assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = line_graph(&[3.0, 1.0, 2.0]);
+        let a = place(&g, &PlacementConfig::quick(5));
+        let b = place(&g, &PlacementConfig::quick(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let g0 = InteractionGraph { num_qubits: 0, edges: vec![] };
+        assert!(place(&g0, &PlacementConfig::quick(0)).positions.is_empty());
+        let g1 = InteractionGraph { num_qubits: 1, edges: vec![] };
+        assert_eq!(place(&g1, &PlacementConfig::quick(0)).positions, vec![(0.5, 0.5)]);
+    }
+
+    #[test]
+    fn energy_decreases_with_shorter_heavy_edges() {
+        let g = line_graph(&[10.0]);
+        let near = placement_energy(&[(0.4, 0.5), (0.6, 0.5)], &g, 1.0);
+        let far = placement_energy(&[(0.0, 0.0), (1.0, 1.0)], &g, 1.0);
+        assert!(near < far);
+    }
+}

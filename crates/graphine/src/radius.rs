@@ -1,0 +1,115 @@
+//! Interaction-radius selection.
+//!
+//! GRAPHINE picks the Rydberg interaction radius "large enough to ensure
+//! that all of the qubits are reachable from all other qubits". The minimal
+//! such radius over a set of points is the longest edge of their Euclidean
+//! minimum spanning tree; any smaller radius disconnects the geometric
+//! graph at that edge.
+
+/// Longest edge of the Euclidean MST of `points` (Prim's algorithm,
+/// O(n^2) — fine for <= 1,225 atoms). Returns 0 for fewer than two points.
+pub fn connecting_radius(points: &[(f64, f64)]) -> f64 {
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let dist_sq = |a: (f64, f64), b: (f64, f64)| {
+        let dx = a.0 - b.0;
+        let dy = a.1 - b.1;
+        dx * dx + dy * dy
+    };
+    let mut in_tree = vec![false; n];
+    let mut best_sq = vec![f64::INFINITY; n];
+    in_tree[0] = true;
+    for (j, bsq) in best_sq.iter_mut().enumerate().skip(1) {
+        *bsq = dist_sq(points[0], points[j]);
+    }
+    let mut longest_sq: f64 = 0.0;
+    for _ in 1..n {
+        let mut next = usize::MAX;
+        let mut next_d = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best_sq[j] < next_d {
+                next_d = best_sq[j];
+                next = j;
+            }
+        }
+        debug_assert!(next != usize::MAX);
+        in_tree[next] = true;
+        longest_sq = longest_sq.max(next_d);
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = dist_sq(points[next], points[j]);
+                if d < best_sq[j] {
+                    best_sq[j] = d;
+                }
+            }
+        }
+    }
+    longest_sq.sqrt()
+}
+
+/// Whether the geometric graph over `points` with edge radius `r` is
+/// connected (used to verify the radius choice).
+pub fn is_geometrically_connected(points: &[(f64, f64)], r: f64) -> bool {
+    let n = points.len();
+    if n <= 1 {
+        return true;
+    }
+    let r_sq = r * r + 1e-12;
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for j in 0..n {
+            if !seen[j] {
+                let dx = points[v].0 - points[j].0;
+                let dy = points[v].1 - points[j].1;
+                if dx * dx + dy * dy <= r_sq {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+    }
+    count == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(connecting_radius(&[]), 0.0);
+        assert_eq!(connecting_radius(&[(0.5, 0.5)]), 0.0);
+        assert!((connecting_radius(&[(0.0, 0.0), (0.0, 1.0)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_radius_is_largest_gap() {
+        let pts = [(0.0, 0.0), (1.0, 0.0), (2.5, 0.0), (3.0, 0.0)];
+        assert!((connecting_radius(&pts) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_connects_and_smaller_disconnects() {
+        let pts = [(0.0, 0.0), (0.2, 0.9), (1.1, 0.4), (0.7, 1.6), (2.0, 2.0)];
+        let r = connecting_radius(&pts);
+        assert!(is_geometrically_connected(&pts, r));
+        assert!(!is_geometrically_connected(&pts, r * 0.99));
+    }
+
+    #[test]
+    fn grid_of_points() {
+        let mut pts = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                pts.push((x as f64, y as f64));
+            }
+        }
+        assert!((connecting_radius(&pts) - 1.0).abs() < 1e-12);
+    }
+}

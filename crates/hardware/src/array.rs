@@ -1,0 +1,617 @@
+//! Mutable atom-array state: which trap holds each atom and where it is.
+//!
+//! This models the machine of Fig. 2/3: static SLM sites on the discretized
+//! grid plus mobile AOD rows/columns. The Parallax discipline of *one atom
+//! per AOD row/column pair* (Section II-B) is enforced here. All mutating
+//! operations validate the paper's hardware constraints:
+//!
+//! 1. minimum atom separation,
+//! 2. AOD rows/columns never cross (index order == coordinate order),
+//! 3. atoms on a row/column move in tandem (trivially satisfied with one
+//!    atom per line; the parallelized copies share the same line motion by
+//!    construction, Section II-E).
+
+use crate::geometry::{violates_separation, Point};
+use crate::grid::{Site, SiteGrid};
+use crate::params::MachineSpec;
+use std::fmt;
+
+/// Which trap currently holds an atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Static SLM site.
+    Slm(Site),
+    /// Mobile AOD crossing: the atom sits at `(col_x, row_y)`.
+    Aod {
+        /// AOD row index.
+        row: u16,
+        /// AOD column index.
+        col: u16,
+    },
+}
+
+/// A hardware-constraint violation detected during validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Violation {
+    /// Two owned AOD rows would cross (or sit closer than the line gap).
+    RowOrdering {
+        /// Lower-indexed row.
+        row_a: u16,
+        /// Higher-indexed row.
+        row_b: u16,
+    },
+    /// Two owned AOD columns would cross.
+    ColOrdering {
+        /// Lower-indexed column.
+        col_a: u16,
+        /// Higher-indexed column.
+        col_b: u16,
+    },
+    /// Two atoms violate the minimum separation distance.
+    Separation {
+        /// First atom (qubit id).
+        q1: u32,
+        /// Second atom (qubit id).
+        q2: u32,
+        /// Their distance, µm.
+        distance: f64,
+    },
+    /// An atom left the machine's addressable area.
+    OutOfBounds {
+        /// Offending atom (qubit id).
+        q: u32,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::RowOrdering { row_a, row_b } => {
+                write!(f, "AOD rows {row_a} and {row_b} would cross")
+            }
+            Violation::ColOrdering { col_a, col_b } => {
+                write!(f, "AOD columns {col_a} and {col_b} would cross")
+            }
+            Violation::Separation { q1, q2, distance } => {
+                write!(f, "atoms q{q1} and q{q2} at distance {distance:.3} µm violate separation")
+            }
+            Violation::OutOfBounds { q } => write!(f, "atom q{q} is out of bounds"),
+        }
+    }
+}
+
+/// A requested AOD move: place qubit `q` at `(x, y)` µm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AodMove {
+    /// Qubit to move (must be AOD-trapped).
+    pub q: u32,
+    /// Target x, µm.
+    pub x: f64,
+    /// Target y, µm.
+    pub y: f64,
+}
+
+/// The full atom-array state for one machine.
+#[derive(Debug, Clone)]
+pub struct AtomArray {
+    spec: MachineSpec,
+    grid: SiteGrid,
+    traps: Vec<Option<Trap>>,
+    positions: Vec<Point>,
+    row_y: Vec<Option<f64>>,
+    col_x: Vec<Option<f64>>,
+    row_owner: Vec<Option<u32>>,
+    col_owner: Vec<Option<u32>>,
+}
+
+impl AtomArray {
+    /// Create an array for `num_qubits` logical atoms on machine `spec`.
+    pub fn new(spec: MachineSpec, num_qubits: usize) -> Self {
+        assert!(
+            num_qubits <= spec.num_sites(),
+            "{num_qubits} qubits exceed the {} sites of {}",
+            spec.num_sites(),
+            spec.name
+        );
+        Self {
+            grid: SiteGrid::new(&spec),
+            traps: vec![None; num_qubits],
+            positions: vec![Point::default(); num_qubits],
+            row_y: vec![None; spec.aod_dim],
+            col_x: vec![None; spec.aod_dim],
+            row_owner: vec![None; spec.aod_dim],
+            col_owner: vec![None; spec.aod_dim],
+            spec,
+        }
+    }
+
+    /// The machine specification.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The underlying site grid.
+    pub fn grid(&self) -> &SiteGrid {
+        &self.grid
+    }
+
+    /// Number of logical atoms.
+    pub fn num_qubits(&self) -> usize {
+        self.traps.len()
+    }
+
+    /// Current physical position of qubit `q`, µm.
+    pub fn position(&self, q: u32) -> Point {
+        self.positions[q as usize]
+    }
+
+    /// Current trap of qubit `q` (`None` until placed).
+    pub fn trap(&self, q: u32) -> Option<Trap> {
+        self.traps[q as usize]
+    }
+
+    /// Whether qubit `q` is AOD-trapped.
+    pub fn is_aod(&self, q: u32) -> bool {
+        matches!(self.traps[q as usize], Some(Trap::Aod { .. }))
+    }
+
+    /// All AOD-trapped qubits.
+    pub fn aod_qubits(&self) -> Vec<u32> {
+        (0..self.traps.len() as u32).filter(|&q| self.is_aod(q)).collect()
+    }
+
+    /// Euclidean distance between two qubits, µm.
+    pub fn distance(&self, a: u32, b: u32) -> f64 {
+        self.positions[a as usize].distance(&self.positions[b as usize])
+    }
+
+    /// Place an unplaced qubit into the SLM at `site`.
+    pub fn place_in_slm(&mut self, q: u32, site: Site) {
+        assert!(self.traps[q as usize].is_none(), "qubit {q} is already placed");
+        self.grid.occupy(site);
+        self.traps[q as usize] = Some(Trap::Slm(site));
+        self.positions[q as usize] = self.grid.site_position(site);
+    }
+
+    /// Transfer a SLM-trapped qubit into the AOD at line pair `(row, col)`,
+    /// keeping its current position (line coordinates snap to the atom).
+    ///
+    /// Fails (without mutating) if the lines are taken or the resulting
+    /// line coordinates would break row/column ordering.
+    pub fn transfer_to_aod(&mut self, q: u32, row: u16, col: u16) -> Result<(), Violation> {
+        let site = match self.traps[q as usize] {
+            Some(Trap::Slm(site)) => site,
+            other => panic!("qubit {q} is not SLM-trapped (trap = {other:?})"),
+        };
+        assert!(self.row_owner[row as usize].is_none(), "AOD row {row} is already owned");
+        assert!(self.col_owner[col as usize].is_none(), "AOD column {col} is already owned");
+        let pos = self.positions[q as usize];
+        if let Some(v) = self.check_line_orders(row, pos.y, col, pos.x) {
+            return Err(v);
+        }
+        self.grid.vacate(site);
+        self.traps[q as usize] = Some(Trap::Aod { row, col });
+        self.row_owner[row as usize] = Some(q);
+        self.col_owner[col as usize] = Some(q);
+        self.row_y[row as usize] = Some(pos.y);
+        self.col_x[col as usize] = Some(pos.x);
+        Ok(())
+    }
+
+    /// Like [`AtomArray::transfer_to_aod`], but place the atom at explicit
+    /// coordinates `(x, y)` instead of its current position. Parallax uses
+    /// this when resolving shared row/column coordinates by nudging
+    /// (Section II-C). Validates line ordering and atom separation at the
+    /// target; on error nothing changes.
+    pub fn transfer_to_aod_at(
+        &mut self,
+        q: u32,
+        row: u16,
+        col: u16,
+        x: f64,
+        y: f64,
+    ) -> Result<(), Violation> {
+        let site = match self.traps[q as usize] {
+            Some(Trap::Slm(site)) => site,
+            other => panic!("qubit {q} is not SLM-trapped (trap = {other:?})"),
+        };
+        assert!(self.row_owner[row as usize].is_none(), "AOD row {row} is already owned");
+        assert!(self.col_owner[col as usize].is_none(), "AOD column {col} is already owned");
+        if let Some(v) = self.check_line_orders(row, y, col, x) {
+            return Err(v);
+        }
+        let target = Point::new(x, y);
+        for (other, trap) in self.traps.iter().enumerate() {
+            if trap.is_none() || other as u32 == q {
+                continue;
+            }
+            if violates_separation(&target, &self.positions[other], self.spec.min_separation_um) {
+                return Err(Violation::Separation {
+                    q1: q,
+                    q2: other as u32,
+                    distance: target.distance(&self.positions[other]),
+                });
+            }
+        }
+        self.grid.vacate(site);
+        self.traps[q as usize] = Some(Trap::Aod { row, col });
+        self.row_owner[row as usize] = Some(q);
+        self.col_owner[col as usize] = Some(q);
+        self.row_y[row as usize] = Some(y);
+        self.col_x[col as usize] = Some(x);
+        self.positions[q as usize] = target;
+        Ok(())
+    }
+
+    /// Release an AOD-trapped qubit back into the SLM at `site` (the second
+    /// half of a trap-change; the paper's release/retrap fallback).
+    pub fn release_to_slm(&mut self, q: u32, site: Site) {
+        let (row, col) = match self.traps[q as usize] {
+            Some(Trap::Aod { row, col }) => (row, col),
+            other => panic!("qubit {q} is not AOD-trapped (trap = {other:?})"),
+        };
+        self.grid.occupy(site);
+        self.row_owner[row as usize] = None;
+        self.col_owner[col as usize] = None;
+        self.row_y[row as usize] = None;
+        self.col_x[col as usize] = None;
+        self.traps[q as usize] = Some(Trap::Slm(site));
+        self.positions[q as usize] = self.grid.site_position(site);
+    }
+
+    /// Validate a batch of AOD moves against the final configuration and, if
+    /// clean, commit them atomically. On error nothing changes and the first
+    /// detected violation is returned.
+    ///
+    /// Batch commits model the paper's recursive movement resolution: the
+    /// primary move plus all recursive displacements of obstructing atoms
+    /// land together.
+    pub fn apply_aod_moves(&mut self, moves: &[AodMove]) -> Result<(), Violation> {
+        let violations = self.check_aod_moves(moves);
+        if let Some(&v) = violations.first() {
+            return Err(v);
+        }
+        for m in moves {
+            let (row, col) = match self.traps[m.q as usize] {
+                Some(Trap::Aod { row, col }) => (row, col),
+                other => panic!("qubit {} is not AOD-trapped (trap = {other:?})", m.q),
+            };
+            self.row_y[row as usize] = Some(m.y);
+            self.col_x[col as usize] = Some(m.x);
+            self.positions[m.q as usize] = Point::new(m.x, m.y);
+        }
+        Ok(())
+    }
+
+    /// Check a batch of AOD moves, returning every violation of the *final*
+    /// configuration (empty = the batch is safe to commit).
+    pub fn check_aod_moves(&self, moves: &[AodMove]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        // Build the hypothetical configuration.
+        let mut positions = self.positions.clone();
+        let mut row_y = self.row_y.clone();
+        let mut col_x = self.col_x.clone();
+        for m in moves {
+            match self.traps[m.q as usize] {
+                Some(Trap::Aod { row, col }) => {
+                    row_y[row as usize] = Some(m.y);
+                    col_x[col as usize] = Some(m.x);
+                    positions[m.q as usize] = Point::new(m.x, m.y);
+                }
+                other => panic!("qubit {} is not AOD-trapped (trap = {other:?})", m.q),
+            }
+        }
+        // Bounds: atoms must stay within one pitch of the site grid.
+        let margin = self.grid.pitch_um();
+        let max = self.spec.extent_um() + margin;
+        for m in moves {
+            let p = positions[m.q as usize];
+            if p.x < -margin || p.y < -margin || p.x > max || p.y > max {
+                out.push(Violation::OutOfBounds { q: m.q });
+            }
+        }
+        // Row/column ordering with the minimum line gap.
+        let gap = self.line_gap();
+        let owned = |owner: &Vec<Option<u32>>, coords: &Vec<Option<f64>>| -> Vec<(u16, f64)> {
+            owner
+                .iter()
+                .enumerate()
+                .filter_map(|(i, o)| o.map(|_| (i as u16, coords[i].expect("owned line has coord"))))
+                .collect()
+        };
+        let rows = owned(&self.row_owner, &row_y);
+        for w in rows.windows(2) {
+            if w[1].1 - w[0].1 < gap - 1e-9 {
+                out.push(Violation::RowOrdering { row_a: w[0].0, row_b: w[1].0 });
+            }
+        }
+        let cols = owned(&self.col_owner, &col_x);
+        for w in cols.windows(2) {
+            if w[1].1 - w[0].1 < gap - 1e-9 {
+                out.push(Violation::ColOrdering { col_a: w[0].0, col_b: w[1].0 });
+            }
+        }
+        // Pairwise separation: every moved atom against every placed atom.
+        let min_sep = self.spec.min_separation_um;
+        for m in moves {
+            let p = positions[m.q as usize];
+            for (other, trap) in self.traps.iter().enumerate() {
+                if trap.is_none() || other as u32 == m.q {
+                    continue;
+                }
+                // Skip duplicate reporting for pairs of moved atoms.
+                if moves.iter().any(|mm| mm.q == other as u32) && other as u32 > m.q {
+                    continue;
+                }
+                if violates_separation(&p, &positions[other], min_sep) {
+                    out.push(Violation::Separation {
+                        q1: m.q,
+                        q2: other as u32,
+                        distance: p.distance(&positions[other]),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Full-state invariant check (used by tests and debug assertions).
+    pub fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let gap = self.line_gap();
+        let rows: Vec<(u16, f64)> = self
+            .row_owner
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|_| (i as u16, self.row_y[i].unwrap())))
+            .collect();
+        for w in rows.windows(2) {
+            if w[1].1 - w[0].1 < gap - 1e-9 {
+                out.push(Violation::RowOrdering { row_a: w[0].0, row_b: w[1].0 });
+            }
+        }
+        let cols: Vec<(u16, f64)> = self
+            .col_owner
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|_| (i as u16, self.col_x[i].unwrap())))
+            .collect();
+        for w in cols.windows(2) {
+            if w[1].1 - w[0].1 < gap - 1e-9 {
+                out.push(Violation::ColOrdering { col_a: w[0].0, col_b: w[1].0 });
+            }
+        }
+        let min_sep = self.spec.min_separation_um;
+        for a in 0..self.traps.len() {
+            if self.traps[a].is_none() {
+                continue;
+            }
+            for b in (a + 1)..self.traps.len() {
+                if self.traps[b].is_none() {
+                    continue;
+                }
+                if violates_separation(&self.positions[a], &self.positions[b], min_sep) {
+                    out.push(Violation::Separation {
+                        q1: a as u32,
+                        q2: b as u32,
+                        distance: self.positions[a].distance(&self.positions[b]),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimum coordinate gap between adjacent owned AOD lines. Using the
+    /// atom separation distance keeps crossing and trap-interference
+    /// constraints aligned.
+    pub fn line_gap(&self) -> f64 {
+        self.spec.min_separation_um
+    }
+
+    fn check_line_orders(&self, row: u16, y: f64, col: u16, x: f64) -> Option<Violation> {
+        let gap = self.line_gap();
+        for (i, owner) in self.row_owner.iter().enumerate() {
+            if owner.is_none() {
+                continue;
+            }
+            let other_y = self.row_y[i].unwrap();
+            let i = i as u16;
+            if i < row && other_y > y - gap + 1e-9 {
+                return Some(Violation::RowOrdering { row_a: i, row_b: row });
+            }
+            if i > row && other_y < y + gap - 1e-9 {
+                return Some(Violation::RowOrdering { row_a: row, row_b: i });
+            }
+        }
+        for (i, owner) in self.col_owner.iter().enumerate() {
+            if owner.is_none() {
+                continue;
+            }
+            let other_x = self.col_x[i].unwrap();
+            let i = i as u16;
+            if i < col && other_x > x - gap + 1e-9 {
+                return Some(Violation::ColOrdering { col_a: i, col_b: col });
+            }
+            if i > col && other_x < x + gap - 1e-9 {
+                return Some(Violation::ColOrdering { col_a: col, col_b: i });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> AtomArray {
+        AtomArray::new(MachineSpec::quera_aquila_256(), 8)
+    }
+
+    #[test]
+    fn placement_sets_position() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 3));
+        assert_eq!(a.position(0), Point::new(14.0, 21.0));
+        assert_eq!(a.trap(0), Some(Trap::Slm((2, 3))));
+        assert!(!a.is_aod(0));
+        assert!(a.validate().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_placement_panics() {
+        let mut a = array();
+        a.place_in_slm(0, (0, 0));
+        a.place_in_slm(0, (1, 1));
+    }
+
+    #[test]
+    fn transfer_to_aod_keeps_position() {
+        let mut a = array();
+        a.place_in_slm(0, (4, 4));
+        let before = a.position(0);
+        a.transfer_to_aod(0, 3, 3).unwrap();
+        assert_eq!(a.position(0), before);
+        assert!(a.is_aod(0));
+        assert_eq!(a.aod_qubits(), vec![0]);
+        // The SLM site is free again.
+        assert!(!a.grid().is_occupied((4, 4)));
+    }
+
+    #[test]
+    fn aod_ordering_enforced_on_transfer() {
+        let mut a = array();
+        a.place_in_slm(0, (4, 4)); // (28, 28)
+        a.place_in_slm(1, (8, 8)); // (56, 56)
+        a.transfer_to_aod(0, 3, 3).unwrap();
+        // Row 2 < row 3 requires y(2) < y(3) = 28; qubit 1 has y = 56 -> violation.
+        let err = a.transfer_to_aod(1, 2, 5).unwrap_err();
+        assert!(matches!(err, Violation::RowOrdering { row_a: 2, row_b: 3 }));
+        // Using a higher row index works.
+        a.transfer_to_aod(1, 5, 5).unwrap();
+        assert!(a.validate().is_empty());
+    }
+
+    #[test]
+    fn moves_validate_and_commit() {
+        let mut a = array();
+        a.place_in_slm(0, (4, 4));
+        a.place_in_slm(1, (10, 10));
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a.apply_aod_moves(&[AodMove { q: 0, x: 35.0, y: 35.0 }]).unwrap();
+        assert_eq!(a.position(0), Point::new(35.0, 35.0));
+        assert!(a.validate().is_empty());
+    }
+
+    #[test]
+    fn move_into_separation_violation_rejected() {
+        let mut a = array();
+        a.place_in_slm(0, (4, 4));
+        a.place_in_slm(1, (10, 10)); // (70, 70)
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let err = a.apply_aod_moves(&[AodMove { q: 0, x: 69.0, y: 70.0 }]).unwrap_err();
+        assert!(matches!(err, Violation::Separation { .. }));
+        // State unchanged.
+        assert_eq!(a.position(0), Point::new(28.0, 28.0));
+    }
+
+    #[test]
+    fn batch_move_can_resolve_mutual_obstruction() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2)); // (14, 14)
+        a.place_in_slm(1, (6, 3)); // (42, 21)
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a.transfer_to_aod(1, 1, 1).unwrap();
+        // Moving q0's column right next to q1's alone violates the column
+        // gap constraint…
+        let solo = a.check_aod_moves(&[AodMove { q: 0, x: 41.0, y: 14.0 }]);
+        assert!(!solo.is_empty());
+        // …but displacing q1 further right in the same batch resolves it.
+        let batch = [
+            AodMove { q: 0, x: 41.0, y: 14.0 },
+            AodMove { q: 1, x: 47.0, y: 21.0 },
+        ];
+        assert!(a.check_aod_moves(&batch).is_empty());
+        a.apply_aod_moves(&batch).unwrap();
+        assert!(a.validate().is_empty());
+    }
+
+    #[test]
+    fn crossing_rows_rejected_in_moves() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2)); // y=14
+        a.place_in_slm(1, (6, 6)); // y=42
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a.transfer_to_aod(1, 1, 1).unwrap();
+        // Move q0 (row 0) above q1 (row 1): rows would cross.
+        let vs = a.check_aod_moves(&[AodMove { q: 0, x: 14.0, y: 60.0 }]);
+        assert!(vs.iter().any(|v| matches!(v, Violation::RowOrdering { .. })), "{vs:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2));
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let vs = a.check_aod_moves(&[AodMove { q: 0, x: 1e4, y: 14.0 }]);
+        assert!(vs.iter().any(|v| matches!(v, Violation::OutOfBounds { q: 0 })));
+    }
+
+    #[test]
+    fn release_to_slm_frees_lines() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2));
+        a.transfer_to_aod(0, 4, 4).unwrap();
+        a.release_to_slm(0, (3, 3));
+        assert!(!a.is_aod(0));
+        assert!(a.grid().is_occupied((3, 3)));
+        // Lines are reusable.
+        a.place_in_slm(1, (8, 8));
+        a.transfer_to_aod(1, 4, 4).unwrap();
+    }
+
+    #[test]
+    fn validate_detects_separation_of_static_atoms() {
+        // Two SLM atoms are always >= pitch apart by construction, so build
+        // a violation through an AOD move bypass: directly place atoms on
+        // adjacent sites is fine (7 µm >= 3 µm).
+        let mut a = array();
+        a.place_in_slm(0, (0, 0));
+        a.place_in_slm(1, (0, 1));
+        assert!(a.validate().is_empty());
+    }
+
+    #[test]
+    fn transfer_at_nudged_coordinates() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2)); // (14, 14)
+        a.place_in_slm(1, (2, 4)); // (14, 28): same x as q0
+        a.transfer_to_aod_at(0, 0, 0, 14.0, 14.0).unwrap();
+        // Same column coordinate would cross; nudged x resolves it.
+        let err = a.transfer_to_aod_at(1, 1, 1, 14.0, 28.0).unwrap_err();
+        assert!(matches!(err, Violation::ColOrdering { .. }));
+        a.transfer_to_aod_at(1, 1, 1, 17.5, 28.0).unwrap();
+        assert_eq!(a.position(1), Point::new(17.5, 28.0));
+        assert!(a.validate().is_empty());
+    }
+
+    #[test]
+    fn transfer_at_rejects_separation_violation() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2));
+        a.place_in_slm(1, (4, 2)); // (28, 14)
+        let err = a.transfer_to_aod_at(0, 0, 0, 26.5, 14.0).unwrap_err();
+        assert!(matches!(err, Violation::Separation { .. }));
+        // Unchanged: q0 still in SLM.
+        assert!(!a.is_aod(0));
+        assert!(a.grid().is_occupied((2, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_qubits_rejected() {
+        let _ = AtomArray::new(MachineSpec::quera_aquila_256(), 257);
+    }
+}

@@ -1,0 +1,93 @@
+//! 2D geometry primitives (positions are in micrometres).
+
+/// A point in the machine plane, µm.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate, µm.
+    pub x: f64,
+    /// Y coordinate, µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt in hot loops).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Chebyshev (max-axis) distance, used for conservative path checks.
+    pub fn chebyshev(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+}
+
+/// Whether two atoms at `a` and `b` can interact through the Rydberg
+/// interaction radius `r` (Fig. 3a: circles of radius r/2 touching).
+pub fn within_interaction(a: &Point, b: &Point, r: f64) -> bool {
+    a.distance_sq(b) <= r * r + 1e-9
+}
+
+/// Whether an atom at `a` blockades an atom at `b` given interaction radius
+/// `r` and blockade factor `factor` (typically 2.5).
+pub fn within_blockade(a: &Point, b: &Point, r: f64, factor: f64) -> bool {
+    let br = r * factor;
+    a.distance_sq(b) <= br * br + 1e-9
+}
+
+/// Whether two atoms violate the minimum separation constraint.
+pub fn violates_separation(a: &Point, b: &Point, min_sep: f64) -> bool {
+    a.distance_sq(b) < min_sep * min_sep - 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.chebyshev(&b), 4.0);
+    }
+
+    #[test]
+    fn interaction_boundary_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        assert!(within_interaction(&a, &b, 2.0));
+        assert!(!within_interaction(&a, &b, 1.9));
+    }
+
+    #[test]
+    fn blockade_is_wider_than_interaction() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        // Out of interaction range (r=2) but inside blockade (2.5 * 2 = 5).
+        assert!(!within_interaction(&a, &b, 2.0));
+        assert!(within_blockade(&a, &b, 2.0, 2.5));
+        let c = Point::new(5.1, 0.0);
+        assert!(!within_blockade(&a, &c, 2.0, 2.5));
+    }
+
+    #[test]
+    fn separation_violation_is_strict() {
+        let a = Point::new(0.0, 0.0);
+        assert!(violates_separation(&a, &Point::new(2.9, 0.0), 3.0));
+        assert!(!violates_separation(&a, &Point::new(3.0, 0.0), 3.0));
+        assert!(!violates_separation(&a, &Point::new(3.1, 0.0), 3.0));
+    }
+}

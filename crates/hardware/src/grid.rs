@@ -1,0 +1,224 @@
+//! The discretized SLM site grid.
+//!
+//! Section II-A: Parallax discretizes the `[0,1]^2` plane GRAPHINE places
+//! qubits on into machine sites whose pitch is twice the minimum separation
+//! plus padding, guaranteeing (1) the separation constraint holds for any
+//! static layout, and (2) AOD atoms can always navigate between SLM atoms.
+
+use crate::geometry::Point;
+use crate::params::MachineSpec;
+use std::collections::VecDeque;
+
+/// A site index on the SLM grid, `(column, row)` with `0 <= x, y < dim`.
+pub type Site = (u16, u16);
+
+/// The discrete site grid of a machine.
+#[derive(Debug, Clone)]
+pub struct SiteGrid {
+    dim: usize,
+    pitch_um: f64,
+    occupied: Vec<bool>,
+}
+
+impl SiteGrid {
+    /// Create an empty grid for `spec`.
+    pub fn new(spec: &MachineSpec) -> Self {
+        Self { dim: spec.grid_dim, pitch_um: spec.site_pitch_um(), occupied: vec![false; spec.grid_dim * spec.grid_dim] }
+    }
+
+    /// Grid dimension (sites per side).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Grid pitch, µm.
+    pub fn pitch_um(&self) -> f64 {
+        self.pitch_um
+    }
+
+    fn index(&self, site: Site) -> usize {
+        site.1 as usize * self.dim + site.0 as usize
+    }
+
+    /// Whether `site` is inside the grid.
+    pub fn contains(&self, site: Site) -> bool {
+        (site.0 as usize) < self.dim && (site.1 as usize) < self.dim
+    }
+
+    /// Whether `site` currently holds an atom.
+    pub fn is_occupied(&self, site: Site) -> bool {
+        self.occupied[self.index(site)]
+    }
+
+    /// Mark `site` occupied. Panics if already occupied or out of range.
+    pub fn occupy(&mut self, site: Site) {
+        assert!(self.contains(site), "site {site:?} outside {0}x{0} grid", self.dim);
+        let idx = self.index(site);
+        assert!(!self.occupied[idx], "site {site:?} is already occupied");
+        self.occupied[idx] = true;
+    }
+
+    /// Clear `site`. Panics if it was not occupied.
+    pub fn vacate(&mut self, site: Site) {
+        let idx = self.index(site);
+        assert!(self.occupied[idx], "site {site:?} is not occupied");
+        self.occupied[idx] = false;
+    }
+
+    /// Number of occupied sites.
+    pub fn occupied_count(&self) -> usize {
+        self.occupied.iter().filter(|&&b| b).count()
+    }
+
+    /// Physical position of a site's centre, µm.
+    pub fn site_position(&self, site: Site) -> Point {
+        Point::new(site.0 as f64 * self.pitch_um, site.1 as f64 * self.pitch_um)
+    }
+
+    /// Map a normalized `[0,1]^2` coordinate to the nearest site (no
+    /// occupancy check).
+    pub fn nearest_site(&self, x: f64, y: f64) -> Site {
+        let scale = (self.dim - 1) as f64;
+        let sx = (x.clamp(0.0, 1.0) * scale).round() as u16;
+        let sy = (y.clamp(0.0, 1.0) * scale).round() as u16;
+        (sx, sy)
+    }
+
+    /// Find the free site closest to `target` by BFS ring expansion
+    /// ("places atoms wherever there is free space" when the ideal cell is
+    /// taken). Returns `None` when the grid is full.
+    pub fn nearest_free_site(&self, target: Site) -> Option<Site> {
+        if self.contains(target) && !self.is_occupied(target) {
+            return Some(target);
+        }
+        let mut visited = vec![false; self.dim * self.dim];
+        let mut queue = VecDeque::new();
+        let start = (target.0.min(self.dim as u16 - 1), target.1.min(self.dim as u16 - 1));
+        visited[self.index(start)] = true;
+        queue.push_back(start);
+        let mut best: Option<(f64, Site)> = None;
+        let target_pos = Point::new(
+            target.0 as f64 * self.pitch_um,
+            target.1 as f64 * self.pitch_um,
+        );
+        while let Some(site) = queue.pop_front() {
+            if !self.is_occupied(site) {
+                let d = self.site_position(site).distance_sq(&target_pos);
+                match best {
+                    Some((bd, _)) if bd <= d => {}
+                    _ => best = Some((d, site)),
+                }
+                // Keep scanning the current BFS frontier for a closer free
+                // site, but do not expand further once one is found: ring
+                // distance approximates Euclidean well enough here.
+                continue;
+            }
+            for (dx, dy) in [(0i32, 1i32), (0, -1), (1, 0), (-1, 0), (1, 1), (1, -1), (-1, 1), (-1, -1)] {
+                let nx = site.0 as i32 + dx;
+                let ny = site.1 as i32 + dy;
+                if nx < 0 || ny < 0 || nx >= self.dim as i32 || ny >= self.dim as i32 {
+                    continue;
+                }
+                let n = (nx as u16, ny as u16);
+                let idx = self.index(n);
+                if !visited[idx] {
+                    visited[idx] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> SiteGrid {
+        SiteGrid::new(&MachineSpec::quera_aquila_256())
+    }
+
+    #[test]
+    fn occupancy_lifecycle() {
+        let mut g = grid();
+        assert!(!g.is_occupied((3, 4)));
+        g.occupy((3, 4));
+        assert!(g.is_occupied((3, 4)));
+        assert_eq!(g.occupied_count(), 1);
+        g.vacate((3, 4));
+        assert!(!g.is_occupied((3, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_occupy_panics() {
+        let mut g = grid();
+        g.occupy((0, 0));
+        g.occupy((0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_occupy_panics() {
+        let mut g = grid();
+        g.occupy((16, 0));
+    }
+
+    #[test]
+    fn site_positions_scale_with_pitch() {
+        let g = grid();
+        let p = g.site_position((2, 3));
+        assert_eq!(p, Point::new(14.0, 21.0)); // pitch 7 µm
+    }
+
+    #[test]
+    fn nearest_site_maps_unit_square_corners() {
+        let g = grid();
+        assert_eq!(g.nearest_site(0.0, 0.0), (0, 0));
+        assert_eq!(g.nearest_site(1.0, 1.0), (15, 15));
+        assert_eq!(g.nearest_site(0.5, 0.5), (8, 8));
+        // Out-of-range inputs are clamped.
+        assert_eq!(g.nearest_site(-2.0, 7.0), (0, 15));
+    }
+
+    #[test]
+    fn nearest_free_site_prefers_target() {
+        let g = grid();
+        assert_eq!(g.nearest_free_site((5, 5)), Some((5, 5)));
+    }
+
+    #[test]
+    fn nearest_free_site_spills_to_neighbor() {
+        let mut g = grid();
+        g.occupy((5, 5));
+        let s = g.nearest_free_site((5, 5)).unwrap();
+        assert_ne!(s, (5, 5));
+        let d = g.site_position(s).distance(&g.site_position((5, 5)));
+        assert!(d <= g.pitch_um() * 2f64.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn nearest_free_site_none_when_full() {
+        let spec = MachineSpec { grid_dim: 2, ..MachineSpec::quera_aquila_256() };
+        let mut g = SiteGrid::new(&spec);
+        for x in 0..2 {
+            for y in 0..2 {
+                g.occupy((x, y));
+            }
+        }
+        assert_eq!(g.nearest_free_site((0, 0)), None);
+    }
+
+    #[test]
+    fn bfs_escapes_occupied_cluster() {
+        let mut g = grid();
+        for x in 0..4u16 {
+            for y in 0..4u16 {
+                g.occupy((x, y));
+            }
+        }
+        let s = g.nearest_free_site((1, 1)).unwrap();
+        assert!(!g.is_occupied(s));
+    }
+}

@@ -1,0 +1,34 @@
+//! Neutral-atom hardware model for the Parallax compiler suite.
+//!
+//! Models the machine of the paper's Fig. 2: atoms held by a static SLM
+//! grid and a mobile AOD (rows/columns of optical traps), with the hardware
+//! constraints of Section I-A:
+//!
+//! * Rydberg interaction radius and the 2.5x blockade radius ([`geometry`]),
+//! * the minimum atom separation distance,
+//! * AOD rows/columns that cannot cross and move in tandem ([`array`]),
+//! * the discretized SLM site grid with the paper's pitch rule ([`grid`]),
+//! * the Table II machine parameters for QuEra's 256-qubit and Atom
+//!   Computing's 1,225-qubit systems ([`params`]).
+//!
+//! # Example
+//! ```
+//! use parallax_hardware::{AtomArray, MachineSpec, AodMove};
+//!
+//! let mut array = AtomArray::new(MachineSpec::quera_aquila_256(), 2);
+//! array.place_in_slm(0, (2, 2));
+//! array.place_in_slm(1, (10, 10));
+//! array.transfer_to_aod(0, 0, 0).unwrap();
+//! array.apply_aod_moves(&[AodMove { q: 0, x: 66.0, y: 70.0 }]).unwrap();
+//! assert!(array.distance(0, 1) < 5.0);
+//! ```
+
+pub mod array;
+pub mod geometry;
+pub mod grid;
+pub mod params;
+
+pub use array::{AodMove, AtomArray, Trap, Violation};
+pub use geometry::{violates_separation, within_blockade, within_interaction, Point};
+pub use grid::{Site, SiteGrid};
+pub use params::{HardwareParams, MachineSpec};

@@ -1,0 +1,192 @@
+//! Hardware parameters (Table II of the paper) and the two evaluated
+//! machine configurations.
+
+/// Physical error/timing parameters of a neutral-atom machine, with the
+/// values and citations of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareParams {
+    /// Probability an atom escapes its trap per shot (0.7% [Bluvstein'22]).
+    pub atom_loss_rate: f64,
+    /// Time to switch an atom between SLM and AOD traps, µs (100 [Tan'24]).
+    pub trap_switch_time_us: f64,
+    /// One-qubit U3 (Raman) gate error (0.0127% [Levine'22]).
+    pub u3_gate_error: f64,
+    /// U3 gate duration, µs (2 [Wintersperger'23]).
+    pub u3_gate_time_us: f64,
+    /// AOD transport speed, µm/µs (55 [Bluvstein'22]).
+    pub aod_move_speed_um_per_us: f64,
+    /// Hyperfine T1 relaxation time, seconds (4.0 [Bluvstein'22]).
+    pub t1_seconds: f64,
+    /// Hyperfine T2 dephasing time, seconds (1.49 [Bluvstein'22]).
+    pub t2_seconds: f64,
+    /// Two-qubit CZ (Rydberg) gate error (0.48% [Evered'23]).
+    pub cz_gate_error: f64,
+    /// CZ gate duration, µs (0.8 [Bluvstein'22]).
+    pub cz_gate_time_us: f64,
+    /// SWAP gate error — three CZ gates (1.43% [Evered'23]).
+    pub swap_gate_error: f64,
+    /// Measurement (fluorescence readout) error (5% [Wintersperger'23]).
+    pub readout_error: f64,
+}
+
+impl HardwareParams {
+    /// The Table II parameter set shared by both evaluated machines.
+    pub const fn table2() -> Self {
+        Self {
+            atom_loss_rate: 0.007,
+            trap_switch_time_us: 100.0,
+            u3_gate_error: 0.000127,
+            u3_gate_time_us: 2.0,
+            aod_move_speed_um_per_us: 55.0,
+            t1_seconds: 4.0,
+            t2_seconds: 1.49,
+            cz_gate_error: 0.0048,
+            cz_gate_time_us: 0.8,
+            swap_gate_error: 0.0143,
+            readout_error: 0.05,
+        }
+    }
+
+    /// SWAP duration: three sequential CZ gates.
+    pub fn swap_gate_time_us(&self) -> f64 {
+        3.0 * self.cz_gate_time_us
+    }
+}
+
+impl Default for HardwareParams {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+/// A simulated machine: grid size, AOD capacity, and spacing constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The SLM site grid is `grid_dim x grid_dim`.
+    pub grid_dim: usize,
+    /// Number of AOD rows and of AOD columns (the paper's default is 20).
+    pub aod_dim: usize,
+    /// Minimum atom separation, µm.
+    pub min_separation_um: f64,
+    /// Extra navigation padding added to the discretization pitch, µm
+    /// (Section II-A: "plus a small amount of padding").
+    pub padding_um: f64,
+    /// Blockade radius as a multiple of the interaction radius (2.5x).
+    pub blockade_factor: f64,
+    /// Error/timing parameters.
+    pub params: HardwareParams,
+}
+
+impl MachineSpec {
+    /// QuEra Aquila-like 256-qubit machine: 16x16 site grid (main results).
+    pub const fn quera_aquila_256() -> Self {
+        Self {
+            name: "QuEra-256",
+            grid_dim: 16,
+            aod_dim: 20,
+            min_separation_um: 3.0,
+            padding_um: 1.0,
+            blockade_factor: 2.5,
+            params: HardwareParams::table2(),
+        }
+    }
+
+    /// Atom Computing-like 1,225-qubit machine: 35x35 site grid (scaling
+    /// and parallelization results).
+    pub const fn atom_1225() -> Self {
+        Self {
+            name: "Atom-1225",
+            grid_dim: 35,
+            aod_dim: 20,
+            min_separation_um: 3.0,
+            padding_um: 1.0,
+            blockade_factor: 2.5,
+            params: HardwareParams::table2(),
+        }
+    }
+
+    /// Total number of SLM sites (= maximum atoms).
+    pub fn num_sites(&self) -> usize {
+        self.grid_dim * self.grid_dim
+    }
+
+    /// Grid pitch: one discretization unit = twice the minimum separation
+    /// plus padding (Section II-A's discretization rule).
+    pub fn site_pitch_um(&self) -> f64 {
+        2.0 * self.min_separation_um + self.padding_um
+    }
+
+    /// Physical side length of the site grid, µm.
+    pub fn extent_um(&self) -> f64 {
+        (self.grid_dim.saturating_sub(1)) as f64 * self.site_pitch_um()
+    }
+
+    /// Return a copy with a different AOD row/column count (Fig. 13's
+    /// ablation knob).
+    pub fn with_aod_dim(mut self, aod_dim: usize) -> Self {
+        self.aod_dim = aod_dim;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let p = HardwareParams::table2();
+        assert_eq!(p.trap_switch_time_us, 100.0);
+        assert_eq!(p.aod_move_speed_um_per_us, 55.0);
+        assert_eq!(p.t1_seconds, 4.0);
+        assert_eq!(p.t2_seconds, 1.49);
+        assert_eq!(p.cz_gate_error, 0.0048);
+        assert_eq!(p.u3_gate_time_us, 2.0);
+        assert_eq!(p.cz_gate_time_us, 0.8);
+        assert_eq!(p.readout_error, 0.05);
+        assert_eq!(p.swap_gate_error, 0.0143);
+        assert_eq!(p.atom_loss_rate, 0.007);
+    }
+
+    #[test]
+    fn machine_sizes_match_paper() {
+        let quera = MachineSpec::quera_aquila_256();
+        assert_eq!(quera.num_sites(), 256);
+        assert_eq!(quera.grid_dim, 16);
+        let atom = MachineSpec::atom_1225();
+        assert_eq!(atom.num_sites(), 1225);
+        assert_eq!(atom.grid_dim, 35);
+        assert_eq!(atom.aod_dim, 20);
+    }
+
+    #[test]
+    fn pitch_is_twice_min_sep_plus_padding() {
+        let spec = MachineSpec::quera_aquila_256();
+        assert_eq!(spec.site_pitch_um(), 7.0);
+        assert_eq!(spec.extent_um(), 15.0 * 7.0);
+    }
+
+    #[test]
+    fn swap_time_is_three_cz() {
+        let p = HardwareParams::table2();
+        assert!((p.swap_gate_time_us() - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longest_move_on_256_is_about_two_microseconds() {
+        // Section IV: "the longest possible move would take about 2 µs".
+        let spec = MachineSpec::quera_aquila_256();
+        let diagonal = spec.extent_um() * 2f64.sqrt();
+        let t = diagonal / spec.params.aod_move_speed_um_per_us;
+        assert!(t > 1.0 && t < 3.5, "diagonal move time {t} µs");
+    }
+
+    #[test]
+    fn with_aod_dim_overrides() {
+        let spec = MachineSpec::quera_aquila_256().with_aod_dim(5);
+        assert_eq!(spec.aod_dim, 5);
+        assert_eq!(spec.grid_dim, 16);
+    }
+}

@@ -1,0 +1,179 @@
+//! Typed AST for OpenQASM 2.0 programs.
+
+use crate::expr::Expr;
+use std::collections::HashMap;
+
+/// A quantum or classical argument to a gate/measure/barrier statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Argument {
+    /// A whole register, e.g. `q` (implicitly broadcast in QASM 2.0).
+    Register(String),
+    /// One element of a register, e.g. `q[3]`.
+    Indexed(String, usize),
+}
+
+impl Argument {
+    /// The register name referenced by this argument.
+    pub fn register(&self) -> &str {
+        match self {
+            Argument::Register(r) | Argument::Indexed(r, _) => r,
+        }
+    }
+}
+
+/// One statement in the body of a user-defined gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateBodyStmt {
+    /// Gate name being applied (built-in or previously defined).
+    pub name: String,
+    /// Parameter expressions (may reference the enclosing gate's formals).
+    pub params: Vec<Expr>,
+    /// Indices into the enclosing gate's formal qubit list.
+    pub qubits: Vec<String>,
+}
+
+/// A user-defined gate (`gate name(params) qargs { ... }`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateDef {
+    /// Gate name.
+    pub name: String,
+    /// Formal angle parameters.
+    pub params: Vec<String>,
+    /// Formal qubit arguments.
+    pub qubits: Vec<String>,
+    /// Body statements; empty for `opaque` declarations and for
+    /// `gate ... {}` identities.
+    pub body: Vec<GateBodyStmt>,
+    /// True if declared with `opaque` (no body available).
+    pub opaque: bool,
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `include "file";` — recorded verbatim, not resolved.
+    Include(String),
+    /// `qreg name[size];`
+    QRegDecl { name: String, size: usize },
+    /// `creg name[size];`
+    CRegDecl { name: String, size: usize },
+    /// Definition of a user gate (also covers `opaque`).
+    GateDef(GateDef),
+    /// Application of a gate to arguments.
+    GateCall { name: String, params: Vec<Expr>, args: Vec<Argument> },
+    /// `measure q -> c;` (register or indexed forms).
+    Measure { qubit: Argument, target: Argument },
+    /// `barrier args;`
+    Barrier(Vec<Argument>),
+    /// `reset q;`
+    Reset(Argument),
+    /// `if (creg == value) <gate call>;`
+    Conditional { creg: String, value: u64, then: Box<Statement> },
+}
+
+/// A parsed OpenQASM 2.0 program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Declared version (always 2.0 for this crate).
+    pub version: String,
+    /// All top-level statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+impl Program {
+    /// Size of the quantum register `name`, if declared.
+    pub fn qreg_size(&self, name: &str) -> Option<usize> {
+        self.statements.iter().find_map(|s| match s {
+            Statement::QRegDecl { name: n, size } if n == name => Some(*size),
+            _ => None,
+        })
+    }
+
+    /// Size of the classical register `name`, if declared.
+    pub fn creg_size(&self, name: &str) -> Option<usize> {
+        self.statements.iter().find_map(|s| match s {
+            Statement::CRegDecl { name: n, size } if n == name => Some(*size),
+            _ => None,
+        })
+    }
+
+    /// All quantum register declarations in source order as `(name, size)`.
+    pub fn qregs(&self) -> Vec<(String, usize)> {
+        self.statements
+            .iter()
+            .filter_map(|s| match s {
+                Statement::QRegDecl { name, size } => Some((name.clone(), *size)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total number of declared qubits across all quantum registers.
+    pub fn total_qubits(&self) -> usize {
+        self.qregs().iter().map(|(_, s)| s).sum()
+    }
+
+    /// Map from register name to the flat qubit-index offset of its first
+    /// element, following declaration order (the convention used when
+    /// lowering to a flat circuit).
+    pub fn qubit_offsets(&self) -> HashMap<String, usize> {
+        let mut map = HashMap::new();
+        let mut offset = 0;
+        for (name, size) in self.qregs() {
+            map.insert(name, offset);
+            offset += size;
+        }
+        map
+    }
+
+    /// All user gate definitions, keyed by name.
+    pub fn gate_defs(&self) -> HashMap<String, GateDef> {
+        self.statements
+            .iter()
+            .filter_map(|s| match s {
+                Statement::GateDef(def) => Some((def.name.clone(), def.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            version: "2.0".into(),
+            statements: vec![
+                Statement::QRegDecl { name: "q".into(), size: 3 },
+                Statement::QRegDecl { name: "anc".into(), size: 2 },
+                Statement::CRegDecl { name: "c".into(), size: 3 },
+            ],
+        }
+    }
+
+    #[test]
+    fn register_lookup() {
+        let p = sample();
+        assert_eq!(p.qreg_size("q"), Some(3));
+        assert_eq!(p.qreg_size("anc"), Some(2));
+        assert_eq!(p.qreg_size("nope"), None);
+        assert_eq!(p.creg_size("c"), Some(3));
+    }
+
+    #[test]
+    fn offsets_follow_declaration_order() {
+        let p = sample();
+        let off = p.qubit_offsets();
+        assert_eq!(off["q"], 0);
+        assert_eq!(off["anc"], 3);
+        assert_eq!(p.total_qubits(), 5);
+    }
+
+    #[test]
+    fn argument_register_name() {
+        assert_eq!(Argument::Register("q".into()).register(), "q");
+        assert_eq!(Argument::Indexed("q".into(), 7).register(), "q");
+    }
+}

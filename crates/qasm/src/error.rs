@@ -1,0 +1,54 @@
+//! Error type shared by the lexer and parser.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QasmError>;
+
+/// An error produced while lexing or parsing OpenQASM 2.0 source.
+///
+/// Carries a 1-based source location so failures in large benchmark files
+/// are actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QasmError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+}
+
+impl QasmError {
+    /// Create an error at an explicit source location.
+    pub fn new(message: impl Into<String>, line: usize, col: usize) -> Self {
+        Self { message: message.into(), line, col }
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QASM error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_message() {
+        let e = QasmError::new("unexpected token", 3, 14);
+        let s = e.to_string();
+        assert!(s.contains("3:14"));
+        assert!(s.contains("unexpected token"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e = QasmError::new("x", 1, 1);
+        let _: &dyn std::error::Error = &e;
+    }
+}

@@ -1,0 +1,232 @@
+//! Angle expressions appearing in gate parameter lists.
+//!
+//! OpenQASM 2.0 allows parameters such as `pi/2`, `-3*pi/4`, or, inside gate
+//! bodies, symbolic references to the gate's formal parameters. [`Expr`] is a
+//! small tree covering the full 2.0 grammar (binary arithmetic, negation,
+//! unary functions, `pi`, literals, identifiers) with constant folding via
+//! [`Expr::eval`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Binary arithmetic operators allowed in QASM parameter expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Exponentiation (`^`).
+    Pow,
+}
+
+/// Unary functions allowed in QASM parameter expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryFn {
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tan(x)`
+    Tan,
+    /// `exp(x)`
+    Exp,
+    /// `ln(x)`
+    Ln,
+    /// `sqrt(x)`
+    Sqrt,
+}
+
+impl UnaryFn {
+    /// Look up a function by QASM name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "sin" => Self::Sin,
+            "cos" => Self::Cos,
+            "tan" => Self::Tan,
+            "exp" => Self::Exp,
+            "ln" => Self::Ln,
+            "sqrt" => Self::Sqrt,
+            _ => return None,
+        })
+    }
+
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Self::Sin => x.sin(),
+            Self::Cos => x.cos(),
+            Self::Tan => x.tan(),
+            Self::Exp => x.exp(),
+            Self::Ln => x.ln(),
+            Self::Sqrt => x.sqrt(),
+        }
+    }
+}
+
+/// A parameter expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal number.
+    Num(f64),
+    /// The constant `pi`.
+    Pi,
+    /// Reference to a formal gate parameter (only valid inside gate bodies).
+    Param(String),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary function application.
+    Func(UnaryFn, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate with no free parameters. Errors if a [`Expr::Param`] appears.
+    pub fn eval_const(&self) -> Result<f64, String> {
+        self.eval(&HashMap::new())
+    }
+
+    /// Evaluate with the given parameter bindings.
+    pub fn eval(&self, params: &HashMap<String, f64>) -> Result<f64, String> {
+        Ok(match self {
+            Expr::Num(x) => *x,
+            Expr::Pi => std::f64::consts::PI,
+            Expr::Param(name) => *params
+                .get(name)
+                .ok_or_else(|| format!("unbound parameter '{name}' in expression"))?,
+            Expr::Neg(e) => -e.eval(params)?,
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval(params)?, b.eval(params)?);
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Pow => a.powf(b),
+                }
+            }
+            Expr::Func(f, e) => f.apply(e.eval(params)?),
+        })
+    }
+
+    /// Substitute formal parameters with concrete expressions (used when a
+    /// user-defined gate is expanded at a call site).
+    pub fn substitute(&self, bindings: &HashMap<String, Expr>) -> Expr {
+        match self {
+            Expr::Num(_) | Expr::Pi => self.clone(),
+            Expr::Param(name) => {
+                bindings.get(name).cloned().unwrap_or_else(|| Expr::Param(name.clone()))
+            }
+            Expr::Neg(e) => Expr::Neg(Box::new(e.substitute(bindings))),
+            Expr::Bin(op, a, b) => {
+                Expr::Bin(*op, Box::new(a.substitute(bindings)), Box::new(b.substitute(bindings)))
+            }
+            Expr::Func(f, e) => Expr::Func(*f, Box::new(e.substitute(bindings))),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(x) => write!(f, "{x}"),
+            Expr::Pi => write!(f, "pi"),
+            Expr::Param(name) => write!(f, "{name}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Bin(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Pow => "^",
+                };
+                write!(f, "({a}{sym}{b})")
+            }
+            Expr::Func(func, e) => {
+                let name = match func {
+                    UnaryFn::Sin => "sin",
+                    UnaryFn::Cos => "cos",
+                    UnaryFn::Tan => "tan",
+                    UnaryFn::Exp => "exp",
+                    UnaryFn::Ln => "ln",
+                    UnaryFn::Sqrt => "sqrt",
+                };
+                write!(f, "{name}({e})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn evaluates_pi_over_two() {
+        let e = Expr::Bin(BinOp::Div, Box::new(Expr::Pi), Box::new(Expr::Num(2.0)));
+        assert!((e.eval_const().unwrap() - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluates_nested_arithmetic() {
+        // -3 * pi / 4
+        let e = Expr::Bin(
+            BinOp::Div,
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Neg(Box::new(Expr::Num(3.0)))),
+                Box::new(Expr::Pi),
+            )),
+            Box::new(Expr::Num(4.0)),
+        );
+        assert!((e.eval_const().unwrap() + 3.0 * PI / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbound_param_is_error() {
+        let e = Expr::Param("theta".into());
+        assert!(e.eval_const().is_err());
+    }
+
+    #[test]
+    fn bound_param_evaluates() {
+        let e = Expr::Bin(BinOp::Mul, Box::new(Expr::Param("t".into())), Box::new(Expr::Num(2.0)));
+        let mut env = HashMap::new();
+        env.insert("t".to_string(), 1.5);
+        assert_eq!(e.eval(&env).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn substitute_replaces_params() {
+        let e = Expr::Neg(Box::new(Expr::Param("a".into())));
+        let mut bind = HashMap::new();
+        bind.insert("a".to_string(), Expr::Pi);
+        assert_eq!(e.substitute(&bind), Expr::Neg(Box::new(Expr::Pi)));
+    }
+
+    #[test]
+    fn functions_apply() {
+        let e = Expr::Func(UnaryFn::Cos, Box::new(Expr::Num(0.0)));
+        assert_eq!(e.eval_const().unwrap(), 1.0);
+        assert_eq!(UnaryFn::from_name("sqrt"), Some(UnaryFn::Sqrt));
+        assert_eq!(UnaryFn::from_name("nope"), None);
+    }
+
+    #[test]
+    fn power_operator() {
+        let e = Expr::Bin(BinOp::Pow, Box::new(Expr::Num(2.0)), Box::new(Expr::Num(10.0)));
+        assert_eq!(e.eval_const().unwrap(), 1024.0);
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let e = Expr::Bin(BinOp::Div, Box::new(Expr::Pi), Box::new(Expr::Num(2.0)));
+        assert_eq!(e.to_string(), "(pi/2)");
+    }
+}

@@ -1,0 +1,403 @@
+//! Hand-written lexer for OpenQASM 2.0.
+
+use crate::error::{QasmError, Result};
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `OPENQASM` keyword.
+    OpenQasm,
+    /// `include` keyword.
+    Include,
+    /// `qreg` keyword.
+    QReg,
+    /// `creg` keyword.
+    CReg,
+    /// `gate` keyword.
+    Gate,
+    /// `opaque` keyword.
+    Opaque,
+    /// `measure` keyword.
+    Measure,
+    /// `barrier` keyword.
+    Barrier,
+    /// `reset` keyword.
+    Reset,
+    /// `if` keyword.
+    If,
+    /// `pi` constant.
+    Pi,
+    /// Identifier such as a gate or register name.
+    Ident(String),
+    /// Real literal (also covers scientific notation).
+    Real(f64),
+    /// Non-negative integer literal.
+    Int(u64),
+    /// Double-quoted string literal (file name in `include`).
+    Str(String),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `==`
+    EqEq,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source location (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Streaming lexer over QASM source text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Self { src: source.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    /// Lex the entire input, returning all tokens terminated by [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let mk = |kind| Token { kind, line, col };
+        let Some(c) = self.peek() else {
+            return Ok(mk(TokenKind::Eof));
+        };
+        let kind = match c {
+            b';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'^' => {
+                self.bump();
+                TokenKind::Caret
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    return Err(QasmError::new("expected '==' after '='", line, col));
+                }
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(ch) => s.push(ch as char),
+                        None => {
+                            return Err(QasmError::new("unterminated string literal", line, col))
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() || c == b'.' => self.lex_number(line, col)?,
+            c if c.is_ascii_alphabetic() || c == b'_' => self.lex_word(),
+            other => {
+                return Err(QasmError::new(
+                    format!("unexpected character '{}'", other as char),
+                    line,
+                    col,
+                ))
+            }
+        };
+        Ok(mk(kind))
+    }
+
+    fn lex_number(&mut self, line: usize, col: usize) -> Result<TokenKind> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !saw_dot && !saw_exp => {
+                    saw_dot = true;
+                    self.bump();
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii slice");
+        if saw_dot || saw_exp {
+            text.parse::<f64>()
+                .map(TokenKind::Real)
+                .map_err(|_| QasmError::new(format!("invalid real literal '{text}'"), line, col))
+        } else {
+            text.parse::<u64>()
+                .map(TokenKind::Int)
+                .map_err(|_| QasmError::new(format!("invalid integer literal '{text}'"), line, col))
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii slice");
+        match text {
+            "OPENQASM" => TokenKind::OpenQasm,
+            "include" => TokenKind::Include,
+            "qreg" => TokenKind::QReg,
+            "creg" => TokenKind::CReg,
+            "gate" => TokenKind::Gate,
+            "opaque" => TokenKind::Opaque,
+            "measure" => TokenKind::Measure,
+            "barrier" => TokenKind::Barrier,
+            "reset" => TokenKind::Reset,
+            "if" => TokenKind::If,
+            "pi" => TokenKind::Pi,
+            _ => TokenKind::Ident(text.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_header() {
+        assert_eq!(
+            kinds("OPENQASM 2.0;"),
+            vec![TokenKind::OpenQasm, TokenKind::Real(2.0), TokenKind::Semicolon, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_gate_application() {
+        let k = kinds("cx q[0],q[1];");
+        assert_eq!(k[0], TokenKind::Ident("cx".into()));
+        assert_eq!(k[1], TokenKind::Ident("q".into()));
+        assert_eq!(k[2], TokenKind::LBracket);
+        assert_eq!(k[3], TokenKind::Int(0));
+        assert_eq!(k[4], TokenKind::RBracket);
+        assert_eq!(k[5], TokenKind::Comma);
+    }
+
+    #[test]
+    fn lexes_angles_and_pi() {
+        let k = kinds("u3(pi/2, -0.5, 1e-3) q[0];");
+        assert!(k.contains(&TokenKind::Pi));
+        assert!(k.contains(&TokenKind::Slash));
+        assert!(k.contains(&TokenKind::Real(0.5)));
+        assert!(k.contains(&TokenKind::Real(1e-3)));
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let k = kinds("// a comment\n  qreg q[3]; // trailing\n");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::QReg,
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(3),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrow_and_measure() {
+        let k = kinds("measure q -> c;");
+        assert_eq!(k[0], TokenKind::Measure);
+        assert_eq!(k[2], TokenKind::Arrow);
+    }
+
+    #[test]
+    fn lexes_string_literal() {
+        let k = kinds("include \"qelib1.inc\";");
+        assert_eq!(k[1], TokenKind::Str("qelib1.inc".into()));
+    }
+
+    #[test]
+    fn reports_location_of_bad_character() {
+        let err = Lexer::new("qreg q[2];\n  @").tokenize().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("include \"abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn scientific_notation_variants() {
+        assert_eq!(kinds("1.5E+2")[0], TokenKind::Real(150.0));
+        assert_eq!(kinds("2e3")[0], TokenKind::Real(2000.0));
+        assert_eq!(kinds("7")[0], TokenKind::Int(7));
+    }
+
+    #[test]
+    fn equality_operator() {
+        let k = kinds("if (c == 1) x q[0];");
+        assert!(k.contains(&TokenKind::EqEq));
+        assert!(k.contains(&TokenKind::If));
+    }
+}

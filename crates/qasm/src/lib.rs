@@ -1,0 +1,48 @@
+//! OpenQASM 2.0 front end for the Parallax compiler suite.
+//!
+//! The Parallax paper reads every benchmark as an OpenQASM 2.0 file before
+//! compiling it for neutral-atom hardware. This crate provides the
+//! corresponding front end: a hand-written lexer ([`lexer`]), a recursive
+//! descent parser ([`parser`]) producing a typed AST ([`ast`]), constant
+//! folding of angle expressions ([`expr`]), and a writer ([`writer`]) that
+//! renders a program back to QASM text.
+//!
+//! Supported subset (everything the 18 evaluation benchmarks need):
+//! `OPENQASM 2.0;`, `include` (recorded, not resolved — the standard
+//! `qelib1.inc` gates are built in downstream), `qreg`/`creg` declarations,
+//! gate applications with angle-expression parameters, user `gate`
+//! definitions (expanded by `parallax-circuit`), `measure`, `barrier`, and
+//! `reset`.
+//!
+//! # Example
+//! ```
+//! use parallax_qasm::parse;
+//! let program = parse(
+//!     "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+//!      h q[0];\ncx q[0],q[1];\nmeasure q -> c;\n",
+//! ).unwrap();
+//! assert_eq!(program.qreg_size("q"), Some(2));
+//! assert_eq!(program.statements.len(), 6);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod writer;
+
+pub use ast::{Argument, GateDef, Program, Statement};
+pub use error::{QasmError, Result};
+pub use expr::Expr;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::Parser;
+pub use writer::write_program;
+
+/// Parse OpenQASM 2.0 source text into a [`Program`].
+///
+/// This is the main entry point of the crate; it is equivalent to
+/// constructing a [`Parser`] and calling [`Parser::parse_program`].
+pub fn parse(source: &str) -> Result<Program> {
+    Parser::new(source)?.parse_program()
+}

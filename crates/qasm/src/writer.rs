@@ -1,0 +1,159 @@
+//! Render a [`Program`] back to OpenQASM 2.0 text.
+//!
+//! The writer is the inverse of the parser up to whitespace and numeric
+//! formatting; `parse(write_program(&p))` reproduces the same AST for
+//! programs with fully evaluated (numeric) parameters.
+
+use crate::ast::{Argument, GateDef, Program, Statement};
+use crate::expr::Expr;
+use std::fmt::Write as _;
+
+/// Render `program` as OpenQASM 2.0 source text.
+pub fn write_program(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "OPENQASM {};", program.version);
+    for stmt in &program.statements {
+        write_statement(&mut out, stmt);
+    }
+    out
+}
+
+fn write_statement(out: &mut String, stmt: &Statement) {
+    match stmt {
+        Statement::Include(file) => {
+            let _ = writeln!(out, "include \"{file}\";");
+        }
+        Statement::QRegDecl { name, size } => {
+            let _ = writeln!(out, "qreg {name}[{size}];");
+        }
+        Statement::CRegDecl { name, size } => {
+            let _ = writeln!(out, "creg {name}[{size}];");
+        }
+        Statement::GateDef(def) => write_gate_def(out, def),
+        Statement::GateCall { name, params, args } => {
+            let _ = write!(out, "{name}");
+            write_params(out, params);
+            let _ = writeln!(out, " {};", args_str(args));
+        }
+        Statement::Measure { qubit, target } => {
+            let _ = writeln!(out, "measure {} -> {};", arg_str(qubit), arg_str(target));
+        }
+        Statement::Barrier(args) => {
+            let _ = writeln!(out, "barrier {};", args_str(args));
+        }
+        Statement::Reset(arg) => {
+            let _ = writeln!(out, "reset {};", arg_str(arg));
+        }
+        Statement::Conditional { creg, value, then } => {
+            let _ = write!(out, "if ({creg} == {value}) ");
+            write_statement(out, then);
+        }
+    }
+}
+
+fn write_gate_def(out: &mut String, def: &GateDef) {
+    let kw = if def.opaque { "opaque" } else { "gate" };
+    let _ = write!(out, "{kw} {}", def.name);
+    if !def.params.is_empty() {
+        let _ = write!(out, "({})", def.params.join(","));
+    }
+    let _ = write!(out, " {}", def.qubits.join(","));
+    if def.opaque {
+        let _ = writeln!(out, ";");
+        return;
+    }
+    let _ = writeln!(out, " {{");
+    for b in &def.body {
+        let _ = write!(out, "  {}", b.name);
+        write_params(out, &b.params);
+        let _ = writeln!(out, " {};", b.qubits.join(","));
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn write_params(out: &mut String, params: &[Expr]) {
+    if params.is_empty() {
+        return;
+    }
+    let rendered: Vec<String> = params.iter().map(expr_str).collect();
+    let _ = write!(out, "({})", rendered.join(","));
+}
+
+fn expr_str(e: &Expr) -> String {
+    // Prefer a compact numeric rendering when the expression is constant;
+    // fall back to the structural Display for symbolic expressions.
+    match e.eval_const() {
+        Ok(v) => format_f64(v),
+        Err(_) => e.to_string(),
+    }
+}
+
+fn format_f64(v: f64) -> String {
+    // Round-trippable formatting: shortest representation that parses back
+    // to the same f64.
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn arg_str(a: &Argument) -> String {
+    match a {
+        Argument::Register(r) => r.clone(),
+        Argument::Indexed(r, i) => format!("{r}[{i}]"),
+    }
+}
+
+fn args_str(args: &[Argument]) -> String {
+    args.iter().map(arg_str).collect::<Vec<_>>().join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn roundtrip_simple_program() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n";
+        let p1 = parse(src).unwrap();
+        let rendered = write_program(&p1);
+        let p2 = parse(&rendered).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn roundtrip_numeric_params() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nu3(1.5707963267948966,0.0,3.141592653589793) q[0];\n";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&write_program(&p1)).unwrap();
+        match (&p1.statements[1], &p2.statements[1]) {
+            (
+                Statement::GateCall { params: a, .. },
+                Statement::GateCall { params: b, .. },
+            ) => {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.eval_const().unwrap(), y.eval_const().unwrap());
+                }
+            }
+            _ => panic!("expected gate calls"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_gate_def_and_conditional() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\ncreg c[1];\ngate gg a,b { cx a,b; }\ngg q[0],q[1];\nif (c == 1) x q[0];\n";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&write_program(&p1)).unwrap();
+        assert_eq!(p1.gate_defs()["gg"], p2.gate_defs()["gg"]);
+        assert_eq!(p1.statements.len(), p2.statements.len());
+    }
+
+    #[test]
+    fn integers_render_as_reals_for_reparse_stability() {
+        assert_eq!(format_f64(2.0), "2.0");
+        assert_eq!(format_f64(0.5), "0.5");
+    }
+}

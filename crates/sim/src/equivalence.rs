@@ -1,0 +1,184 @@
+//! Semantic equivalence checking of compiled outputs.
+//!
+//! * A Parallax schedule reorders the input circuit's own gates under
+//!   dependency constraints, so replaying the schedule's gate order must
+//!   produce the identical state.
+//! * A baseline's routed circuit is equivalent up to the final
+//!   logical-to-physical permutation left by SWAP routing.
+//!
+//! To catch relabeling bugs that the all-zeros input would mask, the
+//! checks prepend a deterministic layer of pseudo-random U3 rotations.
+
+use crate::statevector::{simulate, MAX_SIM_QUBITS};
+use parallax_baselines::BaselineResult;
+use parallax_circuit::{Circuit, Gate};
+use parallax_core::CompilationResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fidelity threshold treated as "equal".
+pub const EQUIV_TOL: f64 = 1e-9;
+
+/// Prepend a deterministic random product-state preparation to `circuit`.
+fn with_random_prefix(circuit: &Circuit, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Circuit::new(circuit.num_qubits());
+    for q in 0..circuit.num_qubits() as u32 {
+        let theta = rng.random::<f64>() * std::f64::consts::PI;
+        let phi = rng.random::<f64>() * 2.0 * std::f64::consts::PI;
+        let lam = rng.random::<f64>() * 2.0 * std::f64::consts::PI;
+        out.push(Gate::u3(q, theta, phi, lam));
+    }
+    out.extend_from(circuit);
+    out
+}
+
+/// Prefix-state for the baseline side: the same random rotations but
+/// applied to the *initial* physical location of each logical qubit
+/// (identity mapping at circuit start).
+fn prefix_only(n: usize, seed: u64) -> Vec<Gate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n as u32)
+        .map(|q| {
+            let theta = rng.random::<f64>() * std::f64::consts::PI;
+            let phi = rng.random::<f64>() * 2.0 * std::f64::consts::PI;
+            let lam = rng.random::<f64>() * 2.0 * std::f64::consts::PI;
+            Gate::u3(q, theta, phi, lam)
+        })
+        .collect()
+}
+
+/// Verify a Parallax schedule implements the input circuit exactly.
+///
+/// Returns the fidelity between the reference state and the state obtained
+/// by executing the schedule's gate order (1.0 = equivalent).
+pub fn parallax_schedule_fidelity(circuit: &Circuit, result: &CompilationResult, seed: u64) -> f64 {
+    assert!(circuit.num_qubits() <= MAX_SIM_QUBITS);
+    let prefixed = with_random_prefix(circuit, seed);
+    let reference = simulate(&prefixed);
+
+    let mut scheduled = Circuit::new(circuit.num_qubits());
+    for g in prefix_only(circuit.num_qubits(), seed) {
+        scheduled.push(g);
+    }
+    for idx in result.schedule.gate_order() {
+        scheduled.push(circuit.gates()[idx]);
+    }
+    let state = simulate(&scheduled);
+    reference.fidelity(&state)
+}
+
+/// Verify a baseline's routed circuit implements the input up to its final
+/// qubit permutation. Returns the fidelity (1.0 = equivalent).
+pub fn baseline_routed_fidelity(circuit: &Circuit, result: &BaselineResult, seed: u64) -> f64 {
+    assert!(circuit.num_qubits() <= MAX_SIM_QUBITS);
+    let prefixed = with_random_prefix(circuit, seed);
+    let reference = simulate(&prefixed);
+
+    let mut routed_with_prefix = Circuit::new(circuit.num_qubits());
+    for g in prefix_only(circuit.num_qubits(), seed) {
+        routed_with_prefix.push(g);
+    }
+    routed_with_prefix.extend_from(&result.routed);
+    let routed_state = simulate(&routed_with_prefix);
+
+    // Undo the routing permutation: logical q ended at physical
+    // final_mapping[q], so permuting the *reference* by the mapping should
+    // match the routed state.
+    let permuted_reference = reference.permute(&result.final_mapping);
+    permuted_reference.fidelity(&routed_state)
+}
+
+/// Convenience assertion used by tests and examples.
+pub fn assert_equivalent(fidelity: f64, what: &str) {
+    assert!(
+        (fidelity - 1.0).abs() < EQUIV_TOL,
+        "{what} is not equivalent to the input circuit: fidelity {fidelity}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_baselines::{compile_eldi, compile_graphine, EldiConfig};
+    use parallax_circuit::CircuitBuilder;
+    use parallax_core::{CompilerConfig, ParallaxCompiler};
+    use parallax_graphine::PlacementConfig;
+    use parallax_hardware::MachineSpec;
+
+    fn test_circuit(n: usize, seed: u64) -> Circuit {
+        // Structured + random mix touching all qubits.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = CircuitBuilder::new(n);
+        for q in 0..n as u32 {
+            b.h(q);
+        }
+        for _ in 0..3 * n {
+            let a = rng.random_range(0..n as u32);
+            let mut c = rng.random_range(0..n as u32);
+            while c == a {
+                c = rng.random_range(0..n as u32);
+            }
+            match rng.random_range(0..3) {
+                0 => {
+                    b.cx(a, c);
+                }
+                1 => {
+                    b.rz(rng.random::<f64>(), a);
+                }
+                _ => {
+                    b.cz(a, c);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallax_schedule_is_exact() {
+        for seed in 0..3u64 {
+            let c = test_circuit(5, seed);
+            let r = ParallaxCompiler::new(
+                MachineSpec::quera_aquila_256(),
+                CompilerConfig::quick(seed),
+            )
+            .compile(&c);
+            let f = parallax_schedule_fidelity(&c, &r, 42 + seed);
+            assert_equivalent(f, "parallax schedule");
+        }
+    }
+
+    #[test]
+    fn eldi_routing_is_exact_up_to_permutation() {
+        for seed in 0..3u64 {
+            let c = test_circuit(5, 10 + seed);
+            let r = compile_eldi(&c, &MachineSpec::quera_aquila_256(), &EldiConfig::default());
+            let f = baseline_routed_fidelity(&c, &r, 99 + seed);
+            assert_equivalent(f, "eldi routed circuit");
+        }
+    }
+
+    #[test]
+    fn graphine_routing_is_exact_up_to_permutation() {
+        let c = test_circuit(6, 77);
+        let r = compile_graphine(
+            &c,
+            &MachineSpec::quera_aquila_256(),
+            &PlacementConfig::quick(7),
+        );
+        let f = baseline_routed_fidelity(&c, &r, 1234);
+        assert_equivalent(f, "graphine routed circuit");
+    }
+
+    #[test]
+    fn detects_a_broken_schedule() {
+        // Tamper with a baseline result's mapping: fidelity must drop.
+        let c = test_circuit(4, 5);
+        let mut r = compile_eldi(&c, &MachineSpec::quera_aquila_256(), &EldiConfig::default());
+        if r.swap_count > 0 {
+            r.final_mapping = (0..4).collect(); // pretend no permutation
+            let f = baseline_routed_fidelity(&c, &r, 8);
+            assert!(f < 1.0 - 1e-6, "tampered mapping not detected: f = {f}");
+        }
+    }
+}

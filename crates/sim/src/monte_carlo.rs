@@ -1,0 +1,162 @@
+//! Monte Carlo shot simulation.
+//!
+//! Complements the analytic fidelity model with sampled noise: every gate
+//! fails independently with its Table II error rate, every qubit may
+//! decohere over the shot duration or be lost from its trap, and readout
+//! flips each measured bit with 5% probability. Lost atoms are replenished
+//! between physical shots (Section III), so loss affects only error rates.
+
+use crate::fidelity::FidelityInputs;
+use parallax_hardware::HardwareParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Shots with no gate/decoherence/loss error (readout excluded) over
+    /// total shots.
+    pub success_rate: f64,
+    /// Shots that are fully clean including readout.
+    pub success_rate_with_readout: f64,
+    /// Shots that lost at least one atom.
+    pub atom_loss_rate: f64,
+    /// Total shots sampled.
+    pub shots: usize,
+}
+
+/// Sample `shots` noisy executions of a circuit summarized by `inputs`.
+pub fn run_monte_carlo(
+    inputs: &FidelityInputs,
+    params: &HardwareParams,
+    shots: usize,
+    seed: u64,
+) -> MonteCarloResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t_s = inputs.runtime_us * 1e-6;
+    let p_decohere =
+        1.0 - ((-t_s / params.t1_seconds).exp() * (-t_s / params.t2_seconds).exp());
+    let mut ok = 0usize;
+    let mut ok_read = 0usize;
+    let mut lost_shots = 0usize;
+
+    for _ in 0..shots {
+        let mut clean = true;
+        // Gate errors.
+        for _ in 0..inputs.cz_count {
+            if rng.random::<f64>() < params.cz_gate_error {
+                clean = false;
+                break;
+            }
+        }
+        if clean {
+            for _ in 0..inputs.u3_count {
+                if rng.random::<f64>() < params.u3_gate_error {
+                    clean = false;
+                    break;
+                }
+            }
+        }
+        // Decoherence and atom loss per qubit.
+        let mut lost = false;
+        for _ in 0..inputs.num_qubits {
+            if rng.random::<f64>() < p_decohere {
+                clean = false;
+            }
+            if rng.random::<f64>() < params.atom_loss_rate {
+                lost = true;
+                clean = false;
+            }
+        }
+        if lost {
+            lost_shots += 1;
+        }
+        if clean {
+            ok += 1;
+            // Readout flips.
+            let mut read_ok = true;
+            for _ in 0..inputs.num_qubits {
+                if rng.random::<f64>() < params.readout_error {
+                    read_ok = false;
+                    break;
+                }
+            }
+            if read_ok {
+                ok_read += 1;
+            }
+        }
+    }
+    MonteCarloResult {
+        success_rate: ok as f64 / shots as f64,
+        success_rate_with_readout: ok_read as f64 / shots as f64,
+        atom_loss_rate: lost_shots as f64 / shots as f64,
+        shots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::success_probability;
+
+    fn params() -> HardwareParams {
+        HardwareParams::table2()
+    }
+
+    #[test]
+    fn sampled_rate_matches_analytic_model() {
+        let inputs =
+            FidelityInputs { cz_count: 32, u3_count: 40, num_qubits: 9, runtime_us: 67.0 };
+        let analytic = success_probability(&inputs, &params());
+        // Monte Carlo includes atom loss, which the analytic model folds
+        // into T1 — compare against analytic times the no-loss factor.
+        let no_loss = (1.0 - params().atom_loss_rate).powi(9);
+        let mc = run_monte_carlo(&inputs, &params(), 40_000, 1);
+        let expected = analytic * no_loss;
+        assert!(
+            (mc.success_rate - expected).abs() < 0.02,
+            "mc {} vs analytic {}",
+            mc.success_rate,
+            expected
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inputs =
+            FidelityInputs { cz_count: 10, u3_count: 10, num_qubits: 4, runtime_us: 50.0 };
+        let a = run_monte_carlo(&inputs, &params(), 1000, 7);
+        let b = run_monte_carlo(&inputs, &params(), 1000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn readout_lowers_success() {
+        let inputs =
+            FidelityInputs { cz_count: 5, u3_count: 5, num_qubits: 6, runtime_us: 10.0 };
+        let mc = run_monte_carlo(&inputs, &params(), 20_000, 3);
+        assert!(mc.success_rate_with_readout < mc.success_rate);
+        // (1-0.05)^6 ~ 0.735 ratio.
+        let ratio = mc.success_rate_with_readout / mc.success_rate;
+        assert!((ratio - 0.95f64.powi(6)).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn atom_loss_rate_observed() {
+        let inputs =
+            FidelityInputs { cz_count: 0, u3_count: 0, num_qubits: 10, runtime_us: 0.0 };
+        let mc = run_monte_carlo(&inputs, &params(), 20_000, 9);
+        let expected = 1.0 - (1.0 - params().atom_loss_rate).powi(10);
+        assert!((mc.atom_loss_rate - expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn noiseless_circuit_always_succeeds_sans_readout() {
+        let mut p = params();
+        p.atom_loss_rate = 0.0;
+        let inputs =
+            FidelityInputs { cz_count: 0, u3_count: 0, num_qubits: 3, runtime_us: 0.0 };
+        let mc = run_monte_carlo(&inputs, &p, 5000, 2);
+        assert_eq!(mc.success_rate, 1.0);
+    }
+}

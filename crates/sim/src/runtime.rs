@@ -1,0 +1,149 @@
+//! Circuit runtime estimation (evaluation metric 3, Table IV).
+//!
+//! Runtime of one logical shot = sum over executed layers of: the slowest
+//! gate type in the layer (U3 and CZ pulses run concurrently on disjoint
+//! atoms), plus AOD travel time at 55 µm/µs for the layer's move and
+//! home-return batches, plus 100 µs per trap change. Baselines have no
+//! movement but pay gate time for every SWAP-inserted CZ layer.
+
+use parallax_baselines::BaselineResult;
+use parallax_circuit::Gate;
+use parallax_core::CompilationResult;
+use parallax_hardware::HardwareParams;
+
+/// Runtime of a Parallax compilation, µs.
+pub fn parallax_runtime_us(result: &CompilationResult) -> f64 {
+    let p = &result.machine.params;
+    let speed = p.aod_move_speed_um_per_us;
+    let mut total = 0.0;
+    for layer in &result.schedule.layers {
+        total += layer_gate_time_us(layer.has_u3, layer.has_cz, p);
+        total += (layer.move_distance_um + layer.return_distance_um) / speed;
+        total += layer.trap_changes as f64 * p.trap_switch_time_us;
+    }
+    total
+}
+
+/// Runtime of a baseline compilation, µs.
+pub fn baseline_runtime_us(result: &BaselineResult, params: &HardwareParams) -> f64 {
+    let gates = result.routed.gates();
+    let mut total = 0.0;
+    for layer in &result.layers {
+        let has_u3 = layer.iter().any(|&g| matches!(gates[g], Gate::U3 { .. }));
+        let has_cz = layer.iter().any(|&g| matches!(gates[g], Gate::Cz { .. }));
+        total += layer_gate_time_us(has_u3, has_cz, params);
+    }
+    total
+}
+
+fn layer_gate_time_us(has_u3: bool, has_cz: bool, p: &HardwareParams) -> f64 {
+    let u3 = if has_u3 { p.u3_gate_time_us } else { 0.0 };
+    let cz = if has_cz { p.cz_gate_time_us } else { 0.0 };
+    u3.max(cz)
+}
+
+/// Total execution time for `logical_shots` logical shots when
+/// `parallel_factor` copies run per physical shot (Fig. 11's metric), µs.
+///
+/// Each physical shot costs the circuit runtime plus a fixed
+/// readout/rearm overhead (fluorescence imaging + atom replenishment
+/// between physical shots; Section III notes atoms are replenished between
+/// physical shots).
+#[derive(Debug, Clone, Copy)]
+pub struct ShotModel {
+    /// Logical shots needed to build the output distribution (paper: 8,000).
+    pub logical_shots: usize,
+    /// Per-physical-shot overhead, µs (readout + array reload).
+    pub shot_overhead_us: f64,
+}
+
+impl Default for ShotModel {
+    fn default() -> Self {
+        Self { logical_shots: 8000, shot_overhead_us: 100.0 }
+    }
+}
+
+impl ShotModel {
+    /// Total execution time, µs.
+    pub fn total_execution_time_us(&self, circuit_runtime_us: f64, parallel_factor: usize) -> f64 {
+        let factor = parallel_factor.max(1);
+        let physical_shots = self.logical_shots.div_ceil(factor);
+        physical_shots as f64 * (circuit_runtime_us + self.shot_overhead_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_baselines::{compile_eldi, EldiConfig};
+    use parallax_circuit::CircuitBuilder;
+    use parallax_core::{CompilerConfig, ParallaxCompiler};
+    use parallax_hardware::MachineSpec;
+
+    fn ghz(n: usize) -> parallax_circuit::Circuit {
+        let mut b = CircuitBuilder::new(n);
+        b.h(0);
+        for i in 0..(n as u32 - 1) {
+            b.cx(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallax_runtime_positive_and_layer_bounded() {
+        let c = ghz(5);
+        let r = ParallaxCompiler::new(MachineSpec::quera_aquila_256(), CompilerConfig::quick(1))
+            .compile(&c);
+        let t = parallax_runtime_us(&r);
+        assert!(t > 0.0);
+        // Lower bound: every layer takes at least the faster gate's time.
+        assert!(t >= 0.8 * r.schedule.layers.len() as f64);
+        // Upper bound sanity: gates + generous movement + trap changes.
+        let p = &r.machine.params;
+        let upper = r.schedule.layers.len() as f64 * (p.u3_gate_time_us + 10.0)
+            + r.schedule.stats.trap_changes as f64 * p.trap_switch_time_us
+            + 1000.0;
+        assert!(t <= upper, "t = {t}, upper = {upper}");
+    }
+
+    #[test]
+    fn trap_changes_dominate_when_present() {
+        let c = ghz(4);
+        let r = ParallaxCompiler::new(MachineSpec::quera_aquila_256(), CompilerConfig::quick(2))
+            .compile(&c);
+        let t = parallax_runtime_us(&r);
+        if r.schedule.stats.trap_changes > 0 {
+            assert!(t >= 100.0);
+        }
+    }
+
+    #[test]
+    fn baseline_runtime_counts_layers() {
+        let c = ghz(5);
+        let r = compile_eldi(&c, &MachineSpec::quera_aquila_256(), &EldiConfig::default());
+        let t = baseline_runtime_us(&r, &HardwareParams::table2());
+        assert!(t > 0.0);
+        assert!(t >= 0.8 * r.layers.len() as f64);
+        assert!(t <= 2.0 * r.layers.len() as f64);
+    }
+
+    #[test]
+    fn shot_model_scales_inversely_with_factor() {
+        let m = ShotModel::default();
+        let t1 = m.total_execution_time_us(100.0, 1);
+        let t4 = m.total_execution_time_us(100.0, 4);
+        let t16 = m.total_execution_time_us(100.0, 16);
+        assert!((t1 / t4 - 4.0).abs() < 0.01);
+        assert!((t1 / t16 - 16.0).abs() < 0.01);
+        assert_eq!(t1, 8000.0 * 200.0);
+    }
+
+    #[test]
+    fn shot_model_rounds_physical_shots_up() {
+        let m = ShotModel { logical_shots: 10, shot_overhead_us: 0.0 };
+        // factor 3 -> 4 physical shots.
+        assert_eq!(m.total_execution_time_us(1.0, 3), 4.0);
+        // factor 0 treated as 1.
+        assert_eq!(m.total_execution_time_us(1.0, 0), 10.0);
+    }
+}

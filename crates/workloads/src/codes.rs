@@ -1,0 +1,203 @@
+//! Error-correction and state-preparation benchmarks: QEC (repetition
+//! code), SECA (Shor's 9-qubit error-correction algorithm), and WST
+//! (W-state preparation and assessment).
+
+use parallax_circuit::{Circuit, CircuitBuilder};
+
+/// QEC: bit-flip repetition code of distance `d` with `rounds` syndrome
+/// extraction rounds [QASMBench `qec` family]. Uses `d` data qubits
+/// interleaved with `d - 1` syndrome ancillas (17 qubits for `d = 9`).
+pub fn repetition_code(d: usize, rounds: usize) -> Circuit {
+    assert!(d >= 2);
+    let n = 2 * d - 1;
+    let mut b = CircuitBuilder::new(n);
+    let data = |i: usize| (2 * i) as u32;
+    let synd = |i: usize| (2 * i + 1) as u32;
+    // Encode |+> into the logical qubit.
+    b.h(data(0));
+    for i in 1..d {
+        b.cx(data(0), data(i));
+    }
+    for _ in 0..rounds {
+        for i in 0..d - 1 {
+            b.cx(data(i), synd(i));
+            b.cx(data(i + 1), synd(i));
+        }
+    }
+    b.build()
+}
+
+/// SECA: Shor's 9-qubit error-correction algorithm [QASMBench `seca_n11`]:
+/// encode one logical qubit into Shor's code (phase blocks of three
+/// bit-flip triples), apply a correctable error, decode, and majority-vote
+/// with two work ancillas (11 qubits total).
+pub fn shor_code(n_extra_ancillas: usize) -> Circuit {
+    let n = 9 + n_extra_ancillas;
+    let mut b = CircuitBuilder::new(n);
+    // Encode: block leaders 0, 3, 6.
+    b.cx(0, 3);
+    b.cx(0, 6);
+    b.h(0);
+    b.h(3);
+    b.h(6);
+    for blk in [0u32, 3, 6] {
+        b.cx(blk, blk + 1);
+        b.cx(blk, blk + 2);
+    }
+    // Channel error on qubit 4 (bit+phase flip).
+    b.x(4);
+    b.z(4);
+    // Decode.
+    for blk in [0u32, 3, 6] {
+        b.cx(blk, blk + 1);
+        b.cx(blk, blk + 2);
+        b.ccx(blk + 2, blk + 1, blk);
+    }
+    b.h(0);
+    b.h(3);
+    b.h(6);
+    b.cx(0, 3);
+    b.cx(0, 6);
+    b.ccx(6, 3, 0);
+    // Ancilla-assisted logical readout check (uses the extra ancillas).
+    if n_extra_ancillas >= 2 {
+        let a0 = 9u32;
+        let a1 = 10u32;
+        b.cx(0, a0);
+        b.cx(0, a1);
+    }
+    b.build()
+}
+
+/// WST: W-state preparation over `n` qubits [Fleischhauer & Lukin
+/// formulation]: a cascade of controlled rotations distributing one
+/// excitation uniformly, then an assessment CX chain.
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut b = CircuitBuilder::new(n);
+    b.x(0);
+    for i in 0..(n - 1) as u32 {
+        // Rotation that splits off 1/(n-i) of the remaining amplitude.
+        let remaining = (n as f64 - i as f64).recip();
+        let theta = 2.0 * remaining.sqrt().acos();
+        b.cry(theta, i, i + 1);
+        b.cx(i + 1, i);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::{C64, Gate, Mat2};
+
+    #[test]
+    fn qec_matches_table3_size() {
+        let c = repetition_code(9, 2);
+        assert_eq!(c.num_qubits(), 17);
+        // Encode (8 CX) + 2 rounds x 16 CX = 40 CZ.
+        assert_eq!(c.cz_count(), 8 + 2 * 16);
+    }
+
+    #[test]
+    fn seca_matches_table3_size() {
+        let c = shor_code(2);
+        assert_eq!(c.num_qubits(), 11);
+        assert!(c.cz_count() >= 40, "cz = {}", c.cz_count());
+    }
+
+    #[test]
+    fn wst_matches_table3_size() {
+        let c = w_state(27);
+        assert_eq!(c.num_qubits(), 27);
+        // 26 cry (2 CZ each) + 26 cx = 78 CZ.
+        assert_eq!(c.cz_count(), 26 * 3);
+    }
+
+    fn simulate_small(c: &Circuit) -> Vec<C64> {
+        let n = c.num_qubits();
+        assert!(n <= 12);
+        let mut amps = vec![C64::ZERO; 1 << n];
+        amps[0] = C64::ONE;
+        for g in c.gates() {
+            match *g {
+                Gate::U3 { q, theta, phi, lam } => {
+                    let m = Mat2::u3(theta, phi, lam);
+                    let stride = 1usize << q;
+                    let mut base = 0;
+                    while base < amps.len() {
+                        for i in base..base + stride {
+                            let (a0, a1) = (amps[i], amps[i + stride]);
+                            amps[i] = m.m[0] * a0 + m.m[1] * a1;
+                            amps[i + stride] = m.m[2] * a0 + m.m[3] * a1;
+                        }
+                        base += stride << 1;
+                    }
+                }
+                Gate::Cz { a, b } => {
+                    let mask = (1usize << a) | (1usize << b);
+                    for (i, amp) in amps.iter_mut().enumerate() {
+                        if i & mask == mask {
+                            *amp = -*amp;
+                        }
+                    }
+                }
+            }
+        }
+        amps
+    }
+
+    /// Functional: the W-state generator produces exactly the W state.
+    #[test]
+    fn w_state_amplitudes_are_uniform_one_hot() {
+        for n in [2usize, 3, 5, 8] {
+            let amps = simulate_small(&w_state(n));
+            let expect = 1.0 / n as f64;
+            for (i, a) in amps.iter().enumerate() {
+                let p = a.norm_sq();
+                if i.count_ones() == 1 {
+                    assert!((p - expect).abs() < 1e-9, "n={n}, i={i:b}, p={p}");
+                } else {
+                    assert!(p < 1e-9, "n={n}: non-one-hot state {i:b} has p={p}");
+                }
+            }
+        }
+    }
+
+    /// Functional: Shor code corrects the injected error — the logical
+    /// qubit (q0) returns to |0> and all code qubits disentangle.
+    #[test]
+    fn shor_code_corrects_injected_error() {
+        let amps = simulate_small(&shor_code(0));
+        // q0 must be |0>: total probability of states with bit 0 set ~ 0.
+        let p_q0_one: f64 = amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & 1 == 1)
+            .map(|(_, a)| a.norm_sq())
+            .sum();
+        assert!(p_q0_one < 1e-9, "p(q0=1) = {p_q0_one}");
+    }
+
+    #[test]
+    fn repetition_code_entangles_data_qubits() {
+        let amps = simulate_small(&repetition_code(3, 1));
+        // GHZ-encoded |+>: only all-zero and all-one data patterns (with
+        // syndromes reset to 0 after an even number of flips... syndromes
+        // read 0 for both branches).
+        let nonzero: Vec<usize> = amps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.norm_sq() > 1e-9)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(nonzero.len(), 2, "{nonzero:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(w_state(10), w_state(10));
+        assert_eq!(shor_code(2), shor_code(2));
+        assert_eq!(repetition_code(9, 2), repetition_code(9, 2));
+    }
+}

@@ -1,0 +1,188 @@
+//! Sampled-circuit benchmarks: ADV (Google quantum advantage), QV (IBM
+//! quantum volume), and HLF (hidden linear function).
+
+use parallax_circuit::{Circuit, CircuitBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// ADV: Google quantum-advantage-style random circuit [Arute et al. 2019]
+/// on a `side x side` grid (9 qubits for `side = 3` as in Table III).
+///
+/// Alternates layers of random single-qubit gates from
+/// {sqrt-X, sqrt-Y, sqrt-W} with two-qubit gates along grid couplings in a
+/// rotating A/B/C/D pattern, for `cycles` cycles.
+pub fn quantum_advantage(side: usize, cycles: usize, seed: u64) -> Circuit {
+    let n = side * side;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(n);
+    let q = |x: usize, y: usize| (y * side + x) as u32;
+    let sqrt_gates: [(f64, f64, f64); 3] = [
+        // sqrt-X, sqrt-Y, sqrt-W as u3 angles (up to global phase).
+        (std::f64::consts::FRAC_PI_2, -std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2),
+        (std::f64::consts::FRAC_PI_2, 0.0, 0.0),
+        (std::f64::consts::FRAC_PI_2, -std::f64::consts::FRAC_PI_4, std::f64::consts::FRAC_PI_4),
+    ];
+    for cycle in 0..cycles {
+        for qi in 0..n as u32 {
+            let (t, p, l) = sqrt_gates[rng.random_range(0..3)];
+            b.u3(t, p, l, qi);
+        }
+        // Coupler pattern rotates through 4 orientations.
+        match cycle % 4 {
+            0 => {
+                for y in 0..side {
+                    for x in (0..side - 1).step_by(2) {
+                        b.cz(q(x, y), q(x + 1, y));
+                    }
+                }
+            }
+            1 => {
+                for y in (0..side - 1).step_by(2) {
+                    for x in 0..side {
+                        b.cz(q(x, y), q(x, y + 1));
+                    }
+                }
+            }
+            2 => {
+                for y in 0..side {
+                    for x in (1..side - 1).step_by(2) {
+                        b.cz(q(x, y), q(x + 1, y));
+                    }
+                }
+            }
+            _ => {
+                for y in (1..side - 1).step_by(2) {
+                    for x in 0..side {
+                        b.cz(q(x, y), q(x, y + 1));
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// QV: IBM quantum volume circuit [Cross et al.]: `depth` layers, each a
+/// random qubit permutation followed by a generic SU(4) block (three CX
+/// plus single-qubit rotations) on every adjacent pair.
+pub fn quantum_volume(n: usize, depth: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(n);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..depth {
+        order.shuffle(&mut rng);
+        for pair in order.chunks_exact(2) {
+            su4_block(&mut b, pair[0], pair[1], &mut rng);
+        }
+    }
+    b.build()
+}
+
+/// A Haar-ish SU(4) block in the canonical 3-CX KAK template.
+fn su4_block(b: &mut CircuitBuilder, q0: u32, q1: u32, rng: &mut StdRng) {
+    let mut ru3 = |b: &mut CircuitBuilder, q: u32| {
+        b.u3(
+            rng.random::<f64>() * std::f64::consts::PI,
+            rng.random::<f64>() * 2.0 * std::f64::consts::PI,
+            rng.random::<f64>() * 2.0 * std::f64::consts::PI,
+            q,
+        );
+    };
+    ru3(b, q0);
+    ru3(b, q1);
+    b.cx(q0, q1);
+    ru3(b, q0);
+    ru3(b, q1);
+    b.cx(q1, q0);
+    ru3(b, q0);
+    ru3(b, q1);
+    b.cx(q0, q1);
+    ru3(b, q0);
+    ru3(b, q1);
+}
+
+/// HLF: hidden linear function [Bravyi, Gosset, König 2018]: `H` on all
+/// qubits, CZ along the edges of a random symmetric adjacency (density
+/// `edge_prob`), `S` on a random diagonal subset, `H` on all qubits.
+pub fn hidden_linear_function(n: usize, edge_prob: f64, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(n);
+    for q in 0..n as u32 {
+        b.h(q);
+    }
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.random::<f64>() < edge_prob {
+                b.cz(i, j);
+            }
+        }
+    }
+    for q in 0..n as u32 {
+        if rng.random::<f64>() < 0.5 {
+            b.s(q);
+        }
+    }
+    for q in 0..n as u32 {
+        b.h(q);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adv_matches_table3_size() {
+        let c = quantum_advantage(3, 8, 1);
+        assert_eq!(c.num_qubits(), 9);
+        // 8 cycles x ~4 couplings: in the Fig. 9 ballpark of 32.
+        assert!(c.cz_count() >= 24 && c.cz_count() <= 48, "cz = {}", c.cz_count());
+    }
+
+    #[test]
+    fn qv_matches_table3_size() {
+        let c = quantum_volume(32, 32, 1);
+        assert_eq!(c.num_qubits(), 32);
+        // 32 layers x 16 pairs x 3 CX = 1536 (paper's Parallax count: 1488).
+        assert_eq!(c.cz_count(), 32 * 16 * 3);
+    }
+
+    #[test]
+    fn hlf_matches_table3_size() {
+        let c = hidden_linear_function(10, 0.9, 1);
+        assert_eq!(c.num_qubits(), 10);
+        assert!(c.cz_count() >= 30 && c.cz_count() <= 45, "cz = {}", c.cz_count());
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        assert_eq!(quantum_advantage(3, 8, 5), quantum_advantage(3, 8, 5));
+        assert_eq!(quantum_volume(8, 4, 5), quantum_volume(8, 4, 5));
+        assert_eq!(
+            hidden_linear_function(10, 0.5, 5),
+            hidden_linear_function(10, 0.5, 5)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(quantum_volume(8, 4, 1), quantum_volume(8, 4, 2));
+    }
+
+    #[test]
+    fn qv_odd_width_leaves_one_qubit_idle_per_layer() {
+        let c = quantum_volume(5, 3, 0);
+        // 2 pairs per layer x 3 layers x 3 CX.
+        assert_eq!(c.cz_count(), 2 * 3 * 3);
+    }
+
+    #[test]
+    fn hlf_density_extremes() {
+        let empty = hidden_linear_function(8, 0.0, 0);
+        assert_eq!(empty.cz_count(), 0);
+        let full = hidden_linear_function(8, 1.0, 0);
+        assert_eq!(full.cz_count(), 28);
+    }
+}

@@ -1,0 +1,228 @@
+//! The Table III benchmark registry: every evaluated circuit at the
+//! paper's qubit count, addressable by acronym.
+
+use crate::{algorithms, arithmetic, codes, random_circuits, simulation, variational};
+use parallax_circuit::{optimize, Circuit};
+
+/// One Table III benchmark.
+#[derive(Clone)]
+pub struct Benchmark {
+    /// Acronym used throughout the evaluation (e.g. "ADD").
+    pub name: &'static str,
+    /// Qubit count (matches Table III).
+    pub qubits: usize,
+    /// Table III description.
+    pub description: &'static str,
+    generator: fn(u64) -> Circuit,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("qubits", &self.qubits)
+            .finish()
+    }
+}
+
+impl Benchmark {
+    /// Generate the raw circuit (pre-transpile) for `seed`.
+    pub fn raw_circuit(&self, seed: u64) -> Circuit {
+        (self.generator)(seed)
+    }
+
+    /// Generate the circuit and run the peephole transpiler, mirroring the
+    /// paper's "Qiskit transpiler with the highest optimization level"
+    /// preprocessing applied to every compiler's input.
+    pub fn circuit(&self, seed: u64) -> Circuit {
+        optimize(&self.raw_circuit(seed))
+    }
+}
+
+/// All 18 Table III benchmarks in the paper's order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "ADD",
+            qubits: 9,
+            description: "Quantum arithmetic algorithm for adding",
+            generator: |_| arithmetic::ripple_carry_adder(4),
+        },
+        Benchmark {
+            name: "ADV",
+            qubits: 9,
+            description: "Google's quantum advantage benchmark",
+            generator: |s| random_circuits::quantum_advantage(3, 8, s),
+        },
+        Benchmark {
+            name: "GCM",
+            qubits: 13,
+            description: "Generator coordinate method",
+            generator: |s| variational::gcm(13, 44, s),
+        },
+        Benchmark {
+            name: "HSB",
+            qubits: 16,
+            description: "Time-dependent hamiltonian simulation",
+            generator: |_| simulation::heisenberg_chain(16, 34),
+        },
+        Benchmark {
+            name: "HLF",
+            qubits: 10,
+            description: "Hidden linear function application",
+            generator: |s| random_circuits::hidden_linear_function(10, 0.9, s),
+        },
+        Benchmark {
+            name: "KNN",
+            qubits: 25,
+            description: "Quantum k nearest neighbors algorithm",
+            generator: |s| algorithms::knn_swap_test(12, s),
+        },
+        Benchmark {
+            name: "MLT",
+            qubits: 10,
+            description: "Quantum arithmetic algorithm for multiplying",
+            generator: |_| arithmetic::multiplier(2),
+        },
+        Benchmark {
+            name: "QAOA",
+            qubits: 10,
+            description: "Quantum alternating operator ansatz",
+            generator: |s| algorithms::qaoa(10, 3, s),
+        },
+        Benchmark {
+            name: "QEC",
+            qubits: 17,
+            description: "Quantum repetition error correction code",
+            generator: |_| codes::repetition_code(9, 2),
+        },
+        Benchmark {
+            name: "QFT",
+            qubits: 10,
+            description: "Quantum Fourier transform",
+            generator: |_| algorithms::qft(10),
+        },
+        Benchmark {
+            name: "QGAN",
+            qubits: 39,
+            description: "Quantum generative adversarial network",
+            generator: |s| variational::qgan(39, 5, s),
+        },
+        Benchmark {
+            name: "QV",
+            qubits: 32,
+            description: "IBM's quantum volume benchmark",
+            generator: |s| random_circuits::quantum_volume(32, 32, s),
+        },
+        Benchmark {
+            name: "SAT",
+            qubits: 11,
+            description: "Quantum code for satisfiability solving",
+            generator: |s| algorithms::grover_sat(6, 4, 1, s),
+        },
+        Benchmark {
+            name: "SECA",
+            qubits: 11,
+            description: "Shor's error correction algorithm",
+            generator: |_| codes::shor_code(2),
+        },
+        Benchmark {
+            name: "SQRT",
+            qubits: 18,
+            description: "Quantum code for square root calculation",
+            generator: |_| arithmetic::grover_sqrt(8, 2),
+        },
+        Benchmark {
+            name: "TFIM",
+            qubits: 128,
+            description: "Transverse-field ising model",
+            generator: |_| simulation::tfim_ring(128, 10),
+        },
+        Benchmark {
+            name: "VQE",
+            qubits: 28,
+            description: "Variational quantum eigensolver",
+            generator: |s| variational::vqe(28, 40, s),
+        },
+        Benchmark {
+            name: "WST",
+            qubits: 27,
+            description: "W-State preparation and assessment",
+            generator: |_| codes::w_state(27),
+        },
+    ]
+}
+
+/// Look up a benchmark by (case-insensitive) acronym.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_eighteen_benchmarks() {
+        assert_eq!(all_benchmarks().len(), 18);
+    }
+
+    #[test]
+    fn qubit_counts_match_table3() {
+        let expected = [
+            ("ADD", 9),
+            ("ADV", 9),
+            ("GCM", 13),
+            ("HSB", 16),
+            ("HLF", 10),
+            ("KNN", 25),
+            ("MLT", 10),
+            ("QAOA", 10),
+            ("QEC", 17),
+            ("QFT", 10),
+            ("QGAN", 39),
+            ("QV", 32),
+            ("SAT", 11),
+            ("SECA", 11),
+            ("SQRT", 18),
+            ("TFIM", 128),
+            ("VQE", 28),
+            ("WST", 27),
+        ];
+        for ((name, qubits), b) in expected.iter().zip(all_benchmarks()) {
+            assert_eq!(b.name, *name);
+            assert_eq!(b.qubits, *qubits, "{name}");
+            assert_eq!(b.raw_circuit(0).num_qubits(), *qubits, "{name}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(benchmark("qft").unwrap().name, "QFT");
+        assert_eq!(benchmark("TFIM").unwrap().qubits, 128);
+        assert!(benchmark("NOPE").is_none());
+    }
+
+    #[test]
+    fn transpiled_circuits_never_grow() {
+        for b in all_benchmarks() {
+            if b.qubits > 32 {
+                continue; // keep the unit-test suite fast
+            }
+            let raw = b.raw_circuit(1);
+            let opt = b.circuit(1);
+            assert!(opt.len() <= raw.len(), "{}: {} > {}", b.name, opt.len(), raw.len());
+            assert!(opt.cz_count() <= raw.cz_count());
+            assert_eq!(opt.num_qubits(), raw.num_qubits());
+        }
+    }
+
+    #[test]
+    fn every_small_benchmark_has_gates() {
+        for b in all_benchmarks() {
+            if b.qubits <= 32 {
+                assert!(!b.circuit(0).is_empty(), "{} is empty", b.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Hamiltonian-simulation benchmarks: HSB (time-dependent Heisenberg
+//! simulation, ArQTiC) and TFIM (transverse-field Ising model).
+
+use parallax_circuit::{Circuit, CircuitBuilder};
+
+/// HSB: Trotterized time-dependent Heisenberg spin-chain simulation
+/// [Bassman et al., ArQTiC]. Each Trotter step applies XX, YY, and ZZ
+/// couplings on every chain bond plus a time-varying transverse field.
+pub fn heisenberg_chain(n: usize, steps: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut b = CircuitBuilder::new(n);
+    let jx = 0.8;
+    let jy = 0.6;
+    let jz = 0.4;
+    for step in 0..steps {
+        // Time-dependent field sweep (ArQTiC drives a cosine schedule).
+        let h_t = (step as f64 / steps.max(1) as f64 * std::f64::consts::PI).cos();
+        for q in 0..n as u32 {
+            b.rx(0.1 * h_t, q);
+        }
+        for i in 0..(n - 1) as u32 {
+            b.rxx(jx, i, i + 1);
+            b.ryy(jy, i, i + 1);
+            b.rzz(jz, i, i + 1);
+        }
+    }
+    b.build()
+}
+
+/// TFIM: Trotterized transverse-field Ising model on a ring [Bassman et
+/// al.]. Each step: ZZ couplings along all ring bonds followed by the
+/// transverse X field. The 128-qubit instance is Table III's largest
+/// benchmark; every qubit interacts with at most two others, making it the
+/// paper's canonical low-connectivity case.
+pub fn tfim_ring(n: usize, steps: usize) -> Circuit {
+    assert!(n >= 3);
+    let mut b = CircuitBuilder::new(n);
+    let j = 0.5;
+    let h = 1.0;
+    for _ in 0..steps {
+        for i in 0..n as u32 {
+            b.rzz(j, i, (i + 1) % n as u32);
+        }
+        for q in 0..n as u32 {
+            b.rx(h, q);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsb_matches_table3_size() {
+        let c = heisenberg_chain(16, 34);
+        assert_eq!(c.num_qubits(), 16);
+        // 34 steps x 15 bonds x 3 couplings x 2 CZ = 3060 (paper: 3081).
+        assert_eq!(c.cz_count(), 34 * 15 * 3 * 2);
+    }
+
+    #[test]
+    fn tfim_matches_table3_size() {
+        let c = tfim_ring(128, 10);
+        assert_eq!(c.num_qubits(), 128);
+        // 10 steps x 128 bonds x 2 CZ = 2560 (paper: 2540).
+        assert_eq!(c.cz_count(), 10 * 128 * 2);
+    }
+
+    #[test]
+    fn tfim_connectivity_is_two() {
+        let c = tfim_ring(16, 2);
+        let conn = c.connectivity();
+        assert!(conn.iter().all(|&d| d == 2), "{conn:?}");
+    }
+
+    #[test]
+    fn hsb_connectivity_is_chain() {
+        let c = heisenberg_chain(8, 1);
+        let conn = c.connectivity();
+        assert_eq!(conn[0], 1);
+        assert_eq!(conn[4], 2);
+        assert_eq!(conn[7], 1);
+    }
+
+    #[test]
+    fn zero_steps_gives_empty_circuit() {
+        assert!(tfim_ring(8, 0).is_empty());
+        assert!(heisenberg_chain(8, 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(tfim_ring(16, 3), tfim_ring(16, 3));
+        assert_eq!(heisenberg_chain(8, 3), heisenberg_chain(8, 3));
+    }
+}

@@ -1,0 +1,60 @@
+//! Head-to-head: Parallax vs ELDI vs GRAPHINE on one benchmark (the
+//! paper's Fig. 9/10 comparison for a single circuit), with statevector
+//! verification that every compiler's output is semantically correct.
+//!
+//! Run with: `cargo run --release --example compare_compilers [BENCH]`
+
+use parallax_baselines::{compile_eldi, compile_graphine_with_layout, EldiConfig};
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_graphine::{GraphineLayout, PlacementConfig};
+use parallax_hardware::MachineSpec;
+use parallax_sim::{
+    baseline_fidelity_inputs, baseline_routed_fidelity, parallax_fidelity_inputs,
+    parallax_schedule_fidelity, success_probability,
+};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "QAOA".to_string());
+    let bench = parallax_workloads::benchmark(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark '{name}' (try ADD, QAOA, QFT, ...)"));
+    let circuit = bench.circuit(0);
+    let machine = MachineSpec::quera_aquila_256();
+    println!("benchmark {} ({} qubits): {}", bench.name, bench.qubits, circuit);
+
+    // Parallax and the GRAPHINE baseline share the same annealed layout.
+    let placement = PlacementConfig { seed: 0, ..Default::default() };
+    let layout = GraphineLayout::generate(&circuit, &placement);
+
+    let px = ParallaxCompiler::new(machine, CompilerConfig { placement, ..Default::default() })
+        .compile_with_layout(&circuit, &layout);
+    let el = compile_eldi(&circuit, &machine, &EldiConfig::default());
+    let gr = compile_graphine_with_layout(&circuit, &machine, &layout);
+
+    let pxi = parallax_fidelity_inputs(&px);
+    let eli = baseline_fidelity_inputs(&el, &machine.params);
+    let gri = baseline_fidelity_inputs(&gr, &machine.params);
+
+    println!("\n{:<12} {:>8} {:>8} {:>12} {:>12}", "compiler", "CZ", "SWAPs", "runtime(µs)", "success");
+    for (label, inputs, swaps) in [
+        ("graphine", &gri, gr.swap_count),
+        ("eldi", &eli, el.swap_count),
+        ("parallax", &pxi, 0),
+    ] {
+        println!(
+            "{label:<12} {:>8} {swaps:>8} {:>12.1} {:>12.3e}",
+            inputs.cz_count,
+            inputs.runtime_us,
+            success_probability(inputs, &machine.params)
+        );
+    }
+
+    // Verify semantics with the statevector simulator (small circuits only).
+    if circuit.num_qubits() <= 16 {
+        let fp = parallax_schedule_fidelity(&circuit, &px, 7);
+        let fe = baseline_routed_fidelity(&circuit, &el, 7);
+        let fg = baseline_routed_fidelity(&circuit, &gr, 7);
+        println!("\nstatevector equivalence fidelity: parallax {fp:.12}, eldi {fe:.12}, graphine {fg:.12}");
+        assert!((fp - 1.0).abs() < 1e-9 && (fe - 1.0).abs() < 1e-9 && (fg - 1.0).abs() < 1e-9);
+        println!("all three outputs implement the input circuit exactly.");
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: compile a GHZ circuit with Parallax and inspect the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parallax_circuit::CircuitBuilder;
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_hardware::MachineSpec;
+use parallax_sim::{parallax_fidelity_inputs, parallax_runtime_us, success_probability};
+
+fn main() {
+    // 1. Build (or parse from QASM) a circuit in the {U3, CZ} basis.
+    let mut b = CircuitBuilder::new(8);
+    b.h(0);
+    for i in 0..7u32 {
+        b.cx(i, i + 1);
+    }
+    let circuit = parallax_circuit::optimize(&b.build());
+    println!("input circuit: {circuit}");
+
+    // 2. Compile for QuEra's 256-qubit machine with default (paper) settings.
+    let machine = MachineSpec::quera_aquila_256();
+    let compiler = ParallaxCompiler::new(machine, CompilerConfig::default());
+    let result = compiler.compile(&circuit);
+
+    // 3. Inspect: zero SWAPs, layer schedule, atom movement statistics.
+    let stats = &result.schedule.stats;
+    println!("compiled: {} layers, {} CZ, {} U3", stats.layer_count, stats.cz_count, stats.u3_count);
+    println!("SWAPs inserted: {} (always zero for Parallax)", stats.swap_count);
+    println!(
+        "AOD atoms: {:?} | moves: {} | trap changes: {}",
+        result.aod_selection.selected, stats.moves_planned, stats.trap_changes
+    );
+
+    // 4. Estimate the paper's evaluation metrics.
+    let runtime = parallax_runtime_us(&result);
+    let success = success_probability(&parallax_fidelity_inputs(&result), &machine.params);
+    println!("single-shot runtime: {runtime:.1} µs");
+    println!("probability of success: {success:.4}");
+
+    assert_eq!(stats.swap_count, 0);
+}

@@ -1,0 +1,50 @@
+//! Shot parallelism (Section II-E / Fig. 11): tile copies of a small
+//! circuit across the 1,225-atom machine and watch the total execution
+//! time of 8,000 logical shots fall with the parallelization factor.
+//!
+//! Run with: `cargo run --release --example shot_parallelism`
+
+use parallax_core::{replication_plan, CompilerConfig, ParallaxCompiler};
+use parallax_hardware::MachineSpec;
+use parallax_sim::{parallax_runtime_us, ShotModel};
+
+fn main() {
+    let bench = parallax_workloads::benchmark("ADV").expect("ADV exists");
+    let circuit = bench.circuit(0);
+    let machine = MachineSpec::atom_1225();
+
+    let result =
+        ParallaxCompiler::new(machine, CompilerConfig::default()).compile(&circuit);
+    let runtime = parallax_runtime_us(&result);
+    let (w, h) = result.footprint_sites();
+    println!(
+        "ADV ({} qubits) footprint: {w}x{h} sites on a {}x{} grid, {} AOD atoms per copy",
+        bench.qubits,
+        machine.grid_dim,
+        machine.grid_dim,
+        result.aod_selection.selected.len()
+    );
+
+    let plan = replication_plan(&result, &machine);
+    println!(
+        "maximum replication: {} x {} = {} logical shots per physical shot\n",
+        plan.copies_x,
+        plan.copies_y,
+        plan.factor()
+    );
+
+    let model = ShotModel::default();
+    println!("{:>8} {:>12} {:>16}", "factor", "phys shots", "total exec (s)");
+    let mut factors: Vec<usize> =
+        (1..=plan.copies_x.min(plan.copies_y)).map(|k| k * k).collect();
+    if factors.last() != Some(&plan.factor()) {
+        factors.push(plan.factor());
+    }
+    let mut last = f64::INFINITY;
+    for f in factors {
+        let total = model.total_execution_time_us(runtime, f) * 1e-6;
+        println!("{f:>8} {:>12} {total:>16.4}", model.logical_shots.div_ceil(f));
+        assert!(total <= last + 1e-12, "parallelism must not slow execution");
+        last = total;
+    }
+}

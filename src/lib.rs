@@ -1,0 +1,25 @@
+//! Umbrella crate for the Parallax neutral-atom compiler suite.
+//!
+//! Re-exports every member crate under one roof so the examples and
+//! integration tests (and downstream users who want a single dependency)
+//! can reach the whole stack:
+//!
+//! * [`qasm`] — OpenQASM 2.0 front end
+//! * [`circuit`] — {U3, CZ} circuit IR, transpiler, optimizer
+//! * [`anneal`] — dual annealing optimizer
+//! * [`graphine`] — annealed atom placement + interaction radius
+//! * [`hardware`] — machine model (SLM/AOD, constraints, Table II)
+//! * [`core`] — the Parallax compiler (Fig. 4 pipeline, Algorithm 1)
+//! * [`baselines`] — ELDI and GRAPHINE comparison compilers
+//! * [`sim`] — runtime/fidelity models, statevector verification
+//! * [`workloads`] — the 18 Table III benchmarks
+
+pub use parallax_anneal as anneal;
+pub use parallax_baselines as baselines;
+pub use parallax_circuit as circuit;
+pub use parallax_core as core;
+pub use parallax_graphine as graphine;
+pub use parallax_hardware as hardware;
+pub use parallax_qasm as qasm;
+pub use parallax_sim as sim;
+pub use parallax_workloads as workloads;

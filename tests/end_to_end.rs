@@ -1,0 +1,167 @@
+//! End-to-end integration tests spanning every crate: QASM in, compiled
+//! schedules out, metrics and semantics verified.
+
+use parallax_baselines::{compile_eldi, compile_graphine_with_layout, EldiConfig};
+use parallax_circuit::{circuit_from_qasm_str, optimize, DependencyDag};
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_graphine::{GraphineLayout, PlacementConfig};
+use parallax_hardware::MachineSpec;
+use parallax_sim::{
+    baseline_fidelity_inputs, baseline_routed_fidelity, parallax_fidelity_inputs,
+    parallax_schedule_fidelity, success_probability,
+};
+
+fn quick_cfg(seed: u64) -> CompilerConfig {
+    CompilerConfig::quick(seed)
+}
+
+#[test]
+fn qasm_to_schedule_pipeline() {
+    let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\ncreg c[4];\n\
+               h q[0];\ncx q[0],q[1];\nccx q[0],q[1],q[2];\ncx q[2],q[3];\nmeasure q -> c;\n";
+    let circuit = optimize(&circuit_from_qasm_str(src).unwrap());
+    let machine = MachineSpec::quera_aquila_256();
+    let result = ParallaxCompiler::new(machine, quick_cfg(1)).compile(&circuit);
+
+    assert_eq!(result.schedule.stats.swap_count, 0);
+    assert_eq!(result.cz_count(), circuit.cz_count());
+    assert!(DependencyDag::build(&circuit).respects_order(&result.schedule.gate_order()));
+    let f = parallax_schedule_fidelity(&circuit, &result, 11);
+    assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
+}
+
+#[test]
+fn all_small_benchmarks_compile_and_verify() {
+    // Every benchmark small enough for the statevector simulator is
+    // compiled by all three compilers and checked for exact semantics.
+    let machine = MachineSpec::quera_aquila_256();
+    for bench in parallax_workloads::all_benchmarks() {
+        if bench.qubits > 13 {
+            continue;
+        }
+        let circuit = bench.circuit(3);
+        let placement = PlacementConfig::quick(3);
+        let layout = GraphineLayout::generate(&circuit, &placement);
+
+        let px = ParallaxCompiler::new(
+            machine,
+            CompilerConfig { seed: 3, placement: placement.clone(), ..Default::default() },
+        )
+        .compile_with_layout(&circuit, &layout);
+        assert_eq!(px.cz_count(), circuit.cz_count(), "{}", bench.name);
+        let f = parallax_schedule_fidelity(&circuit, &px, 5);
+        assert!((f - 1.0).abs() < 1e-9, "{}: parallax fidelity {f}", bench.name);
+
+        let el = compile_eldi(&circuit, &machine, &EldiConfig::default());
+        let f = baseline_routed_fidelity(&circuit, &el, 5);
+        assert!((f - 1.0).abs() < 1e-9, "{}: eldi fidelity {f}", bench.name);
+
+        let gr = compile_graphine_with_layout(&circuit, &machine, &layout);
+        let f = baseline_routed_fidelity(&circuit, &gr, 5);
+        assert!((f - 1.0).abs() < 1e-9, "{}: graphine fidelity {f}", bench.name);
+    }
+}
+
+#[test]
+fn parallax_never_exceeds_baseline_cz_counts() {
+    let machine = MachineSpec::quera_aquila_256();
+    for bench in parallax_workloads::all_benchmarks() {
+        if bench.qubits > 18 {
+            continue;
+        }
+        let circuit = bench.circuit(0);
+        let placement = PlacementConfig::quick(0);
+        let layout = GraphineLayout::generate(&circuit, &placement);
+        let px = ParallaxCompiler::new(
+            machine,
+            CompilerConfig { seed: 0, placement: placement.clone(), ..Default::default() },
+        )
+        .compile_with_layout(&circuit, &layout);
+        let el = compile_eldi(&circuit, &machine, &EldiConfig::default());
+        let gr = compile_graphine_with_layout(&circuit, &machine, &layout);
+        assert!(px.cz_count() <= el.cz_count(), "{} vs eldi", bench.name);
+        assert!(px.cz_count() <= gr.cz_count(), "{} vs graphine", bench.name);
+    }
+}
+
+#[test]
+fn success_probability_tracks_cz_counts() {
+    let machine = MachineSpec::quera_aquila_256();
+    let bench = parallax_workloads::benchmark("GCM").unwrap();
+    let circuit = bench.circuit(1);
+    let placement = PlacementConfig::quick(1);
+    let layout = GraphineLayout::generate(&circuit, &placement);
+    let px = ParallaxCompiler::new(
+        machine,
+        CompilerConfig { seed: 1, placement: placement.clone(), ..Default::default() },
+    )
+    .compile_with_layout(&circuit, &layout);
+    let gr = compile_graphine_with_layout(&circuit, &machine, &layout);
+    let ps = success_probability(&parallax_fidelity_inputs(&px), &machine.params);
+    let gs =
+        success_probability(&baseline_fidelity_inputs(&gr, &machine.params), &machine.params);
+    if gr.swap_count > 0 {
+        assert!(ps > gs, "parallax {ps} vs graphine {gs} with {} swaps", gr.swap_count);
+    }
+}
+
+#[test]
+fn tfim_low_connectivity_story() {
+    // The paper: TFIM is the low-connectivity case where baselines need few
+    // or no SWAPs, so Parallax's CZ advantage vanishes (Fig. 9).
+    let circuit = parallax_workloads::simulation::tfim_ring(16, 2);
+    let machine = MachineSpec::quera_aquila_256();
+    let placement = PlacementConfig::quick(2);
+    let layout = GraphineLayout::generate(&circuit, &placement);
+    let px = ParallaxCompiler::new(
+        machine,
+        CompilerConfig { seed: 2, placement: placement.clone(), ..Default::default() },
+    )
+    .compile_with_layout(&circuit, &layout);
+    let el = compile_eldi(&circuit, &machine, &EldiConfig::default());
+    // Both should be at (or very near) the input CZ count.
+    assert_eq!(px.cz_count(), circuit.cz_count());
+    assert!(
+        el.cz_count() <= circuit.cz_count() + 3 * 8,
+        "eldi needed {} swaps on a ring",
+        el.swap_count
+    );
+}
+
+#[test]
+fn ablations_change_behaviour_not_semantics() {
+    let bench = parallax_workloads::benchmark("QAOA").unwrap();
+    let circuit = bench.circuit(4);
+    let machine = MachineSpec::quera_aquila_256();
+    let placement = PlacementConfig::quick(4);
+    let layout = GraphineLayout::generate(&circuit, &placement);
+
+    for cfg in [
+        CompilerConfig { seed: 4, placement: placement.clone(), ..Default::default() },
+        CompilerConfig { seed: 4, placement: placement.clone(), ..Default::default() }
+            .without_home_return(),
+    ] {
+        let r = ParallaxCompiler::new(machine, cfg).compile_with_layout(&circuit, &layout);
+        let f = parallax_schedule_fidelity(&circuit, &r, 9);
+        assert!((f - 1.0).abs() < 1e-9);
+        assert_eq!(r.cz_count(), circuit.cz_count());
+    }
+}
+
+#[test]
+fn aod_dim_ablation_compiles_at_all_counts() {
+    let bench = parallax_workloads::benchmark("ADD").unwrap();
+    let circuit = bench.circuit(5);
+    let placement = PlacementConfig::quick(5);
+    let layout = GraphineLayout::generate(&circuit, &placement);
+    for aod in [1usize, 5, 10, 20, 40] {
+        let machine = MachineSpec::quera_aquila_256().with_aod_dim(aod);
+        let r = ParallaxCompiler::new(
+            machine,
+            CompilerConfig { seed: 5, placement: placement.clone(), ..Default::default() },
+        )
+        .compile_with_layout(&circuit, &layout);
+        assert_eq!(r.cz_count(), circuit.cz_count(), "aod_dim {aod}");
+        assert!(r.aod_selection.selected.len() <= aod);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over the core invariants of the suite, driven by
+//! proptest-generated random circuits and layouts.
+
+use parallax_baselines::{compile_eldi, EldiConfig};
+use parallax_circuit::{optimize, Circuit, DependencyDag, Gate};
+use parallax_circuit::{zyz_decompose, Mat2};
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_graphine::{connecting_radius, is_geometrically_connected};
+use parallax_hardware::MachineSpec;
+use parallax_sim::{baseline_routed_fidelity, parallax_schedule_fidelity, simulate};
+use proptest::prelude::*;
+
+/// Strategy: a random circuit on `n` qubits with `len` gates.
+fn random_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        // U3 with bounded angles
+        (0..n as u32, -3.2f64..3.2, -3.2f64..3.2, -3.2f64..3.2)
+            .prop_map(|(q, t, p, l)| Gate::u3(q, t, p, l)),
+        // CZ on distinct qubits
+        (0..n as u32, 1..n as u32).prop_map(move |(a, d)| {
+            let b = (a + d) % n as u32;
+            if a == b {
+                Gate::cz(a, (a + 1) % n as u32)
+            } else {
+                Gate::cz(a, b)
+            }
+        }),
+    ];
+    proptest::collection::vec(gate, 1..=len).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimizer never changes circuit semantics.
+    #[test]
+    fn optimizer_preserves_unitary(circuit in random_circuit(4, 24)) {
+        let optimized = optimize(&circuit);
+        let a = simulate(&circuit);
+        let b = simulate(&optimized);
+        prop_assert!((a.fidelity(&b) - 1.0).abs() < 1e-6,
+            "fidelity {} after optimizing {} -> {} gates",
+            a.fidelity(&b), circuit.len(), optimized.len());
+        // And it never grows the circuit.
+        prop_assert!(optimized.len() <= circuit.len());
+    }
+
+    /// ZYZ extraction reproduces any product of two random U3 matrices.
+    #[test]
+    fn zyz_roundtrip_products(
+        t1 in 0.0f64..3.14, p1 in -3.14f64..3.14, l1 in -3.14f64..3.14,
+        t2 in 0.0f64..3.14, p2 in -3.14f64..3.14, l2 in -3.14f64..3.14,
+    ) {
+        let m = Mat2::u3(t2, p2, l2).mul(&Mat2::u3(t1, p1, l1));
+        let (t, p, l) = zyz_decompose(&m);
+        prop_assert!(Mat2::u3(t, p, l).phase_distance(&m) < 1e-7);
+    }
+
+    /// Parallax schedules are dependency-correct permutations with exact
+    /// semantics, regardless of circuit shape or seed.
+    #[test]
+    fn parallax_schedule_invariants(circuit in random_circuit(5, 20), seed in 0u64..32) {
+        let circuit = optimize(&circuit);
+        if circuit.is_empty() {
+            return Ok(());
+        }
+        let r = ParallaxCompiler::new(
+            MachineSpec::quera_aquila_256(),
+            CompilerConfig::quick(seed),
+        ).compile(&circuit);
+        // Permutation of the input gate indices.
+        let order = r.schedule.gate_order();
+        prop_assert_eq!(order.len(), circuit.len());
+        // Dependency-respecting.
+        prop_assert!(DependencyDag::build(&circuit).respects_order(&order));
+        // Zero SWAPs: CZ count preserved exactly.
+        prop_assert_eq!(r.cz_count(), circuit.cz_count());
+        // Exact unitary.
+        let f = parallax_schedule_fidelity(&circuit, &r, seed ^ 0xabc);
+        prop_assert!((f - 1.0).abs() < 1e-7, "fidelity {}", f);
+    }
+
+    /// SWAP routing preserves semantics up to its reported permutation and
+    /// adds exactly three CZ per SWAP.
+    #[test]
+    fn eldi_routing_invariants(circuit in random_circuit(5, 16)) {
+        let circuit = optimize(&circuit);
+        if circuit.is_empty() {
+            return Ok(());
+        }
+        let r = compile_eldi(&circuit, &MachineSpec::quera_aquila_256(), &EldiConfig::default());
+        prop_assert_eq!(r.cz_count(), circuit.cz_count() + 3 * r.swap_count);
+        let f = baseline_routed_fidelity(&circuit, &r, 99);
+        prop_assert!((f - 1.0).abs() < 1e-7, "fidelity {}", f);
+        // final_mapping is a permutation.
+        let mut seen = vec![false; circuit.num_qubits()];
+        for &p in &r.final_mapping {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+    }
+
+    /// The connecting radius really is minimal for connectivity.
+    #[test]
+    fn connecting_radius_is_tight(
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..12)
+    ) {
+        let r = connecting_radius(&points);
+        prop_assert!(is_geometrically_connected(&points, r));
+        if r > 1e-9 {
+            prop_assert!(!is_geometrically_connected(&points, r * 0.999));
+        }
+    }
+
+    /// Statevector simulation is norm-preserving for arbitrary circuits.
+    #[test]
+    fn simulation_preserves_norm(circuit in random_circuit(4, 30)) {
+        let sv = simulate(&circuit);
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+}

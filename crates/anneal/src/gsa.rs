@@ -43,8 +43,7 @@ impl VisitingDistribution {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, temperature: f64) -> f64 {
         let factor1 = (temperature.ln() / (self.qv - 1.0)).exp();
         let factor4 = self.factor4_base * factor1;
-        let x_base =
-            ((-(self.qv - 1.0)) * (self.factor6 / factor4).ln() / (3.0 - self.qv)).exp();
+        let x_base = ((-(self.qv - 1.0)) * (self.factor6 / factor4).ln() / (3.0 - self.qv)).exp();
         let x = x_base * gaussian(rng);
         let y: f64 = gaussian(rng);
         let den = ((self.qv - 1.0) * y.abs().ln() / (3.0 - self.qv)).exp();

@@ -124,7 +124,7 @@ pub fn dual_annealing<F: FnMut(&[f64]) -> f64>(
         // Visit: perturb all dimensions, then (as in SciPy) also try
         // single-dimension moves on alternating steps for fine exploration.
         candidate.copy_from_slice(&current);
-        if step_within_cycle % 2 == 0 {
+        if step_within_cycle.is_multiple_of(2) {
             for (d, c) in candidate.iter_mut().enumerate() {
                 let delta = visiting.sample(&mut rng, t);
                 *c = wrap_into_bounds(*c + delta, bounds[d]);
@@ -152,8 +152,7 @@ pub fn dual_annealing<F: FnMut(&[f64]) -> f64>(
                 best.copy_from_slice(&candidate);
                 best_e = cand_e;
                 if params.local_search_evals > 0 {
-                    let refined =
-                        pattern_search(&mut f, &best, bounds, params.local_search_evals);
+                    let refined = pattern_search(&mut f, &best, bounds, params.local_search_evals);
                     evals += refined.evals;
                     if refined.energy < best_e {
                         best = refined.x.clone();
@@ -200,9 +199,7 @@ mod tests {
     fn rastrigin(x: &[f64]) -> f64 {
         let a = 10.0;
         a * x.len() as f64
-            + x.iter()
-                .map(|v| v * v - a * (2.0 * std::f64::consts::PI * v).cos())
-                .sum::<f64>()
+            + x.iter().map(|v| v * v - a * (2.0 * std::f64::consts::PI * v).cos()).sum::<f64>()
     }
 
     #[test]

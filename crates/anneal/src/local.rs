@@ -32,8 +32,7 @@ pub fn pattern_search<F: FnMut(&[f64]) -> f64>(
     let mut evals = 1usize;
     // Initial step: 10% of each dimension's range.
     let mut steps: Vec<f64> = bounds.iter().map(|(lo, hi)| 0.1 * (hi - lo).max(1e-12)).collect();
-    let min_step: Vec<f64> =
-        bounds.iter().map(|(lo, hi)| 1e-6 * (hi - lo).max(1e-12)).collect();
+    let min_step: Vec<f64> = bounds.iter().map(|(lo, hi)| 1e-6 * (hi - lo).max(1e-12)).collect();
 
     while evals < max_evals {
         let mut improved = false;

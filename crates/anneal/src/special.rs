@@ -6,6 +6,8 @@
 /// which is far more than the visiting distribution needs.
 pub fn ln_gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
+    // The canonical published Lanczos coefficients, kept digit-for-digit.
+    #[allow(clippy::excessive_precision)]
     const COEFFS: [f64; 9] = [
         0.99999999999980993,
         676.5203681218851,
@@ -59,7 +61,7 @@ mod tests {
     #[test]
     fn recurrence_holds() {
         // Gamma(x+1) = x * Gamma(x)
-        for &x in &[0.3, 1.7, 3.14, 9.5] {
+        for &x in &[0.3, 1.7, 3.2, 9.5] {
             close(ln_gamma(x + 1.0), x.ln() + ln_gamma(x), 1e-11);
         }
     }

@@ -134,8 +134,7 @@ mod tests {
         let mut b = CircuitBuilder::new(3);
         b.h(0).h(1).h(2);
         let c = b.build();
-        let positions =
-            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
         let layers = serialize_layers(&c, &positions, 7.0, 2.5);
         assert_eq!(layers.len(), 1);
     }

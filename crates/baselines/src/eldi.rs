@@ -35,8 +35,7 @@ pub fn compile_eldi(
     let positions = grid_placement(circuit, machine);
     let r_um = config.radius_sites * machine.site_pitch_um();
     let routed = route(circuit, &positions, r_um);
-    let layers =
-        serialize_layers(&routed.circuit, &positions, r_um, machine.blockade_factor);
+    let layers = serialize_layers(&routed.circuit, &positions, r_um, machine.blockade_factor);
     BaselineResult {
         name: "eldi",
         routed: routed.circuit,
@@ -68,9 +67,8 @@ pub fn grid_placement(circuit: &Circuit, machine: &MachineSpec) -> Vec<Point> {
 
     // Site spiral: all sites sorted by distance from the grid centre.
     let centre = ((dim as f64 - 1.0) / 2.0, (dim as f64 - 1.0) / 2.0);
-    let mut spiral: Vec<(u16, u16)> = (0..dim as u16)
-        .flat_map(|x| (0..dim as u16).map(move |y| (x, y)))
-        .collect();
+    let mut spiral: Vec<(u16, u16)> =
+        (0..dim as u16).flat_map(|x| (0..dim as u16).map(move |y| (x, y))).collect();
     spiral.sort_by(|&a, &b| {
         let da = (a.0 as f64 - centre.0).powi(2) + (a.1 as f64 - centre.1).powi(2);
         let db = (b.0 as f64 - centre.0).powi(2) + (b.1 as f64 - centre.1).powi(2);
@@ -93,11 +91,7 @@ pub fn grid_placement(circuit: &Circuit, machine: &MachineSpec) -> Vec<Point> {
             if placed[q] {
                 continue;
             }
-            let attach: f64 = weights[q]
-                .iter()
-                .filter(|&&(p, _)| placed[p])
-                .map(|&(_, w)| w)
-                .sum();
+            let attach: f64 = weights[q].iter().filter(|&&(p, _)| placed[p]).map(|&(_, w)| w).sum();
             let key = (attach, degrees[q]);
             if best == usize::MAX || key > best_key {
                 best = q;
@@ -113,11 +107,8 @@ pub fn grid_placement(circuit: &Circuit, machine: &MachineSpec) -> Vec<Point> {
         // partners; with no placed partner, the innermost free spiral site.
         let mut best_site = None;
         let mut best_cost = f64::INFINITY;
-        let partners: Vec<(usize, f64)> = weights[q]
-            .iter()
-            .filter(|&&(p, _)| positions[p].is_some())
-            .cloned()
-            .collect();
+        let partners: Vec<(usize, f64)> =
+            weights[q].iter().filter(|&&(p, _)| positions[p].is_some()).cloned().collect();
         for &s in &spiral {
             if occupied[site_idx(s)] {
                 continue;
@@ -127,10 +118,7 @@ pub fn grid_placement(circuit: &Circuit, machine: &MachineSpec) -> Vec<Point> {
                 // Spiral order is already centre-out; first free wins.
                 0.0
             } else {
-                partners
-                    .iter()
-                    .map(|&(p, w)| w * pos.distance(&positions[p].unwrap()))
-                    .sum()
+                partners.iter().map(|&(p, w)| w * pos.distance(&positions[p].unwrap())).sum()
             };
             if cost < best_cost {
                 best_cost = cost;
@@ -215,16 +203,8 @@ mod tests {
     #[test]
     fn radius_scales_with_config() {
         let machine = MachineSpec::quera_aquila_256();
-        let near = compile_eldi(
-            &chain(10),
-            &machine,
-            &EldiConfig { radius_sites: 1.0 },
-        );
-        let far = compile_eldi(
-            &chain(10),
-            &machine,
-            &EldiConfig { radius_sites: 4.0 },
-        );
+        let near = compile_eldi(&chain(10), &machine, &EldiConfig { radius_sites: 1.0 });
+        let far = compile_eldi(&chain(10), &machine, &EldiConfig { radius_sites: 4.0 });
         assert!(far.swap_count <= near.swap_count);
     }
 }

@@ -36,8 +36,7 @@ pub fn compile_graphine_with_layout(
         (0..circuit.num_qubits() as u32).map(|q| disc.array.position(q)).collect();
     let r_um = disc.interaction_radius_um;
     let routed = route(circuit, &positions, r_um);
-    let layers =
-        serialize_layers(&routed.circuit, &positions, r_um, machine.blockade_factor);
+    let layers = serialize_layers(&routed.circuit, &positions, r_um, machine.blockade_factor);
     BaselineResult {
         name: "graphine",
         routed: routed.circuit,

@@ -34,9 +34,7 @@ pub fn route(circuit: &Circuit, positions: &[Point], r_um: f64) -> RoutedCircuit
     let adj: Vec<Vec<u32>> = (0..n)
         .map(|i| {
             (0..n)
-                .filter(|&j| {
-                    j != i && positions[i].distance(&positions[j]) <= r_um + 1e-9
-                })
+                .filter(|&j| j != i && positions[i].distance(&positions[j]) <= r_um + 1e-9)
                 .map(|j| j as u32)
                 .collect()
         })
@@ -60,8 +58,7 @@ pub fn route(circuit: &Circuit, positions: &[Point], r_um: f64) -> RoutedCircuit
             Gate::Cz { a, b } => {
                 let (mut pa, pb) = (phys_of[a as usize], phys_of[b as usize]);
                 if !adjacent(pa, pb) {
-                    let path = bfs_path(&adj, pa, pb)
-                        .expect("interaction graph must be connected");
+                    let path = bfs_path(&adj, pa, pb).expect("interaction graph must be connected");
                     // Swap the state of `a` along the path until adjacent.
                     let mut idx = 0usize;
                     while !adjacent(pa, pb) {

@@ -24,9 +24,7 @@ fn bench_stages(c: &mut Criterion) {
     group.bench_function("placement_anneal/SQRT", |b| {
         b.iter(|| GraphineLayout::generate(&circuit, &placement))
     });
-    group.bench_function("discretize/SQRT", |b| {
-        b.iter(|| discretize(&circuit, &layout, machine))
-    });
+    group.bench_function("discretize/SQRT", |b| b.iter(|| discretize(&circuit, &layout, machine)));
     group.bench_function("aod_select/SQRT", |b| {
         b.iter(|| {
             let mut d = discretize(&circuit, &layout, machine);

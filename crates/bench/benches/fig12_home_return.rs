@@ -20,7 +20,10 @@ fn bench_fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12");
     group.sample_size(10);
     for (label, cfg) in [
-        ("return_home", CompilerConfig { seed: 0, placement: placement.clone(), ..Default::default() }),
+        (
+            "return_home",
+            CompilerConfig { seed: 0, placement: placement.clone(), ..Default::default() },
+        ),
         (
             "stay_out",
             CompilerConfig { seed: 0, placement: placement.clone(), ..Default::default() }
@@ -29,8 +32,7 @@ fn bench_fig12(c: &mut Criterion) {
     ] {
         group.bench_function(format!("schedule/QAOA/{label}"), |b| {
             b.iter(|| {
-                ParallaxCompiler::new(machine, cfg.clone())
-                    .compile_with_layout(&circuit, &layout)
+                ParallaxCompiler::new(machine, cfg.clone()).compile_with_layout(&circuit, &layout)
             });
         });
     }

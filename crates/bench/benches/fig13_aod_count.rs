@@ -23,8 +23,7 @@ fn bench_fig13(c: &mut Criterion) {
         let cfg = CompilerConfig { seed: 0, placement: placement.clone(), ..Default::default() };
         group.bench_function(format!("schedule/SECA/aod{aod}"), |b| {
             b.iter(|| {
-                ParallaxCompiler::new(machine, cfg.clone())
-                    .compile_with_layout(&circuit, &layout)
+                ParallaxCompiler::new(machine, cfg.clone()).compile_with_layout(&circuit, &layout)
             });
         });
     }

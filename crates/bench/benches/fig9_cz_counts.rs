@@ -3,7 +3,9 @@
 //! comparison; the rows of the figure are printed once at startup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use parallax_bench::{compare_benchmark, fig9_rows, render_table, run_comparison, selected_benchmarks};
+use parallax_bench::{
+    compare_benchmark, fig9_rows, render_table, run_comparison, selected_benchmarks,
+};
 use parallax_hardware::MachineSpec;
 
 fn bench_fig9(c: &mut Criterion) {

@@ -19,8 +19,7 @@ fn bench_table4(c: &mut Criterion) {
     for machine in [MachineSpec::quera_aquila_256(), MachineSpec::atom_1225()] {
         group.bench_function(format!("compile_runtime/QEC/{}", machine.name), |b| {
             b.iter(|| {
-                let r = ParallaxCompiler::new(machine, CompilerConfig::quick(0))
-                    .compile(&circuit);
+                let r = ParallaxCompiler::new(machine, CompilerConfig::quick(0)).compile(&circuit);
                 parallax_runtime_us(&r)
             });
         });

@@ -49,10 +49,7 @@ fn main() {
         }
         if run("fig10") {
             let (h, d) = fig10_rows(&rows);
-            println!(
-                "== Fig. 10: probability of success (QuEra-256) ==\n{}",
-                render_table(&h, &d)
-            );
+            println!("== Fig. 10: probability of success (QuEra-256) ==\n{}", render_table(&h, &d));
         }
         if run("summary") {
             let s = summarize(&rows);

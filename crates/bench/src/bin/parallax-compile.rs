@@ -58,8 +58,9 @@ fn main() {
             "--schedule" => show_schedule = true,
             "--no-return-home" => return_home = false,
             "--aod-dim" => {
-                aod_dim =
-                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --aod-dim")))
+                aod_dim = Some(
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --aod-dim")),
+                )
             }
             other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
             other => die(&format!("unknown argument '{other}'")),
@@ -150,10 +151,7 @@ fn main() {
             );
             println!("interaction radius:  {:.1} µm", result.interaction_radius_um);
             println!("runtime:             {:.1} µs", inputs.runtime_us);
-            println!(
-                "success probability: {:.4e}",
-                success_probability(&inputs, &machine.params)
-            );
+            println!("success probability: {:.4e}", success_probability(&inputs, &machine.params));
         }
         other => die(&format!("unknown compiler '{other}'")),
     }

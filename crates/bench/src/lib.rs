@@ -91,7 +91,8 @@ fn parallax_metrics(
     machine: MachineSpec,
     config: &CompilerConfig,
 ) -> CompiledMetrics {
-    let result = ParallaxCompiler::new(machine, config.clone()).compile_with_layout(circuit, layout);
+    let result =
+        ParallaxCompiler::new(machine, config.clone()).compile_with_layout(circuit, layout);
     let inputs = parallax_fidelity_inputs(&result);
     CompiledMetrics {
         cz: result.cz_count(),
@@ -160,23 +161,21 @@ pub fn run_comparison(
     seed: u64,
 ) -> Vec<ComparisonRow> {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
-    for i in 0..benches.len() {
-        task_tx.send(i).expect("open queue");
-    }
-    drop(task_tx);
-    let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, ComparisonRow)>();
+    let next_task = std::sync::atomic::AtomicUsize::new(0);
+    let (result_tx, result_rx) = std::sync::mpsc::channel::<(usize, ComparisonRow)>();
     let mut slots: Vec<Option<ComparisonRow>> = vec![None; benches.len()];
     std::thread::scope(|scope| {
         for _ in 0..threads.min(benches.len().max(1)) {
-            let task_rx = task_rx.clone();
             let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                while let Ok(i) = task_rx.recv() {
-                    let row = compare_benchmark(&benches[i], machine, seed);
-                    if result_tx.send((i, row)).is_err() {
-                        return;
-                    }
+            let next_task = &next_task;
+            scope.spawn(move || loop {
+                let i = next_task.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= benches.len() {
+                    return;
+                }
+                let row = compare_benchmark(&benches[i], machine, seed);
+                if result_tx.send((i, row)).is_err() {
+                    return;
                 }
             });
         }
@@ -223,7 +222,8 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Fig. 9: CZ gate counts per benchmark per compiler.
 pub fn fig9_rows(rows: &[ComparisonRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
-    let headers = vec!["Bench", "Qubits", "Graphine CZ", "Eldi CZ", "Parallax CZ", "vs Graphine", "vs Eldi"];
+    let headers =
+        vec!["Bench", "Qubits", "Graphine CZ", "Eldi CZ", "Parallax CZ", "vs Graphine", "vs Eldi"];
     let data = rows
         .iter()
         .map(|r| {
@@ -261,14 +261,16 @@ pub fn fig10_rows(rows: &[ComparisonRow]) -> (Vec<&'static str>, Vec<Vec<String>
 }
 
 /// Table IV: circuit runtimes on both machines.
-pub fn table4_rows(
-    benches: &[Benchmark],
-    seed: u64,
-) -> (Vec<&'static str>, Vec<Vec<String>>) {
+pub fn table4_rows(benches: &[Benchmark], seed: u64) -> (Vec<&'static str>, Vec<Vec<String>>) {
     let quera = run_comparison(benches, MachineSpec::quera_aquila_256(), seed);
     let atom = run_comparison(benches, MachineSpec::atom_1225(), seed);
     let headers = vec![
-        "Bench", "Eldi-256", "Graphine-256", "Parallax-256", "Eldi-1225", "Graphine-1225",
+        "Bench",
+        "Eldi-256",
+        "Graphine-256",
+        "Parallax-256",
+        "Eldi-1225",
+        "Graphine-1225",
         "Parallax-1225",
     ];
     let data = quera
@@ -434,9 +436,7 @@ pub fn summarize(rows: &[ComparisonRow]) -> Summary {
             1.0 - r.parallax.cz as f64 / r.graphine.cz.max(1) as f64
         }),
         cz_reduction_vs_eldi: mean(&|r| 1.0 - r.parallax.cz as f64 / r.eldi.cz.max(1) as f64),
-        success_gain_vs_graphine: mean(&|r| {
-            relative_gain(r.parallax.success, r.graphine.success)
-        }),
+        success_gain_vs_graphine: mean(&|r| relative_gain(r.parallax.success, r.graphine.success)),
         success_gain_vs_eldi: mean(&|r| relative_gain(r.parallax.success, r.eldi.success)),
         trap_change_rate: mean(&|r| r.parallax.trap_changes as f64 / r.parallax.cz.max(1) as f64),
     }

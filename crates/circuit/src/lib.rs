@@ -32,4 +32,4 @@ pub use dag::{layers, DependencyDag};
 pub use gate::Gate;
 pub use lower::{apply_named, circuit_from_qasm_str, from_qasm, LowerError};
 pub use optimize::optimize;
-pub use unitary::{zyz_decompose, C64, Mat2};
+pub use unitary::{zyz_decompose, Mat2, C64};

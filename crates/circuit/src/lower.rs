@@ -194,9 +194,7 @@ fn expand_numeric(
             out.push(Gate::cz(qubits[0], qubits[1]));
         }
         _ => {
-            let def = defs
-                .get(name)
-                .ok_or_else(|| LowerError(format!("unknown gate '{name}'")))?;
+            let def = defs.get(name).ok_or_else(|| LowerError(format!("unknown gate '{name}'")))?;
             if def.opaque {
                 return Err(LowerError(format!("cannot expand opaque gate '{name}'")));
             }

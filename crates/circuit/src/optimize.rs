@@ -84,8 +84,7 @@ pub fn cancel_cz(circuit: &Circuit) -> (Circuit, bool) {
                 if let (Some(pa), Some(pb)) = (last_touch[ai], last_touch[bi]) {
                     if pa == pb && !removed[pa] {
                         if let Gate::Cz { a: x, b: y } = circuit.gates()[pa] {
-                            let same_pair =
-                                (x == a && y == b) || (x == b && y == a);
+                            let same_pair = (x == a && y == b) || (x == b && y == a);
                             if same_pair {
                                 removed[pa] = true;
                                 removed[i] = true;
@@ -228,19 +227,17 @@ mod tests {
     fn cx_cx_fully_cancels_through_fixpoint() {
         // cx;cx lowers to h cz h h cz h: needs merge (h h -> id) then cancel
         // (cz cz) then merge (h h -> id).
-        let c =
-            circuit_from_qasm_str("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\ncx q[0],q[1];\n")
-                .unwrap();
+        let c = circuit_from_qasm_str("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\ncx q[0],q[1];\n")
+            .unwrap();
         let o = optimize(&c);
         assert!(o.is_empty(), "leftover: {:?}", o.gates());
     }
 
     #[test]
     fn swap_swap_cancels() {
-        let c = circuit_from_qasm_str(
-            "OPENQASM 2.0;\nqreg q[2];\nswap q[0],q[1];\nswap q[0],q[1];\n",
-        )
-        .unwrap();
+        let c =
+            circuit_from_qasm_str("OPENQASM 2.0;\nqreg q[2];\nswap q[0],q[1];\nswap q[0],q[1];\n")
+                .unwrap();
         let o = optimize(&c);
         assert!(o.is_empty(), "leftover: {:?}", o.gates());
     }

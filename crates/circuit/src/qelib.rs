@@ -60,9 +60,7 @@ pub fn is_primitive(name: &str) -> bool {
 pub fn builtin_defs() -> &'static HashMap<String, GateDef> {
     static DEFS: OnceLock<HashMap<String, GateDef>> = OnceLock::new();
     DEFS.get_or_init(|| {
-        parallax_qasm::parse(QELIB_SRC)
-            .expect("embedded qelib source must parse")
-            .gate_defs()
+        parallax_qasm::parse(QELIB_SRC).expect("embedded qelib source must parse").gate_defs()
     })
 }
 

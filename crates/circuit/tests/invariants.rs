@@ -1,0 +1,158 @@
+//! Circuit-IR tier tests: dependency-DAG ordering invariants and
+//! optimizer structural guarantees (CZ count and length never increase).
+
+use parallax_circuit::optimize::{cancel_cz, merge_u3};
+use parallax_circuit::{
+    circuit_from_qasm_str, layers, optimize, Circuit, CircuitBuilder, DependencyDag, Gate,
+};
+
+/// A deterministic pseudo-random circuit without external RNG dependencies
+/// (LCG over the gate choice), exercising U3/CZ interleavings.
+fn lcg_circuit(n: u32, len: usize, seed: u64) -> Circuit {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut c = Circuit::new(n as usize);
+    for _ in 0..len {
+        let a = next() % n;
+        match next() % 3 {
+            0 => {
+                let t = (next() % 628) as f64 / 100.0;
+                c.push(Gate::u3(a, t, t / 2.0, -t / 3.0));
+            }
+            1 => c.push(Gate::h(a)),
+            _ => {
+                let b = (a + 1 + next() % (n - 1)) % n;
+                c.push(Gate::cz(a.min(b), a.max(b)));
+            }
+        }
+    }
+    c
+}
+
+#[test]
+fn respects_order_accepts_program_order() {
+    let c = lcg_circuit(5, 40, 1);
+    let dag = DependencyDag::build(&c);
+    let order: Vec<usize> = (0..c.len()).collect();
+    assert!(dag.respects_order(&order));
+}
+
+#[test]
+fn respects_order_accepts_valid_commutation() {
+    // h(0) and h(1) act on disjoint qubits: swapping them is legal.
+    let mut b = CircuitBuilder::new(2);
+    b.h(0).h(1).cz(0, 1);
+    let c = b.build();
+    let dag = DependencyDag::build(&c);
+    assert!(dag.respects_order(&[1, 0, 2]));
+}
+
+#[test]
+fn respects_order_rejects_dependency_violation() {
+    // cz(0,1) depends on both h gates; running it first is illegal.
+    let mut b = CircuitBuilder::new(2);
+    b.h(0).h(1).cz(0, 1);
+    let dag = DependencyDag::build(&b.build());
+    assert!(!dag.respects_order(&[2, 0, 1]));
+    assert!(!dag.respects_order(&[0, 2, 1]));
+}
+
+#[test]
+fn respects_order_rejects_malformed_permutations() {
+    let mut b = CircuitBuilder::new(2);
+    b.h(0).cz(0, 1).h(1);
+    let dag = DependencyDag::build(&b.build());
+    assert!(!dag.respects_order(&[0, 1]), "wrong length");
+    assert!(!dag.respects_order(&[0, 0, 1]), "duplicate index");
+    assert!(!dag.respects_order(&[0, 1, 7]), "out-of-range index");
+}
+
+#[test]
+fn dag_edges_follow_operand_qubits() {
+    let mut b = CircuitBuilder::new(3);
+    b.h(0).cz(0, 1).cz(1, 2).h(0);
+    let dag = DependencyDag::build(&b.build());
+    assert_eq!(dag.predecessors(0), &[] as &[usize]);
+    assert_eq!(dag.predecessors(1), &[0]);
+    assert_eq!(dag.predecessors(2), &[1]);
+    assert_eq!(dag.predecessors(3), &[1], "h(0) waits on cz(0,1), not cz(1,2)");
+    assert_eq!(dag.successors(1), &[2, 3]);
+}
+
+#[test]
+fn asap_layers_match_depth_and_respect_dag() {
+    for seed in 0..5u64 {
+        let c = lcg_circuit(6, 48, seed);
+        let ls = layers(&c);
+        assert_eq!(ls.len(), c.depth(), "seed {seed}");
+        // Flattening layers in order is a dependency-correct permutation.
+        let flat: Vec<usize> = ls.iter().flatten().copied().collect();
+        assert!(DependencyDag::build(&c).respects_order(&flat), "seed {seed}");
+        // No two gates in one layer share a qubit.
+        for layer in &ls {
+            let mut seen: Vec<u32> = Vec::new();
+            for &g in layer {
+                for &q in c.gates()[g].qubits().as_slice() {
+                    assert!(!seen.contains(&q), "layer shares qubit {q}");
+                    seen.push(q);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimize_never_increases_cz_count_or_length() {
+    for seed in 0..10u64 {
+        let c = lcg_circuit(5, 60, seed);
+        let o = optimize(&c);
+        assert!(o.cz_count() <= c.cz_count(), "seed {seed}");
+        assert!(o.len() <= c.len(), "seed {seed}");
+        assert_eq!(o.num_qubits(), c.num_qubits());
+    }
+}
+
+#[test]
+fn optimize_cancels_adjacent_cz_pairs() {
+    let mut b = CircuitBuilder::new(3);
+    b.cz(0, 1).cz(1, 0).cz(1, 2); // cz(0,1) == cz(1,0): cancels
+    let c = b.build();
+    let o = optimize(&c);
+    assert_eq!(o.cz_count(), 1);
+    let (cancelled, changed) = cancel_cz(&c);
+    assert!(changed);
+    assert_eq!(cancelled.cz_count(), 1);
+}
+
+#[test]
+fn optimize_merges_u3_runs() {
+    let mut b = CircuitBuilder::new(1);
+    b.rz(0.3, 0).rz(0.4, 0).rz(-0.7, 0); // net identity rotation
+    let (merged, changed) = merge_u3(&b.build());
+    assert!(changed);
+    assert!(merged.len() <= 1, "three rz collapse to at most one U3");
+}
+
+#[test]
+fn optimize_is_idempotent() {
+    for seed in 0..5u64 {
+        let once = optimize(&lcg_circuit(4, 40, seed));
+        let twice = optimize(&once);
+        assert_eq!(once.len(), twice.len(), "seed {seed}");
+        assert_eq!(once.cz_count(), twice.cz_count(), "seed {seed}");
+    }
+}
+
+#[test]
+fn qasm_roundtrip_preserves_gate_counts() {
+    let mut b = CircuitBuilder::new(4);
+    b.h(0).cx(0, 1).ccx(0, 1, 2).cz(2, 3).u3(0.1, 0.2, 0.3, 3);
+    let c = b.build();
+    let back = circuit_from_qasm_str(&c.to_qasm()).unwrap();
+    assert_eq!(back.num_qubits(), c.num_qubits());
+    assert_eq!(back.cz_count(), c.cz_count());
+    assert_eq!(back.u3_count(), c.u3_count());
+}

@@ -164,11 +164,7 @@ fn greedy_cover_selection(
                 weight[a as usize]
                     .partial_cmp(&weight[b as usize])
                     .unwrap()
-                    .then(
-                        scores[a as usize]
-                            .partial_cmp(&scores[b as usize])
-                            .unwrap(),
-                    )
+                    .then(scores[a as usize].partial_cmp(&scores[b as usize]).unwrap())
                     .then(b.cmp(&a))
             });
         let Some(q) = best else { break };
@@ -184,10 +180,7 @@ type ResolvedCoords = Vec<(u32, u16, u16, f64, f64)>;
 /// columns in x-rank order nudged rightward, plus separation repair against
 /// static SLM atoms. Returns `Err(q)` naming an atom to drop when repair
 /// cannot converge within bounds.
-fn resolve_coordinates(
-    active: &[u32],
-    layout: &DiscretizedLayout,
-) -> Result<ResolvedCoords, u32> {
+fn resolve_coordinates(active: &[u32], layout: &DiscretizedLayout) -> Result<ResolvedCoords, u32> {
     let array = &layout.array;
     let gap = array.line_gap();
     let min_sep = array.spec().min_separation_um;
@@ -243,9 +236,7 @@ fn resolve_coordinates(
             }
             let coords = active
                 .iter()
-                .map(|&q| {
-                    (q, row_of(q) as u16, col_of(q) as u16, xs[col_of(q)], ys[row_of(q)])
-                })
+                .map(|&q| (q, row_of(q) as u16, col_of(q) as u16, xs[col_of(q)], ys[row_of(q)]))
                 .collect();
             return Ok(coords);
         };

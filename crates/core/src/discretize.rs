@@ -39,10 +39,7 @@ pub fn discretize(
     let degrees = graph.weighted_degrees();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
-        degrees[b as usize]
-            .partial_cmp(&degrees[a as usize])
-            .unwrap()
-            .then(a.cmp(&b))
+        degrees[b as usize].partial_cmp(&degrees[a as usize]).unwrap().then(a.cmp(&b))
     });
 
     // Compact the annealed layout onto a sub-grid sized to the circuit:
@@ -67,10 +64,7 @@ pub fn discretize(
         let (x, y) = layout.positions[q as usize];
         let nx = (x - min_x) / span_x;
         let ny = (y - min_y) / span_y;
-        let target = (
-            (nx * scale).round() as u16,
-            (ny * scale).round() as u16,
-        );
+        let target = ((nx * scale).round() as u16, (ny * scale).round() as u16);
         let site = array
             .grid()
             .nearest_free_site(target)
@@ -88,9 +82,7 @@ pub fn discretize(
     // compacted sub-grid); the discretized MST radius guarantees
     // connectivity after snapping; a one-pitch floor lets grid neighbours
     // always interact.
-    let scaled = layout.interaction_radius / span_x.max(span_y)
-        * scale
-        * array.grid().pitch_um();
+    let scaled = layout.interaction_radius / span_x.max(span_y) * scale * array.grid().pitch_um();
     let mst = connecting_radius(&points);
     let interaction_radius_um = scaled.max(mst).max(array.grid().pitch_um());
 
@@ -150,11 +142,8 @@ mod tests {
     fn collisions_spill_to_nearest_free_site() {
         // A layout that puts every qubit at the same normalized point.
         let c = chain_circuit(5);
-        let layout = GraphineLayout {
-            positions: vec![(0.5, 0.5); 5],
-            interaction_radius: 0.0,
-            energy: 0.0,
-        };
+        let layout =
+            GraphineLayout { positions: vec![(0.5, 0.5); 5], interaction_radius: 0.0, energy: 0.0 };
         let d = discretize(&c, &layout, MachineSpec::quera_aquila_256());
         assert_eq!(d.array.grid().occupied_count(), 5);
         assert!(d.array.validate().is_empty());
@@ -172,9 +161,7 @@ mod tests {
         // 256 qubits on the 256-site machine: every site used.
         let c = chain_circuit(256);
         let layout = GraphineLayout {
-            positions: (0..256)
-                .map(|i| ((i % 16) as f64 / 15.0, (i / 16) as f64 / 15.0))
-                .collect(),
+            positions: (0..256).map(|i| ((i % 16) as f64 / 15.0, (i / 16) as f64 / 15.0)).collect(),
             interaction_radius: 1.0 / 15.0,
             energy: 0.0,
         };
@@ -186,11 +173,8 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn mismatched_layout_panics() {
         let c = chain_circuit(4);
-        let layout = GraphineLayout {
-            positions: vec![(0.1, 0.1)],
-            interaction_radius: 0.0,
-            energy: 0.0,
-        };
+        let layout =
+            GraphineLayout { positions: vec![(0.1, 0.1)], interaction_radius: 0.0, energy: 0.0 };
         let _ = discretize(&c, &layout, MachineSpec::quera_aquila_256());
     }
 }

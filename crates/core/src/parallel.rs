@@ -3,14 +3,15 @@
 //! The paper highlights Parallax's "open-source and parallel
 //! implementation". Compilations of independent circuits (or of ablation
 //! configurations of the same circuit) are embarrassingly parallel and
-//! fully deterministic per seed, so we fan them out over a crossbeam work
-//! queue; results return in input order regardless of thread count.
+//! fully deterministic per seed, so we fan them out over a shared atomic
+//! work queue; results return in input order regardless of thread count.
 
 use crate::compiler::{CompilationResult, ParallaxCompiler};
 use crate::config::CompilerConfig;
-use crossbeam::channel;
 use parallax_circuit::Circuit;
 use parallax_hardware::MachineSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Compile every circuit in `jobs` on `machine` with `config`, using up to
 /// `threads` worker threads (0 = number of available CPUs). The output
@@ -33,23 +34,22 @@ pub fn compile_batch(
         return jobs.iter().map(|c| compiler.compile(c)).collect();
     }
 
-    let (task_tx, task_rx) = channel::unbounded::<usize>();
-    for i in 0..jobs.len() {
-        task_tx.send(i).expect("queue is open");
-    }
-    drop(task_tx);
-
+    let next_job = AtomicUsize::new(0);
     let mut slots: Vec<Option<CompilationResult>> = (0..jobs.len()).map(|_| None).collect();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, CompilationResult)>();
+    let (result_tx, result_rx) = mpsc::channel::<(usize, CompilationResult)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let task_rx = task_rx.clone();
             let result_tx = result_tx.clone();
             let config = config.clone();
+            let next_job = &next_job;
             scope.spawn(move || {
                 let compiler = ParallaxCompiler::new(machine, config);
-                while let Ok(i) = task_rx.recv() {
+                loop {
+                    let i = next_job.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        return;
+                    }
                     let result = compiler.compile(&jobs[i]);
                     if result_tx.send((i, result)).is_err() {
                         return;
@@ -96,7 +96,8 @@ mod tests {
     #[test]
     fn results_are_input_ordered() {
         let jobs = vec![chain(6), chain(2), chain(4)];
-        let out = compile_batch(&jobs, MachineSpec::quera_aquila_256(), &CompilerConfig::quick(2), 3);
+        let out =
+            compile_batch(&jobs, MachineSpec::quera_aquila_256(), &CompilerConfig::quick(2), 3);
         assert_eq!(out[0].num_qubits, 6);
         assert_eq!(out[1].num_qubits, 2);
         assert_eq!(out[2].num_qubits, 4);

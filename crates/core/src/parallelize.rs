@@ -47,9 +47,9 @@ pub fn replication_plan(result: &CompilationResult, machine: &MachineSpec) -> Re
     // AOD budget: every copy needs one row per AOD atom (one atom per
     // row/column pair), and copies in the same horizontal band share rows.
     let aod_atoms = result.aod_selection.selected.len();
-    if aod_atoms > 0 {
-        copies_y = copies_y.min(machine.aod_dim / aod_atoms).max(1);
-        copies_x = copies_x.min(machine.aod_dim / aod_atoms).max(1);
+    if let Some(copies_per_band) = machine.aod_dim.checked_div(aod_atoms) {
+        copies_y = copies_y.min(copies_per_band).max(1);
+        copies_x = copies_x.min(copies_per_band).max(1);
     }
     // Never exceed the atom budget.
     let per_copy = result.num_qubits.max(1);
@@ -89,8 +89,11 @@ mod tests {
     fn small_result() -> CompilationResult {
         let mut b = CircuitBuilder::new(4);
         b.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
-        ParallaxCompiler::new(parallax_hardware::MachineSpec::quera_aquila_256(), CompilerConfig::quick(1))
-            .compile(&b.build())
+        ParallaxCompiler::new(
+            parallax_hardware::MachineSpec::quera_aquila_256(),
+            CompilerConfig::quick(1),
+        )
+        .compile(&b.build())
     }
 
     #[test]

@@ -358,7 +358,7 @@ mod tests {
     use crate::aod_select::select_aod_qubits;
     use crate::discretize::discretize;
     use parallax_circuit::CircuitBuilder;
-    use parallax_graphine::{GraphineLayout, PlacementConfig};
+    use parallax_graphine::GraphineLayout;
     use parallax_hardware::MachineSpec;
 
     fn compile_with(
@@ -379,9 +379,13 @@ mod tests {
     #[test]
     fn all_gates_execute_exactly_once() {
         let cfg = CompilerConfig::quick(1);
-        let (c, s) = compile_with(4, |b| {
-            b.h(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 3).h(3);
-        }, &cfg);
+        let (c, s) = compile_with(
+            4,
+            |b| {
+                b.h(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 3).h(3);
+            },
+            &cfg,
+        );
         let order = s.gate_order();
         assert_eq!(order.len(), c.len());
         let mut seen = vec![false; c.len()];
@@ -394,9 +398,13 @@ mod tests {
     #[test]
     fn schedule_respects_dependencies() {
         let cfg = CompilerConfig::quick(2);
-        let (c, s) = compile_with(5, |b| {
-            b.h(0).cx(0, 1).cx(1, 2).rz(0.4, 2).cx(2, 3).cx(3, 4).cx(0, 4);
-        }, &cfg);
+        let (c, s) = compile_with(
+            5,
+            |b| {
+                b.h(0).cx(0, 1).cx(1, 2).rz(0.4, 2).cx(2, 3).cx(3, 4).cx(0, 4);
+            },
+            &cfg,
+        );
         let dag = DependencyDag::build(&c);
         assert!(dag.respects_order(&s.gate_order()));
     }
@@ -404,13 +412,17 @@ mod tests {
     #[test]
     fn zero_swaps_always() {
         let cfg = CompilerConfig::quick(3);
-        let (c, s) = compile_with(6, |b| {
-            for i in 0..6u32 {
-                for j in (i + 1)..6 {
-                    b.cx(i, j);
+        let (c, s) = compile_with(
+            6,
+            |b| {
+                for i in 0..6u32 {
+                    for j in (i + 1)..6 {
+                        b.cx(i, j);
+                    }
                 }
-            }
-        }, &cfg);
+            },
+            &cfg,
+        );
         assert_eq!(s.stats.swap_count, 0);
         assert_eq!(s.stats.cz_count, c.cz_count());
     }
@@ -418,9 +430,13 @@ mod tests {
     #[test]
     fn stats_account_for_every_gate() {
         let cfg = CompilerConfig::quick(4);
-        let (c, s) = compile_with(3, |b| {
-            b.h(0).h(1).h(2).cx(0, 1).cx(1, 2).ccx(0, 1, 2);
-        }, &cfg);
+        let (c, s) = compile_with(
+            3,
+            |b| {
+                b.h(0).h(1).h(2).cx(0, 1).cx(1, 2).ccx(0, 1, 2);
+            },
+            &cfg,
+        );
         assert_eq!(s.stats.cz_count + s.stats.u3_count, c.len());
         assert_eq!(s.stats.layer_count, s.layers.len());
         let executed: usize = s.layers.iter().map(|l| l.gate_indices.len()).sum();
@@ -472,10 +488,7 @@ mod tests {
             sel.selected.iter().map(|&q| (q, d.array.position(q))).collect();
         let _ = schedule_gates(&c, &mut d, &sel, &cfg);
         for (q, home) in homes {
-            assert!(
-                d.array.position(q).distance(&home) < 1e-6,
-                "q{q} did not return home"
-            );
+            assert!(d.array.position(q).distance(&home) < 1e-6, "q{q} did not return home");
         }
     }
 
@@ -505,9 +518,13 @@ mod tests {
     #[test]
     fn single_qubit_circuit_schedules() {
         let cfg = CompilerConfig::quick(9);
-        let (c, s) = compile_with(1, |b| {
-            b.h(0).rz(0.5, 0).h(0);
-        }, &cfg);
+        let (c, s) = compile_with(
+            1,
+            |b| {
+                b.h(0).rz(0.5, 0).h(0);
+            },
+            &cfg,
+        );
         assert_eq!(s.gate_order().len(), c.len());
         assert_eq!(s.stats.trap_changes, 0);
         assert_eq!(s.stats.moves_planned, 0);
@@ -516,9 +533,13 @@ mod tests {
     #[test]
     fn parallel_u3_gates_share_a_layer() {
         let cfg = CompilerConfig::quick(10);
-        let (_, s) = compile_with(4, |b| {
-            b.h(0).h(1).h(2).h(3);
-        }, &cfg);
+        let (_, s) = compile_with(
+            4,
+            |b| {
+                b.h(0).h(1).h(2).h(3);
+            },
+            &cfg,
+        );
         assert_eq!(s.layers.len(), 1);
         assert_eq!(s.layers[0].gate_indices.len(), 4);
     }

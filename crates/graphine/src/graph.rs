@@ -17,11 +17,8 @@ pub struct InteractionGraph {
 impl InteractionGraph {
     /// Build the graph from a circuit.
     pub fn from_circuit(circuit: &Circuit) -> Self {
-        let edges = circuit
-            .cz_pair_counts()
-            .into_iter()
-            .map(|((a, b), w)| (a, b, w as f64))
-            .collect();
+        let edges =
+            circuit.cz_pair_counts().into_iter().map(|((a, b), w)| (a, b, w as f64)).collect();
         Self { num_qubits: circuit.num_qubits(), edges }
     }
 

@@ -63,9 +63,8 @@ pub fn placement_energy(
     }
     // Repulsion competes with the attraction on equal footing: scale by the
     // mean edge weight so dense circuits do not collapse.
-    let lambda = repulsion_scale
-        * (graph.total_weight() / graph.edges.len().max(1) as f64).max(1.0)
-        * 4.0;
+    let lambda =
+        repulsion_scale * (graph.total_weight() / graph.edges.len().max(1) as f64).max(1.0) * 4.0;
     for i in 0..positions.len() {
         for j in (i + 1)..positions.len() {
             let dx = positions[i].0 - positions[j].0;
@@ -104,8 +103,7 @@ pub fn place(graph: &InteractionGraph, config: &PlacementConfig) -> Placement {
         ..Default::default()
     };
     let result = dual_annealing(objective, &bounds, &params);
-    let positions =
-        (0..q).map(|i| (result.x[2 * i], result.x[2 * i + 1])).collect::<Vec<_>>();
+    let positions = (0..q).map(|i| (result.x[2 * i], result.x[2 * i + 1])).collect::<Vec<_>>();
     Placement { positions, energy: result.energy }
 }
 
@@ -117,11 +115,7 @@ mod tests {
     fn line_graph(weights: &[f64]) -> InteractionGraph {
         InteractionGraph {
             num_qubits: weights.len() + 1,
-            edges: weights
-                .iter()
-                .enumerate()
-                .map(|(i, &w)| (i as u32, i as u32 + 1, w))
-                .collect(),
+            edges: weights.iter().enumerate().map(|(i, &w)| (i as u32, i as u32 + 1, w)).collect(),
         }
     }
 

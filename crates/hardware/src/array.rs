@@ -316,7 +316,9 @@ impl AtomArray {
             owner
                 .iter()
                 .enumerate()
-                .filter_map(|(i, o)| o.map(|_| (i as u16, coords[i].expect("owned line has coord"))))
+                .filter_map(|(i, o)| {
+                    o.map(|_| (i as u16, coords[i].expect("owned line has coord")))
+                })
                 .collect()
         };
         let rows = owned(&self.row_owner, &row_y);
@@ -529,10 +531,7 @@ mod tests {
         let solo = a.check_aod_moves(&[AodMove { q: 0, x: 41.0, y: 14.0 }]);
         assert!(!solo.is_empty());
         // …but displacing q1 further right in the same batch resolves it.
-        let batch = [
-            AodMove { q: 0, x: 41.0, y: 14.0 },
-            AodMove { q: 1, x: 47.0, y: 21.0 },
-        ];
+        let batch = [AodMove { q: 0, x: 41.0, y: 14.0 }, AodMove { q: 1, x: 47.0, y: 21.0 }];
         assert!(a.check_aod_moves(&batch).is_empty());
         a.apply_aod_moves(&batch).unwrap();
         assert!(a.validate().is_empty());

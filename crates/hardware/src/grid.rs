@@ -23,7 +23,11 @@ pub struct SiteGrid {
 impl SiteGrid {
     /// Create an empty grid for `spec`.
     pub fn new(spec: &MachineSpec) -> Self {
-        Self { dim: spec.grid_dim, pitch_um: spec.site_pitch_um(), occupied: vec![false; spec.grid_dim * spec.grid_dim] }
+        Self {
+            dim: spec.grid_dim,
+            pitch_um: spec.site_pitch_um(),
+            occupied: vec![false; spec.grid_dim * spec.grid_dim],
+        }
     }
 
     /// Grid dimension (sites per side).
@@ -97,10 +101,8 @@ impl SiteGrid {
         visited[self.index(start)] = true;
         queue.push_back(start);
         let mut best: Option<(f64, Site)> = None;
-        let target_pos = Point::new(
-            target.0 as f64 * self.pitch_um,
-            target.1 as f64 * self.pitch_um,
-        );
+        let target_pos =
+            Point::new(target.0 as f64 * self.pitch_um, target.1 as f64 * self.pitch_um);
         while let Some(site) = queue.pop_front() {
             if !self.is_occupied(site) {
                 let d = self.site_position(site).distance_sq(&target_pos);
@@ -113,7 +115,9 @@ impl SiteGrid {
                 // distance approximates Euclidean well enough here.
                 continue;
             }
-            for (dx, dy) in [(0i32, 1i32), (0, -1), (1, 0), (-1, 0), (1, 1), (1, -1), (-1, 1), (-1, -1)] {
+            for (dx, dy) in
+                [(0i32, 1i32), (0, -1), (1, 0), (-1, 0), (1, 1), (1, -1), (-1, 1), (-1, -1)]
+            {
                 let nx = site.0 as i32 + dx;
                 let ny = site.1 as i32 + dy;
                 if nx < 0 || ny < 0 || nx >= self.dim as i32 || ny >= self.dim as i32 {

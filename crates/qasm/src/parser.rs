@@ -396,8 +396,10 @@ mod tests {
 
     #[test]
     fn parses_measure_both_forms() {
-        let p = parse("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nmeasure q -> c;\nmeasure q[1] -> c[0];\n")
-            .unwrap();
+        let p = parse(
+            "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nmeasure q -> c;\nmeasure q[1] -> c[0];\n",
+        )
+        .unwrap();
         assert!(matches!(
             &p.statements[2],
             Statement::Measure { qubit: Argument::Register(_), .. }

@@ -130,10 +130,7 @@ mod tests {
         let p1 = parse(src).unwrap();
         let p2 = parse(&write_program(&p1)).unwrap();
         match (&p1.statements[1], &p2.statements[1]) {
-            (
-                Statement::GateCall { params: a, .. },
-                Statement::GateCall { params: b, .. },
-            ) => {
+            (Statement::GateCall { params: a, .. }, Statement::GateCall { params: b, .. }) => {
                 for (x, y) in a.iter().zip(b) {
                     assert_eq!(x.eval_const().unwrap(), y.eval_const().unwrap());
                 }

@@ -1,0 +1,132 @@
+//! QASM front-end tier tests: parse→write→parse round-trips on
+//! benchmark-style programs and error paths for malformed input.
+
+use parallax_qasm::{parse, write_program, QasmError, Statement};
+
+/// Round-trip helper: parse, render, re-parse, and require identical ASTs.
+fn roundtrip(src: &str) -> parallax_qasm::Program {
+    let p1 = parse(src).unwrap_or_else(|e| panic!("first parse failed: {e}\n{src}"));
+    let rendered = write_program(&p1);
+    let p2 = parse(&rendered).unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+    assert_eq!(p1, p2, "AST changed across write/parse:\n{rendered}");
+    p1
+}
+
+#[test]
+fn roundtrip_bell_pair_program() {
+    let p = roundtrip(
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+         h q[0];\ncx q[0],q[1];\nmeasure q -> c;\n",
+    );
+    assert_eq!(p.qreg_size("q"), Some(2));
+    assert_eq!(p.creg_size("c"), Some(2));
+    assert_eq!(p.total_qubits(), 2);
+}
+
+#[test]
+fn roundtrip_multi_register_program() {
+    let p = roundtrip(
+        "OPENQASM 2.0;\nqreg a[3];\nqreg b[2];\ncreg m[5];\n\
+         h a[0];\ncx a[0],b[1];\nbarrier a[0],b[0];\nreset b[1];\nmeasure a -> m;\n",
+    );
+    assert_eq!(p.total_qubits(), 5);
+    let offsets = p.qubit_offsets();
+    assert_eq!(offsets["a"], 0);
+    assert_eq!(offsets["b"], 3);
+}
+
+#[test]
+fn roundtrip_parameterized_gates() {
+    let p = roundtrip(
+        "OPENQASM 2.0;\nqreg q[2];\n\
+         u3(1.5707963267948966,0.0,3.141592653589793) q[0];\n\
+         rz(0.25) q[1];\ncu1(0.125) q[0],q[1];\n",
+    );
+    // Numeric parameters survive rendering exactly.
+    let Statement::GateCall { params, .. } = &p.statements[1] else {
+        panic!("expected gate call");
+    };
+    assert!((params[0].eval_const().unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+}
+
+#[test]
+fn roundtrip_user_gate_definition() {
+    let p = roundtrip(
+        "OPENQASM 2.0;\nqreg q[3];\n\
+         gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }\n\
+         majority q[0],q[1],q[2];\n",
+    );
+    let defs = p.gate_defs();
+    assert_eq!(defs["majority"].qubits, vec!["a", "b", "c"]);
+    assert_eq!(defs["majority"].body.len(), 3);
+}
+
+#[test]
+fn roundtrip_conditional_and_opaque() {
+    let p = roundtrip(
+        "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nopaque magic(alpha) a;\n\
+         if (c == 1) x q[0];\n",
+    );
+    assert!(p.statements.iter().any(|s| matches!(s, Statement::Conditional { value: 1, .. })));
+}
+
+#[test]
+fn rendered_text_is_a_fixpoint() {
+    // write(parse(write(parse(src)))) == write(parse(src)): rendering is
+    // stable after one normalization pass.
+    let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\ncreg c[4];\n\
+               h q[0];\ncx q[0],q[1];\nccx q[0],q[1],q[2];\nu3(0.5,0.25,0.125) q[3];\n\
+               measure q -> c;\n";
+    let once = write_program(&parse(src).unwrap());
+    let twice = write_program(&parse(&once).unwrap());
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn error_missing_header() {
+    let err = parse("qreg q[2];\n").unwrap_err();
+    assert!(err.message.contains("OPENQASM"), "{err}");
+    assert_eq!(err.line, 1);
+}
+
+#[test]
+fn error_missing_semicolon_reports_location() {
+    let err = parse("OPENQASM 2.0;\nqreg q[2]\nh q[0];\n").unwrap_err();
+    // The parser notices on the token after the unterminated declaration.
+    assert!(err.line >= 2, "line {} in {err}", err.line);
+}
+
+#[test]
+fn error_single_equals_in_condition() {
+    let err = parse("OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif (c = 1) x q[0];\n").unwrap_err();
+    assert!(err.message.contains("'=='"), "{err}");
+    assert_eq!(err.line, 4);
+}
+
+#[test]
+fn error_unterminated_string() {
+    let err = parse("OPENQASM 2.0;\ninclude \"qelib1.inc\n").unwrap_err();
+    assert!(err.message.contains("unterminated string"), "{err}");
+    assert_eq!(err.line, 2);
+}
+
+#[test]
+fn error_invalid_character() {
+    let err = parse("OPENQASM 2.0;\nqreg q[1];\n@ q[0];\n").unwrap_err();
+    assert_eq!(err.line, 3);
+    assert_eq!(err.col, 1);
+}
+
+#[test]
+fn error_missing_version_number() {
+    let err = parse("OPENQASM;\n").unwrap_err();
+    assert!(err.message.contains("version"), "{err}");
+}
+
+#[test]
+fn error_values_are_ordinary_std_errors() {
+    let err: QasmError = parse("").unwrap_err();
+    let display = err.to_string();
+    assert!(display.contains(&format!("{}:{}", err.line, err.col)), "{display}");
+    let _: Box<dyn std::error::Error> = Box::new(err);
+}

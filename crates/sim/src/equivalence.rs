@@ -138,11 +138,9 @@ mod tests {
     fn parallax_schedule_is_exact() {
         for seed in 0..3u64 {
             let c = test_circuit(5, seed);
-            let r = ParallaxCompiler::new(
-                MachineSpec::quera_aquila_256(),
-                CompilerConfig::quick(seed),
-            )
-            .compile(&c);
+            let r =
+                ParallaxCompiler::new(MachineSpec::quera_aquila_256(), CompilerConfig::quick(seed))
+                    .compile(&c);
             let f = parallax_schedule_fidelity(&c, &r, 42 + seed);
             assert_equivalent(f, "parallax schedule");
         }
@@ -161,11 +159,7 @@ mod tests {
     #[test]
     fn graphine_routing_is_exact_up_to_permutation() {
         let c = test_circuit(6, 77);
-        let r = compile_graphine(
-            &c,
-            &MachineSpec::quera_aquila_256(),
-            &PlacementConfig::quick(7),
-        );
+        let r = compile_graphine(&c, &MachineSpec::quera_aquila_256(), &PlacementConfig::quick(7));
         let f = baseline_routed_fidelity(&c, &r, 1234);
         assert_equivalent(f, "graphine routed circuit");
     }

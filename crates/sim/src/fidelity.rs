@@ -49,10 +49,7 @@ pub fn decoherence_factor(inputs: &FidelityInputs, params: &HardwareParams) -> f
 /// Success probability including measurement readout (5% per qubit). The
 /// readout term is compiler-independent; Fig. 10's relative comparison
 /// cancels it.
-pub fn success_probability_with_readout(
-    inputs: &FidelityInputs,
-    params: &HardwareParams,
-) -> f64 {
+pub fn success_probability_with_readout(inputs: &FidelityInputs, params: &HardwareParams) -> f64 {
     success_probability(inputs, params)
         * (1.0 - params.readout_error).powi(inputs.num_qubits as i32)
 }
@@ -68,8 +65,7 @@ mod tests {
     #[test]
     fn matches_paper_adv_calibration() {
         // ADV / Parallax: 32 CZ, paper reports 8.5e-01.
-        let inputs =
-            FidelityInputs { cz_count: 32, u3_count: 0, num_qubits: 9, runtime_us: 67.0 };
+        let inputs = FidelityInputs { cz_count: 32, u3_count: 0, num_qubits: 9, runtime_us: 67.0 };
         let p = success_probability(&inputs, &params());
         assert!((p - 0.85).abs() < 0.02, "p = {p}");
     }

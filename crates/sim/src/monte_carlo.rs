@@ -34,8 +34,7 @@ pub fn run_monte_carlo(
 ) -> MonteCarloResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let t_s = inputs.runtime_us * 1e-6;
-    let p_decohere =
-        1.0 - ((-t_s / params.t1_seconds).exp() * (-t_s / params.t2_seconds).exp());
+    let p_decohere = 1.0 - ((-t_s / params.t1_seconds).exp() * (-t_s / params.t2_seconds).exp());
     let mut ok = 0usize;
     let mut ok_read = 0usize;
     let mut lost_shots = 0usize;
@@ -105,8 +104,7 @@ mod tests {
 
     #[test]
     fn sampled_rate_matches_analytic_model() {
-        let inputs =
-            FidelityInputs { cz_count: 32, u3_count: 40, num_qubits: 9, runtime_us: 67.0 };
+        let inputs = FidelityInputs { cz_count: 32, u3_count: 40, num_qubits: 9, runtime_us: 67.0 };
         let analytic = success_probability(&inputs, &params());
         // Monte Carlo includes atom loss, which the analytic model folds
         // into T1 — compare against analytic times the no-loss factor.
@@ -123,8 +121,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let inputs =
-            FidelityInputs { cz_count: 10, u3_count: 10, num_qubits: 4, runtime_us: 50.0 };
+        let inputs = FidelityInputs { cz_count: 10, u3_count: 10, num_qubits: 4, runtime_us: 50.0 };
         let a = run_monte_carlo(&inputs, &params(), 1000, 7);
         let b = run_monte_carlo(&inputs, &params(), 1000, 7);
         assert_eq!(a, b);
@@ -132,8 +129,7 @@ mod tests {
 
     #[test]
     fn readout_lowers_success() {
-        let inputs =
-            FidelityInputs { cz_count: 5, u3_count: 5, num_qubits: 6, runtime_us: 10.0 };
+        let inputs = FidelityInputs { cz_count: 5, u3_count: 5, num_qubits: 6, runtime_us: 10.0 };
         let mc = run_monte_carlo(&inputs, &params(), 20_000, 3);
         assert!(mc.success_rate_with_readout < mc.success_rate);
         // (1-0.05)^6 ~ 0.735 ratio.
@@ -143,8 +139,7 @@ mod tests {
 
     #[test]
     fn atom_loss_rate_observed() {
-        let inputs =
-            FidelityInputs { cz_count: 0, u3_count: 0, num_qubits: 10, runtime_us: 0.0 };
+        let inputs = FidelityInputs { cz_count: 0, u3_count: 0, num_qubits: 10, runtime_us: 0.0 };
         let mc = run_monte_carlo(&inputs, &params(), 20_000, 9);
         let expected = 1.0 - (1.0 - params().atom_loss_rate).powi(10);
         assert!((mc.atom_loss_rate - expected).abs() < 0.01);
@@ -154,8 +149,7 @@ mod tests {
     fn noiseless_circuit_always_succeeds_sans_readout() {
         let mut p = params();
         p.atom_loss_rate = 0.0;
-        let inputs =
-            FidelityInputs { cz_count: 0, u3_count: 0, num_qubits: 3, runtime_us: 0.0 };
+        let inputs = FidelityInputs { cz_count: 0, u3_count: 0, num_qubits: 3, runtime_us: 0.0 };
         let mc = run_monte_carlo(&inputs, &p, 5000, 2);
         assert_eq!(mc.success_rate, 1.0);
     }

@@ -5,7 +5,7 @@
 //! (up to the qubit permutation SWAP routing induces). Handles up to ~20
 //! qubits comfortably, which covers the verification-sized benchmarks.
 
-use parallax_circuit::{C64, Circuit, Gate, Mat2};
+use parallax_circuit::{Circuit, Gate, Mat2, C64};
 
 /// Hard cap to keep accidental huge simulations from exhausting memory.
 pub const MAX_SIM_QUBITS: usize = 24;

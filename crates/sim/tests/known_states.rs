@@ -1,0 +1,152 @@
+//! Simulator tier tests: the statevector engine against analytically known
+//! states, and optimizer unitary-equivalence on small circuits.
+
+use parallax_circuit::{optimize, Circuit, CircuitBuilder, Gate};
+use parallax_sim::{simulate, StateVector, EQUIV_TOL, MAX_SIM_QUBITS};
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+fn assert_amp(sv: &StateVector, index: usize, re: f64, im: f64) {
+    let a = sv.amplitudes()[index];
+    assert!(
+        (a.re - re).abs() < 1e-12 && (a.im - im).abs() < 1e-12,
+        "amp[{index}] = {a:?}, expected {re}+{im}i"
+    );
+}
+
+#[test]
+fn hadamard_gives_plus_state() {
+    let mut b = CircuitBuilder::new(1);
+    b.h(0);
+    let sv = simulate(&b.build());
+    assert_amp(&sv, 0, FRAC_1_SQRT_2, 0.0);
+    assert_amp(&sv, 1, FRAC_1_SQRT_2, 0.0);
+}
+
+#[test]
+fn u3_pi_is_an_x_flip() {
+    let mut c = Circuit::new(1);
+    c.push(Gate::x(0));
+    let sv = simulate(&c);
+    assert!(sv.probability(0) < 1e-12);
+    assert!((sv.probability(1) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn bell_pair_amplitudes_and_probabilities() {
+    let mut b = CircuitBuilder::new(2);
+    b.h(0).cx(0, 1);
+    let sv = simulate(&b.build());
+    let probs = sv.probabilities();
+    assert!((probs[0b00] - 0.5).abs() < 1e-12);
+    assert!(probs[0b01] < 1e-12);
+    assert!(probs[0b10] < 1e-12);
+    assert!((probs[0b11] - 0.5).abs() < 1e-12);
+    // |Phi+> has equal-phase amplitudes (up to the global phase the CX
+    // decomposition leaves): check relative phase is 0.
+    let a00 = sv.amplitudes()[0b00];
+    let a11 = sv.amplitudes()[0b11];
+    assert!((a00.conj() * a11).im.abs() < 1e-12, "relative phase not real");
+    assert!((a00.conj() * a11).re > 0.0, "relative phase flipped");
+}
+
+#[test]
+fn ghz_three_qubits() {
+    let mut b = CircuitBuilder::new(3);
+    b.h(0).cx(0, 1).cx(1, 2);
+    let sv = simulate(&b.build());
+    assert!((sv.probability(0b000) - 0.5).abs() < 1e-12);
+    assert!((sv.probability(0b111) - 0.5).abs() < 1e-12);
+    for i in 1..7 {
+        assert!(sv.probability(i) < 1e-12, "stray amplitude at {i:#05b}");
+    }
+}
+
+#[test]
+fn cz_flips_only_the_11_amplitude() {
+    let mut b = CircuitBuilder::new(2);
+    b.h(0).h(1).cz(0, 1);
+    let sv = simulate(&b.build());
+    assert_amp(&sv, 0b00, 0.5, 0.0);
+    assert_amp(&sv, 0b01, 0.5, 0.0);
+    assert_amp(&sv, 0b10, 0.5, 0.0);
+    assert_amp(&sv, 0b11, -0.5, 0.0);
+}
+
+#[test]
+fn fidelity_ignores_global_phase() {
+    let mut plain = Circuit::new(1);
+    plain.push(Gate::h(0));
+    // rz contributes a global phase on top of the same physical state.
+    let mut phased = Circuit::new(1);
+    phased.push(Gate::h(0));
+    phased.push(Gate::u3(0, 0.0, 0.7, -0.7));
+    let (a, b) = (simulate(&plain), simulate(&phased));
+    assert!((a.fidelity(&b) - 1.0).abs() < EQUIV_TOL);
+}
+
+#[test]
+fn permute_relabels_basis_states() {
+    // Prepare |q1 q0> = |01> (qubit 0 set), then swap labels -> |10>.
+    let mut c = Circuit::new(2);
+    c.push(Gate::x(0));
+    let sv = simulate(&c);
+    assert!((sv.probability(0b01) - 1.0).abs() < 1e-12);
+    let swapped = sv.permute(&[1, 0]);
+    assert!((swapped.probability(0b10) - 1.0).abs() < 1e-12);
+    assert!((swapped.norm() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn zero_state_cap_and_basics() {
+    let sv = StateVector::zero(3);
+    assert_eq!(sv.num_qubits(), 3);
+    assert_eq!(sv.amplitudes().len(), 8);
+    assert!((sv.probability(0) - 1.0).abs() < 1e-15);
+    const { assert!(MAX_SIM_QUBITS >= 20, "verification-sized benchmarks must fit") };
+}
+
+#[test]
+fn optimize_preserves_unitary_on_small_circuits() {
+    // The optimizer equivalence guarantee, checked against the simulator on
+    // ≤6-qubit circuits with non-trivial U3/CZ structure.
+    for (n, seed) in [(2usize, 0u64), (4, 1), (5, 2), (6, 3)] {
+        let mut b = CircuitBuilder::new(n);
+        let mut state = seed.wrapping_add(12345);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for q in 0..n as u32 {
+            b.h(q);
+        }
+        for _ in 0..8 * n {
+            let a = next() % n as u32;
+            match next() % 4 {
+                0 => {
+                    b.rz((next() % 628) as f64 / 100.0, a);
+                }
+                1 => {
+                    b.u3(
+                        (next() % 314) as f64 / 100.0,
+                        (next() % 628) as f64 / 100.0,
+                        (next() % 628) as f64 / 100.0,
+                        a,
+                    );
+                }
+                _ => {
+                    let c = (a + 1 + next() % (n as u32 - 1)) % n as u32;
+                    b.cz(a.min(c), a.max(c));
+                }
+            }
+        }
+        let circuit = b.build();
+        let optimized = optimize(&circuit);
+        let f = simulate(&circuit).fidelity(&simulate(&optimized));
+        assert!(
+            (f - 1.0).abs() < EQUIV_TOL,
+            "n={n} seed={seed}: optimizer changed semantics, fidelity {f}"
+        );
+        assert!(optimized.cz_count() <= circuit.cz_count());
+    }
+}

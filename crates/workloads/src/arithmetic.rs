@@ -181,7 +181,7 @@ mod tests {
         use parallax_circuit::Gate;
         use parallax_sim_check::check_adder;
         // 2-bit adder (5 qubits): verify b += a for all inputs.
-        check_adder(2, |bits| ripple_carry_adder(bits), Gate::x);
+        check_adder(2, ripple_carry_adder, Gate::x);
     }
 
     /// Mini statevector harness local to this crate's tests (the full
@@ -222,11 +222,7 @@ mod tests {
             amps
         }
 
-        pub fn check_adder(
-            bits: usize,
-            gen: impl Fn(usize) -> Circuit,
-            _x: impl Fn(u32) -> Gate,
-        ) {
+        pub fn check_adder(bits: usize, gen: impl Fn(usize) -> Circuit, _x: impl Fn(u32) -> Gate) {
             let circuit = gen(bits);
             let n = circuit.num_qubits();
             for a_val in 0..(1usize << bits) {
@@ -258,10 +254,7 @@ mod tests {
                         }
                     }
                     let expected = (a_val + b_val) % (1 << bits);
-                    assert_eq!(
-                        b_out, expected,
-                        "adder({bits}): {a_val} + {b_val} gave {b_out}"
-                    );
+                    assert_eq!(b_out, expected, "adder({bits}): {a_val} + {b_val} gave {b_out}");
                     // `a` register must be restored.
                     let mut a_out = 0usize;
                     for i in 0..bits {

@@ -89,7 +89,7 @@ pub fn w_state(n: usize) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parallax_circuit::{C64, Gate, Mat2};
+    use parallax_circuit::{Gate, Mat2, C64};
 
     #[test]
     fn qec_matches_table3_size() {
@@ -170,12 +170,8 @@ mod tests {
     fn shor_code_corrects_injected_error() {
         let amps = simulate_small(&shor_code(0));
         // q0 must be |0>: total probability of states with bit 0 set ~ 0.
-        let p_q0_one: f64 = amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & 1 == 1)
-            .map(|(_, a)| a.norm_sq())
-            .sum();
+        let p_q0_one: f64 =
+            amps.iter().enumerate().filter(|(i, _)| i & 1 == 1).map(|(_, a)| a.norm_sq()).sum();
         assert!(p_q0_one < 1e-9, "p(q0=1) = {p_q0_one}");
     }
 
@@ -185,12 +181,8 @@ mod tests {
         // GHZ-encoded |+>: only all-zero and all-one data patterns (with
         // syndromes reset to 0 after an even number of flips... syndromes
         // read 0 for both branches).
-        let nonzero: Vec<usize> = amps
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.norm_sq() > 1e-9)
-            .map(|(i, _)| i)
-            .collect();
+        let nonzero: Vec<usize> =
+            amps.iter().enumerate().filter(|(_, a)| a.norm_sq() > 1e-9).map(|(i, _)| i).collect();
         assert_eq!(nonzero.len(), 2, "{nonzero:?}");
     }
 

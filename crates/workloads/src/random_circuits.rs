@@ -25,7 +25,7 @@ pub fn quantum_advantage(side: usize, cycles: usize, seed: u64) -> Circuit {
     ];
     for cycle in 0..cycles {
         for qi in 0..n as u32 {
-            let (t, p, l) = sqrt_gates[rng.random_range(0..3)];
+            let (t, p, l) = sqrt_gates[rng.random_range(0..3usize)];
             b.u3(t, p, l, qi);
         }
         // Coupler pattern rotates through 4 orientations.
@@ -160,10 +160,7 @@ mod tests {
     fn seeded_determinism() {
         assert_eq!(quantum_advantage(3, 8, 5), quantum_advantage(3, 8, 5));
         assert_eq!(quantum_volume(8, 4, 5), quantum_volume(8, 4, 5));
-        assert_eq!(
-            hidden_linear_function(10, 0.5, 5),
-            hidden_linear_function(10, 0.5, 5)
-        );
+        assert_eq!(hidden_linear_function(10, 0.5, 5), hidden_linear_function(10, 0.5, 5));
     }
 
     #[test]

@@ -18,10 +18,7 @@ pub struct Benchmark {
 
 impl std::fmt::Debug for Benchmark {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Benchmark")
-            .field("name", &self.name)
-            .field("qubits", &self.qubits)
-            .finish()
+        f.debug_struct("Benchmark").field("name", &self.name).field("qubits", &self.qubits).finish()
     }
 }
 

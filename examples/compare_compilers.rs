@@ -34,12 +34,13 @@ fn main() {
     let eli = baseline_fidelity_inputs(&el, &machine.params);
     let gri = baseline_fidelity_inputs(&gr, &machine.params);
 
-    println!("\n{:<12} {:>8} {:>8} {:>12} {:>12}", "compiler", "CZ", "SWAPs", "runtime(µs)", "success");
-    for (label, inputs, swaps) in [
-        ("graphine", &gri, gr.swap_count),
-        ("eldi", &eli, el.swap_count),
-        ("parallax", &pxi, 0),
-    ] {
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>12} {:>12}",
+        "compiler", "CZ", "SWAPs", "runtime(µs)", "success"
+    );
+    for (label, inputs, swaps) in
+        [("graphine", &gri, gr.swap_count), ("eldi", &eli, el.swap_count), ("parallax", &pxi, 0)]
+    {
         println!(
             "{label:<12} {:>8} {swaps:>8} {:>12.1} {:>12.3e}",
             inputs.cz_count,

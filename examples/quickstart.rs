@@ -24,7 +24,10 @@ fn main() {
 
     // 3. Inspect: zero SWAPs, layer schedule, atom movement statistics.
     let stats = &result.schedule.stats;
-    println!("compiled: {} layers, {} CZ, {} U3", stats.layer_count, stats.cz_count, stats.u3_count);
+    println!(
+        "compiled: {} layers, {} CZ, {} U3",
+        stats.layer_count, stats.cz_count, stats.u3_count
+    );
     println!("SWAPs inserted: {} (always zero for Parallax)", stats.swap_count);
     println!(
         "AOD atoms: {:?} | moves: {} | trap changes: {}",

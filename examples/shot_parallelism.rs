@@ -13,8 +13,7 @@ fn main() {
     let circuit = bench.circuit(0);
     let machine = MachineSpec::atom_1225();
 
-    let result =
-        ParallaxCompiler::new(machine, CompilerConfig::default()).compile(&circuit);
+    let result = ParallaxCompiler::new(machine, CompilerConfig::default()).compile(&circuit);
     let runtime = parallax_runtime_us(&result);
     let (w, h) = result.footprint_sites();
     println!(
@@ -35,8 +34,7 @@ fn main() {
 
     let model = ShotModel::default();
     println!("{:>8} {:>12} {:>16}", "factor", "phys shots", "total exec (s)");
-    let mut factors: Vec<usize> =
-        (1..=plan.copies_x.min(plan.copies_y)).map(|k| k * k).collect();
+    let mut factors: Vec<usize> = (1..=plan.copies_x.min(plan.copies_y)).map(|k| k * k).collect();
     if factors.last() != Some(&plan.factor()) {
         factors.push(plan.factor());
     }

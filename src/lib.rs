@@ -1,5 +1,33 @@
 //! Umbrella crate for the Parallax neutral-atom compiler suite.
 //!
+//! Rust reproduction of *"Parallax: A Compiler for Neutral Atom Quantum
+//! Computers under Hardware Constraints"* (Ludmir & Patel, SC 2024):
+//! OpenQASM 2.0 in, a zero-SWAP schedule of {U3, CZ} gate layers and AOD
+//! atom movements out, evaluated against the ELDI and GRAPHINE baselines.
+//!
+//! # Building and testing
+//!
+//! ```text
+//! cargo build --release          # all 12 workspace crates
+//! cargo test -q                  # end-to-end + property tests (this crate)
+//! cargo test -q --workspace      # full tiered harness, every crate
+//! cargo fmt --check && cargo clippy --workspace --all-targets -- -D warnings
+//! ```
+//!
+//! External deps (`rand`, `proptest`, `criterion`) are vendored offline
+//! stand-ins under `vendor/`; everything builds with no network.
+//!
+//! # Reproducing the paper's evaluation
+//!
+//! ```text
+//! cargo run --release -p parallax-bench --bin experiments -- all
+//! cargo run --release -p parallax-bench --bin parallax-compile -- file.qasm
+//! cargo bench -p parallax-bench               # fig9-fig13, table4, stages
+//! cargo bench -p parallax-bench --bench fig9_cz_counts
+//! ```
+//!
+//! # Crate map
+//!
 //! Re-exports every member crate under one roof so the examples and
 //! integration tests (and downstream users who want a single dependency)
 //! can reach the whole stack:
@@ -13,6 +41,9 @@
 //! * [`baselines`] — ELDI and GRAPHINE comparison compilers
 //! * [`sim`] — runtime/fidelity models, statevector verification
 //! * [`workloads`] — the 18 Table III benchmarks
+//!
+//! (`parallax-bench`, the experiment harness, is a binary/bench crate and
+//! is not re-exported.)
 
 pub use parallax_anneal as anneal;
 pub use parallax_baselines as baselines;

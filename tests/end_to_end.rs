@@ -98,8 +98,7 @@ fn success_probability_tracks_cz_counts() {
     .compile_with_layout(&circuit, &layout);
     let gr = compile_graphine_with_layout(&circuit, &machine, &layout);
     let ps = success_probability(&parallax_fidelity_inputs(&px), &machine.params);
-    let gs =
-        success_probability(&baseline_fidelity_inputs(&gr, &machine.params), &machine.params);
+    let gs = success_probability(&baseline_fidelity_inputs(&gr, &machine.params), &machine.params);
     if gr.swap_count > 0 {
         assert!(ps > gs, "parallax {ps} vs graphine {gs} with {} swaps", gr.swap_count);
     }

@@ -9,6 +9,7 @@ use parallax_graphine::{connecting_radius, is_geometrically_connected};
 use parallax_hardware::MachineSpec;
 use parallax_sim::{baseline_routed_fidelity, parallax_schedule_fidelity, simulate};
 use proptest::prelude::*;
+use std::f64::consts::PI;
 
 /// Strategy: a random circuit on `n` qubits with `len` gates.
 fn random_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
@@ -54,8 +55,8 @@ proptest! {
     /// ZYZ extraction reproduces any product of two random U3 matrices.
     #[test]
     fn zyz_roundtrip_products(
-        t1 in 0.0f64..3.14, p1 in -3.14f64..3.14, l1 in -3.14f64..3.14,
-        t2 in 0.0f64..3.14, p2 in -3.14f64..3.14, l2 in -3.14f64..3.14,
+        t1 in 0.0f64..PI, p1 in -PI..PI, l1 in -PI..PI,
+        t2 in 0.0f64..PI, p2 in -PI..PI, l2 in -PI..PI,
     ) {
         let m = Mat2::u3(t2, p2, l2).mul(&Mat2::u3(t1, p1, l1));
         let (t, p, l) = zyz_decompose(&m);

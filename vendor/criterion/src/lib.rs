@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendor crate
+//! implements the criterion API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `Bencher::iter` — backed by plain
+//! wall-clock measurement: each benchmark is warmed up once, sampled
+//! `sample_size` times, and its min/mean/max per-iteration time printed.
+//! Statistical analysis, plotting, and baselines are intentionally absent.
+
+use std::hint;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size, _c: self }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&id.into(), self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` and print the result under `group/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// End the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples_ns: Vec::with_capacity(sample_size), sample_size };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples_ns.iter().cloned().fold(0.0, f64::max);
+    let mean = b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64;
+    println!(
+        "{id:<40} time: [{} {} {}] ({} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        b.samples_ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declare a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 4, "1 warm-up + 3 samples");
+    }
+
+    #[test]
+    fn format_spans_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with('s'));
+    }
+}

@@ -75,15 +75,45 @@ pub struct ParallaxCompiler {
     config: CompilerConfig,
 }
 
+/// A cheap, shareable compiler handle: [`ParallaxCompiler`] is immutable
+/// after construction and `compile` takes `&self`, so one instance behind an
+/// `Arc` can serve any number of worker threads concurrently.
+pub type SharedCompiler = std::sync::Arc<ParallaxCompiler>;
+
 impl ParallaxCompiler {
     /// Create a compiler for `machine` with `config`.
     pub fn new(machine: MachineSpec, config: CompilerConfig) -> Self {
         Self { machine, config }
     }
 
+    /// Create a compiler wrapped for sharing across threads (the handle the
+    /// compile service's worker pool clones per job).
+    pub fn shared(machine: MachineSpec, config: CompilerConfig) -> SharedCompiler {
+        std::sync::Arc::new(Self::new(machine, config))
+    }
+
+    /// Wrap this compiler into a [`SharedCompiler`] handle.
+    pub fn into_shared(self) -> SharedCompiler {
+        std::sync::Arc::new(self)
+    }
+
     /// The machine this compiler targets.
     pub fn machine(&self) -> &MachineSpec {
         &self.machine
+    }
+
+    /// The configuration this compiler applies.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// Stable fingerprint of the (machine, config) pair; combined with a
+    /// stable circuit hash it content-addresses a compilation, since equal
+    /// fingerprints plus equal circuits give bit-identical results.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = parallax_hardware::StableHasher::new();
+        h.write_u64(self.machine.fingerprint()).write_u64(self.config.fingerprint());
+        h.finish()
     }
 
     /// Compile `circuit` end to end: GRAPHINE placement (step 1),
@@ -175,6 +205,41 @@ mod tests {
         // GHZ chains are nearest-neighbour after a good placement; the
         // trap-change rate should be far below 100%.
         assert!(r.trap_change_rate() < 0.5, "rate {}", r.trap_change_rate());
+    }
+
+    #[test]
+    fn shared_handle_compiles_from_many_threads() {
+        let compiler =
+            ParallaxCompiler::shared(MachineSpec::quera_aquila_256(), CompilerConfig::quick(6));
+        assert_ne!(compiler.fingerprint(), 0);
+        let c = ghz(4);
+        let baseline = compiler.compile(&c);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let compiler = compiler.clone();
+                let c = &c;
+                let baseline = &baseline;
+                s.spawn(move || {
+                    let r = compiler.compile(c);
+                    assert_eq!(r.home_positions, baseline.home_positions);
+                    assert_eq!(r.schedule.gate_order(), baseline.schedule.gate_order());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn fingerprint_separates_machine_and_config() {
+        let quick = CompilerConfig::quick(1);
+        let a = ParallaxCompiler::new(MachineSpec::quera_aquila_256(), quick.clone());
+        let b = ParallaxCompiler::new(MachineSpec::atom_1225(), quick.clone());
+        let c = ParallaxCompiler::new(MachineSpec::quera_aquila_256(), CompilerConfig::quick(2));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            ParallaxCompiler::new(MachineSpec::quera_aquila_256(), quick).fingerprint()
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Compiler configuration.
 
 use parallax_graphine::PlacementConfig;
+use parallax_hardware::StableHasher;
 
 /// Tuning knobs for the Parallax compiler. Defaults follow the paper.
 #[derive(Debug, Clone)]
@@ -47,6 +48,24 @@ impl CompilerConfig {
         self.return_home = false;
         self
     }
+
+    /// Stable structural fingerprint over every tuning knob (floats by bit
+    /// pattern), for content-addressed result caching: equal fingerprints
+    /// and equal inputs imply bit-identical compilations. Stable across
+    /// processes and platforms, unlike `DefaultHasher`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.seed)
+            .write_u64(self.placement.seed)
+            .write_usize(self.placement.max_iter)
+            .write_usize(self.placement.local_search_evals)
+            .write_f64(self.placement.repulsion_scale)
+            .write_bool(self.return_home)
+            .write_usize(self.max_move_recursion)
+            .write_f64(self.oor_weight)
+            .write_f64(self.blockade_weight);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -66,5 +85,17 @@ mod tests {
     fn ablation_toggle() {
         let c = CompilerConfig::default().without_home_return();
         assert!(!c.return_home);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob() {
+        let base = CompilerConfig::quick(1).fingerprint();
+        assert_eq!(base, CompilerConfig::quick(1).fingerprint());
+        assert_ne!(base, CompilerConfig::quick(2).fingerprint());
+        assert_ne!(base, CompilerConfig::default().fingerprint());
+        assert_ne!(base, CompilerConfig::quick(1).without_home_return().fingerprint());
+        let mut c = CompilerConfig::quick(1);
+        c.oor_weight = 0.5;
+        assert_ne!(base, c.fingerprint());
     }
 }

@@ -49,10 +49,10 @@ pub mod parallelize;
 pub mod scheduler;
 
 pub use aod_select::{select_aod_qubits, AodSelection};
-pub use compiler::{CompilationResult, ParallaxCompiler};
+pub use compiler::{CompilationResult, ParallaxCompiler, SharedCompiler};
 pub use config::CompilerConfig;
 pub use discretize::{discretize, DiscretizedLayout};
 pub use movement::{plan_move_into_range, plan_return_home, MoveFailure, MovePlan};
-pub use parallel::compile_batch;
+pub use parallel::{compile_batch, panic_message, try_compile_batch, BatchJobError};
 pub use parallelize::{replication_plan, sweep_factors, ReplicationPlan};
 pub use scheduler::{schedule_gates, CompileStats, Schedule, ScheduledLayer};

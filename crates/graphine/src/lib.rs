@@ -25,7 +25,7 @@ pub mod placement;
 pub mod radius;
 
 pub use graph::InteractionGraph;
-pub use placement::{place, placement_energy, Placement, PlacementConfig};
+pub use placement::{place, placement_energy, EnergyTable, Placement, PlacementConfig};
 pub use radius::{connecting_radius, is_geometrically_connected};
 
 use parallax_circuit::Circuit;

@@ -1,0 +1,157 @@
+//! Stable structural fingerprints for cache keys.
+//!
+//! The compile service keys its result cache on (circuit, config, machine).
+//! `std::hash::DefaultHasher` is randomly seeded per process, so cache keys
+//! built with it would not survive a restart nor match across replicas.
+//! [`StableHasher`] is a fixed-seed 64-bit FNV-1a accumulator with typed
+//! `write_*` helpers; floats are hashed by IEEE bit pattern, so two configs
+//! fingerprint equally iff their fields are bitwise equal.
+
+use crate::params::{HardwareParams, MachineSpec};
+
+/// FNV-1a 64-bit offset basis. Must match `parallax_qasm::hash` — the two
+/// crates are independent leaves of the dependency graph, so the algorithm
+/// is duplicated rather than shared; both halves feed the same service
+/// cache-key scheme and must not drift.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime (see the sync note on [`FNV_OFFSET`]).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Process- and platform-stable 64-bit FNV-1a accumulator.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Start from the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorb a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorb a `usize` widened to `u64`.
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorb a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) -> &mut Self {
+        self.write_bytes(&[u8::from(v)])
+    }
+
+    /// Absorb an `f64` by IEEE-754 bit pattern (NaNs with different
+    /// payloads hash differently; `-0.0 != 0.0` — bitwise semantics are
+    /// what a cache key wants).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorb a string (length-prefixed to avoid concatenation collisions).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl HardwareParams {
+    /// Absorb every physical parameter into `h` (used by
+    /// [`MachineSpec::fingerprint`]).
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        h.write_f64(self.atom_loss_rate)
+            .write_f64(self.trap_switch_time_us)
+            .write_f64(self.u3_gate_error)
+            .write_f64(self.u3_gate_time_us)
+            .write_f64(self.aod_move_speed_um_per_us)
+            .write_f64(self.t1_seconds)
+            .write_f64(self.t2_seconds)
+            .write_f64(self.cz_gate_error)
+            .write_f64(self.cz_gate_time_us)
+            .write_f64(self.swap_gate_error)
+            .write_f64(self.readout_error);
+    }
+}
+
+impl MachineSpec {
+    /// Stable structural fingerprint of the full machine description —
+    /// equal iff every geometric and physical field is bitwise equal.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str(self.name)
+            .write_usize(self.grid_dim)
+            .write_usize(self.aod_dim)
+            .write_f64(self.min_separation_um)
+            .write_f64(self.padding_um)
+            .write_f64(self.blockade_factor);
+        self.params.hash_into(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let quera = MachineSpec::quera_aquila_256();
+        assert_eq!(quera.fingerprint(), MachineSpec::quera_aquila_256().fingerprint());
+        assert_ne!(quera.fingerprint(), MachineSpec::atom_1225().fingerprint());
+        assert_ne!(quera.fingerprint(), quera.with_aod_dim(5).fingerprint());
+    }
+
+    #[test]
+    fn param_changes_change_the_fingerprint() {
+        let mut spec = MachineSpec::quera_aquila_256();
+        let base = spec.fingerprint();
+        spec.params.cz_gate_error *= 2.0;
+        assert_ne!(base, spec.fingerprint());
+    }
+
+    #[test]
+    fn hasher_is_order_sensitive_and_prefix_safe() {
+        let mut a = StableHasher::new();
+        a.write_str("ab").write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn matches_fnv1a_reference_vectors() {
+        // Keeps this copy in lockstep with `parallax_qasm::hash::fnv1a_64`
+        // (same published FNV-1a test vectors there).
+        let digest = |bytes: &[u8]| {
+            let mut h = StableHasher::new();
+            h.write_bytes(bytes);
+            h.finish()
+        };
+        assert_eq!(digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest(b"foobar"), 0x85944171f73967e8);
+    }
+}

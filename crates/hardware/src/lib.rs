@@ -24,11 +24,13 @@
 //! ```
 
 pub mod array;
+pub mod fingerprint;
 pub mod geometry;
 pub mod grid;
 pub mod params;
 
 pub use array::{AodMove, AtomArray, Trap, Violation};
+pub use fingerprint::StableHasher;
 pub use geometry::{violates_separation, within_blockade, within_interaction, Point};
 pub use grid::{Site, SiteGrid};
 pub use params::{HardwareParams, MachineSpec};

@@ -1,0 +1,81 @@
+//! Stable content hashing of OpenQASM programs.
+//!
+//! The compile service caches results by circuit content, so two
+//! submissions of the *same program* — differing only in whitespace,
+//! comments, or numeric formatting quirks the parser normalizes away —
+//! must map to the same key, and the key must be stable across processes
+//! and platforms (no `std::collections` `RandomState`). The entry points
+//! here hash the canonical [`write_program`](crate::write_program)
+//! rendering of the parsed AST with FNV-1a, which satisfies both.
+
+use crate::ast::Program;
+use crate::Result;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash raw bytes with 64-bit FNV-1a. Deterministic across processes,
+/// platforms, and compiler versions — unlike `DefaultHasher`, which is
+/// seeded per process.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable content hash of a parsed [`Program`]: the FNV-1a hash of its
+/// canonical text rendering, so semantically identical ASTs collide.
+pub fn program_hash(program: &Program) -> u64 {
+    fnv1a_64(crate::write_program(program).as_bytes())
+}
+
+/// Parse `source` and return its [`program_hash`]. Whitespace- and
+/// comment-insensitive: any two sources that parse to the same AST hash
+/// identically. Errors if `source` is not valid OpenQASM 2.0.
+pub fn source_hash(source: &str) -> Result<u64> {
+    Ok(program_hash(&crate::parse(source)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BELL: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+                        h q[0];\ncx q[0],q[1];\nmeasure q -> c;\n";
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn whitespace_and_comments_do_not_change_the_hash() {
+        let noisy = "OPENQASM 2.0;  // header\ninclude \"qelib1.inc\";\n\n\nqreg q[2];\n\
+                     creg c[2];\n  h   q[0] ;\ncx q[0] , q[1];\nmeasure q->c;\n";
+        assert_eq!(source_hash(BELL).unwrap(), source_hash(noisy).unwrap());
+    }
+
+    #[test]
+    fn different_programs_hash_differently() {
+        let other = BELL.replace("h q[0]", "x q[0]");
+        assert_ne!(source_hash(BELL).unwrap(), source_hash(&other).unwrap());
+    }
+
+    #[test]
+    fn hash_is_stable_across_calls() {
+        assert_eq!(source_hash(BELL).unwrap(), source_hash(BELL).unwrap());
+    }
+
+    #[test]
+    fn invalid_source_errors() {
+        assert!(source_hash("OPENQASM 2.0; qreg q[").is_err());
+    }
+}

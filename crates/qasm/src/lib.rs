@@ -28,6 +28,7 @@
 pub mod ast;
 pub mod error;
 pub mod expr;
+pub mod hash;
 pub mod lexer;
 pub mod parser;
 pub mod writer;
@@ -35,6 +36,7 @@ pub mod writer;
 pub use ast::{Argument, GateDef, Program, Statement};
 pub use error::{QasmError, Result};
 pub use expr::Expr;
+pub use hash::{fnv1a_64, program_hash, source_hash};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::Parser;
 pub use writer::write_program;

@@ -1,0 +1,120 @@
+//! Command-line client for `parallax-serve`.
+//!
+//! ```text
+//! parallax-client [--addr HOST:PORT] ping
+//! parallax-client [--addr HOST:PORT] stats
+//! parallax-client [--addr HOST:PORT] shutdown
+//! parallax-client [--addr HOST:PORT] submit <file.qasm|-> \
+//!     [--seed N] [--machine quera|atom] [--quick] [--no-return-home]
+//!     [--priority 0..9] [--aod-dim N]
+//! parallax-client [--addr HOST:PORT] submit --workload NAME [options...]
+//! ```
+//!
+//! `submit` prints the compilation metrics the server returned; repeat an
+//! identical submission to watch `cached: true` come back instantly.
+
+use parallax_service::{Json, ServiceClient, SubmitRequest, SubmitSource};
+use std::io::Read;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: parallax-client [--addr HOST:PORT] <ping|stats|shutdown|submit> ...\n\
+         submit: <file.qasm|-> | --workload NAME, plus [--seed N] [--machine quera|atom]\n\
+         [--quick] [--no-return-home] [--priority 0..9] [--aod-dim N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut command: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut request = SubmitRequest { quick: false, ..Default::default() };
+    let mut workload: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = it.next().cloned().unwrap_or_else(|| die("--addr expects HOST:PORT"))
+            }
+            "--workload" => {
+                workload =
+                    Some(it.next().cloned().unwrap_or_else(|| die("--workload expects a name")))
+            }
+            "--seed" => {
+                request.seed =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --seed"))
+            }
+            "--machine" => {
+                request.machine =
+                    it.next().cloned().unwrap_or_else(|| die("--machine expects quera|atom"))
+            }
+            "--aod-dim" => {
+                request.aod_dim = Some(
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --aod-dim")),
+                )
+            }
+            "--priority" => {
+                request.priority =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --priority"))
+            }
+            "--quick" => request.quick = true,
+            "--no-return-home" => request.return_home = false,
+            other if !other.starts_with("--") && command.is_none() => {
+                command = Some(other.to_string())
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    let command = command.unwrap_or_else(|| die("missing command"));
+
+    let mut client = match ServiceClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => die(&format!("cannot connect to {addr}: {e}")),
+    };
+
+    let outcome = match command.as_str() {
+        "ping" => client.ping().map(|v| v.encode()),
+        "stats" => client.stats().map(|v| v.encode()),
+        "shutdown" => client.shutdown().map(|v| v.encode()),
+        "submit" => {
+            request.source = match (workload, path) {
+                (Some(w), None) => SubmitSource::Workload(w),
+                (None, Some(p)) => {
+                    let text = if p == "-" {
+                        let mut buf = String::new();
+                        std::io::stdin()
+                            .read_to_string(&mut buf)
+                            .unwrap_or_else(|e| die(&e.to_string()));
+                        buf
+                    } else {
+                        std::fs::read_to_string(&p).unwrap_or_else(|e| die(&format!("{p}: {e}")))
+                    };
+                    SubmitSource::Qasm(text)
+                }
+                (Some(_), Some(_)) => die("provide a file or --workload, not both"),
+                (None, None) => die("submit needs a QASM file, '-', or --workload NAME"),
+            };
+            client.submit(request).map(|reply| {
+                let mut out =
+                    format!("cached: {}  server latency: {} µs\n", reply.cached, reply.total_us);
+                if let Json::Obj(pairs) = &reply.result {
+                    for (k, v) in pairs {
+                        out.push_str(&format!("{k:<18} {}\n", v.encode()));
+                    }
+                }
+                out.trim_end().to_string()
+            })
+        }
+        other => die(&format!("unknown command '{other}'")),
+    };
+
+    match outcome {
+        Ok(text) => println!("{text}"),
+        Err(e) => die(&e.to_string()),
+    }
+}

@@ -1,0 +1,237 @@
+//! Content-addressed LRU cache of compilation results.
+//!
+//! Keyed by [`CacheKey`] — the stable circuit content hash plus the
+//! (machine, config) fingerprint — so a hit is only possible when the
+//! compilation would be bit-identical anyway (the whole pipeline is
+//! deterministic per seed). Values are the canonical encoded result
+//! payloads, served verbatim on repeat submissions without recompiling.
+//!
+//! Eviction is least-recently-used via an intrusive doubly-linked list
+//! over slab indices: `get`, `insert`, and eviction are all O(1) (plus
+//! hashing), so the cache stays off the serving hot path's critical cost.
+
+use std::collections::HashMap;
+
+/// Content address of one compilation: (circuit, machine+config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Stable hash of the canonical QASM of the compiled circuit
+    /// ([`crate::protocol::circuit_content_hash`]).
+    pub circuit: u64,
+    /// `ParallaxCompiler::fingerprint()` — machine and every config knob.
+    pub compiler: u64,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: CacheKey,
+    value: String,
+    prev: usize,
+    next: usize,
+}
+
+/// Bounded LRU map from [`CacheKey`] to encoded result payloads.
+pub struct ResultCache {
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most-recently-used slot index.
+    head: usize,
+    /// Least-recently-used slot index.
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// Create a cache holding at most `capacity` results (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Look up `key`, marking it most recently used and counting the
+    /// hit/miss.
+    pub fn get(&mut self, key: &CacheKey) -> Option<String> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(self.slots[i].value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: CacheKey, value: String) {
+        if let Some(i) = self.map.get(&key).copied() {
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            self.evictions += 1;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot { key, value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slots.push(Slot { key, value, prev: NIL, next: NIL });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey { circuit: n, compiler: 1 }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get(&key(1)), None);
+        c.insert(key(1), "a".into());
+        assert_eq!(c.get(&key(1)), Some("a".into()));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), "a".into());
+        c.insert(key(2), "b".into());
+        let _ = c.get(&key(1)); // 1 is now MRU; 2 is LRU
+        c.insert(key(3), "c".into()); // evicts 2
+        assert_eq!(c.get(&key(2)), None);
+        assert_eq!(c.get(&key(1)), Some("a".into()));
+        assert_eq!(c.get(&key(3)), Some("c".into()));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), "a".into());
+        c.insert(key(2), "b".into());
+        c.insert(key(1), "a2".into()); // refresh: 2 becomes LRU
+        c.insert(key(3), "c".into()); // evicts 2
+        assert_eq!(c.get(&key(1)), Some("a2".into()));
+        assert_eq!(c.get(&key(2)), None);
+    }
+
+    #[test]
+    fn distinct_compiler_fingerprints_do_not_collide() {
+        let mut c = ResultCache::new(4);
+        c.insert(CacheKey { circuit: 1, compiler: 1 }, "m1".into());
+        c.insert(CacheKey { circuit: 1, compiler: 2 }, "m2".into());
+        assert_eq!(c.get(&CacheKey { circuit: 1, compiler: 1 }), Some("m1".into()));
+        assert_eq!(c.get(&CacheKey { circuit: 1, compiler: 2 }), Some("m2".into()));
+    }
+
+    #[test]
+    fn churn_preserves_capacity_and_list_integrity() {
+        let mut c = ResultCache::new(8);
+        for i in 0..1000u64 {
+            c.insert(key(i), format!("v{i}"));
+            if i % 3 == 0 {
+                let _ = c.get(&key(i.saturating_sub(4)));
+            }
+            assert!(c.len() <= 8);
+        }
+        // The 8 most-recently-touched survive; spot-check the newest.
+        assert_eq!(c.get(&key(999)), Some("v999".into()));
+        assert_eq!(c.evictions(), 1000 - 8);
+    }
+}

@@ -1,0 +1,131 @@
+//! Blocking client for the compile service.
+//!
+//! One [`ServiceClient`] wraps one TCP connection; requests on a
+//! connection are answered strictly in order, so a sequential caller can
+//! pair every response with its request (and assert it via the `id` echo).
+
+use crate::json::{self, Json};
+use crate::protocol::{encode_request, Request, SubmitRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport problem (connect/read/write).
+    Io(std::io::Error),
+    /// The server's reply was not a valid response line.
+    Protocol(String),
+    /// The server answered `{"ok":false,...}`; payload is the error text.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful submit response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitReply {
+    /// Whether the result came from the server's cache.
+    pub cached: bool,
+    /// The client-supplied id, echoed back.
+    pub id: Option<u64>,
+    /// Server-side latency from arrival to response, µs.
+    pub total_us: u64,
+    /// The canonical compilation payload (metrics + schedule digest).
+    pub result: Json,
+}
+
+/// A blocking connection to a `parallax-serve` instance.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // Tiny request/response messages: disable Nagle so each line goes
+        // out immediately instead of waiting on delayed ACKs.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: stream })
+    }
+
+    /// Send one request line and read its response line.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Json, ClientError> {
+        self.roundtrip_line(&encode_request(request))
+    }
+
+    /// Send a raw wire line (must be one line) and parse the response.
+    pub fn roundtrip_line(&mut self, line: &str) -> Result<Json, ClientError> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let v =
+            json::parse(response.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(ClientError::Server(
+                v.get("error").and_then(Json::as_str).unwrap_or("unknown error").to_string(),
+            )),
+            None => Err(ClientError::Protocol(format!("response missing 'ok': {response}"))),
+        }
+    }
+
+    /// Submit a compile job and wait for its result.
+    pub fn submit(&mut self, request: SubmitRequest) -> Result<SubmitReply, ClientError> {
+        let v = self.roundtrip(&Request::Submit(Box::new(request)))?;
+        Ok(SubmitReply {
+            cached: v
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ClientError::Protocol("missing 'cached'".into()))?,
+            id: v.get("id").and_then(Json::as_u64),
+            total_us: v.get("total_us").and_then(Json::as_u64).unwrap_or(0),
+            result: v
+                .get("result")
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol("missing 'result'".into()))?,
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Ping)
+    }
+
+    /// Fetch the live metrics snapshot (the `stats` sub-object).
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let v = self.roundtrip(&Request::Stats)?;
+        v.get("stats").cloned().ok_or_else(|| ClientError::Protocol("missing 'stats'".into()))
+    }
+
+    /// Ask the server to drain and stop accepting; returns once every
+    /// accepted job has completed.
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,85 @@
+//! # `parallax-service`: the concurrent compile server
+//!
+//! Turns the deterministic Parallax pipeline into a long-running serving
+//! subsystem: a multi-threaded TCP server that accepts OpenQASM (or
+//! Table III workload) jobs over a newline-delimited JSON protocol,
+//! schedules them through a bounded priority queue onto a worker pool,
+//! and answers repeat submissions from a content-addressed LRU result
+//! cache — without ever recompiling. Everything is `std`-only: the wire
+//! protocol, JSON codec, queue, cache, and metrics are hand-rolled
+//! because the build environment has no registry access.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! client ──TCP──▶ connection thread ──▶ bounded priority JobQueue ──▶ worker pool
+//!                      │    ▲                                            │
+//!                      │    └──────────── reply channel ◀────────────────┤
+//!                      ▼                                                 ▼
+//!                 result cache ◀───────── canonical payloads ────────────┘
+//! ```
+//!
+//! * Responses on one connection are strictly request-ordered
+//!   (index-stable); concurrency comes from many connections.
+//! * The cache key is (stable circuit hash, machine+config fingerprint),
+//!   so a hit can only serve a payload the compiler would have reproduced
+//!   bit-identically ([`cache`], [`protocol::circuit_content_hash`]).
+//! * A full queue is backpressure: the submit is refused with a `queue
+//!   full` error after `enqueue_timeout_ms`, never silently dropped.
+//! * Shutdown drains: accepted jobs all complete and reply before the
+//!   `SHUTDOWN` response is sent ([`server`]).
+//! * `STATS` reports job counters, queue depth, cache hit rate, and a
+//!   log-bucket latency histogram ([`metrics`]).
+//!
+//! ## Running it
+//!
+//! ```text
+//! cargo run --release -p parallax-service --bin parallax-serve -- --addr 127.0.0.1:7878
+//! cargo run --release -p parallax-service --bin parallax-client -- \
+//!     --addr 127.0.0.1:7878 submit --workload QFT --seed 3
+//! cargo run --release -p parallax-service --bin parallax-client -- \
+//!     --addr 127.0.0.1:7878 submit path/to/circuit.qasm
+//! cargo run --release -p parallax-service --bin parallax-client -- \
+//!     --addr 127.0.0.1:7878 stats
+//! cargo run --release -p parallax-service --bin parallax-client -- \
+//!     --addr 127.0.0.1:7878 shutdown
+//! ```
+//!
+//! Or from code:
+//!
+//! ```
+//! use parallax_service::{start, ServerConfig, ServiceClient, SubmitRequest, SubmitSource};
+//!
+//! let mut server = start(ServerConfig::default()).unwrap();
+//! let mut client = ServiceClient::connect(server.addr()).unwrap();
+//! let reply = client
+//!     .submit(SubmitRequest {
+//!         source: SubmitSource::Workload("ADD".into()),
+//!         quick: true,
+//!         ..Default::default()
+//!     })
+//!     .unwrap();
+//! assert_eq!(reply.result.get("swaps").and_then(|s| s.as_u64()), Some(0));
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod worker;
+
+pub use cache::{CacheKey, ResultCache};
+pub use client::{ClientError, ServiceClient, SubmitReply};
+pub use json::{Json, JsonError};
+pub use metrics::{LatencyHistogram, Metrics};
+pub use protocol::{
+    circuit_content_hash, compile_payload, encode_request, parse_request, schedule_digest, Request,
+    SubmitRequest, SubmitSource,
+};
+pub use queue::{JobQueue, PushError};
+pub use server::{start, ServerConfig, ServerHandle, ServiceShared};
+pub use worker::{Job, JobOutcome};

@@ -1,0 +1,163 @@
+//! Live service metrics: job counters, latency histogram, cache and queue
+//! gauges — everything the `STATS` command reports.
+//!
+//! Counters are lock-free atomics updated from connection handlers and
+//! workers; the histogram uses fixed logarithmic buckets so recording a
+//! latency is one `fetch_add`. Snapshots are encoded with the canonical
+//! [`crate::json`] encoder.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs, inclusive) of the latency histogram buckets; the last
+/// bucket is unbounded. Spans 100 µs to 100 s in decades.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 7] =
+    [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// A fixed-bucket log-scale latency histogram.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Record one latency observation.
+    pub fn record(&self, micros: u64) {
+        let idx = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(micros, Ordering::Relaxed);
+        self.max_us.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Snapshot as JSON: bucket upper bounds and counts, plus summary.
+    pub fn to_json(&self) -> Json {
+        let counts: Vec<Json> =
+            self.buckets.iter().map(|b| Json::Int(b.load(Ordering::Relaxed))).collect();
+        let mut bounds: Vec<Json> =
+            LATENCY_BUCKET_BOUNDS_US.iter().map(|&b| Json::Int(b)).collect();
+        bounds.push(Json::Null); // the overflow bucket has no upper bound
+        Json::obj(vec![
+            ("bounds_us", Json::Arr(bounds)),
+            ("counts", Json::Arr(counts)),
+            ("count", Json::Int(self.count())),
+            ("mean_us", Json::Int(self.mean_us())),
+            ("max_us", Json::Int(self.max_us.load(Ordering::Relaxed))),
+        ])
+    }
+}
+
+/// All service counters, shared by reference across threads.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted into the queue (excludes cache hits and rejections).
+    pub submitted: AtomicU64,
+    /// Jobs compiled to completion.
+    pub completed: AtomicU64,
+    /// Jobs whose compilation panicked.
+    pub failed: AtomicU64,
+    /// Submissions refused because the queue was full (backpressure).
+    pub rejected_full: AtomicU64,
+    /// Submissions refused because the server was draining.
+    pub rejected_shutdown: AtomicU64,
+    /// Submissions answered straight from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Submissions that had to compile (cache misses).
+    pub cache_misses: AtomicU64,
+    /// Malformed or invalid request lines.
+    pub bad_requests: AtomicU64,
+    /// End-to-end submit latency (arrival to response encode), µs.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Bump `counter` by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter (plus the caller-supplied queue gauges) as
+    /// the `STATS` payload.
+    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, cache: Json) -> Json {
+        let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed));
+        Json::obj(vec![
+            ("submitted", load(&self.submitted)),
+            ("completed", load(&self.completed)),
+            ("failed", load(&self.failed)),
+            ("rejected_full", load(&self.rejected_full)),
+            ("rejected_shutdown", load(&self.rejected_shutdown)),
+            ("cache_hits", load(&self.cache_hits)),
+            ("cache_misses", load(&self.cache_misses)),
+            ("bad_requests", load(&self.bad_requests)),
+            ("queue_depth", Json::Int(queue_depth as u64)),
+            ("queue_capacity", Json::Int(queue_capacity as u64)),
+            ("cache", cache),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_decade() {
+        let h = LatencyHistogram::default();
+        h.record(50); // bucket 0 (<=100µs)
+        h.record(100); // bucket 0 (inclusive bound)
+        h.record(500); // bucket 1
+        h.record(2_000_000); // bucket 5 (<=10s)
+        h.record(u64::MAX); // overflow bucket
+        let j = h.to_json();
+        let counts = match j.get("counts") {
+            Some(Json::Arr(v)) => v.iter().map(|c| c.as_u64().unwrap()).collect::<Vec<_>>(),
+            _ => panic!("no counts"),
+        };
+        assert_eq!(counts.len(), 8);
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[5], 1);
+        assert_eq!(counts[7], 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn mean_and_max_track_observations() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.mean_us(), 0);
+        h.record(10);
+        h.record(30);
+        assert_eq!(h.mean_us(), 20);
+        assert_eq!(h.to_json().get("max_us").and_then(Json::as_u64), Some(30));
+    }
+
+    #[test]
+    fn stats_snapshot_includes_gauges() {
+        let m = Metrics::default();
+        Metrics::inc(&m.submitted);
+        Metrics::inc(&m.cache_hits);
+        let j = m.to_json(3, 64, Json::obj(vec![("len", Json::Num(1.0))]));
+        assert_eq!(j.get("submitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("queue_depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("queue_capacity").and_then(Json::as_u64), Some(64));
+        assert_eq!(j.get("cache").and_then(|c| c.get("len")).and_then(Json::as_u64), Some(1));
+    }
+}

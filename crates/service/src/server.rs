@@ -1,0 +1,470 @@
+//! The TCP compile server: accept loop, per-connection request handling,
+//! and graceful drain-on-shutdown.
+//!
+//! Each connection gets a handler thread that processes its requests
+//! strictly in order (so responses are index-stable per connection);
+//! concurrency comes from many connections feeding the shared worker pool
+//! through the bounded priority queue. Submissions whose content address
+//! is already cached are answered inline without touching the queue.
+//!
+//! Shutdown (the `SHUTDOWN` command or [`ServerHandle::shutdown`]) flips
+//! the server to draining: new submissions are refused, the queue closes,
+//! and the caller blocks until every *accepted* job has compiled and
+//! replied — nothing accepted is ever dropped.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    circuit_content_hash, error_response, parse_request, Request, SubmitRequest,
+};
+use crate::queue::{JobQueue, PushError};
+use crate::worker::{effective_workers, spawn_workers, Job, JobOutcome};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (0 = available CPUs).
+    pub workers: usize,
+    /// Job queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+    /// Result cache capacity (entries).
+    pub cache_capacity: usize,
+    /// How long a submission may wait for queue space before it is
+    /// rejected with a `queue full` error (0 = reject immediately).
+    pub enqueue_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            enqueue_timeout_ms: 1000,
+        }
+    }
+}
+
+/// State shared between connection handlers and workers.
+pub struct ServiceShared {
+    /// The bounded priority job queue.
+    pub queue: JobQueue<Job>,
+    /// Content-addressed result cache.
+    pub cache: Mutex<ResultCache>,
+    /// Live counters.
+    pub metrics: Metrics,
+}
+
+impl ServiceShared {
+    /// Cache counters as the `STATS` sub-object.
+    fn cache_json(&self) -> Json {
+        let c = self.cache.lock().expect("cache lock");
+        Json::obj(vec![
+            ("len", Json::Int(c.len() as u64)),
+            ("capacity", Json::Int(c.capacity() as u64)),
+            ("hits", Json::Int(c.hits())),
+            ("misses", Json::Int(c.misses())),
+            ("evictions", Json::Int(c.evictions())),
+        ])
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DrainPhase {
+    Running,
+    Draining,
+    Drained,
+}
+
+struct ServerCore {
+    shared: Arc<ServiceShared>,
+    accepting: AtomicBool,
+    workers: Mutex<Option<Vec<JoinHandle<()>>>>,
+    drain: Mutex<DrainPhase>,
+    drained: Condvar,
+    addr: SocketAddr,
+    enqueue_timeout: Duration,
+    started: Instant,
+    /// Set (after the shutdown response has been written to its client)
+    /// to release [`ServerHandle::wait_until_drained`]; signalling only
+    /// post-write keeps the daemon from exiting before the ack leaves.
+    exit_requested: Mutex<bool>,
+    exit: Condvar,
+}
+
+impl ServerCore {
+    /// Drive (or wait for) the graceful drain: refuse new jobs, close the
+    /// queue, and block until the workers have finished every accepted job.
+    fn drain(&self) {
+        let mut phase = self.drain.lock().expect("drain lock");
+        match *phase {
+            DrainPhase::Drained => {}
+            DrainPhase::Draining => {
+                while *phase != DrainPhase::Drained {
+                    phase = self.drained.wait(phase).expect("drain lock");
+                }
+            }
+            DrainPhase::Running => {
+                *phase = DrainPhase::Draining;
+                drop(phase);
+                self.accepting.store(false, Ordering::SeqCst);
+                self.shared.queue.close();
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(self.addr);
+                let workers = self.workers.lock().expect("workers lock").take().unwrap_or_default();
+                for w in workers {
+                    let _ = w.join();
+                }
+                *self.drain.lock().expect("drain lock") = DrainPhase::Drained;
+                self.drained.notify_all();
+            }
+        }
+    }
+}
+
+/// A running compile server. Dropping the handle shuts it down.
+pub struct ServerHandle {
+    core: Arc<ServerCore>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.core.addr
+    }
+
+    /// Shared state (queue/cache/metrics), e.g. for tests and embedding.
+    pub fn shared(&self) -> &Arc<ServiceShared> {
+        &self.core.shared
+    }
+
+    /// Gracefully shut down: drain accepted jobs, stop the accept loop,
+    /// and join it. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.core.drain();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until some client initiates shutdown (the `SHUTDOWN`
+    /// command) and its acknowledgement has been written back, then finish
+    /// the drain and stop — the serve daemon's main loop.
+    pub fn wait_until_drained(&mut self) {
+        {
+            let mut requested = self.core.exit_requested.lock().expect("exit lock");
+            while !*requested {
+                requested = self.core.exit.wait(requested).expect("exit lock");
+            }
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start a server per `config`; returns once the listener is bound.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(ServiceShared {
+        queue: JobQueue::new(config.queue_capacity),
+        cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+        metrics: Metrics::default(),
+    });
+    let workers = spawn_workers(effective_workers(config.workers), shared.clone());
+    let core = Arc::new(ServerCore {
+        shared,
+        accepting: AtomicBool::new(true),
+        workers: Mutex::new(Some(workers)),
+        drain: Mutex::new(DrainPhase::Running),
+        drained: Condvar::new(),
+        addr,
+        enqueue_timeout: Duration::from_millis(config.enqueue_timeout_ms),
+        started: Instant::now(),
+        exit_requested: Mutex::new(false),
+        exit: Condvar::new(),
+    });
+    let accept_core = core.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("parallax-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_core))?;
+    Ok(ServerHandle { core, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(listener: &TcpListener, core: &Arc<ServerCore>) {
+    for stream in listener.incoming() {
+        if !core.accepting.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let core = core.clone();
+        let _ = std::thread::Builder::new()
+            .name("parallax-conn".to_string())
+            .spawn(move || handle_connection(stream, &core));
+    }
+}
+
+fn handle_connection(stream: TcpStream, core: &Arc<ServerCore>) {
+    // Interactive request/response over tiny messages: Nagle's algorithm
+    // would add tens of milliseconds per roundtrip, so send each response
+    // as one immediate write.
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_stream) = stream.try_clone() else { return };
+    let mut writer = stream;
+    let reader = BufReader::new(reader_stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (mut response, was_shutdown) = handle_request(&line, core);
+        response.push('\n');
+        let written = writer.write_all(response.as_bytes());
+        if was_shutdown {
+            // Only now — with the drain complete *and* the ack on the wire
+            // — may the daemon's wait_until_drained() proceed to exit.
+            *core.exit_requested.lock().expect("exit lock") = true;
+            core.exit.notify_all();
+        }
+        if written.is_err() {
+            break;
+        }
+    }
+}
+
+/// Dispatch one request line to its handler; always returns one response
+/// line (never panics on malformed input). The flag marks a shutdown
+/// request whose drain has completed.
+fn handle_request(line: &str, core: &Arc<ServerCore>) -> (String, bool) {
+    let shared = &core.shared;
+    match parse_request(line) {
+        Err(e) => {
+            Metrics::inc(&shared.metrics.bad_requests);
+            (error_response(&e, None), false)
+        }
+        Ok(Request::Ping) => (
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("pong", Json::Bool(true)),
+                ("uptime_us", Json::Int(core.started.elapsed().as_micros() as u64)),
+            ])
+            .encode(),
+            false,
+        ),
+        Ok(Request::Stats) => {
+            let stats = shared.metrics.to_json(
+                shared.queue.len(),
+                shared.queue.capacity(),
+                shared.cache_json(),
+            );
+            (Json::obj(vec![("ok", Json::Bool(true)), ("stats", stats)]).encode(), false)
+        }
+        Ok(Request::Shutdown) => {
+            core.drain();
+            (
+                Json::obj(vec![("ok", Json::Bool(true)), ("drained", Json::Bool(true))]).encode(),
+                true,
+            )
+        }
+        Ok(Request::Submit(req)) => (handle_submit(&req, core), false),
+    }
+}
+
+fn handle_submit(req: &SubmitRequest, core: &Arc<ServerCore>) -> String {
+    let shared = &core.shared;
+    let arrived = Instant::now();
+    if !core.accepting.load(Ordering::SeqCst) {
+        Metrics::inc(&shared.metrics.rejected_shutdown);
+        return error_response("server is shutting down", req.id);
+    }
+    let (compiler, circuit) = match req.build_compiler().and_then(|compiler| {
+        let circuit = req.resolve_circuit()?;
+        if circuit.num_qubits() > compiler.machine().num_sites() {
+            return Err(format!(
+                "circuit needs {} qubits but {} has {} sites",
+                circuit.num_qubits(),
+                compiler.machine().name,
+                compiler.machine().num_sites()
+            ));
+        }
+        Ok((compiler, circuit))
+    }) {
+        Ok(pair) => pair,
+        Err(e) => {
+            Metrics::inc(&shared.metrics.bad_requests);
+            return error_response(&e, req.id);
+        }
+    };
+
+    let key =
+        CacheKey { circuit: circuit_content_hash(&circuit), compiler: compiler.fingerprint() };
+    if let Some(payload) = shared.cache.lock().expect("cache lock").get(&key) {
+        Metrics::inc(&shared.metrics.cache_hits);
+        let response = ok_response(req.id, true, &payload, arrived);
+        shared.metrics.latency.record(arrived.elapsed().as_micros() as u64);
+        return response;
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job { circuit, compiler, key, reply: reply_tx };
+    match shared.queue.push_timeout(job, req.priority, core.enqueue_timeout) {
+        Err(PushError::Full(_)) => {
+            Metrics::inc(&shared.metrics.rejected_full);
+            return error_response(
+                &format!("queue full ({} jobs queued); retry later", shared.queue.capacity()),
+                req.id,
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            Metrics::inc(&shared.metrics.rejected_shutdown);
+            return error_response("server is shutting down", req.id);
+        }
+        Ok(()) => {
+            // Count the miss only once the job is actually accepted, so a
+            // queue-full storm doesn't masquerade as a collapsing hit rate.
+            Metrics::inc(&shared.metrics.cache_misses);
+            Metrics::inc(&shared.metrics.submitted);
+        }
+    }
+    let response = match reply_rx.recv() {
+        Ok(JobOutcome::Done { payload, .. }) => ok_response(req.id, false, &payload, arrived),
+        Ok(JobOutcome::Failed { error }) => {
+            error_response(&format!("compilation failed: {error}"), req.id)
+        }
+        // Workers only exit after draining the closed queue, so an accepted
+        // job always gets a reply; a broken channel means a worker died.
+        Err(_) => error_response("internal error: worker disappeared", req.id),
+    };
+    shared.metrics.latency.record(arrived.elapsed().as_micros() as u64);
+    response
+}
+
+fn ok_response(id: Option<u64>, cached: bool, payload: &str, arrived: Instant) -> String {
+    // The payload is already canonically encoded, so splice it in verbatim
+    // — no parse/re-encode on the serving hot path, and the served
+    // `result` stays byte-identical to a direct compile's encoding.
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(payload.len() + 64);
+    out.push_str("{\"ok\":true,");
+    if let Some(id) = id {
+        let _ = write!(out, "\"id\":{id},");
+    }
+    let _ = write!(
+        out,
+        "\"cached\":{cached},\"total_us\":{},\"result\":{payload}}}",
+        arrived.elapsed().as_micros()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn test_server(workers: usize, queue: usize, cache: usize) -> ServerHandle {
+        start(ServerConfig {
+            workers,
+            queue_capacity: queue,
+            cache_capacity: cache,
+            enqueue_timeout_ms: 50,
+            ..Default::default()
+        })
+        .expect("bind ephemeral port")
+    }
+
+    fn submit_line(workload: &str, seed: u64) -> String {
+        format!("{{\"cmd\":\"submit\",\"workload\":\"{workload}\",\"seed\":{seed},\"quick\":true}}")
+    }
+
+    #[test]
+    fn handles_requests_in_process() {
+        let server = test_server(2, 8, 8);
+        let core = &server.core;
+        let pong = json::parse(&handle_request("{\"cmd\":\"ping\"}", core).0).unwrap();
+        assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+        let first = json::parse(&handle_request(&submit_line("ADD", 1), core).0).unwrap();
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+        let repeat = json::parse(&handle_request(&submit_line("ADD", 1), core).0).unwrap();
+        assert_eq!(repeat.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            first.get("result").unwrap().encode(),
+            repeat.get("result").unwrap().encode(),
+            "cache must serve the identical payload"
+        );
+
+        let stats = json::parse(&handle_request("{\"cmd\":\"stats\"}", core).0).unwrap();
+        let stats = stats.get("stats").unwrap();
+        assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("cache_misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn rejects_invalid_submissions_without_queueing() {
+        let server = test_server(1, 4, 4);
+        let core = &server.core;
+        for bad in [
+            "{\"cmd\":\"submit\",\"workload\":\"NOPE\"}",
+            "{\"cmd\":\"submit\",\"qasm\":\"not qasm\"}",
+        ] {
+            let r = json::parse(&handle_request(bad, core).0).unwrap();
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{bad}");
+        }
+        assert_eq!(server.shared().queue.len(), 0);
+    }
+
+    #[test]
+    fn oversized_circuit_is_rejected_up_front() {
+        let server = test_server(1, 4, 4);
+        // 300 declared qubits outsize the 256-site quera machine.
+        let qasm = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[300];\nh q[0];\n";
+        let req = Json::obj(vec![
+            ("cmd", Json::Str("submit".into())),
+            ("qasm", Json::Str(qasm.into())),
+            ("quick", Json::Bool(true)),
+        ])
+        .encode();
+        let r = json::parse(&handle_request(&req, &server.core).0).unwrap();
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(r.get("error").and_then(Json::as_str).unwrap().contains("300 qubits"));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_rejects_new_submits() {
+        let mut server = test_server(2, 8, 8);
+        let ok = json::parse(&handle_request(&submit_line("MLT", 1), &server.core).0).unwrap();
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        let drained =
+            json::parse(&handle_request("{\"cmd\":\"shutdown\"}", &server.core).0).unwrap();
+        assert_eq!(drained.get("drained").and_then(Json::as_bool), Some(true));
+        let refused = json::parse(&handle_request(&submit_line("MLT", 2), &server.core).0).unwrap();
+        assert_eq!(refused.get("ok").and_then(Json::as_bool), Some(false));
+        // Stats still served while draining/drained.
+        let stats = json::parse(&handle_request("{\"cmd\":\"stats\"}", &server.core).0).unwrap();
+        assert_eq!(
+            stats.get("stats").and_then(|s| s.get("rejected_shutdown")).and_then(Json::as_u64),
+            Some(1)
+        );
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

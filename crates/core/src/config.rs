@@ -52,14 +52,14 @@ impl CompilerConfig {
     /// Stable structural fingerprint over every tuning knob (floats by bit
     /// pattern), for content-addressed result caching: equal fingerprints
     /// and equal inputs imply bit-identical compilations. Stable across
-    /// processes and platforms, unlike `DefaultHasher`.
+    /// processes and platforms, unlike `DefaultHasher`. Placement knobs
+    /// enter through [`PlacementConfig::fingerprint`], which covers every
+    /// result-steering field (including the restart count) and excludes
+    /// the worker count.
     pub fn fingerprint(&self) -> u64 {
         let mut h = StableHasher::new();
         h.write_u64(self.seed)
-            .write_u64(self.placement.seed)
-            .write_usize(self.placement.max_iter)
-            .write_usize(self.placement.local_search_evals)
-            .write_f64(self.placement.repulsion_scale)
+            .write_u64(self.placement.fingerprint())
             .write_bool(self.return_home)
             .write_usize(self.max_move_recursion)
             .write_f64(self.oor_weight)

@@ -142,8 +142,13 @@ mod tests {
     fn collisions_spill_to_nearest_free_site() {
         // A layout that puts every qubit at the same normalized point.
         let c = chain_circuit(5);
-        let layout =
-            GraphineLayout { positions: vec![(0.5, 0.5); 5], interaction_radius: 0.0, energy: 0.0 };
+        let layout = GraphineLayout {
+            positions: vec![(0.5, 0.5); 5],
+            interaction_radius: 0.0,
+            energy: 0.0,
+            anneal_evals: 0,
+            anneal_allocs: 0,
+        };
         let d = discretize(&c, &layout, MachineSpec::quera_aquila_256());
         assert_eq!(d.array.grid().occupied_count(), 5);
         assert!(d.array.validate().is_empty());
@@ -164,6 +169,8 @@ mod tests {
             positions: (0..256).map(|i| ((i % 16) as f64 / 15.0, (i / 16) as f64 / 15.0)).collect(),
             interaction_radius: 1.0 / 15.0,
             energy: 0.0,
+            anneal_evals: 0,
+            anneal_allocs: 0,
         };
         let d = discretize(&c, &layout, MachineSpec::quera_aquila_256());
         assert_eq!(d.array.grid().occupied_count(), 256);
@@ -173,8 +180,13 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn mismatched_layout_panics() {
         let c = chain_circuit(4);
-        let layout =
-            GraphineLayout { positions: vec![(0.1, 0.1)], interaction_radius: 0.0, energy: 0.0 };
+        let layout = GraphineLayout {
+            positions: vec![(0.1, 0.1)],
+            interaction_radius: 0.0,
+            energy: 0.0,
+            anneal_evals: 0,
+            anneal_allocs: 0,
+        };
         let _ = discretize(&c, &layout, MachineSpec::quera_aquila_256());
     }
 }

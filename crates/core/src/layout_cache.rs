@@ -1,0 +1,287 @@
+//! Process-wide cache of annealed GRAPHINE layouts — the expensive
+//! intermediate of every compilation.
+//!
+//! The service's result cache can only answer *exact* repeats: the same
+//! circuit with different scheduling knobs (home-return, move recursion,
+//! AOD weights) re-paid the full placement cost even though the layout is
+//! untouched by those knobs. This cache keys the layout stage alone, by
+//!
+//! * the **interaction-graph** stable hash (placement sees only the graph,
+//!   so different circuits with equal graphs share layouts),
+//! * the **machine** fingerprint, and
+//! * the **placement-parameter** fingerprint (seed, iteration budget,
+//!   repulsion scale, restart count — everything that steers the anneal;
+//!   the worker count is excluded because it never changes the result).
+//!
+//! A hit returns a clone of a layout that is bit-identical to what a fresh
+//! anneal would produce (the whole placement stage is deterministic per
+//! key), so compilations through the cache are byte-identical to cold
+//! compilations. The cache is a process global guarded by one mutex —
+//! generation happens *outside* the lock, so concurrent compiles never
+//! serialize on the anneal, only on the map probe. Both direct
+//! [`crate::ParallaxCompiler::compile`] calls and the compile service
+//! share it; `PARALLAX_LAYOUT_CACHE=<capacity>` resizes it and `0`
+//! disables it.
+
+use crate::profile::{self, Stage};
+use parallax_graphine::{GraphineLayout, InteractionGraph, PlacementConfig};
+use parallax_hardware::MachineSpec;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Content address of one layout computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayoutKey {
+    /// [`InteractionGraph::stable_hash`] of the circuit's graph.
+    pub graph: u64,
+    /// [`MachineSpec::fingerprint`] of the target machine.
+    pub machine: u64,
+    /// [`PlacementConfig::fingerprint`] of the placement parameters.
+    pub placement: u64,
+}
+
+impl LayoutKey {
+    /// Build the key for (graph, machine, placement parameters).
+    pub fn new(
+        graph: &InteractionGraph,
+        machine: &MachineSpec,
+        placement: &PlacementConfig,
+    ) -> Self {
+        Self {
+            graph: graph.stable_hash(),
+            machine: machine.fingerprint(),
+            placement: placement.fingerprint(),
+        }
+    }
+}
+
+/// Counters and gauges of the layout cache (the `STATS` sub-object).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayoutCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to anneal.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum entries (0 = disabled).
+    pub capacity: usize,
+}
+
+struct Entry {
+    layout: GraphineLayout,
+    /// Last-touch tick for LRU eviction.
+    tick: u64,
+}
+
+/// Bounded LRU map from [`LayoutKey`] to annealed layouts. Eviction scans
+/// for the stalest tick — O(capacity), which at the default 128 entries is
+/// noise next to the anneal the cache avoids.
+pub struct LayoutCache {
+    map: HashMap<LayoutKey, Entry>,
+    tick: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LayoutCache {
+    /// Create a cache holding at most `capacity` layouts (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            tick: 0,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency and counting the hit/miss.
+    pub fn get(&mut self, key: &LayoutKey) -> Option<GraphineLayout> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = self.tick;
+                self.hits += 1;
+                Some(entry.layout.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used layout
+    /// at capacity. No-op when the cache is disabled.
+    pub fn insert(&mut self, key: LayoutKey, layout: GraphineLayout) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(stalest) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| *k) {
+                self.map.remove(&stalest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, Entry { layout, tick: self.tick });
+    }
+
+    /// Current counters and gauges.
+    pub fn stats(&self) -> LayoutCacheStats {
+        LayoutCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Default capacity: `PARALLAX_LAYOUT_CACHE` (entries; `0` disables) or 128.
+/// An unparsable value warns and keeps the default rather than silently
+/// re-enabling a cache someone tried to turn off with e.g. `=off`.
+fn configured_capacity() -> usize {
+    match std::env::var("PARALLAX_LAYOUT_CACHE") {
+        Err(_) => 128,
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "warning: PARALLAX_LAYOUT_CACHE={v:?} is not a number of entries \
+                     (use 0 to disable); keeping the default capacity 128"
+                );
+                128
+            }
+        },
+    }
+}
+
+fn global() -> &'static Mutex<LayoutCache> {
+    static CACHE: OnceLock<Mutex<LayoutCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(LayoutCache::new(configured_capacity())))
+}
+
+/// Fetch or anneal the layout for `graph` under the given machine and
+/// placement parameters; the boolean reports whether the cache answered.
+///
+/// Misses anneal **outside** the cache lock and publish afterwards; if two
+/// threads race the same key both anneal the identical (deterministic)
+/// layout, so last-write-wins is harmless.
+pub fn lookup_or_generate(
+    graph: &InteractionGraph,
+    machine: &MachineSpec,
+    placement: &PlacementConfig,
+) -> (GraphineLayout, bool) {
+    let key = LayoutKey::new(graph, machine, placement);
+    if let Some(layout) = global().lock().expect("layout cache lock").get(&key) {
+        return (layout, true);
+    }
+    let layout = GraphineLayout::from_graph(graph, placement);
+    global().lock().expect("layout cache lock").insert(key, layout.clone());
+    (layout, false)
+}
+
+/// [`lookup_or_generate`] starting from a circuit, with the placement
+/// stage profiled — the entry point `ParallaxCompiler::compile` and the
+/// bench harness share.
+pub fn cached_layout(
+    circuit: &parallax_circuit::Circuit,
+    machine: &MachineSpec,
+    placement: &PlacementConfig,
+) -> GraphineLayout {
+    let started = profile::begin();
+    let graph = InteractionGraph::from_circuit(circuit);
+    let (layout, hit) = lookup_or_generate(&graph, machine, placement);
+    profile::record(Stage::Placement, started, if hit { 0 } else { layout.anneal_allocs as u64 });
+    layout
+}
+
+/// Snapshot of the process-wide layout cache counters.
+pub fn layout_cache_stats() -> LayoutCacheStats {
+    global().lock().expect("layout cache lock").stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_circuit::CircuitBuilder;
+
+    fn layout(tag: f64) -> GraphineLayout {
+        GraphineLayout {
+            positions: vec![(tag, tag)],
+            interaction_radius: tag,
+            energy: tag,
+            anneal_evals: 1,
+            anneal_allocs: 1,
+        }
+    }
+
+    fn key(n: u64) -> LayoutKey {
+        LayoutKey { graph: n, machine: 1, placement: 1 }
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let mut c = LayoutCache::new(2);
+        assert_eq!(c.get(&key(1)), None);
+        c.insert(key(1), layout(1.0));
+        c.insert(key(2), layout(2.0));
+        assert_eq!(c.get(&key(1)).unwrap().energy, 1.0); // 1 now MRU
+        c.insert(key(3), layout(3.0)); // evicts 2
+        assert_eq!(c.get(&key(2)), None);
+        assert!(c.get(&key(1)).is_some() && c.get(&key(3)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (3, 2, 1, 2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = LayoutCache::new(0);
+        c.insert(key(1), layout(1.0));
+        assert_eq!(c.get(&key(1)), None);
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn distinct_key_components_do_not_collide() {
+        let mut c = LayoutCache::new(8);
+        c.insert(LayoutKey { graph: 1, machine: 1, placement: 1 }, layout(1.0));
+        c.insert(LayoutKey { graph: 1, machine: 2, placement: 1 }, layout(2.0));
+        c.insert(LayoutKey { graph: 1, machine: 1, placement: 2 }, layout(3.0));
+        assert_eq!(c.get(&LayoutKey { graph: 1, machine: 1, placement: 1 }).unwrap().energy, 1.0);
+        assert_eq!(c.get(&LayoutKey { graph: 1, machine: 2, placement: 1 }).unwrap().energy, 2.0);
+        assert_eq!(c.get(&LayoutKey { graph: 1, machine: 1, placement: 2 }).unwrap().energy, 3.0);
+    }
+
+    #[test]
+    fn global_near_miss_shares_the_layout_and_counts_a_hit() {
+        // Unique seed so this test's keys cannot collide with other tests
+        // hitting the shared global cache; assertions are delta-based.
+        let mut b = CircuitBuilder::new(4);
+        b.cx(0, 1).cx(1, 2).cx(2, 3);
+        let circuit = b.build();
+        let machine = MachineSpec::quera_aquila_256();
+        let placement = PlacementConfig::quick(0xC0FFEE);
+
+        let before = layout_cache_stats();
+        let cold = cached_layout(&circuit, &machine, &placement);
+        let warm = cached_layout(&circuit, &machine, &placement);
+        let after = layout_cache_stats();
+        assert_eq!(cold, warm, "cache hit must be bit-identical to the anneal");
+        assert!(after.hits > before.hits, "{before:?} -> {after:?}");
+        assert!(after.misses > before.misses);
+
+        // A different machine is a different key (per the cache contract).
+        let other = cached_layout(&circuit, &MachineSpec::atom_1225(), &placement);
+        assert_eq!(other, cold, "layout itself is machine-independent");
+        assert!(layout_cache_stats().misses > after.misses);
+    }
+}

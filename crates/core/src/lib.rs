@@ -43,15 +43,18 @@ pub mod aod_select;
 pub mod compiler;
 pub mod config;
 pub mod discretize;
+pub mod layout_cache;
 pub mod movement;
 pub mod parallel;
 pub mod parallelize;
+pub mod profile;
 pub mod scheduler;
 
 pub use aod_select::{select_aod_qubits, AodSelection};
 pub use compiler::{CompilationResult, ParallaxCompiler, SharedCompiler};
 pub use config::CompilerConfig;
 pub use discretize::{discretize, DiscretizedLayout};
+pub use layout_cache::{cached_layout, layout_cache_stats, LayoutCache, LayoutCacheStats};
 pub use movement::{plan_move_into_range, plan_return_home, MoveFailure, MovePlan};
 pub use parallel::{compile_batch, panic_message, try_compile_batch, BatchJobError};
 pub use parallelize::{replication_plan, sweep_factors, ReplicationPlan};

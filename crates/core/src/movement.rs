@@ -202,8 +202,9 @@ fn try_endpoint(
     let mut seen: Vec<(u8, u32, u32)> = Vec::new();
 
     loop {
-        let violations = array.check_aod_moves(&moves);
-        let Some(&v) = violations.first() else {
+        // Only the first violation steers the resolution; the early-exit
+        // scan avoids the full O(atoms x moves) sweep per probe.
+        let Some(v) = array.first_aod_move_violation(&moves) else {
             return Ok(moves);
         };
         if *budget == 0 {

@@ -1,0 +1,175 @@
+//! Cheap opt-in pipeline profiling.
+//!
+//! Set `PARALLAX_PROFILE=1` to record, per pipeline stage, the call count,
+//! cumulative wall-clock time, and the annealer's heap-allocation count.
+//! When the variable is unset the instrumentation collapses to one branch
+//! on a cached boolean per stage — no `Instant::now`, no atomics — so the
+//! compile hot path pays nothing.
+//!
+//! Counters are process-global lock-free atomics, which lets every surface
+//! report them through the existing STATS machinery: the compile service
+//! embeds [`snapshot`] in its `STATS` response (rendered by
+//! `parallax-client stats`), and the `experiments` binary prints the same
+//! table after a profiled run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The profiled pipeline stages, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// GRAPHINE annealed placement (or a layout-cache lookup).
+    Placement,
+    /// Grid discretization.
+    Discretize,
+    /// AOD qubit selection.
+    AodSelect,
+    /// Gate/movement scheduling.
+    Schedule,
+}
+
+/// Display names, indexed by `Stage as usize`.
+pub const STAGE_NAMES: [&str; 4] = ["placement", "discretize", "aod_select", "schedule"];
+
+struct StageCounters {
+    calls: AtomicU64,
+    time_ns: AtomicU64,
+    allocs: AtomicU64,
+}
+
+const fn zeroed() -> StageCounters {
+    StageCounters {
+        calls: AtomicU64::new(0),
+        time_ns: AtomicU64::new(0),
+        allocs: AtomicU64::new(0),
+    }
+}
+
+static TABLE: [StageCounters; 4] = [zeroed(), zeroed(), zeroed(), zeroed()];
+
+/// Whether profiling is on (`PARALLAX_PROFILE=1`; read once per process).
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("PARALLAX_PROFILE").is_ok_and(|v| v == "1"))
+}
+
+/// Start timing a stage; `None` (and therefore zero cost downstream) when
+/// profiling is disabled.
+#[inline]
+pub fn begin() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Record a stage completion started at `begin()`'s return. A `None` start
+/// (profiling disabled) is a no-op.
+#[inline]
+pub fn record(stage: Stage, started: Option<Instant>, allocs: u64) {
+    if let Some(t0) = started {
+        record_raw(stage, t0.elapsed().as_nanos() as u64, allocs);
+    }
+}
+
+/// Record a stage observation directly (used by [`record`] and by tests,
+/// which cannot set the environment variable process-wide).
+pub fn record_raw(stage: Stage, time_ns: u64, allocs: u64) {
+    let c = &TABLE[stage as usize];
+    c.calls.fetch_add(1, Ordering::Relaxed);
+    c.time_ns.fetch_add(time_ns, Ordering::Relaxed);
+    c.allocs.fetch_add(allocs, Ordering::Relaxed);
+}
+
+/// One stage's accumulated counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Stage display name.
+    pub stage: &'static str,
+    /// Completed calls.
+    pub calls: u64,
+    /// Cumulative wall-clock time, µs.
+    pub total_us: u64,
+    /// Cumulative annealer heap allocations (placement stage only).
+    pub allocs: u64,
+}
+
+/// Snapshot every stage (zeros when profiling never ran).
+pub fn snapshot() -> Vec<StageSnapshot> {
+    TABLE
+        .iter()
+        .zip(STAGE_NAMES)
+        .map(|(c, stage)| StageSnapshot {
+            stage,
+            calls: c.calls.load(Ordering::Relaxed),
+            total_us: c.time_ns.load(Ordering::Relaxed) / 1_000,
+            allocs: c.allocs.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Render the snapshot as an aligned text table (the `experiments` binary
+/// prints this after a `PARALLAX_PROFILE=1` run).
+pub fn render() -> String {
+    let snap = snapshot();
+    let mut out = String::from("stage        calls     total_ms      allocs\n");
+    for s in &snap {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>12.3} {:>11}\n",
+            s.stage,
+            s.calls,
+            s.total_us as f64 / 1e3,
+            s.allocs
+        ));
+    }
+    out
+}
+
+/// Zero every counter (test isolation).
+pub fn reset() {
+    for c in &TABLE {
+        c.calls.store(0, Ordering::Relaxed);
+        c.time_ns.store(0, Ordering::Relaxed);
+        c.allocs.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Touches the shared global table; keep every assertion delta-based so
+    // concurrently running compiles can only add.
+    #[test]
+    fn records_accumulate_and_render() {
+        let before = snapshot();
+        record_raw(Stage::Placement, 2_500, 7);
+        record_raw(Stage::Placement, 1_500, 3);
+        record_raw(Stage::Schedule, 9_000, 0);
+        let after = snapshot();
+        let d = |i: usize| {
+            (
+                after[i].calls - before[i].calls,
+                after[i].total_us - before[i].total_us,
+                after[i].allocs - before[i].allocs,
+            )
+        };
+        let (calls, us, allocs) = d(Stage::Placement as usize);
+        assert!(calls >= 2 && us >= 4 && allocs >= 10, "{calls} {us} {allocs}");
+        let (calls, us, _) = d(Stage::Schedule as usize);
+        assert!(calls >= 1 && us >= 9);
+        let table = render();
+        assert!(table.contains("placement") && table.contains("schedule"));
+    }
+
+    #[test]
+    fn disabled_begin_is_none_without_env() {
+        // The test environment never sets PARALLAX_PROFILE, so begin() must
+        // stay on the zero-cost path.
+        if std::env::var("PARALLAX_PROFILE").is_err() {
+            assert!(begin().is_none());
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! GRAPHINE represents a circuit as a weighted graph: qubits are nodes and
 //! the number of CZ gates between a pair is the edge weight (Section II-A).
 
+use crate::stable::WordHasher;
 use parallax_circuit::Circuit;
 
 /// Weighted interaction graph of a circuit.
@@ -15,6 +16,21 @@ pub struct InteractionGraph {
 }
 
 impl InteractionGraph {
+    /// Stable structural hash (FNV-1a over node count and edges, weights by
+    /// bit pattern) — stable across processes and platforms, so it can key
+    /// the layout-stage cache: equal hashes mean the annealed placement
+    /// would be bit-identical for equal placement configs. Distinct
+    /// circuits with the *same* interaction graph deliberately share a
+    /// hash, since placement only sees the graph.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = WordHasher::new();
+        h.word(self.num_qubits as u64);
+        for &(a, b, w) in &self.edges {
+            h.word(u64::from(a)).word(u64::from(b)).word(w.to_bits());
+        }
+        h.finish()
+    }
+
     /// Build the graph from a circuit.
     pub fn from_circuit(circuit: &Circuit) -> Self {
         let edges =
@@ -97,6 +113,31 @@ mod tests {
         let mut b2 = CircuitBuilder::new(4);
         b2.cz(0, 1).cz(1, 2).cz(2, 3);
         assert!(InteractionGraph::from_circuit(&b2.build()).is_connected());
+    }
+
+    #[test]
+    fn stable_hash_discriminates_and_reproduces() {
+        let mut b = CircuitBuilder::new(3);
+        b.cz(0, 1).cz(1, 2);
+        let g = InteractionGraph::from_circuit(&b.build());
+        assert_eq!(g.stable_hash(), g.clone().stable_hash());
+
+        // Weight change, edge change, and node-count change all steer it.
+        let mut heavier = g.clone();
+        heavier.edges[0].2 = 2.0;
+        assert_ne!(g.stable_hash(), heavier.stable_hash());
+        let mut rewired = g.clone();
+        rewired.edges[1] = (0, 2, 1.0);
+        assert_ne!(g.stable_hash(), rewired.stable_hash());
+        let mut wider = g.clone();
+        wider.num_qubits = 4;
+        assert_ne!(g.stable_hash(), wider.stable_hash());
+
+        // Same graph from a *different* circuit (extra single-qubit gates)
+        // shares the hash: placement only sees the graph.
+        let mut b2 = CircuitBuilder::new(3);
+        b2.h(0).cz(0, 1).h(2).cz(1, 2);
+        assert_eq!(g.stable_hash(), InteractionGraph::from_circuit(&b2.build()).stable_hash());
     }
 
     #[test]

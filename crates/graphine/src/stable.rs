@@ -1,0 +1,59 @@
+//! Minimal stable hashing for cache keys.
+//!
+//! FNV-1a over little-endian 64-bit words: stable across processes,
+//! platforms, and Rust versions (unlike `DefaultHasher`), and dependency-
+//! free — this crate sits below `parallax-hardware`, whose `StableHasher`
+//! serves the same role higher in the stack.
+
+/// Word-at-a-time FNV-1a hasher.
+pub(crate) struct WordHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl WordHasher {
+    /// Start a fresh hash.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Mix one 64-bit word (as its little-endian bytes).
+    pub fn word(&mut self, v: u64) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_fnv1a_on_byte_stream() {
+        // FNV-1a of the 8 little-endian bytes of 0x01 equals hashing the
+        // byte string 01 00 00 00 00 00 00 00.
+        let mut h = WordHasher::new();
+        h.word(1);
+        let mut expect = FNV_OFFSET;
+        for b in 1u64.to_le_bytes() {
+            expect = (expect ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        assert_eq!(h.finish(), expect);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = WordHasher::new();
+        a.word(1).word(2);
+        let mut b = WordHasher::new();
+        b.word(2).word(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -267,8 +267,7 @@ impl AtomArray {
     /// primary move plus all recursive displacements of obstructing atoms
     /// land together.
     pub fn apply_aod_moves(&mut self, moves: &[AodMove]) -> Result<(), Violation> {
-        let violations = self.check_aod_moves(moves);
-        if let Some(&v) = violations.first() {
+        if let Some(v) = self.first_aod_move_violation(moves) {
             return Err(v);
         }
         for m in moves {
@@ -287,74 +286,148 @@ impl AtomArray {
     /// configuration (empty = the batch is safe to commit).
     pub fn check_aod_moves(&self, moves: &[AodMove]) -> Vec<Violation> {
         let mut out = Vec::new();
-        // Build the hypothetical configuration.
-        let mut positions = self.positions.clone();
-        let mut row_y = self.row_y.clone();
-        let mut col_x = self.col_x.clone();
+        self.scan_aod_moves(moves, |v| {
+            out.push(v);
+            true
+        });
+        out
+    }
+
+    /// First violation of a batch of AOD moves, or `None` when the batch is
+    /// safe. Exactly `check_aod_moves(moves).first().copied()`, but the scan
+    /// stops at the first hit — the movement planner's recursive resolver
+    /// (which only ever consumes the first violation) probes thousands of
+    /// candidate configurations per plan, and the full scan over every
+    /// atom pair was the compile hot spot on large circuits.
+    pub fn first_aod_move_violation(&self, moves: &[AodMove]) -> Option<Violation> {
+        let mut first = None;
+        self.scan_aod_moves(moves, |v| {
+            first = Some(v);
+            false
+        });
+        first
+    }
+
+    /// Shared traversal behind [`Self::check_aod_moves`] and
+    /// [`Self::first_aod_move_violation`]: emits violations of the
+    /// hypothetical post-move configuration in a fixed order (bounds, row
+    /// ordering, column ordering, pairwise separation); `emit` returns
+    /// `false` to stop the scan. One traversal serving both callers keeps
+    /// the "first violation" — which steers every recursive move plan and
+    /// therefore the compiled schedule — identical between them by
+    /// construction.
+    ///
+    /// The hypothetical configuration is an *overlay* (small vectors of
+    /// moved qubits/lines consulted before the committed state) rather
+    /// than a clone of the full array, so a scan that exits early does
+    /// O(moves) setup work instead of O(atoms).
+    fn scan_aod_moves(&self, moves: &[AodMove], mut emit: impl FnMut(Violation) -> bool) {
+        // Overlay of the final configuration; later moves of the same
+        // qubit/line overwrite earlier ones, as a sequential commit would.
+        let mut moved: Vec<(u32, Point)> = Vec::with_capacity(moves.len());
+        let mut row_over: Vec<(u16, f64)> = Vec::with_capacity(moves.len());
+        let mut col_over: Vec<(u16, f64)> = Vec::with_capacity(moves.len());
+        fn upsert<K: PartialEq, V>(list: &mut Vec<(K, V)>, key: K, value: V) {
+            match list.iter_mut().find(|(k, _)| *k == key) {
+                Some(entry) => entry.1 = value,
+                None => list.push((key, value)),
+            }
+        }
         for m in moves {
             match self.traps[m.q as usize] {
                 Some(Trap::Aod { row, col }) => {
-                    row_y[row as usize] = Some(m.y);
-                    col_x[col as usize] = Some(m.x);
-                    positions[m.q as usize] = Point::new(m.x, m.y);
+                    upsert(&mut moved, m.q, Point::new(m.x, m.y));
+                    upsert(&mut row_over, row, m.y);
+                    upsert(&mut col_over, col, m.x);
                 }
                 other => panic!("qubit {} is not AOD-trapped (trap = {other:?})", m.q),
             }
         }
+        let pos_of = |q: usize| -> Point {
+            moved
+                .iter()
+                .find(|&&(mq, _)| mq as usize == q)
+                .map(|&(_, p)| p)
+                .unwrap_or(self.positions[q])
+        };
+
         // Bounds: atoms must stay within one pitch of the site grid.
         let margin = self.grid.pitch_um();
         let max = self.spec.extent_um() + margin;
         for m in moves {
-            let p = positions[m.q as usize];
-            if p.x < -margin || p.y < -margin || p.x > max || p.y > max {
-                out.push(Violation::OutOfBounds { q: m.q });
+            let p = pos_of(m.q as usize);
+            if (p.x < -margin || p.y < -margin || p.x > max || p.y > max)
+                && !emit(Violation::OutOfBounds { q: m.q })
+            {
+                return;
             }
         }
         // Row/column ordering with the minimum line gap.
         let gap = self.line_gap();
-        let owned = |owner: &Vec<Option<u32>>, coords: &Vec<Option<f64>>| -> Vec<(u16, f64)> {
-            owner
+        let mut prev: Option<(u16, f64)> = None;
+        for (i, owner) in self.row_owner.iter().enumerate() {
+            if owner.is_none() {
+                continue;
+            }
+            let y = row_over
                 .iter()
-                .enumerate()
-                .filter_map(|(i, o)| {
-                    o.map(|_| (i as u16, coords[i].expect("owned line has coord")))
-                })
-                .collect()
-        };
-        let rows = owned(&self.row_owner, &row_y);
-        for w in rows.windows(2) {
-            if w[1].1 - w[0].1 < gap - 1e-9 {
-                out.push(Violation::RowOrdering { row_a: w[0].0, row_b: w[1].0 });
+                .find(|&&(r, _)| r as usize == i)
+                .map(|&(_, y)| y)
+                .or(self.row_y[i])
+                .expect("owned line has coord");
+            if let Some((pi, py)) = prev {
+                if y - py < gap - 1e-9
+                    && !emit(Violation::RowOrdering { row_a: pi, row_b: i as u16 })
+                {
+                    return;
+                }
             }
+            prev = Some((i as u16, y));
         }
-        let cols = owned(&self.col_owner, &col_x);
-        for w in cols.windows(2) {
-            if w[1].1 - w[0].1 < gap - 1e-9 {
-                out.push(Violation::ColOrdering { col_a: w[0].0, col_b: w[1].0 });
+        let mut prev: Option<(u16, f64)> = None;
+        for (i, owner) in self.col_owner.iter().enumerate() {
+            if owner.is_none() {
+                continue;
             }
+            let x = col_over
+                .iter()
+                .find(|&&(c, _)| c as usize == i)
+                .map(|&(_, x)| x)
+                .or(self.col_x[i])
+                .expect("owned line has coord");
+            if let Some((pi, px)) = prev {
+                if x - px < gap - 1e-9
+                    && !emit(Violation::ColOrdering { col_a: pi, col_b: i as u16 })
+                {
+                    return;
+                }
+            }
+            prev = Some((i as u16, x));
         }
         // Pairwise separation: every moved atom against every placed atom.
         let min_sep = self.spec.min_separation_um;
         for m in moves {
-            let p = positions[m.q as usize];
+            let p = pos_of(m.q as usize);
             for (other, trap) in self.traps.iter().enumerate() {
                 if trap.is_none() || other as u32 == m.q {
                     continue;
                 }
                 // Skip duplicate reporting for pairs of moved atoms.
-                if moves.iter().any(|mm| mm.q == other as u32) && other as u32 > m.q {
+                if other as u32 > m.q && moved.iter().any(|&(mq, _)| mq as usize == other) {
                     continue;
                 }
-                if violates_separation(&p, &positions[other], min_sep) {
-                    out.push(Violation::Separation {
+                let po = pos_of(other);
+                if violates_separation(&p, &po, min_sep)
+                    && !emit(Violation::Separation {
                         q1: m.q,
                         q2: other as u32,
-                        distance: p.distance(&positions[other]),
-                    });
+                        distance: p.distance(&po),
+                    })
+                {
+                    return;
                 }
             }
         }
-        out
     }
 
     /// Full-state invariant check (used by tests and debug assertions).
@@ -556,6 +629,42 @@ mod tests {
         a.transfer_to_aod(0, 0, 0).unwrap();
         let vs = a.check_aod_moves(&[AodMove { q: 0, x: 1e4, y: 14.0 }]);
         assert!(vs.iter().any(|v| matches!(v, Violation::OutOfBounds { q: 0 })));
+    }
+
+    #[test]
+    fn first_violation_matches_full_scan_on_every_batch_shape() {
+        // The movement planner's resolution cascade is steered exclusively
+        // by the first violation, so the early-exit scan must agree with
+        // the full scan everywhere: clean batches, single violations of
+        // each kind, and batches violating several constraints at once.
+        let mut a = array();
+        a.place_in_slm(0, (2, 2)); // (14, 14)
+        a.place_in_slm(1, (6, 3)); // (42, 21)
+        a.place_in_slm(2, (10, 10)); // (70, 70) static
+        a.place_in_slm(3, (12, 4)); // (84, 28) static
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a.transfer_to_aod(1, 1, 1).unwrap();
+        let batches: Vec<Vec<AodMove>> = vec![
+            vec![],
+            vec![AodMove { q: 0, x: 35.0, y: 35.0 }], // clean
+            vec![AodMove { q: 0, x: 1e4, y: 14.0 }],  // out of bounds
+            vec![AodMove { q: 0, x: 14.0, y: 60.0 }], // row crossing
+            vec![AodMove { q: 0, x: 41.0, y: 14.0 }], // column gap
+            vec![AodMove { q: 0, x: 69.0, y: 70.0 }], // separation
+            vec![AodMove { q: 0, x: 41.0, y: 14.0 }, AodMove { q: 1, x: 47.0, y: 21.0 }],
+            vec![AodMove { q: 0, x: 84.0, y: 27.0 }, AodMove { q: 1, x: 43.0, y: 60.0 }],
+            vec![AodMove { q: 0, x: -1e4, y: 60.0 }, AodMove { q: 1, x: 69.5, y: 69.5 }],
+            // Duplicate move of one qubit: the last write wins, as in a
+            // sequential commit.
+            vec![AodMove { q: 0, x: 69.0, y: 70.0 }, AodMove { q: 0, x: 35.0, y: 35.0 }],
+        ];
+        for batch in &batches {
+            assert_eq!(
+                a.first_aod_move_violation(batch),
+                a.check_aod_moves(batch).first().copied(),
+                "batch {batch:?}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! `submit` prints the compilation metrics the server returned; repeat an
 //! identical submission to watch `cached: true` come back instantly.
 
-use parallax_service::{Json, ServiceClient, SubmitRequest, SubmitSource};
+use parallax_service::{render_stats, Json, ServiceClient, SubmitRequest, SubmitSource};
 use std::io::Read;
 
 fn die(msg: &str) -> ! {
@@ -79,7 +79,7 @@ fn main() {
 
     let outcome = match command.as_str() {
         "ping" => client.ping().map(|v| v.encode()),
-        "stats" => client.stats().map(|v| v.encode()),
+        "stats" => client.stats().map(|v| render_stats(&v)),
         "shutdown" => client.shutdown().map(|v| v.encode()),
         "submit" => {
             request.source = match (workload, path) {

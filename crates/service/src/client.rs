@@ -129,3 +129,145 @@ impl ServiceClient {
         self.roundtrip(&Request::Shutdown)
     }
 }
+
+fn cache_layer_line(cache: Option<&Json>) -> String {
+    match cache {
+        Some(c) => {
+            let g = |k: &str| c.get(k).and_then(Json::as_u64).unwrap_or(0);
+            format!(
+                "len {}/{}  hits {}  misses {}  evictions {}",
+                g("len"),
+                g("capacity"),
+                g("hits"),
+                g("misses"),
+                g("evictions")
+            )
+        }
+        None => "unavailable".to_string(),
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{:.3} s", us as f64 / 1e6)
+    }
+}
+
+/// Render a `STATS` snapshot as the human-readable report that
+/// `parallax-client stats` prints: job counters, queue gauge, **both**
+/// cache layers (per-server result cache and process-wide layout cache),
+/// the `PARALLAX_PROFILE` stage table, and the latency histogram.
+pub fn render_stats(stats: &Json) -> String {
+    let n = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "jobs          submitted {}  completed {}  failed {}  bad_requests {}\n",
+        n("submitted"),
+        n("completed"),
+        n("failed"),
+        n("bad_requests")
+    ));
+    out.push_str(&format!(
+        "rejected      queue_full {}  shutdown {}\n",
+        n("rejected_full"),
+        n("rejected_shutdown")
+    ));
+    out.push_str(&format!("queue         depth {}/{}\n", n("queue_depth"), n("queue_capacity")));
+    out.push_str(&format!("result cache  {}\n", cache_layer_line(stats.get("cache"))));
+    out.push_str(&format!("layout cache  {}\n", cache_layer_line(stats.get("layout_cache"))));
+
+    if let Some(latency) = stats.get("latency") {
+        let g = |k: &str| latency.get(k).and_then(Json::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "latency       count {}  mean {}  max {}\n",
+            g("count"),
+            fmt_us(g("mean_us")),
+            fmt_us(g("max_us"))
+        ));
+        if let (Some(Json::Arr(bounds)), Some(Json::Arr(counts))) =
+            (latency.get("bounds_us"), latency.get("counts"))
+        {
+            for (bound, count) in bounds.iter().zip(counts) {
+                let count = count.as_u64().unwrap_or(0);
+                if count == 0 {
+                    continue;
+                }
+                let label = match bound.as_u64() {
+                    Some(us) => format!("<= {}", fmt_us(us)),
+                    None => "overflow".to_string(),
+                };
+                out.push_str(&format!("  {label:<12} {count}\n"));
+            }
+        }
+    }
+
+    if let Some(profile) = stats.get("profile") {
+        // (rendered last: it is empty in the common, unprofiled case)
+        let enabled = profile.get("enabled").and_then(Json::as_bool).unwrap_or(false);
+        let stages = match profile.get("stages") {
+            Some(Json::Arr(stages)) => stages.as_slice(),
+            _ => &[],
+        };
+        let any = stages.iter().any(|s| s.get("calls").and_then(Json::as_u64).unwrap_or(0) > 0);
+        if enabled || any {
+            out.push_str("profile       stage times (cumulative)\n");
+            for s in stages {
+                let name = s.get("stage").and_then(Json::as_str).unwrap_or("?");
+                let g = |k: &str| s.get(k).and_then(Json::as_u64).unwrap_or(0);
+                out.push_str(&format!(
+                    "  {name:<12} calls {:<8} total {:<12} allocs {}\n",
+                    g("calls"),
+                    fmt_us(g("total_us")),
+                    g("allocs")
+                ));
+            }
+        } else {
+            out.push_str("profile       disabled (set PARALLAX_PROFILE=1 on the server)\n");
+        }
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn renders_every_section_of_a_stats_snapshot() {
+        let m = Metrics::default();
+        Metrics::inc(&m.submitted);
+        Metrics::inc(&m.completed);
+        Metrics::inc(&m.cache_hits);
+        m.latency.record(250_000);
+        let result_cache = Json::obj(vec![
+            ("len", Json::Int(2)),
+            ("capacity", Json::Int(64)),
+            ("hits", Json::Int(1)),
+            ("misses", Json::Int(2)),
+            ("evictions", Json::Int(0)),
+        ]);
+        let stats =
+            m.to_json(1, 64, result_cache, Metrics::layout_cache_json(), Metrics::profile_json());
+        let text = render_stats(&stats);
+        assert!(text.contains("jobs          submitted 1  completed 1"), "{text}");
+        assert!(text.contains("queue         depth 1/64"), "{text}");
+        assert!(text.contains("result cache  len 2/64  hits 1  misses 2"), "{text}");
+        assert!(text.contains("layout cache  len "), "layout-cache layer missing:\n{text}");
+        assert!(text.contains("latency       count 1  mean 250.00 ms"), "{text}");
+        assert!(text.contains("<= 1.000 s"), "histogram bucket missing:\n{text}");
+        assert!(text.contains("profile"), "{text}");
+    }
+
+    #[test]
+    fn renders_gracefully_with_missing_sections() {
+        let text = render_stats(&Json::obj(vec![("submitted", Json::Int(3))]));
+        assert!(text.contains("submitted 3"));
+        assert!(text.contains("result cache  unavailable"));
+        assert!(text.contains("layout cache  unavailable"));
+    }
+}

@@ -73,7 +73,7 @@ pub mod server;
 pub mod worker;
 
 pub use cache::{CacheKey, ResultCache};
-pub use client::{ClientError, ServiceClient, SubmitReply};
+pub use client::{render_stats, ClientError, ServiceClient, SubmitReply};
 pub use json::{Json, JsonError};
 pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{

@@ -92,9 +92,18 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot every counter (plus the caller-supplied queue gauges) as
-    /// the `STATS` payload.
-    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, cache: Json) -> Json {
+    /// Snapshot every counter (plus the caller-supplied queue gauges and
+    /// per-cache-layer sub-objects) as the `STATS` payload. `cache` is the
+    /// per-server result cache, `layout_cache` the process-wide layout
+    /// cache, and `profile` the `PARALLAX_PROFILE` stage counters.
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        cache: Json,
+        layout_cache: Json,
+        profile: Json,
+    ) -> Json {
         let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed));
         Json::obj(vec![
             ("submitted", load(&self.submitted)),
@@ -108,7 +117,41 @@ impl Metrics {
             ("queue_depth", Json::Int(queue_depth as u64)),
             ("queue_capacity", Json::Int(queue_capacity as u64)),
             ("cache", cache),
+            ("layout_cache", layout_cache),
+            ("profile", profile),
             ("latency", self.latency.to_json()),
+        ])
+    }
+
+    /// The process-wide layout-cache counters as a `STATS` sub-object.
+    pub fn layout_cache_json() -> Json {
+        let s = parallax_core::layout_cache_stats();
+        Json::obj(vec![
+            ("len", Json::Int(s.len as u64)),
+            ("capacity", Json::Int(s.capacity as u64)),
+            ("hits", Json::Int(s.hits)),
+            ("misses", Json::Int(s.misses)),
+            ("evictions", Json::Int(s.evictions)),
+        ])
+    }
+
+    /// The `PARALLAX_PROFILE` per-stage counters as a `STATS` sub-object
+    /// (all-zero stages when profiling is disabled).
+    pub fn profile_json() -> Json {
+        let stages = parallax_core::profile::snapshot()
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("stage", Json::Str(s.stage.to_string())),
+                    ("calls", Json::Int(s.calls)),
+                    ("total_us", Json::Int(s.total_us)),
+                    ("allocs", Json::Int(s.allocs)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("enabled", Json::Bool(parallax_core::profile::enabled())),
+            ("stages", Json::Arr(stages)),
         ])
     }
 }
@@ -153,11 +196,26 @@ mod tests {
         let m = Metrics::default();
         Metrics::inc(&m.submitted);
         Metrics::inc(&m.cache_hits);
-        let j = m.to_json(3, 64, Json::obj(vec![("len", Json::Num(1.0))]));
+        let j = m.to_json(
+            3,
+            64,
+            Json::obj(vec![("len", Json::Num(1.0))]),
+            Metrics::layout_cache_json(),
+            Metrics::profile_json(),
+        );
         assert_eq!(j.get("submitted").and_then(Json::as_u64), Some(1));
         assert_eq!(j.get("cache_hits").and_then(Json::as_u64), Some(1));
         assert_eq!(j.get("queue_depth").and_then(Json::as_u64), Some(3));
         assert_eq!(j.get("queue_capacity").and_then(Json::as_u64), Some(64));
         assert_eq!(j.get("cache").and_then(|c| c.get("len")).and_then(Json::as_u64), Some(1));
+        // The layout-cache layer is part of every snapshot.
+        let lc = j.get("layout_cache").expect("layout_cache sub-object");
+        for key in ["len", "capacity", "hits", "misses", "evictions"] {
+            assert!(lc.get(key).and_then(Json::as_u64).is_some(), "missing layout_cache.{key}");
+        }
+        let profile = j.get("profile").expect("profile sub-object");
+        assert!(profile.get("enabled").and_then(Json::as_bool).is_some());
+        let Some(Json::Arr(stages)) = profile.get("stages") else { panic!("profile.stages") };
+        assert_eq!(stages.len(), 4);
     }
 }

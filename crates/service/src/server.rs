@@ -272,6 +272,8 @@ fn handle_request(line: &str, core: &Arc<ServerCore>) -> (String, bool) {
                 shared.queue.len(),
                 shared.queue.capacity(),
                 shared.cache_json(),
+                Metrics::layout_cache_json(),
+                Metrics::profile_json(),
             );
             (Json::obj(vec![("ok", Json::Bool(true)), ("stats", stats)]).encode(), false)
         }

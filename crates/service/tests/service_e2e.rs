@@ -132,11 +132,82 @@ fn repeat_submission_is_a_cache_hit_and_lru_evicts() {
 }
 
 #[test]
+fn near_miss_hits_the_layout_cache_and_returns_faster_than_cold() {
+    let server = start(test_config()).expect("bind");
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+
+    // Unique seed → unique placement fingerprint, so this test's layout
+    // keys cannot collide with other tests sharing the process-global
+    // cache; every cache assertion is delta-based for the same reason.
+    // The circuit is many-qubit but gate-sparse (96 qubits, one short CX
+    // chain) at full placement fidelity: the anneal's cost grows with
+    // qubit count (O(q²) pair terms per probe) while scheduling only
+    // sees 100 cheap gates, so the cold compile is >100x the shared
+    // post-placement work and the cold-vs-warm timing comparison below
+    // holds even when sibling tests saturate the machine's cores.
+    let seed = 990_017;
+    let mut qasm = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[96];\n");
+    for i in 0..96 {
+        qasm.push_str(&format!("h q[{i}];\n"));
+    }
+    for i in 0..4 {
+        qasm.push_str(&format!("cx q[{i}],q[{}];\n", i + 1));
+    }
+    let cold_req = SubmitRequest {
+        source: SubmitSource::Qasm(qasm),
+        seed,
+        quick: false,
+        ..Default::default()
+    };
+    // A near miss: same circuit, same machine, same placement knobs —
+    // only the *scheduling* config differs.
+    let warm_req = SubmitRequest { return_home: false, ..cold_req.clone() };
+
+    let lc = |s: &Json, k: &str| {
+        s.get("layout_cache").and_then(|c| c.get(k)).and_then(Json::as_u64).unwrap()
+    };
+    let before = client.stats().expect("stats");
+
+    let cold = client.submit(cold_req.clone()).expect("cold compile");
+    assert!(!cold.cached);
+    let mid = client.stats().expect("stats");
+    assert!(lc(&mid, "misses") > lc(&before, "misses"), "cold compile must miss the layout cache");
+
+    let warm = client.submit(warm_req.clone()).expect("near-miss compile");
+    assert!(!warm.cached, "a different scheduling config must miss the result cache");
+    let after = client.stats().expect("stats");
+    assert!(
+        lc(&after, "hits") > lc(&mid, "hits"),
+        "near miss must hit the layout cache: {} -> {}",
+        lc(&mid, "hits"),
+        lc(&after, "hits")
+    );
+
+    // The scheduling knob really changed the compilation…
+    assert_ne!(cold.result.encode(), warm.result.encode());
+    // …while skipping the placement anneal, so the near miss answers
+    // faster than the cold compile it shares a layout with.
+    assert!(
+        warm.total_us < cold.total_us,
+        "near miss took {} µs, cold compile {} µs",
+        warm.total_us,
+        cold.total_us
+    );
+
+    // Layout-cache hits are bit-identical to fresh anneals: a direct
+    // in-process compile (which now takes the hit path) reproduces both
+    // served payloads byte for byte.
+    assert_eq!(cold.result.encode(), direct_payload(&cold_req));
+    assert_eq!(warm.result.encode(), direct_payload(&warm_req));
+}
+
+#[test]
 fn full_queue_pushes_back_instead_of_accepting_silently() {
     // One worker, one queue slot, immediate rejection: occupy the worker
-    // with the slowest small workload (WST, 27 qubits), fill the single
-    // slot, then watch further submissions bounce with a `queue full`
-    // error.
+    // with the heaviest workload (TFIM, 128 qubits — its movement-heavy
+    // schedule takes ~hundreds of ms even with the quick placement
+    // preset and warm caches), fill the single slot, then watch further
+    // submissions bounce with a `queue full` error.
     let server = start(ServerConfig {
         workers: 1,
         queue_capacity: 1,
@@ -148,7 +219,7 @@ fn full_queue_pushes_back_instead_of_accepting_silently() {
 
     let slow = std::thread::spawn(move || {
         let mut c = ServiceClient::connect(addr).expect("connect");
-        c.submit(submit_for("WST", 1)).expect("slow job completes")
+        c.submit(submit_for("TFIM", 1)).expect("slow job completes")
     });
     // Wait until the worker has actually claimed the slow job.
     let mut c = ServiceClient::connect(addr).expect("connect");

@@ -2,8 +2,9 @@
 //! supports the paper's compile-time complexity discussion in Section III).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_bench::placement_for;
 use parallax_circuit::optimize;
-use parallax_core::{discretize, select_aod_qubits, CompilerConfig};
+use parallax_core::{discretize, schedule_gates, select_aod_qubits, CompilerConfig};
 use parallax_graphine::{GraphineLayout, InteractionGraph, PlacementConfig};
 use parallax_hardware::MachineSpec;
 
@@ -31,6 +32,30 @@ fn bench_stages(c: &mut Criterion) {
             select_aod_qubits(&circuit, &mut d, &CompilerConfig::quick(0))
         })
     });
+
+    // The scheduling stage alone (Algorithm 1), at the paper-fidelity
+    // placement settings the tables use. The prepared (post-AOD-selection)
+    // layout is cloned per iteration because scheduling mutates it; the
+    // clone is O(atoms) and noise next to the scheduling loop itself.
+    // TFIM-128 is the large-circuit extreme where the scheduler dominates
+    // the warm-cache compile; SQRT tracks the mid-size behaviour.
+    for (name, machine) in
+        [("SQRT", MachineSpec::quera_aquila_256()), ("TFIM", MachineSpec::atom_1225())]
+    {
+        let bench = parallax_workloads::benchmark(name).unwrap();
+        let circuit = bench.circuit(0);
+        let placement = placement_for(bench.qubits, 0);
+        let config = CompilerConfig { placement, ..CompilerConfig::default() };
+        let layout = GraphineLayout::generate(&circuit, &config.placement);
+        let mut prepared = discretize(&circuit, &layout, machine);
+        let selection = select_aod_qubits(&circuit, &mut prepared, &config);
+        group.bench_function(format!("schedule/{name}"), |b| {
+            b.iter(|| {
+                let mut d = prepared.clone();
+                schedule_gates(&circuit, &mut d, &selection, &config)
+            })
+        });
+    }
     group.finish();
 }
 

@@ -4,11 +4,15 @@
 //! ```text
 //! experiments [table2|table3|fig9|fig10|table4|fig11|fig12|fig13|summary|all]
 //!             [--quick] [--seed N]
+//! experiments sweep-restarts [--quick] [--seed N]
 //! ```
 //!
 //! `--quick` restricts to six small benchmarks (useful in debug builds);
 //! the full suite is intended for `cargo run --release -p parallax-bench
-//! --bin experiments -- all`.
+//! --bin experiments -- all`. `sweep-restarts` is a tuning mode (not part
+//! of `all`): it sweeps `PlacementConfig::restarts` over {1, 2, 4, 8} and
+//! reports placement wall time vs schedule quality, the measurement
+//! behind the preset default.
 
 use parallax_bench::*;
 use parallax_hardware::MachineSpec;
@@ -102,6 +106,18 @@ fn main() {
         let benches = selected_benchmarks(quick);
         let (h, d) = fig13_rows(&benches, seed);
         println!("== Fig. 13: AOD count ablation (Atom-1225) ==\n{}", render_table(&h, &d));
+    }
+
+    // Tuning mode, deliberately excluded from `all`: every arm re-anneals.
+    if which == "sweep-restarts" {
+        let benches = selected_benchmarks(quick);
+        eprintln!("[experiments] restart sweep: {} benchmarks x 4 arms...", benches.len());
+        let rows = sweep_restarts(&benches, MachineSpec::quera_aquila_256(), seed, &[1, 2, 4, 8]);
+        let (h, d) = sweep_restarts_rows(&rows);
+        println!(
+            "== Restart sweep: placement cost vs schedule quality (QuEra-256) ==\n{}",
+            render_table(&h, &d)
+        );
     }
 
     if parallax_core::profile::enabled() {

@@ -2,11 +2,14 @@
 //! dumps (written by the vendored criterion harness under
 //! `PARALLAX_BENCH_JSON_DIR`) and flag mean-time regressions.
 //!
-//! This is what finally tracks bench trajectories across commits: CI dumps
-//! a fresh single-sample snapshot on every run and `bench-compare` gates
-//! it against the committed `benches/baseline/` snapshot; locally,
-//! `bench-compare old/ new/` with the default 15% tolerance gives a quick
-//! before/after verdict for a perf change.
+//! This is what tracks bench trajectories across commits: CI dumps a
+//! fresh snapshot on every run, uploads it as an artifact, and
+//! `bench-compare` gates it against the previous successful run's
+//! artifact at the default 15% tolerance (falling back to the committed
+//! `benches/baseline/` snapshot, loosely, when no artifact exists);
+//! locally, `bench-compare old/ new/` gives a quick before/after verdict
+//! for a perf change. A noise floor exempts micro-benches from gating —
+//! see [`CompareReport::regressions_with_floor`].
 
 use std::path::Path;
 
@@ -184,7 +187,20 @@ pub struct CompareReport {
 impl CompareReport {
     /// Deltas whose mean regressed beyond `tolerance` (e.g. `0.15`).
     pub fn regressions(&self, tolerance: f64) -> Vec<&MeanDelta> {
-        self.deltas.iter().filter(|d| d.ratio > tolerance).collect()
+        self.regressions_with_floor(tolerance, 0.0)
+    }
+
+    /// Like [`Self::regressions`], but benches whose *baseline* mean is
+    /// under `min_mean_ns` are exempt from the gate. Micro-benches in the
+    /// few-µs range have run-to-run noise far beyond any sane tolerance
+    /// on shared CI runners (the committed snapshots show stddev up to
+    /// ~100% of the mean there), so gating them turns the gate into a
+    /// coin flip; they stay in the report with a distinct verdict.
+    pub fn regressions_with_floor(&self, tolerance: f64, min_mean_ns: f64) -> Vec<&MeanDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.base_mean_ns >= min_mean_ns && d.ratio > tolerance)
+            .collect()
     }
 }
 
@@ -214,20 +230,28 @@ pub fn compare(base: &[BenchRecord], new: &[BenchRecord]) -> CompareReport {
     report
 }
 
-/// Render the report as an aligned table with a ✓/REGRESSED verdict per
-/// row (under `tolerance`).
-pub fn render_report(report: &CompareReport, tolerance: f64) -> String {
+/// Render the report as an aligned table with a per-row verdict: `ok`,
+/// `REGRESSED` (over `tolerance` and gated), or `noisy` (over tolerance
+/// but with a baseline mean under `min_mean_ns`, exempt from the gate).
+pub fn render_report(report: &CompareReport, tolerance: f64, min_mean_ns: f64) -> String {
     let fmt_ms = |ns: f64| format!("{:.3}", ns / 1e6);
     let rows: Vec<Vec<String>> = report
         .deltas
         .iter()
         .map(|d| {
+            let verdict = if d.ratio <= tolerance {
+                "ok"
+            } else if d.base_mean_ns < min_mean_ns {
+                "noisy"
+            } else {
+                "REGRESSED"
+            };
             vec![
                 d.id.clone(),
                 fmt_ms(d.base_mean_ns),
                 fmt_ms(d.new_mean_ns),
                 format!("{:+.1}%", 100.0 * d.ratio),
-                if d.ratio > tolerance { "REGRESSED".to_string() } else { "ok".to_string() },
+                verdict.to_string(),
             ]
         })
         .collect();
@@ -306,6 +330,23 @@ mod tests {
     }
 
     #[test]
+    fn noise_floor_exempts_micro_benches_from_the_gate() {
+        // "fast" is a 5µs micro-bench that doubled (noise); "slow" is a
+        // 100ms bench that genuinely regressed. With a 1ms floor only
+        // "slow" gates; the report still shows "fast" as noisy.
+        let base = vec![record("fast", 5_000.0), record("slow", 100_000_000.0)];
+        let new = vec![record("fast", 10_000.0), record("slow", 130_000_000.0)];
+        let report = compare(&base, &new);
+        assert_eq!(report.regressions(0.15).len(), 2);
+        let gated = report.regressions_with_floor(0.15, 1_000_000.0);
+        assert_eq!(gated.len(), 1);
+        assert_eq!(gated[0].id, "slow");
+        let text = render_report(&report, 0.15, 1_000_000.0);
+        assert!(text.contains("noisy"), "{text}");
+        assert!(text.contains("REGRESSED"), "{text}");
+    }
+
+    #[test]
     fn compare_reports_missing_incomparable_and_added() {
         let mut broken = record("broken", 10.0);
         let base = vec![record("gone", 10.0), record("stays", 10.0), broken.clone()];
@@ -316,7 +357,7 @@ mod tests {
         assert_eq!(report.incomparable, vec!["broken".to_string()]);
         assert_eq!(report.added, vec!["fresh".to_string()]);
         assert_eq!(report.deltas.len(), 1);
-        let text = render_report(&report, 0.15);
+        let text = render_report(&report, 0.15, 0.0);
         assert!(text.contains("'gone' missing"), "{text}");
         assert!(text.contains("'broken' present but not comparable"), "{text}");
     }
@@ -324,7 +365,7 @@ mod tests {
     #[test]
     fn render_marks_verdicts() {
         let report = compare(&[record("x", 100.0)], &[record("x", 200.0)]);
-        let table = render_report(&report, 0.15);
+        let table = render_report(&report, 0.15, 0.0);
         assert!(table.contains("REGRESSED"), "{table}");
         assert!(table.contains("+100.0%"), "{table}");
     }

@@ -20,8 +20,10 @@
 //! generation happens *outside* the lock, so concurrent compiles never
 //! serialize on the anneal, only on the map probe. Both direct
 //! [`crate::ParallaxCompiler::compile`] calls and the compile service
-//! share it; `PARALLAX_LAYOUT_CACHE=<capacity>` resizes it and `0`
-//! disables it.
+//! share it; `PARALLAX_LAYOUT_CACHE=<qubit-units>` resizes it and `0`
+//! disables it. Eviction is size-aware: an entry costs its qubit count,
+//! so a 256-qubit layout is charged 256 units while a 4-qubit one costs
+//! 4, and large stale layouts are displaced before hordes of small ones.
 
 use crate::profile::{self, Stage};
 use parallax_graphine::{GraphineLayout, InteractionGraph, PlacementConfig};
@@ -66,39 +68,46 @@ pub struct LayoutCacheStats {
     pub evictions: u64,
     /// Entries currently cached.
     pub len: usize,
-    /// Maximum entries (0 = disabled).
+    /// Maximum total weight in qubit-units (0 = disabled).
     pub capacity: usize,
+    /// Total weight of the cached entries, qubit-units.
+    pub weight: usize,
 }
 
 struct Entry {
     layout: GraphineLayout,
     /// Last-touch tick for LRU eviction.
     tick: u64,
+    /// Size of this entry in qubit-units (its position count): a
+    /// 256-qubit layout holds 256x the data of a 1-qubit one and is
+    /// charged accordingly.
+    weight: usize,
 }
 
-/// Bounded LRU map from [`LayoutKey`] to annealed layouts. Eviction scans
-/// for the stalest tick — O(capacity), which at the default 128 entries is
-/// noise next to the anneal the cache avoids.
+fn weight_of(layout: &GraphineLayout) -> usize {
+    layout.positions.len().max(1)
+}
+
+/// Bounded LRU map from [`LayoutKey`] to annealed layouts. Capacity is
+/// **size-aware**: entries are charged their qubit count rather than a
+/// flat 1, so one giant layout cannot silently occupy as little budget as
+/// a trivial one. Eviction scans for the stalest tick — O(entries), which
+/// is noise next to the anneal the cache avoids.
 pub struct LayoutCache {
     map: HashMap<LayoutKey, Entry>,
     tick: u64,
     capacity: usize,
+    weight: usize,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
 impl LayoutCache {
-    /// Create a cache holding at most `capacity` layouts (0 disables).
+    /// Create a cache holding at most `capacity` qubit-units of layouts
+    /// (0 disables).
     pub fn new(capacity: usize) -> Self {
-        Self {
-            map: HashMap::with_capacity(capacity.min(1024)),
-            tick: 0,
-            capacity,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-        }
+        Self { map: HashMap::new(), tick: 0, capacity, weight: 0, hits: 0, misses: 0, evictions: 0 }
     }
 
     /// Look up `key`, refreshing its recency and counting the hit/miss.
@@ -117,20 +126,47 @@ impl LayoutCache {
         }
     }
 
-    /// Insert (or refresh) `key`, evicting the least-recently-used layout
-    /// at capacity. No-op when the cache is disabled.
+    /// Insert (or refresh) `key`, evicting least-recently-used layouts
+    /// until the new entry's weight fits. No-op when the cache is disabled
+    /// or the layout alone exceeds the whole budget (caching it would
+    /// wipe everything else for an entry that can never share) — the
+    /// latter warns once per process, because an operator carrying a
+    /// small entry-count-era `PARALLAX_LAYOUT_CACHE` value would
+    /// otherwise see their hit rate silently drop to zero.
     pub fn insert(&mut self, key: LayoutKey, layout: GraphineLayout) {
         if self.capacity == 0 {
             return;
         }
-        self.tick += 1;
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
-            if let Some(stalest) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| *k) {
-                self.map.remove(&stalest);
-                self.evictions += 1;
-            }
+        let weight = weight_of(&layout);
+        if weight > self.capacity {
+            static OVERSIZED: std::sync::Once = std::sync::Once::new();
+            let capacity = self.capacity;
+            OVERSIZED.call_once(|| {
+                eprintln!(
+                    "warning: a {weight}-qubit layout exceeds the whole layout-cache budget \
+                     ({capacity} qubit-units) and will not be cached; PARALLAX_LAYOUT_CACHE \
+                     is measured in qubit-units (it used to count entries) — raise it to \
+                     at least the largest circuit's qubit count"
+                );
+            });
+            return;
         }
-        self.map.insert(key, Entry { layout, tick: self.tick });
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.weight -= old.weight;
+        }
+        while self.weight + weight > self.capacity {
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+                .expect("nonzero weight implies an entry to evict");
+            self.weight -= self.map.remove(&stalest).expect("stalest key present").weight;
+            self.evictions += 1;
+        }
+        self.weight += weight;
+        self.map.insert(key, Entry { layout, tick: self.tick, weight });
     }
 
     /// Current counters and gauges.
@@ -141,24 +177,28 @@ impl LayoutCache {
             evictions: self.evictions,
             len: self.map.len(),
             capacity: self.capacity,
+            weight: self.weight,
         }
     }
 }
 
-/// Default capacity: `PARALLAX_LAYOUT_CACHE` (entries; `0` disables) or 128.
-/// An unparsable value warns and keeps the default rather than silently
-/// re-enabling a cache someone tried to turn off with e.g. `=off`.
+/// Default capacity: `PARALLAX_LAYOUT_CACHE` (qubit-units; `0` disables)
+/// or 8192 — room for e.g. 64 layouts of 128 qubits or thousands of small
+/// ones. An unparsable value warns and keeps the default rather than
+/// silently re-enabling a cache someone tried to turn off with e.g. `=off`.
+const DEFAULT_CAPACITY: usize = 8192;
+
 fn configured_capacity() -> usize {
     match std::env::var("PARALLAX_LAYOUT_CACHE") {
-        Err(_) => 128,
+        Err(_) => DEFAULT_CAPACITY,
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) => n,
             Err(_) => {
                 eprintln!(
-                    "warning: PARALLAX_LAYOUT_CACHE={v:?} is not a number of entries \
-                     (use 0 to disable); keeping the default capacity 128"
+                    "warning: PARALLAX_LAYOUT_CACHE={v:?} is not a number of qubit-units \
+                     (use 0 to disable); keeping the default capacity {DEFAULT_CAPACITY}"
                 );
-                128
+                DEFAULT_CAPACITY
             }
         },
     }
@@ -224,6 +264,10 @@ mod tests {
         }
     }
 
+    fn sized_layout(tag: f64, qubits: usize) -> GraphineLayout {
+        GraphineLayout { positions: vec![(tag, tag); qubits], ..layout(tag) }
+    }
+
     fn key(n: u64) -> LayoutKey {
         LayoutKey { graph: n, machine: 1, placement: 1 }
     }
@@ -248,6 +292,43 @@ mod tests {
         c.insert(key(1), layout(1.0));
         assert_eq!(c.get(&key(1)), None);
         assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn eviction_is_weighted_by_qubit_count() {
+        // Capacity 280 qubit-units: a 256-qubit layout plus one 20-qubit
+        // layout fit; the second 20-qubit layout displaces the (stale)
+        // large one — not a small one — because the large entry is charged
+        // its real size instead of a flat 1.
+        let mut c = LayoutCache::new(280);
+        c.insert(key(1), sized_layout(1.0, 256));
+        c.insert(key(2), sized_layout(2.0, 20));
+        assert_eq!(c.stats().weight, 276);
+        c.insert(key(3), sized_layout(3.0, 20));
+        assert_eq!(c.get(&key(1)), None, "the large layout must be evicted first");
+        assert!(c.get(&key(2)).is_some() && c.get(&key(3)).is_some());
+        let s = c.stats();
+        assert_eq!((s.evictions, s.len, s.weight), (1, 2, 40));
+    }
+
+    #[test]
+    fn oversized_layout_is_not_cached_and_evicts_nothing() {
+        let mut c = LayoutCache::new(100);
+        c.insert(key(1), sized_layout(1.0, 60));
+        c.insert(key(2), sized_layout(2.0, 101)); // exceeds the whole budget
+        assert_eq!(c.get(&key(2)), None);
+        assert!(c.get(&key(1)).is_some(), "existing entries must survive");
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_its_weight() {
+        let mut c = LayoutCache::new(100);
+        c.insert(key(1), sized_layout(1.0, 80));
+        c.insert(key(1), sized_layout(1.5, 40));
+        let s = c.stats();
+        assert_eq!((s.len, s.weight, s.evictions), (1, 40, 0));
+        assert_eq!(c.get(&key(1)).unwrap().positions.len(), 40);
     }
 
     #[test]

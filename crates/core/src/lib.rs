@@ -20,6 +20,22 @@
 //! AOD movement scheme ([`parallelize`], Section II-E), and independent
 //! compilations fan out across threads ([`parallel`]).
 //!
+//! # Performance
+//!
+//! Two layers make repeat and near-miss traffic cheap. The process-wide
+//! [`layout_cache`] skips the anneal for known (interaction graph,
+//! machine, placement-params) keys, with size-aware eviction (entries are
+//! charged their qubit count; `PARALLAX_LAYOUT_CACHE` sets the budget in
+//! qubit-units). Downstream of it, the [`scheduler`] — the whole cost of
+//! a warm-cache compile — runs on an incremental dependency frontier, a
+//! spatial blockade index, failed-move memoization, and a reusable layer
+//! scratch, all bit-identical to the reference implementation (proptested
+//! against the naive oracle). Measured on TFIM-128 (10-sample means, one
+//! machine): the schedule stage fell 192.7 ms → 52.8 ms (3.7x) in PR 4,
+//! on top of PR 3's 1.22 s → 0.19 s. `PARALLAX_PROFILE=1` records
+//! per-stage and per-scheduler-sub-stage timers ([`profile`]); the
+//! `profile_stages` example prints them for any workload.
+//!
 //! # Example
 //! ```
 //! use parallax_circuit::CircuitBuilder;

@@ -16,7 +16,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-/// The profiled pipeline stages, in pipeline order.
+/// The profiled pipeline stages, in pipeline order. The `Schedule*`
+/// entries are sub-stages of `Schedule`: they partition the scheduler's
+/// per-layer loop (frontier build / movement resolution / blockade pass /
+/// home return), so the scheduler's own bottleneck is visible without a
+/// sampling profiler. Sub-stage times nest inside the `schedule` total.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
     /// GRAPHINE annealed placement (or a layout-cache lookup).
@@ -27,10 +31,27 @@ pub enum Stage {
     AodSelect,
     /// Gate/movement scheduling.
     Schedule,
+    /// Scheduler sub-stage: dependency-frontier maintenance.
+    ScheduleFrontier,
+    /// Scheduler sub-stage: AOD movement planning and commits.
+    ScheduleMovement,
+    /// Scheduler sub-stage: Rydberg-blockade interference pass.
+    ScheduleBlockade,
+    /// Scheduler sub-stage: returning moved atoms home.
+    ScheduleReturn,
 }
 
 /// Display names, indexed by `Stage as usize`.
-pub const STAGE_NAMES: [&str; 4] = ["placement", "discretize", "aod_select", "schedule"];
+pub const STAGE_NAMES: [&str; 8] = [
+    "placement",
+    "discretize",
+    "aod_select",
+    "schedule",
+    "  frontier",
+    "  movement",
+    "  blockade",
+    "  return",
+];
 
 struct StageCounters {
     calls: AtomicU64,
@@ -46,12 +67,21 @@ const fn zeroed() -> StageCounters {
     }
 }
 
-static TABLE: [StageCounters; 4] = [zeroed(), zeroed(), zeroed(), zeroed()];
+static TABLE: [StageCounters; 8] =
+    [zeroed(), zeroed(), zeroed(), zeroed(), zeroed(), zeroed(), zeroed(), zeroed()];
+
+static ENABLED: OnceLock<bool> = OnceLock::new();
 
 /// Whether profiling is on (`PARALLAX_PROFILE=1`; read once per process).
 pub fn enabled() -> bool {
-    static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| std::env::var("PARALLAX_PROFILE").is_ok_and(|v| v == "1"))
+}
+
+/// Turn profiling on programmatically (the `profile_stages` example). Must
+/// run before the first [`enabled`] call to take effect — the flag is
+/// latched on first read so the hot path stays one branch on a cached bool.
+pub fn force_enable() {
+    let _ = ENABLED.set(true);
 }
 
 /// Start timing a stage; `None` (and therefore zero cost downstream) when

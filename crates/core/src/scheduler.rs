@@ -7,19 +7,49 @@
 //! Rydberg-blockade interference pass ejects conflicting gates back to the
 //! unexecuted list; and moved AOD atoms return to their pre-layer homes
 //! after execution (the Fig. 12 ablation toggles this off).
+//!
+//! # The hot path
+//!
+//! On large circuits the scheduler dominates warm-cache compiles, so its
+//! per-layer loop is engineered around four structures, each bit-identical
+//! to the straightforward implementation it replaces (`schedule_gates_naive`
+//! is kept under `#[cfg(test)]` as the oracle, and proptests diff the two
+//! on random circuits):
+//!
+//! * an **incremental dependency frontier** — the ready set is updated from
+//!   the qubits whose gate pointer advanced in the previous layer instead
+//!   of rescanning every qubit, and emits gates in the same
+//!   ascending-qubit order by construction;
+//! * a **bucketed blockade pass** — accepted CZ endpoints go into a
+//!   uniform grid with blockade-diameter cells, so each candidate gate is
+//!   tested only against endpoints in the neighbouring cells instead of
+//!   all accepted gates (the conflict predicate is unchanged, so the
+//!   accept/eject decisions are identical);
+//! * **failed-move memoization** — a gate whose endpoint probes all failed
+//!   is not re-probed in later layers while the AOD configuration is
+//!   unchanged (position-epoch fast path, exact position comparison
+//!   fallback), because the planner is a pure function of the array state;
+//! * a reusable [`SchedulerScratch`] so the per-layer loop performs no
+//!   allocations beyond the `ScheduledLayer` outputs themselves.
+//!
+//! `PARALLAX_PROFILE=1` additionally records per-sub-stage timers
+//! (frontier / movement / blockade / return-home) through
+//! [`crate::profile`], one call per executed layer.
 
 use crate::aod_select::AodSelection;
 use crate::config::CompilerConfig;
 use crate::discretize::DiscretizedLayout;
 use crate::movement::{plan_move_into_range, plan_return_home};
+use crate::profile::{self, Stage};
 use parallax_circuit::{Circuit, DependencyDag, Gate};
-use parallax_hardware::{within_blockade, AodMove, Point};
+use parallax_hardware::{within_blockade, AodMove, AtomArray, CellGeometry, Point};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::HashMap;
 
 /// One executed layer of the compiled schedule.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledLayer {
     /// Indices (into the input circuit's gate list) executed in this layer.
     pub gate_indices: Vec<usize>,
@@ -39,7 +69,7 @@ pub struct ScheduledLayer {
 }
 
 /// Aggregate statistics of a compilation (the paper's evaluation metrics).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CompileStats {
     /// Two-qubit CZ gates executed — identical to the input circuit's count
     /// because Parallax introduces zero SWAPs.
@@ -63,10 +93,14 @@ pub struct CompileStats {
     pub deferred_gates: usize,
     /// Gates ejected by the Rydberg blockade interference check.
     pub blockade_ejections: usize,
+    /// [`CompileStats::failed_moves`] answered by the failed-move memo
+    /// table instead of a fresh probe cascade (a scheduling-cost counter;
+    /// the compiled schedule is identical with the memo off).
+    pub failed_move_memo_hits: usize,
 }
 
 /// A compiled schedule: executable layers plus statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// Executed layers in order.
     pub layers: Vec<ScheduledLayer>,
@@ -84,6 +118,267 @@ impl Schedule {
 /// Safety factor on scheduling iterations before declaring livelock.
 fn iteration_cap(num_gates: usize) -> usize {
     10 * num_gates + 1000
+}
+
+// ---------------------------------------------------------------------------
+// Incremental dependency frontier
+// ---------------------------------------------------------------------------
+
+/// The ready set of Algorithm 1's lines 7-11, maintained incrementally.
+///
+/// A qubit *emits* its head gate (`qubit_gates[q][ptr[q]]`) into the layer
+/// when the gate is a U3, or a CZ that is at the head of **both** operands
+/// with `q` the smaller one (the dedupe rule of the naive scan). Emission
+/// can only change for a qubit whose pointer advanced, or for the operands
+/// of such a qubit's new head gate — a CZ waiting on its partner becomes
+/// ready exactly when the partner's pointer reaches it. Rebuilding `curr`
+/// from the sorted emitter list therefore reproduces the naive full scan's
+/// gate order at every layer by construction.
+struct Frontier {
+    emits: Vec<bool>,
+    /// Emitting qubits, ascending (the naive scan's visit order).
+    emitters: Vec<u32>,
+}
+
+impl Frontier {
+    fn new(num_qubits: usize) -> Self {
+        Self { emits: vec![false; num_qubits], emitters: Vec::with_capacity(num_qubits) }
+    }
+
+    fn emission(q: usize, gates: &[Gate], qubit_gates: &[Vec<usize>], ptr: &[usize]) -> bool {
+        let Some(&g) = qubit_gates[q].get(ptr[q]) else { return false };
+        match gates[g] {
+            Gate::U3 { .. } => true,
+            Gate::Cz { a, b } => {
+                let (ai, bi) = (a as usize, b as usize);
+                q == ai.min(bi)
+                    && qubit_gates[ai].get(ptr[ai]) == Some(&g)
+                    && qubit_gates[bi].get(ptr[bi]) == Some(&g)
+            }
+        }
+    }
+
+    fn refresh(&mut self, q: usize, gates: &[Gate], qubit_gates: &[Vec<usize>], ptr: &[usize]) {
+        let e = Self::emission(q, gates, qubit_gates, ptr);
+        if e != self.emits[q] {
+            self.emits[q] = e;
+            match self.emitters.binary_search(&(q as u32)) {
+                Ok(i) if !e => {
+                    self.emitters.remove(i);
+                }
+                Err(i) if e => self.emitters.insert(i, q as u32),
+                _ => {}
+            }
+        }
+    }
+
+    /// Initial population: one full scan, identical to the naive rebuild.
+    fn seed(&mut self, gates: &[Gate], qubit_gates: &[Vec<usize>], ptr: &[usize]) {
+        for q in 0..self.emits.len() {
+            self.refresh(q, gates, qubit_gates, ptr);
+        }
+    }
+
+    /// Update after a layer advanced the pointers of `advanced` qubits.
+    fn advance(
+        &mut self,
+        advanced: &[u32],
+        gates: &[Gate],
+        qubit_gates: &[Vec<usize>],
+        ptr: &[usize],
+    ) {
+        for &q in advanced {
+            let q = q as usize;
+            self.refresh(q, gates, qubit_gates, ptr);
+            if let Some(&g) = qubit_gates[q].get(ptr[q]) {
+                if let Gate::Cz { a, b } = gates[g] {
+                    self.refresh(a as usize, gates, qubit_gates, ptr);
+                    self.refresh(b as usize, gates, qubit_gates, ptr);
+                }
+            }
+        }
+    }
+
+    /// Write the current layer's gate list into `curr` (ascending emitter
+    /// order, one gate per emitter — a gate's emitter is unique).
+    fn collect(&self, qubit_gates: &[Vec<usize>], ptr: &[usize], curr: &mut Vec<usize>) {
+        curr.clear();
+        for &q in &self.emitters {
+            curr.push(qubit_gates[q as usize][ptr[q as usize]]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bucketed blockade-interference index
+// ---------------------------------------------------------------------------
+
+/// Uniform grid over the *effective* endpoints of the layer's accepted CZ
+/// gates, with cells the size of the blockade radius: any endpoint within
+/// blockade range of a query point lies in one of the 3×3 neighbouring
+/// cells, so the interference test probes a local neighbourhood instead
+/// of every accepted gate. The cell math is the hardware crate's
+/// [`CellGeometry`] — the same clamped-superset guarantees as the atom
+/// occupancy index. Cleared per layer via the occupied-cell list.
+struct BlockadeIndex {
+    cells: CellGeometry,
+    /// Query reach, µm: the blockade radius plus slack covering
+    /// [`within_blockade`]'s `+1e-9` squared-distance epsilon — the
+    /// predicate accepts pairs up to `sqrt(br² + 1e-9)`, a hair beyond
+    /// `br`, and the cell sweep must remain a strict superset of its
+    /// acceptance region or a boundary pair could slip between cells.
+    reach_um: f64,
+    buckets: Vec<Vec<Point>>,
+    occupied: Vec<usize>,
+}
+
+impl BlockadeIndex {
+    fn new(extent_um: f64, margin_um: f64, blockade_um: f64) -> Self {
+        let cells = CellGeometry::new(extent_um, margin_um, blockade_um);
+        Self {
+            buckets: vec![Vec::new(); cells.num_cells()],
+            cells,
+            reach_um: blockade_um + 1e-3,
+            occupied: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for &b in &self.occupied {
+            self.buckets[b].clear();
+        }
+        self.occupied.clear();
+    }
+
+    fn insert(&mut self, p: Point) {
+        let b = self.cells.cell_of(p);
+        if self.buckets[b].is_empty() {
+            self.occupied.push(b);
+        }
+        self.buckets[b].push(p);
+    }
+
+    /// Whether any stored endpoint blockades `p` (exactly the naive
+    /// all-pairs predicate, restricted to the cells that can contain hits).
+    fn conflicts(&self, p: Point, r: f64, factor: f64) -> bool {
+        let mut hit = false;
+        self.cells.for_each_cell_within(p, self.reach_um, |cell| {
+            if !hit {
+                hit = self.buckets[cell].iter().any(|q| within_blockade(&p, q, r, factor));
+            }
+        });
+        hit
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failed-move memoization
+// ---------------------------------------------------------------------------
+
+/// Per-compile memo of failed movement plans.
+///
+/// [`plan_move_into_range`] is a pure function of the array state and its
+/// `(mover, target)` arguments, and the only array mutations during
+/// scheduling are AOD move batches — SLM atoms never move (trap changes
+/// are virtual). A failed probe cascade therefore stays failed for as long
+/// as no AOD atom has a different position than when it failed. Each entry
+/// snapshots every AOD atom's position at failure time; a later query hits
+/// when the array's position epoch is unchanged (nothing at all moved) or,
+/// after the epoch moved on, when an exact comparison shows the AOD
+/// configuration returned to the recorded one (the common case under
+/// home-return, where every layer's moves are undone).
+struct FailedMoveMemo {
+    entries: HashMap<(u32, u32), MemoEntry>,
+    scratch: Vec<(u32, Point)>,
+    hits: usize,
+}
+
+struct MemoEntry {
+    epoch: u64,
+    aod_snapshot: Vec<(u32, Point)>,
+}
+
+impl FailedMoveMemo {
+    fn new() -> Self {
+        Self { entries: HashMap::new(), scratch: Vec::new(), hits: 0 }
+    }
+
+    fn snapshot(array: &AtomArray, out: &mut Vec<(u32, Point)>) {
+        out.clear();
+        array.for_each_aod(|q| out.push((q, array.position(q))));
+    }
+
+    /// Whether a recorded failure for `(mover, target)` is still valid.
+    /// Re-arms the epoch fast path when the configuration matches under a
+    /// newer epoch.
+    fn still_failed(&mut self, array: &AtomArray, mover: u32, target: u32) -> bool {
+        let Some(entry) = self.entries.get_mut(&(mover, target)) else {
+            return false;
+        };
+        if entry.epoch == array.positions_epoch() {
+            self.hits += 1;
+            return true;
+        }
+        Self::snapshot(array, &mut self.scratch);
+        if self.scratch == entry.aod_snapshot {
+            entry.epoch = array.positions_epoch();
+            self.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record that `(mover, target)` failed against the current state.
+    fn record(&mut self, array: &AtomArray, mover: u32, target: u32) {
+        let mut aod_snapshot = Vec::new();
+        Self::snapshot(array, &mut aod_snapshot);
+        self.entries
+            .insert((mover, target), MemoEntry { epoch: array.positions_epoch(), aod_snapshot });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable per-compile scratch for the scheduling loop: every vector the
+/// naive implementation allocated per layer lives here and is cleared (not
+/// freed) between layers, and the per-layer `effective`-position map is an
+/// index-keyed stamped array instead of a `HashMap`.
+struct SchedulerScratch {
+    frontier: Frontier,
+    curr: Vec<usize>,
+    kept: Vec<usize>,
+    accepted: Vec<usize>,
+    trap_changed: Vec<(usize, u32)>,
+    moved_homes: Vec<(u32, Point)>,
+    advanced: Vec<u32>,
+    /// Effective operand positions keyed by gate index, valid when the
+    /// stamp matches the current layer.
+    eff_pos: Vec<[Point; 2]>,
+    eff_stamp: Vec<u64>,
+    blockade: BlockadeIndex,
+    memo: FailedMoveMemo,
+}
+
+impl SchedulerScratch {
+    fn new(num_qubits: usize, num_gates: usize, array: &AtomArray, blockade_um: f64) -> Self {
+        let margin = array.grid().pitch_um();
+        Self {
+            frontier: Frontier::new(num_qubits),
+            curr: Vec::new(),
+            kept: Vec::new(),
+            accepted: Vec::new(),
+            trap_changed: Vec::new(),
+            moved_homes: Vec::new(),
+            advanced: Vec::new(),
+            eff_pos: vec![[Point::default(); 2]; num_gates],
+            eff_stamp: vec![0; num_gates],
+            blockade: BlockadeIndex::new(array.spec().extent_um(), margin, blockade_um),
+            memo: FailedMoveMemo::new(),
+        }
+    }
 }
 
 /// Run Algorithm 1. Mutates `layout.array` (atom motion and trap state).
@@ -110,6 +405,10 @@ pub fn schedule_gates(
         ..Default::default()
     };
 
+    let mut scratch =
+        SchedulerScratch::new(circuit.num_qubits(), num_gates, &layout.array, r * blockade_factor);
+    scratch.frontier.seed(gates, &qubit_gates, &ptr);
+
     let mut guard = 0usize;
     let cap = iteration_cap(num_gates);
     while executed_count < num_gates {
@@ -117,37 +416,28 @@ pub fn schedule_gates(
         assert!(guard <= cap, "scheduler livelock: {executed_count}/{num_gates} gates executed");
 
         // ---- Lines 7-11: build the dependency frontier layer. ----
-        let mut curr: Vec<usize> = Vec::new();
-        for q in 0..circuit.num_qubits() {
-            let Some(&g) = qubit_gates[q].get(ptr[q]) else { continue };
-            match gates[g] {
-                Gate::U3 { .. } => curr.push(g),
-                Gate::Cz { a, b } => {
-                    // Ready only when it is the next gate on *both* qubits;
-                    // dedupe by letting the smaller operand add it.
-                    let (ai, bi) = (a as usize, b as usize);
-                    let ready = qubit_gates[ai].get(ptr[ai]) == Some(&g)
-                        && qubit_gates[bi].get(ptr[bi]) == Some(&g);
-                    if ready && q == ai.min(bi) {
-                        curr.push(g);
-                    }
-                }
-            }
-        }
+        let t_frontier = profile::begin();
+        let curr = &mut scratch.curr;
+        scratch.frontier.collect(&qubit_gates, &ptr, curr);
+        profile::record(Stage::ScheduleFrontier, t_frontier, 0);
         assert!(!curr.is_empty(), "dependency frontier is empty before completion");
 
         // ---- Lines 12-19: movement resolution for out-of-range CZs. ----
+        let t_movement = profile::begin();
         let mut moved_this_layer = false;
         let mut committed_moves: Vec<AodMove> = Vec::new();
         let mut move_distance_um = 0.0f64;
-        let mut moved_homes: Vec<(u32, Point)> = Vec::new();
+        let moved_homes = &mut scratch.moved_homes;
+        moved_homes.clear();
         let mut trap_changes = 0usize;
         // Gates that executed via trap change: (gate, virtually moved qubit).
-        let mut trap_changed: Vec<(usize, u32)> = Vec::new();
-        let mut kept: Vec<usize> = Vec::new();
+        let trap_changed = &mut scratch.trap_changed;
+        trap_changed.clear();
+        let kept = &mut scratch.kept;
+        kept.clear();
         let mut deferred = 0usize;
 
-        for &g in &curr {
+        for &g in curr.iter() {
             let Gate::Cz { a, b } = gates[g] else {
                 kept.push(g);
                 continue;
@@ -166,6 +456,17 @@ pub fn schedule_gates(
             match aod_operand {
                 Some(mover) if !moved_this_layer => {
                     let target = if mover == a { b } else { a };
+                    if scratch.memo.still_failed(&layout.array, mover, target) {
+                        // The probe cascade failed against this exact AOD
+                        // configuration before; the planner is pure, so it
+                        // would fail identically — resolve with a trap
+                        // change straight away.
+                        stats.failed_moves += 1;
+                        trap_changes += 1;
+                        trap_changed.push((g, mover));
+                        kept.push(g);
+                        continue;
+                    }
                     let mut attempt = plan_move_into_range(
                         &layout.array,
                         mover,
@@ -204,6 +505,7 @@ pub fn schedule_gates(
                             // Failed move: resolve with a trap change
                             // (Section III: "Failed moves are resolved using
                             // trap changes").
+                            scratch.memo.record(&layout.array, mover, target);
                             stats.failed_moves += 1;
                             trap_changes += 1;
                             trap_changed.push((g, mover));
@@ -245,13 +547,277 @@ pub fn schedule_gates(
 
         // ---- Line 20: shuffle to avoid starving any one qubit. ----
         kept.shuffle(&mut rng);
+        profile::record(Stage::ScheduleMovement, t_movement, 0);
 
         // ---- Lines 21-22: Rydberg blockade interference ejection. ----
         // A trap-changed atom spends the gate adjacent to its partner, so
         // its effective position is its partner's side. Precompute the
-        // effective operand positions of every kept CZ gate.
-        let mut effective: std::collections::HashMap<usize, [Point; 2]> =
-            std::collections::HashMap::new();
+        // effective operand positions of every kept CZ gate (stamped
+        // index-keyed scratch; the stamp is this layer's guard count).
+        let t_blockade = profile::begin();
+        for &g in kept.iter() {
+            if let Gate::Cz { a, b } = gates[g] {
+                let mut pa = layout.array.position(a);
+                let mut pb = layout.array.position(b);
+                if let Some(&(_, moved)) = trap_changed.iter().find(|&&(tg, _)| tg == g) {
+                    if moved == a {
+                        pa = pb;
+                    } else if moved == b {
+                        pb = pa;
+                    }
+                }
+                scratch.eff_pos[g] = [pa, pb];
+                scratch.eff_stamp[g] = guard as u64;
+            }
+        }
+        let accepted = &mut scratch.accepted;
+        accepted.clear();
+        scratch.blockade.clear();
+        for &g in kept.iter() {
+            match gates[g] {
+                Gate::U3 { .. } => accepted.push(g),
+                Gate::Cz { .. } => {
+                    debug_assert_eq!(scratch.eff_stamp[g], guard as u64);
+                    let mine = scratch.eff_pos[g];
+                    let conflict =
+                        mine.iter().any(|p| scratch.blockade.conflicts(*p, r, blockade_factor));
+                    if conflict {
+                        stats.blockade_ejections += 1;
+                        // If this was the trap-changed gate, the trap change
+                        // did not happen after all.
+                        if let Some(pos) = trap_changed.iter().position(|&(tg, _)| tg == g) {
+                            trap_changed.remove(pos);
+                            trap_changes -= 1;
+                        }
+                    } else {
+                        accepted.push(g);
+                        scratch.blockade.insert(mine[0]);
+                        scratch.blockade.insert(mine[1]);
+                    }
+                }
+            }
+        }
+        profile::record(Stage::ScheduleBlockade, t_blockade, 0);
+        assert!(
+            !accepted.is_empty(),
+            "blockade pass emptied a layer: curr={curr:?} kept={kept:?} moved={moved_this_layer} trap_changed={trap_changed:?}"
+        );
+
+        // ---- Line 23: execute. ----
+        let mut has_u3 = false;
+        let mut has_cz = false;
+        let advanced = &mut scratch.advanced;
+        advanced.clear();
+        for &g in accepted.iter() {
+            executed[g] = true;
+            executed_count += 1;
+            match gates[g] {
+                Gate::U3 { q, .. } => {
+                    has_u3 = true;
+                    ptr[q as usize] += 1;
+                    advanced.push(q);
+                }
+                Gate::Cz { a, b } => {
+                    has_cz = true;
+                    ptr[a as usize] += 1;
+                    ptr[b as usize] += 1;
+                    advanced.push(a);
+                    advanced.push(b);
+                }
+            }
+        }
+        let t_frontier = profile::begin();
+        scratch.frontier.advance(advanced, gates, &qubit_gates, &ptr);
+        profile::record(Stage::ScheduleFrontier, t_frontier, 0);
+
+        // ---- Line 24: return moved atoms home. ----
+        let t_return = profile::begin();
+        let mut return_distance_um = 0.0;
+        if config.return_home && !moved_homes.is_empty() {
+            let plan = plan_return_home(&layout.array, moved_homes);
+            return_distance_um = plan.max_distance_um;
+            if !plan.moves.is_empty() {
+                layout
+                    .array
+                    .apply_aod_moves(&plan.moves)
+                    .expect("home configuration is always valid");
+            }
+        }
+        profile::record(Stage::ScheduleReturn, t_return, 0);
+
+        stats.layer_count += 1;
+        stats.trap_changes += trap_changes;
+        layers.push(ScheduledLayer {
+            gate_indices: accepted.clone(),
+            moves: committed_moves,
+            move_distance_um,
+            return_distance_um,
+            trap_changes,
+            has_u3,
+            has_cz,
+        });
+    }
+    stats.failed_move_memo_hits = scratch.memo.hits;
+
+    let schedule = Schedule { layers, stats };
+    debug_assert!(
+        DependencyDag::build(circuit).respects_order(&schedule.gate_order()),
+        "schedule violates gate dependencies"
+    );
+    schedule
+}
+
+/// The pre-optimization Algorithm 1 implementation, verbatim: full frontier
+/// rescan per layer, `HashMap` effective positions, all-pairs blockade
+/// pass, no memoization. Kept as the test oracle — the proptests assert
+/// [`schedule_gates`] produces bit-identical layers, moves, and stats
+/// (modulo the memo-hit counter, which the naive path cannot have) on
+/// random circuits.
+#[cfg(test)]
+pub(crate) fn schedule_gates_naive(
+    circuit: &Circuit,
+    layout: &mut DiscretizedLayout,
+    _selection: &AodSelection,
+    config: &CompilerConfig,
+) -> Schedule {
+    let gates = circuit.gates();
+    let num_gates = gates.len();
+    let qubit_gates = circuit.qubit_gate_indices();
+    let mut ptr = vec![0usize; circuit.num_qubits()];
+    let mut executed = vec![false; num_gates];
+    let mut executed_count = 0usize;
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5eed);
+    let r = layout.interaction_radius_um;
+    let blockade_factor = layout.array.spec().blockade_factor;
+
+    let mut layers = Vec::new();
+    let mut stats = CompileStats {
+        cz_count: circuit.cz_count(),
+        u3_count: circuit.u3_count(),
+        ..Default::default()
+    };
+
+    let mut guard = 0usize;
+    let cap = iteration_cap(num_gates);
+    while executed_count < num_gates {
+        guard += 1;
+        assert!(guard <= cap, "scheduler livelock: {executed_count}/{num_gates} gates executed");
+
+        let mut curr: Vec<usize> = Vec::new();
+        for q in 0..circuit.num_qubits() {
+            let Some(&g) = qubit_gates[q].get(ptr[q]) else { continue };
+            match gates[g] {
+                Gate::U3 { .. } => curr.push(g),
+                Gate::Cz { a, b } => {
+                    let (ai, bi) = (a as usize, b as usize);
+                    let ready = qubit_gates[ai].get(ptr[ai]) == Some(&g)
+                        && qubit_gates[bi].get(ptr[bi]) == Some(&g);
+                    if ready && q == ai.min(bi) {
+                        curr.push(g);
+                    }
+                }
+            }
+        }
+        assert!(!curr.is_empty(), "dependency frontier is empty before completion");
+
+        let mut moved_this_layer = false;
+        let mut committed_moves: Vec<AodMove> = Vec::new();
+        let mut move_distance_um = 0.0f64;
+        let mut moved_homes: Vec<(u32, Point)> = Vec::new();
+        let mut trap_changes = 0usize;
+        let mut trap_changed: Vec<(usize, u32)> = Vec::new();
+        let mut kept: Vec<usize> = Vec::new();
+        let mut deferred = 0usize;
+
+        for &g in &curr {
+            let Gate::Cz { a, b } = gates[g] else {
+                kept.push(g);
+                continue;
+            };
+            if layout.array.distance(a, b) <= r + 1e-9 {
+                kept.push(g);
+                continue;
+            }
+            let aod_operand = if layout.array.is_aod(a) {
+                Some(a)
+            } else if layout.array.is_aod(b) {
+                Some(b)
+            } else {
+                None
+            };
+            match aod_operand {
+                Some(mover) if !moved_this_layer => {
+                    let target = if mover == a { b } else { a };
+                    let mut attempt = plan_move_into_range(
+                        &layout.array,
+                        mover,
+                        target,
+                        r,
+                        config.max_move_recursion,
+                    );
+                    if attempt.is_err() && layout.array.is_aod(target) {
+                        attempt = plan_move_into_range(
+                            &layout.array,
+                            target,
+                            mover,
+                            r,
+                            config.max_move_recursion,
+                        );
+                    }
+                    match attempt {
+                        Ok(plan) => {
+                            for m in &plan.moves {
+                                moved_homes.push((m.q, layout.array.position(m.q)));
+                            }
+                            layout
+                                .array
+                                .apply_aod_moves(&plan.moves)
+                                .expect("validated plan must commit");
+                            committed_moves = plan.moves;
+                            move_distance_um = plan.max_distance_um;
+                            moved_this_layer = true;
+                            stats.moves_planned += 1;
+                            stats.total_move_distance_um += plan.max_distance_um;
+                            kept.push(g);
+                        }
+                        Err(_) => {
+                            stats.failed_moves += 1;
+                            trap_changes += 1;
+                            trap_changed.push((g, mover));
+                            kept.push(g);
+                        }
+                    }
+                }
+                Some(_) => {
+                    deferred += 1;
+                    continue;
+                }
+                None => {
+                    trap_changes += 1;
+                    trap_changed.push((g, a));
+                    kept.push(g);
+                }
+            }
+        }
+        stats.deferred_gates += deferred;
+
+        if moved_this_layer {
+            kept.retain(|&g| match gates[g] {
+                Gate::Cz { a, b } => {
+                    let in_range = layout.array.distance(a, b) <= r + 1e-9
+                        || trap_changed.iter().any(|&(tg, _)| tg == g);
+                    if !in_range {
+                        stats.deferred_gates += 1;
+                    }
+                    in_range
+                }
+                _ => true,
+            });
+        }
+
+        kept.shuffle(&mut rng);
+
+        let mut effective: HashMap<usize, [Point; 2]> = HashMap::new();
         for &g in &kept {
             if let Gate::Cz { a, b } = gates[g] {
                 let mut pa = layout.array.position(a);
@@ -281,8 +847,6 @@ pub fn schedule_gates(
                     });
                     if conflict {
                         stats.blockade_ejections += 1;
-                        // If this was the trap-changed gate, the trap change
-                        // did not happen after all.
                         if let Some(pos) = trap_changed.iter().position(|&(tg, _)| tg == g) {
                             trap_changed.remove(pos);
                             trap_changes -= 1;
@@ -299,7 +863,6 @@ pub fn schedule_gates(
             "blockade pass emptied a layer: curr={curr:?} kept={kept:?} moved={moved_this_layer} trap_changed={trap_changed:?}"
         );
 
-        // ---- Line 23: execute. ----
         let mut has_u3 = false;
         let mut has_cz = false;
         for &g in &accepted {
@@ -318,7 +881,6 @@ pub fn schedule_gates(
             }
         }
 
-        // ---- Line 24: return moved atoms home. ----
         let mut return_distance_um = 0.0;
         if config.return_home && !moved_homes.is_empty() {
             let plan = plan_return_home(&layout.array, &moved_homes);
@@ -344,12 +906,7 @@ pub fn schedule_gates(
         });
     }
 
-    let schedule = Schedule { layers, stats };
-    debug_assert!(
-        DependencyDag::build(circuit).respects_order(&schedule.gate_order()),
-        "schedule violates gate dependencies"
-    );
-    schedule
+    Schedule { layers, stats }
 }
 
 #[cfg(test)]
@@ -542,5 +1099,227 @@ mod tests {
         );
         assert_eq!(s.layers.len(), 1);
         assert_eq!(s.layers[0].gate_indices.len(), 4);
+    }
+
+    // -- Oracle comparisons: fast scheduler vs the naive implementation --
+
+    /// Run both schedulers from identical starting states and assert the
+    /// results are bit-identical (layers, moves, distances, stats — the
+    /// memo-hit counter excluded, since the naive path has no memo) and
+    /// that both leave the array in the same final state.
+    fn assert_matches_naive(n: usize, build: impl Fn(&mut CircuitBuilder), cfg: &CompilerConfig) {
+        let mut b = CircuitBuilder::new(n);
+        build(&mut b);
+        let c = b.build();
+        let layout = GraphineLayout::generate(&c, &cfg.placement);
+        let mut fast = discretize(&c, &layout, MachineSpec::quera_aquila_256());
+        let sel = select_aod_qubits(&c, &mut fast, cfg);
+        let mut naive = fast.clone();
+        let s_fast = schedule_gates(&c, &mut fast, &sel, cfg);
+        let s_naive = schedule_gates_naive(&c, &mut naive, &sel, cfg);
+        assert_eq!(s_fast.layers, s_naive.layers);
+        let mut stats = s_fast.stats.clone();
+        stats.failed_move_memo_hits = 0;
+        assert_eq!(stats, s_naive.stats);
+        for q in 0..n as u32 {
+            assert_eq!(fast.array.position(q), naive.array.position(q), "q{q} position");
+            assert_eq!(fast.array.trap(q), naive.array.trap(q), "q{q} trap");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_dense_all_to_all() {
+        let cfg = CompilerConfig::quick(11);
+        assert_matches_naive(
+            8,
+            |b| {
+                for i in 0..8u32 {
+                    for j in (i + 1)..8 {
+                        b.cx(i, j);
+                    }
+                }
+            },
+            &cfg,
+        );
+    }
+
+    #[test]
+    fn matches_naive_with_tight_recursion_budget() {
+        // A tiny recursion budget forces failed moves, exercising the memo
+        // path against the naive re-probing path.
+        let mut cfg = CompilerConfig::quick(12);
+        cfg.max_move_recursion = 1;
+        assert_matches_naive(
+            10,
+            |b| {
+                for i in 0..10u32 {
+                    b.cx(i, (i + 4) % 10);
+                }
+                for i in 0..10u32 {
+                    b.cx(i, (i + 5) % 10);
+                }
+            },
+            &cfg,
+        );
+    }
+
+    #[test]
+    fn matches_naive_without_home_return() {
+        // With home-return off the AOD configuration drifts layer to
+        // layer, exercising the memo's exact-position staleness check.
+        let cfg = CompilerConfig::quick(13).without_home_return();
+        assert_matches_naive(
+            9,
+            |b| {
+                for i in 0..9u32 {
+                    b.h(i).cx(i, (i + 3) % 9);
+                }
+                for i in 0..9u32 {
+                    b.cx(i, (i + 4) % 9);
+                }
+            },
+            &cfg,
+        );
+    }
+
+    // -- Failed-move memoization unit tests --
+
+    fn memo_array() -> AtomArray {
+        // Same shape as movement.rs's zero-budget test: q0 is the mover,
+        // q1 the target, q2 an AOD blocker parked next to the target.
+        let mut a = AtomArray::new(MachineSpec::quera_aquila_256(), 3);
+        a.place_in_slm(0, (2, 2));
+        a.place_in_slm(1, (12, 3));
+        a.place_in_slm(2, (11, 3));
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a.transfer_to_aod(2, 1, 1).unwrap();
+        a
+    }
+
+    #[test]
+    fn memo_hits_while_nothing_moved_and_goes_stale_when_blocker_moves() {
+        let mut a = memo_array();
+        let r = 7.5;
+        // With zero recursion budget the blocked approach cannot resolve.
+        assert!(plan_move_into_range(&a, 0, 1, r, 0).is_err());
+        let mut memo = FailedMoveMemo::new();
+        memo.record(&a, 0, 1);
+        assert!(memo.still_failed(&a, 0, 1), "identical state must hit");
+        assert_eq!(memo.hits, 1);
+
+        // The blocker moves well clear of the target (its column stays
+        // right of any approach endpoint): the memo entry must go stale,
+        // and the re-probe now succeeds — the gate became plannable.
+        a.apply_aod_moves(&[AodMove { q: 2, x: 98.0, y: 70.0 }]).unwrap();
+        assert!(!memo.still_failed(&a, 0, 1), "stale entry must force a re-probe");
+        assert!(plan_move_into_range(&a, 0, 1, r, 0).is_ok());
+    }
+
+    #[test]
+    fn memo_rearms_epoch_when_configuration_returns() {
+        let mut a = memo_array();
+        let mut memo = FailedMoveMemo::new();
+        memo.record(&a, 0, 1);
+        // Move the blocker away and back: the epoch moved on, but the
+        // exact-position comparison recognises the configuration.
+        let home = a.position(2);
+        a.apply_aod_moves(&[AodMove { q: 2, x: 77.0, y: 70.0 }]).unwrap();
+        a.apply_aod_moves(&[AodMove { q: 2, x: home.x, y: home.y }]).unwrap();
+        assert!(memo.still_failed(&a, 0, 1), "returned configuration must hit");
+        // The second query takes the re-armed epoch fast path.
+        assert!(memo.still_failed(&a, 0, 1));
+        assert_eq!(memo.hits, 2);
+    }
+
+    #[test]
+    fn memo_misses_for_unknown_pair() {
+        let a = memo_array();
+        let mut memo = FailedMoveMemo::new();
+        assert!(!memo.still_failed(&a, 0, 1));
+        assert_eq!(memo.hits, 0);
+    }
+
+    mod matches_naive_on_random_circuits {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random circuit interleaving H and CZ over `n` qubits.
+        fn random_circuit(n: u32) -> impl Strategy<Value = Circuit> {
+            let gate = prop_oneof![
+                (0..n).prop_map(|q| (q, None)),
+                (0..n, 1..n).prop_map(move |(a, d)| (a, Some((a + d) % n))),
+            ];
+            proptest::collection::vec(gate, 4..40).prop_map(move |gates| {
+                let mut b = CircuitBuilder::new(n as usize);
+                for (q, partner) in gates {
+                    match partner {
+                        None => {
+                            b.h(q);
+                        }
+                        Some(p) if p != q => {
+                            b.cz(q, p);
+                        }
+                        _ => {
+                            b.h(q);
+                        }
+                    }
+                }
+                b.build()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            /// The incremental-frontier + bucketed-blockade + memoized
+            /// scheduler must be bit-identical to the naive Algorithm 1
+            /// on random circuits: same layers, same moves, same stats,
+            /// same final array state.
+            #[test]
+            fn full_schedules_are_bit_identical(
+                circuit in random_circuit(10),
+                seed in 0u64..32,
+            ) {
+                let cfg = CompilerConfig::quick(seed);
+                let layout = GraphineLayout::generate(&circuit, &cfg.placement);
+                let mut fast = discretize(&circuit, &layout, MachineSpec::quera_aquila_256());
+                let sel = select_aod_qubits(&circuit, &mut fast, &cfg);
+                let mut naive = fast.clone();
+                let s_fast = schedule_gates(&circuit, &mut fast, &sel, &cfg);
+                let s_naive = schedule_gates_naive(&circuit, &mut naive, &sel, &cfg);
+                prop_assert_eq!(&s_fast.layers, &s_naive.layers);
+                let mut stats = s_fast.stats.clone();
+                stats.failed_move_memo_hits = 0;
+                prop_assert_eq!(&stats, &s_naive.stats);
+                for q in 0..10u32 {
+                    prop_assert_eq!(fast.array.position(q), naive.array.position(q));
+                    prop_assert_eq!(fast.array.trap(q), naive.array.trap(q));
+                }
+            }
+
+            /// Same property under a starved move budget (forces the
+            /// failed-move memo) and with home-return disabled (forces the
+            /// memo's exact-position staleness checks as the AOD drifts).
+            #[test]
+            fn bit_identical_under_failure_heavy_configs(
+                circuit in random_circuit(8),
+                seed in 0u64..16,
+                recursion in 0usize..3,
+                return_home in (0u8..2).prop_map(|b| b == 1),
+            ) {
+                let mut cfg = CompilerConfig::quick(seed);
+                cfg.max_move_recursion = recursion;
+                cfg.return_home = return_home;
+                let layout = GraphineLayout::generate(&circuit, &cfg.placement);
+                let mut fast = discretize(&circuit, &layout, MachineSpec::quera_aquila_256());
+                let sel = select_aod_qubits(&circuit, &mut fast, &cfg);
+                let mut naive = fast.clone();
+                let s_fast = schedule_gates(&circuit, &mut fast, &sel, &cfg);
+                let s_naive = schedule_gates_naive(&circuit, &mut naive, &sel, &cfg);
+                prop_assert_eq!(&s_fast.layers, &s_naive.layers);
+                let mut stats = s_fast.stats.clone();
+                stats.failed_move_memo_hits = 0;
+                prop_assert_eq!(&stats, &s_naive.stats);
+            }
+        }
     }
 }

@@ -91,6 +91,78 @@ pub struct AodMove {
     pub y: f64,
 }
 
+/// Uniform-bucket spatial index over the committed positions of placed
+/// atoms. One cell per site pitch; an atom lives in exactly one cell's
+/// intrusive singly-linked chain (`heads`/`next` — two flat arrays, no
+/// per-cell allocations, O(1) insert, O(chain) unlink), maintained
+/// through every position-changing operation. A radius query visits only
+/// the cells overlapping the query disc's bounding box, so the movement
+/// planner's obstruction scans touch a handful of nearby atoms instead of
+/// sweeping the whole array.
+#[derive(Debug, Clone)]
+struct SpatialIndex {
+    cells: crate::grid::CellGeometry,
+    /// Per cell: first qubit id in the chain, or `EMPTY`.
+    heads: Vec<i32>,
+    /// Per qubit: next qubit in its cell's chain, or `EMPTY`.
+    next: Vec<i32>,
+}
+
+const EMPTY: i32 = -1;
+
+impl SpatialIndex {
+    fn new(extent_um: f64, margin_um: f64, cell_um: f64, num_qubits: usize) -> Self {
+        let cells = crate::grid::CellGeometry::new(extent_um, margin_um, cell_um);
+        Self { heads: vec![EMPTY; cells.num_cells()], next: vec![EMPTY; num_qubits], cells }
+    }
+
+    fn insert(&mut self, q: u32, p: Point) {
+        let c = self.cells.cell_of(p);
+        self.next[q as usize] = self.heads[c];
+        self.heads[c] = q as i32;
+    }
+
+    fn remove(&mut self, q: u32, p: Point) {
+        let c = self.cells.cell_of(p);
+        let mut link = self.heads[c];
+        if link == q as i32 {
+            self.heads[c] = self.next[q as usize];
+            return;
+        }
+        while link != EMPTY {
+            let cur = link as usize;
+            if self.next[cur] == q as i32 {
+                self.next[cur] = self.next[q as usize];
+                return;
+            }
+            link = self.next[cur];
+        }
+        panic!("atom q{q} is not indexed at its position");
+    }
+
+    fn relocate(&mut self, q: u32, from: Point, to: Point) {
+        let (a, b) = (self.cells.cell_of(from), self.cells.cell_of(to));
+        if a != b {
+            self.remove(q, from);
+            self.next[q as usize] = self.heads[b];
+            self.heads[b] = q as i32;
+        }
+    }
+
+    /// Visit every indexed atom in the cells overlapping the disc's
+    /// bounding box (a superset of the atoms within `radius`; callers
+    /// filter by exact distance).
+    fn for_each_within(&self, center: Point, radius: f64, mut f: impl FnMut(u32)) {
+        self.cells.for_each_cell_within(center, radius, |cell| {
+            let mut link = self.heads[cell];
+            while link != EMPTY {
+                f(link as u32);
+                link = self.next[link as usize];
+            }
+        });
+    }
+}
+
 /// The full atom-array state for one machine.
 #[derive(Debug, Clone)]
 pub struct AtomArray {
@@ -102,6 +174,8 @@ pub struct AtomArray {
     col_x: Vec<Option<f64>>,
     row_owner: Vec<Option<u32>>,
     col_owner: Vec<Option<u32>>,
+    index: SpatialIndex,
+    positions_epoch: u64,
 }
 
 impl AtomArray {
@@ -113,14 +187,19 @@ impl AtomArray {
             spec.num_sites(),
             spec.name
         );
+        let grid = SiteGrid::new(&spec);
+        let index =
+            SpatialIndex::new(spec.extent_um(), grid.pitch_um(), grid.pitch_um(), num_qubits);
         Self {
-            grid: SiteGrid::new(&spec),
+            grid,
             traps: vec![None; num_qubits],
             positions: vec![Point::default(); num_qubits],
             row_y: vec![None; spec.aod_dim],
             col_x: vec![None; spec.aod_dim],
             row_owner: vec![None; spec.aod_dim],
             col_owner: vec![None; spec.aod_dim],
+            index,
+            positions_epoch: 0,
             spec,
         }
     }
@@ -160,6 +239,35 @@ impl AtomArray {
         (0..self.traps.len() as u32).filter(|&q| self.is_aod(q)).collect()
     }
 
+    /// Visit every AOD-trapped qubit in ascending id order without
+    /// allocating (the failed-move memoization snapshots positions through
+    /// this on every probe decision).
+    pub fn for_each_aod(&self, mut f: impl FnMut(u32)) {
+        for (q, trap) in self.traps.iter().enumerate() {
+            if matches!(trap, Some(Trap::Aod { .. })) {
+                f(q as u32);
+            }
+        }
+    }
+
+    /// Monotone counter bumped by every state mutation (placements,
+    /// transfers, releases, committed move batches). Equal epochs guarantee
+    /// identical atom positions; after the epoch moved on, only an exact
+    /// position comparison can tell whether the configuration really
+    /// changed (e.g. atoms moved out and back home between layers).
+    pub fn positions_epoch(&self) -> u64 {
+        self.positions_epoch
+    }
+
+    /// Visit every placed atom in the spatial-index cells overlapping the
+    /// disc of `radius` around `center` — a superset of the atoms within
+    /// `radius`; callers filter by exact distance. Visit order follows the
+    /// index's bucket layout and is deterministic for a given operation
+    /// history, but is *not* sorted by qubit id.
+    pub fn for_each_atom_within(&self, center: Point, radius: f64, f: impl FnMut(u32)) {
+        self.index.for_each_within(center, radius, f);
+    }
+
     /// Euclidean distance between two qubits, µm.
     pub fn distance(&self, a: u32, b: u32) -> f64 {
         self.positions[a as usize].distance(&self.positions[b as usize])
@@ -171,6 +279,8 @@ impl AtomArray {
         self.grid.occupy(site);
         self.traps[q as usize] = Some(Trap::Slm(site));
         self.positions[q as usize] = self.grid.site_position(site);
+        self.index.insert(q, self.positions[q as usize]);
+        self.positions_epoch += 1;
     }
 
     /// Transfer a SLM-trapped qubit into the AOD at line pair `(row, col)`,
@@ -195,6 +305,7 @@ impl AtomArray {
         self.col_owner[col as usize] = Some(q);
         self.row_y[row as usize] = Some(pos.y);
         self.col_x[col as usize] = Some(pos.x);
+        self.positions_epoch += 1;
         Ok(())
     }
 
@@ -239,7 +350,9 @@ impl AtomArray {
         self.col_owner[col as usize] = Some(q);
         self.row_y[row as usize] = Some(y);
         self.col_x[col as usize] = Some(x);
+        self.index.relocate(q, self.positions[q as usize], target);
         self.positions[q as usize] = target;
+        self.positions_epoch += 1;
         Ok(())
     }
 
@@ -256,7 +369,10 @@ impl AtomArray {
         self.row_y[row as usize] = None;
         self.col_x[col as usize] = None;
         self.traps[q as usize] = Some(Trap::Slm(site));
-        self.positions[q as usize] = self.grid.site_position(site);
+        let home = self.grid.site_position(site);
+        self.index.relocate(q, self.positions[q as usize], home);
+        self.positions[q as usize] = home;
+        self.positions_epoch += 1;
     }
 
     /// Validate a batch of AOD moves against the final configuration and, if
@@ -277,7 +393,12 @@ impl AtomArray {
             };
             self.row_y[row as usize] = Some(m.y);
             self.col_x[col as usize] = Some(m.x);
-            self.positions[m.q as usize] = Point::new(m.x, m.y);
+            let to = Point::new(m.x, m.y);
+            self.index.relocate(m.q, self.positions[m.q as usize], to);
+            self.positions[m.q as usize] = to;
+        }
+        if !moves.is_empty() {
+            self.positions_epoch += 1;
         }
         Ok(())
     }
@@ -405,6 +526,142 @@ impl AtomArray {
             prev = Some((i as u16, x));
         }
         // Pairwise separation: every moved atom against every placed atom.
+        // Candidates within the separation distance come from the spatial
+        // occupancy index (committed positions); other *moved* atoms are
+        // excluded there — their indexed positions are stale — and checked
+        // against the overlay instead. Merging both sets in ascending
+        // qubit-id order reproduces the naive full sweep's emission order
+        // exactly, so the first violation (which steers every recursive
+        // move plan) is identical by construction.
+        let min_sep = self.spec.min_separation_um;
+        let mut candidates: Vec<u32> = Vec::with_capacity(8);
+        for m in moves {
+            let p = pos_of(m.q as usize);
+            candidates.clear();
+            self.index.for_each_within(p, min_sep, |other| {
+                if other != m.q && !moved.iter().any(|&(mq, _)| mq == other) {
+                    candidates.push(other);
+                }
+            });
+            for &(other, _) in &moved {
+                // Skip duplicate reporting for pairs of moved atoms (the
+                // lower-id member of the pair reports).
+                if other < m.q {
+                    candidates.push(other);
+                }
+            }
+            candidates.sort_unstable();
+            for &other in &candidates {
+                let po = pos_of(other as usize);
+                if violates_separation(&p, &po, min_sep)
+                    && !emit(Violation::Separation {
+                        q1: m.q,
+                        q2: other,
+                        distance: p.distance(&po),
+                    })
+                {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Naive full-sweep twin of [`Self::check_aod_moves`]: identical
+    /// semantics, O(moves × atoms) pairwise separation scan with no
+    /// spatial index. Kept as the test oracle for the indexed scan — the
+    /// proptests assert both agree violation-for-violation on random
+    /// batches.
+    #[cfg(any(test, debug_assertions))]
+    pub fn check_aod_moves_naive(&self, moves: &[AodMove]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        self.scan_aod_moves_naive(moves, |v| {
+            out.push(v);
+            true
+        });
+        out
+    }
+
+    /// The pre-index traversal behind [`Self::check_aod_moves_naive`].
+    #[cfg(any(test, debug_assertions))]
+    fn scan_aod_moves_naive(&self, moves: &[AodMove], mut emit: impl FnMut(Violation) -> bool) {
+        let mut moved: Vec<(u32, Point)> = Vec::with_capacity(moves.len());
+        let mut row_over: Vec<(u16, f64)> = Vec::with_capacity(moves.len());
+        let mut col_over: Vec<(u16, f64)> = Vec::with_capacity(moves.len());
+        fn upsert<K: PartialEq, V>(list: &mut Vec<(K, V)>, key: K, value: V) {
+            match list.iter_mut().find(|(k, _)| *k == key) {
+                Some(entry) => entry.1 = value,
+                None => list.push((key, value)),
+            }
+        }
+        for m in moves {
+            match self.traps[m.q as usize] {
+                Some(Trap::Aod { row, col }) => {
+                    upsert(&mut moved, m.q, Point::new(m.x, m.y));
+                    upsert(&mut row_over, row, m.y);
+                    upsert(&mut col_over, col, m.x);
+                }
+                other => panic!("qubit {} is not AOD-trapped (trap = {other:?})", m.q),
+            }
+        }
+        let pos_of = |q: usize| -> Point {
+            moved
+                .iter()
+                .find(|&&(mq, _)| mq as usize == q)
+                .map(|&(_, p)| p)
+                .unwrap_or(self.positions[q])
+        };
+
+        let margin = self.grid.pitch_um();
+        let max = self.spec.extent_um() + margin;
+        for m in moves {
+            let p = pos_of(m.q as usize);
+            if (p.x < -margin || p.y < -margin || p.x > max || p.y > max)
+                && !emit(Violation::OutOfBounds { q: m.q })
+            {
+                return;
+            }
+        }
+        let gap = self.line_gap();
+        let mut prev: Option<(u16, f64)> = None;
+        for (i, owner) in self.row_owner.iter().enumerate() {
+            if owner.is_none() {
+                continue;
+            }
+            let y = row_over
+                .iter()
+                .find(|&&(r, _)| r as usize == i)
+                .map(|&(_, y)| y)
+                .or(self.row_y[i])
+                .expect("owned line has coord");
+            if let Some((pi, py)) = prev {
+                if y - py < gap - 1e-9
+                    && !emit(Violation::RowOrdering { row_a: pi, row_b: i as u16 })
+                {
+                    return;
+                }
+            }
+            prev = Some((i as u16, y));
+        }
+        let mut prev: Option<(u16, f64)> = None;
+        for (i, owner) in self.col_owner.iter().enumerate() {
+            if owner.is_none() {
+                continue;
+            }
+            let x = col_over
+                .iter()
+                .find(|&&(c, _)| c as usize == i)
+                .map(|&(_, x)| x)
+                .or(self.col_x[i])
+                .expect("owned line has coord");
+            if let Some((pi, px)) = prev {
+                if x - px < gap - 1e-9
+                    && !emit(Violation::ColOrdering { col_a: pi, col_b: i as u16 })
+                {
+                    return;
+                }
+            }
+            prev = Some((i as u16, x));
+        }
         let min_sep = self.spec.min_separation_um;
         for m in moves {
             let p = pos_of(m.q as usize);
@@ -412,7 +669,6 @@ impl AtomArray {
                 if trap.is_none() || other as u32 == m.q {
                     continue;
                 }
-                // Skip duplicate reporting for pairs of moved atoms.
                 if other as u32 > m.q && moved.iter().any(|&(mq, _)| mq as usize == other) {
                     continue;
                 }
@@ -721,5 +977,99 @@ mod tests {
     #[should_panic(expected = "exceed")]
     fn too_many_qubits_rejected() {
         let _ = AtomArray::new(MachineSpec::quera_aquila_256(), 257);
+    }
+
+    #[test]
+    fn spatial_index_query_finds_every_nearby_atom() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2));
+        a.place_in_slm(1, (3, 2));
+        a.place_in_slm(2, (10, 10));
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a.apply_aod_moves(&[AodMove { q: 0, x: 66.0, y: 70.0 }]).unwrap();
+        // Query around q2 (70, 70): must see q2 and the moved q0 at its
+        // *new* position, not the far-away q1.
+        let mut seen = Vec::new();
+        a.for_each_atom_within(Point::new(70.0, 70.0), 5.0, |q| seen.push(q));
+        seen.sort_unstable();
+        assert!(seen.contains(&0) && seen.contains(&2), "{seen:?}");
+        assert!(!seen.contains(&1), "{seen:?}");
+    }
+
+    #[test]
+    fn positions_epoch_tracks_mutations() {
+        let mut a = array();
+        let e0 = a.positions_epoch();
+        a.place_in_slm(0, (2, 2));
+        assert!(a.positions_epoch() > e0);
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let e1 = a.positions_epoch();
+        a.apply_aod_moves(&[]).unwrap(); // empty batch: no change
+        assert_eq!(a.positions_epoch(), e1);
+        a.apply_aod_moves(&[AodMove { q: 0, x: 35.0, y: 35.0 }]).unwrap();
+        assert!(a.positions_epoch() > e1);
+    }
+
+    mod indexed_scan_matches_naive {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A crowded array: eight AOD atoms on the grid diagonal (so the
+        /// row/column orders are valid at transfer time) interleaved with
+        /// sixteen static SLM atoms.
+        fn crowded_array() -> AtomArray {
+            let mut a = AtomArray::new(MachineSpec::quera_aquila_256(), 24);
+            for q in 0..8u16 {
+                a.place_in_slm(q as u32, (2 * q, 2 * q));
+            }
+            for q in 8..24u32 {
+                let i = (q - 8) as u16;
+                a.place_in_slm(q, ((i % 4) * 4 + 1, (i / 4) * 4 + 1));
+            }
+            for q in 0..8u32 {
+                a.transfer_to_aod(q, q as u16, q as u16).unwrap();
+            }
+            a
+        }
+
+        proptest! {
+            /// The spatial-index scan must agree with the naive full sweep
+            /// violation-for-violation — the first violation steers every
+            /// recursive move plan, and any divergence would change
+            /// compiled schedules.
+            #[test]
+            fn on_random_move_batches(
+                batch in proptest::collection::vec(
+                    (0..8u32, -10.0f64..120.0, -10.0f64..120.0),
+                    1..5,
+                )
+            ) {
+                let a = crowded_array();
+                let moves: Vec<AodMove> =
+                    batch.into_iter().map(|(q, x, y)| AodMove { q, x, y }).collect();
+                let naive = a.check_aod_moves_naive(&moves);
+                let indexed = a.check_aod_moves(&moves);
+                prop_assert_eq!(&indexed, &naive);
+                prop_assert_eq!(a.first_aod_move_violation(&moves), naive.first().copied());
+            }
+
+            /// Near-separation batches (targets clustered around existing
+            /// atoms) hit the separation branch far more often than the
+            /// uniform batches above.
+            #[test]
+            fn on_colliding_move_batches(
+                q in 0..8u32,
+                dx in -4.0f64..4.0,
+                dy in -4.0f64..4.0,
+                victim in 8..24u32,
+            ) {
+                let a = crowded_array();
+                let target = a.position(victim);
+                let moves = [AodMove { q, x: target.x + dx, y: target.y + dy }];
+                let naive = a.check_aod_moves_naive(&moves);
+                prop_assert_eq!(&a.check_aod_moves(&moves), &naive);
+                prop_assert_eq!(a.first_aod_move_violation(&moves), naive.first().copied());
+            }
+        }
     }
 }

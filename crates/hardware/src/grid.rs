@@ -12,6 +12,66 @@ use std::collections::VecDeque;
 /// A site index on the SLM grid, `(column, row)` with `0 <= x, y < dim`.
 pub type Site = (u16, u16);
 
+/// Geometry of a uniform square cell grid laid over the machine plane —
+/// the shared cell math behind every bucketed spatial structure (the
+/// atom-occupancy index in [`crate::AtomArray`], the scheduler's blockade
+/// index). Covers `[-margin, extent + margin]` per axis; coordinates
+/// outside clamp into the border cells, so every point maps to a cell and
+/// a bounding-box query is always a superset of the disc it covers (the
+/// clamp is monotone, so box corners clamp outward-inclusively).
+#[derive(Debug, Clone)]
+pub struct CellGeometry {
+    cell_um: f64,
+    offset_um: f64,
+    dim: usize,
+}
+
+impl CellGeometry {
+    /// Grid over `[-margin_um, extent_um + margin_um]` with `cell_um`
+    /// cells (floored at a tiny positive size so degenerate inputs cannot
+    /// divide by zero).
+    pub fn new(extent_um: f64, margin_um: f64, cell_um: f64) -> Self {
+        let cell = cell_um.max(1e-6);
+        let span = extent_um + 2.0 * margin_um;
+        let dim = ((span / cell).ceil() as usize).max(1) + 1;
+        Self { cell_um: cell, offset_um: margin_um, dim }
+    }
+
+    /// Cells per side.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total cell count (`dim²`) — the bucket-array length for users.
+    pub fn num_cells(&self) -> usize {
+        self.dim * self.dim
+    }
+
+    /// Cell coordinate along one axis, clamped into `[0, dim)`.
+    pub fn axis_cell(&self, coord: f64) -> usize {
+        let c = ((coord + self.offset_um) / self.cell_um).floor();
+        (c.max(0.0) as usize).min(self.dim - 1)
+    }
+
+    /// Flat cell index of a point.
+    pub fn cell_of(&self, p: Point) -> usize {
+        self.axis_cell(p.y) * self.dim + self.axis_cell(p.x)
+    }
+
+    /// Visit the flat index of every cell overlapping the bounding box of
+    /// the disc of `radius` around `center` — a superset of the cells
+    /// containing points within `radius`.
+    pub fn for_each_cell_within(&self, center: Point, radius: f64, mut f: impl FnMut(usize)) {
+        let (x0, x1) = (self.axis_cell(center.x - radius), self.axis_cell(center.x + radius));
+        let (y0, y1) = (self.axis_cell(center.y - radius), self.axis_cell(center.y + radius));
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                f(cy * self.dim + cx);
+            }
+        }
+    }
+}
+
 /// The discrete site grid of a machine.
 #[derive(Debug, Clone)]
 pub struct SiteGrid {
@@ -224,5 +284,38 @@ mod tests {
         }
         let s = g.nearest_free_site((1, 1)).unwrap();
         assert!(!g.is_occupied(s));
+    }
+
+    #[test]
+    fn cell_geometry_clamps_out_of_span_points_into_border_cells() {
+        let c = CellGeometry::new(100.0, 7.0, 7.0);
+        assert_eq!(c.axis_cell(-1e6), 0);
+        assert_eq!(c.axis_cell(1e6), c.dim() - 1);
+        assert!(c.cell_of(Point::new(-50.0, 1e9)) < c.num_cells());
+    }
+
+    #[test]
+    fn cell_geometry_box_query_is_a_superset_of_the_disc() {
+        let c = CellGeometry::new(100.0, 7.0, 7.0);
+        let center = Point::new(33.0, 41.0);
+        let radius = 6.5;
+        // Every point within `radius` of the centre lies in a visited cell.
+        let mut visited = vec![false; c.num_cells()];
+        c.for_each_cell_within(center, radius, |cell| visited[cell] = true);
+        for dx in -13..=13 {
+            for dy in -13..=13 {
+                let p = Point::new(center.x + dx as f64 * 0.5, center.y + dy as f64 * 0.5);
+                if p.distance(&center) <= radius {
+                    assert!(visited[c.cell_of(p)], "{p:?} missed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_geometry_degenerate_cell_size_does_not_divide_by_zero() {
+        let c = CellGeometry::new(10.0, 1.0, 0.0);
+        assert!(c.dim() >= 1);
+        let _ = c.cell_of(Point::new(5.0, 5.0));
     }
 }

@@ -11,6 +11,19 @@
 //! * the Table II machine parameters for QuEra's 256-qubit and Atom
 //!   Computing's 1,225-qubit systems ([`params`]).
 //!
+//! [`AtomArray`] is engineered for the compiler's movement-planning hot
+//! path: a uniform-bucket **spatial occupancy index** (maintained through
+//! every position change) lets the batch-move constraint check find
+//! separation conflicts from a handful of nearby atoms instead of
+//! sweeping the whole array — the check emits violations in the same
+//! order as the naive sweep, so move plans (and therefore compiled
+//! schedules) are bit-identical. Measured on the 128-qubit TFIM compile,
+//! the indexed scan is a large share of the scheduler stage's 192 ms →
+//! 53 ms drop (PR 4, 10-sample means). A monotone
+//! [`AtomArray::positions_epoch`] counter supports the scheduler's
+//! failed-move memoization: equal epochs prove an unchanged
+//! configuration without comparing positions.
+//!
 //! # Example
 //! ```
 //! use parallax_hardware::{AtomArray, MachineSpec, AodMove};
@@ -32,5 +45,5 @@ pub mod params;
 pub use array::{AodMove, AtomArray, Trap, Violation};
 pub use fingerprint::StableHasher;
 pub use geometry::{violates_separation, within_blockade, within_interaction, Point};
-pub use grid::{Site, SiteGrid};
+pub use grid::{CellGeometry, Site, SiteGrid};
 pub use params::{HardwareParams, MachineSpec};

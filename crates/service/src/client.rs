@@ -134,10 +134,14 @@ fn cache_layer_line(cache: Option<&Json>) -> String {
     match cache {
         Some(c) => {
             let g = |k: &str| c.get(k).and_then(Json::as_u64).unwrap_or(0);
+            // The layout cache is weighted in qubit-units; the result
+            // cache counts entries and has no `weight` gauge.
+            let fill = match c.get("weight").and_then(Json::as_u64) {
+                Some(w) => format!("len {}  weight {}/{}", g("len"), w, g("capacity")),
+                None => format!("len {}/{}", g("len"), g("capacity")),
+            };
             format!(
-                "len {}/{}  hits {}  misses {}  evictions {}",
-                g("len"),
-                g("capacity"),
+                "{fill}  hits {}  misses {}  evictions {}",
                 g("hits"),
                 g("misses"),
                 g("evictions")

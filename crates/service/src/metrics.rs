@@ -124,11 +124,14 @@ impl Metrics {
     }
 
     /// The process-wide layout-cache counters as a `STATS` sub-object.
+    /// `capacity` and `weight` are in qubit-units (size-aware eviction);
+    /// `len` counts entries.
     pub fn layout_cache_json() -> Json {
         let s = parallax_core::layout_cache_stats();
         Json::obj(vec![
             ("len", Json::Int(s.len as u64)),
             ("capacity", Json::Int(s.capacity as u64)),
+            ("weight", Json::Int(s.weight as u64)),
             ("hits", Json::Int(s.hits)),
             ("misses", Json::Int(s.misses)),
             ("evictions", Json::Int(s.evictions)),
@@ -210,12 +213,13 @@ mod tests {
         assert_eq!(j.get("cache").and_then(|c| c.get("len")).and_then(Json::as_u64), Some(1));
         // The layout-cache layer is part of every snapshot.
         let lc = j.get("layout_cache").expect("layout_cache sub-object");
-        for key in ["len", "capacity", "hits", "misses", "evictions"] {
+        for key in ["len", "capacity", "weight", "hits", "misses", "evictions"] {
             assert!(lc.get(key).and_then(Json::as_u64).is_some(), "missing layout_cache.{key}");
         }
         let profile = j.get("profile").expect("profile sub-object");
         assert!(profile.get("enabled").and_then(Json::as_bool).is_some());
+        // The four pipeline stages plus the scheduler's four sub-stages.
         let Some(Json::Arr(stages)) = profile.get("stages") else { panic!("profile.stages") };
-        assert_eq!(stages.len(), 4);
+        assert_eq!(stages.len(), 8);
     }
 }

@@ -125,5 +125,15 @@ fn main() {
             "== PARALLAX_PROFILE: cumulative pipeline stage costs ==\n{}",
             parallax_core::profile::render()
         );
+        let lc = parallax_core::layout_cache_stats();
+        let pc = parallax_core::plan_cache_stats();
+        println!(
+            "layout cache: len {} weight {}/{} hits {} misses {} evictions {}",
+            lc.len, lc.weight, lc.capacity, lc.hits, lc.misses, lc.evictions
+        );
+        println!(
+            "plan cache:   len {} weight {}/{} hits {} misses {} evictions {}",
+            pc.len, pc.weight, pc.capacity, pc.hits, pc.misses, pc.evictions
+        );
     }
 }

@@ -2,35 +2,8 @@
 //! optimizer structural guarantees (CZ count and length never increase).
 
 use parallax_circuit::optimize::{cancel_cz, merge_u3};
-use parallax_circuit::{
-    circuit_from_qasm_str, layers, optimize, Circuit, CircuitBuilder, DependencyDag, Gate,
-};
-
-/// A deterministic pseudo-random circuit without external RNG dependencies
-/// (LCG over the gate choice), exercising U3/CZ interleavings.
-fn lcg_circuit(n: u32, len: usize, seed: u64) -> Circuit {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-    let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        (state >> 33) as u32
-    };
-    let mut c = Circuit::new(n as usize);
-    for _ in 0..len {
-        let a = next() % n;
-        match next() % 3 {
-            0 => {
-                let t = (next() % 628) as f64 / 100.0;
-                c.push(Gate::u3(a, t, t / 2.0, -t / 3.0));
-            }
-            1 => c.push(Gate::h(a)),
-            _ => {
-                let b = (a + 1 + next() % (n - 1)) % n;
-                c.push(Gate::cz(a.min(b), a.max(b)));
-            }
-        }
-    }
-    c
-}
+use parallax_circuit::{circuit_from_qasm_str, layers, optimize, CircuitBuilder, DependencyDag};
+use parallax_testkit::lcg_circuit;
 
 #[test]
 fn respects_order_accepts_program_order() {

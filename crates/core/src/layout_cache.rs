@@ -1,5 +1,5 @@
-//! Process-wide cache of annealed GRAPHINE layouts — the expensive
-//! intermediate of every compilation.
+//! Process-wide caches of the expensive per-compile intermediates: annealed
+//! GRAPHINE **layouts** and successful AOD **move plans**.
 //!
 //! The service's result cache can only answer *exact* repeats: the same
 //! circuit with different scheduling knobs (home-return, move recursion,
@@ -24,6 +24,28 @@
 //! disables it. Eviction is size-aware: an entry costs its qubit count,
 //! so a 256-qubit layout is charged 256 units while a 4-qubit one costs
 //! 4, and large stale layouts are displaced before hordes of small ones.
+//!
+//! The **move-plan cache** ([`PlanCache`]) rides the same layer: the
+//! scheduler's movement planner is a pure function of the array state and
+//! its `(mover, target, radius, recursion)` arguments, and under
+//! home-return the effective AOD configuration repeats — not only layer to
+//! layer within a compile (the scheduler's per-compile memo handles that),
+//! but across *compiles* of the same layout, which is exactly the repeat
+//! traffic a serving deployment sees after a layout-cache hit. Entries are
+//! keyed by ([`AtomArray::static_fingerprint`],
+//! [`AtomArray::aod_fingerprint`], mover, target) and store the complete
+//! placed-atom snapshot plus the radius/recursion knobs; a hit is honoured
+//! only after an **exact** state comparison
+//! ([`AtomArray::placed_state_matches`]), so a reused plan is bit-identical
+//! to what a fresh cascade would produce — by planner purity, not by
+//! trust in a 64-bit hash. The same `PARALLAX_LAYOUT_CACHE` budget governs
+//! both layers (plan entries are charged their snapshot + move counts in
+//! the same position-sized units; `0` disables both), and [`resize`]
+//! adjusts both at runtime.
+//!
+//! [`AtomArray::static_fingerprint`]: parallax_hardware::AtomArray::static_fingerprint
+//! [`AtomArray::aod_fingerprint`]: parallax_hardware::AtomArray::aod_fingerprint
+//! [`AtomArray::placed_state_matches`]: parallax_hardware::AtomArray::placed_state_matches
 
 use crate::profile::{self, Stage};
 use parallax_graphine::{GraphineLayout, InteractionGraph, PlacementConfig};
@@ -156,14 +178,7 @@ impl LayoutCache {
             self.weight -= old.weight;
         }
         while self.weight + weight > self.capacity {
-            let stalest = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.tick)
-                .map(|(k, _)| *k)
-                .expect("nonzero weight implies an entry to evict");
-            self.weight -= self.map.remove(&stalest).expect("stalest key present").weight;
-            self.evictions += 1;
+            self.evict_stalest();
         }
         self.weight += weight;
         self.map.insert(key, Entry { layout, tick: self.tick, weight });
@@ -178,6 +193,33 @@ impl LayoutCache {
             len: self.map.len(),
             capacity: self.capacity,
             weight: self.weight,
+        }
+    }
+
+    /// Drop the least-recently-touched entry (callers guarantee the cache
+    /// is non-empty whenever they loop on this).
+    fn evict_stalest(&mut self) {
+        let stalest = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.tick)
+            .map(|(k, _)| *k)
+            .expect("nonzero weight implies an entry to evict");
+        self.weight -= self.map.remove(&stalest).expect("stalest key present").weight;
+        self.evictions += 1;
+    }
+
+    /// Change the budget at runtime: shrinking evicts stalest-first down
+    /// to the new capacity, `0` disables and clears.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if capacity == 0 {
+            self.weight = 0;
+            self.map.clear();
+            return;
+        }
+        while self.weight > capacity {
+            self.evict_stalest();
         }
     }
 }
@@ -247,6 +289,250 @@ pub fn cached_layout(
 /// Snapshot of the process-wide layout cache counters.
 pub fn layout_cache_stats() -> LayoutCacheStats {
     global().lock().expect("layout cache lock").stats()
+}
+
+// ---------------------------------------------------------------------------
+// Cross-compile move-plan cache
+// ---------------------------------------------------------------------------
+
+use crate::movement::MovePlan;
+use parallax_hardware::{AodMove, AtomArray, Point, Trap};
+
+/// Content address of one successful movement plan: the immutable half of
+/// the array state, the mobile half, and the planner's arguments. The
+/// radius/recursion knobs are verified exactly on the entry rather than
+/// hashed into the key — they change with the compiler config, and folding
+/// them into `layout` would be redundant with that verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`AtomArray::static_fingerprint`] — machine + trap structure + SLM
+    /// positions, fixed for the whole compile.
+    pub layout: u64,
+    /// [`AtomArray::aod_fingerprint`] — the current AOD configuration.
+    pub aod_config: u64,
+    /// The planned mover (AOD-trapped operand).
+    pub mover: u32,
+    /// The gate's stationary operand.
+    pub target: u32,
+}
+
+/// Counters and gauges of the plan cache (the `STATS` sub-object).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache (exact state match).
+    pub hits: u64,
+    /// Lookups that had to run the probe cascade.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum total weight in position-units (0 = disabled).
+    pub capacity: usize,
+    /// Total weight of the cached entries, position-units.
+    pub weight: usize,
+}
+
+struct PlanEntry {
+    /// Complete placed-atom state the plan was computed against; reuse
+    /// requires an exact match, so hash collisions degrade to misses.
+    snapshot: Vec<(u32, Trap, Point)>,
+    /// Interaction radius the plan was computed for (bit pattern).
+    r_bits: u64,
+    /// Recursion budget the plan was computed under.
+    max_recursion: usize,
+    moves: Vec<AodMove>,
+    max_distance_um: f64,
+    recursion_used: usize,
+    tick: u64,
+    weight: usize,
+}
+
+/// Bounded LRU map from [`PlanKey`] to validated move plans. Same
+/// size-aware eviction discipline as [`LayoutCache`]: an entry is charged
+/// one unit per snapshot position plus one per stored move, so plans for
+/// big arrays displace proportionally more than plans for small ones.
+pub struct PlanCache {
+    map: HashMap<PlanKey, PlanEntry>,
+    tick: u64,
+    capacity: usize,
+    weight: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// Create a cache holding at most `capacity` position-units of plans
+    /// (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        Self { map: HashMap::new(), tick: 0, capacity, weight: 0, hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Look up `key`, honouring a hit only when the entry's recorded state
+    /// and planner knobs match `array`/`r_um`/`max_recursion` exactly.
+    pub fn get(
+        &mut self,
+        key: &PlanKey,
+        array: &AtomArray,
+        r_um: f64,
+        max_recursion: usize,
+    ) -> Option<MovePlan> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e)
+                if e.r_bits == r_um.to_bits()
+                    && e.max_recursion == max_recursion
+                    && array.placed_state_matches(&e.snapshot) =>
+            {
+                e.tick = self.tick;
+                self.hits += 1;
+                Some(MovePlan {
+                    moves: e.moves.clone(),
+                    max_distance_um: e.max_distance_um,
+                    recursion_used: e.recursion_used,
+                })
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting stalest entries until the new
+    /// entry fits. `snapshot` is the complete placed-atom state the plan
+    /// was computed against ([`AtomArray::placed_snapshot`]) — built by
+    /// the caller so the O(atoms) walk happens *outside* this cache's
+    /// lock. Like the layout cache: disabled at capacity 0, and an entry
+    /// outweighing the whole budget warns once per process and is not
+    /// cached.
+    pub fn insert(
+        &mut self,
+        key: PlanKey,
+        snapshot: Vec<(u32, Trap, Point)>,
+        r_um: f64,
+        rec: usize,
+        plan: &MovePlan,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let weight = (snapshot.len() + plan.moves.len()).max(1);
+        if weight > self.capacity {
+            static OVERSIZED: std::sync::Once = std::sync::Once::new();
+            let capacity = self.capacity;
+            OVERSIZED.call_once(|| {
+                eprintln!(
+                    "warning: a {weight}-position move plan exceeds the whole plan-cache \
+                     budget ({capacity} position-units) and will not be cached; \
+                     PARALLAX_LAYOUT_CACHE sizes both the layout and plan caches — raise \
+                     it to at least the largest circuit's qubit count"
+                );
+            });
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.weight -= old.weight;
+        }
+        while self.weight + weight > self.capacity {
+            self.evict_stalest();
+        }
+        self.weight += weight;
+        self.map.insert(
+            key,
+            PlanEntry {
+                snapshot,
+                r_bits: r_um.to_bits(),
+                max_recursion: rec,
+                moves: plan.moves.clone(),
+                max_distance_um: plan.max_distance_um,
+                recursion_used: plan.recursion_used,
+                tick: self.tick,
+                weight,
+            },
+        );
+    }
+
+    /// Current counters and gauges.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+            capacity: self.capacity,
+            weight: self.weight,
+        }
+    }
+
+    /// Drop the least-recently-touched entry (callers guarantee the cache
+    /// is non-empty whenever they loop on this).
+    fn evict_stalest(&mut self) {
+        let stalest = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.tick)
+            .map(|(k, _)| *k)
+            .expect("nonzero weight implies an entry to evict");
+        self.weight -= self.map.remove(&stalest).expect("stalest key present").weight;
+        self.evictions += 1;
+    }
+
+    /// Change the budget at runtime: shrinking evicts stalest-first down
+    /// to the new capacity, `0` disables and clears.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if capacity == 0 {
+            self.weight = 0;
+            self.map.clear();
+            return;
+        }
+        while self.weight > capacity {
+            self.evict_stalest();
+        }
+    }
+}
+
+fn plan_global() -> &'static Mutex<PlanCache> {
+    static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(PlanCache::new(configured_capacity())))
+}
+
+/// Look up a cross-compile move plan for `(mover, target)` against the
+/// array's current exact state. `None` means the caller must run the probe
+/// cascade (and should [`record_plan`] a success).
+pub fn lookup_plan(
+    key: &PlanKey,
+    array: &AtomArray,
+    r_um: f64,
+    max_recursion: usize,
+) -> Option<MovePlan> {
+    plan_global().lock().expect("plan cache lock").get(key, array, r_um, max_recursion)
+}
+
+/// Publish a freshly planned success for cross-compile reuse. The
+/// verification snapshot is taken before the lock, so concurrent compiles
+/// contend only on the map insert itself.
+pub fn record_plan(key: PlanKey, array: &AtomArray, r_um: f64, rec: usize, plan: &MovePlan) {
+    let snapshot = array.placed_snapshot();
+    plan_global().lock().expect("plan cache lock").insert(key, snapshot, r_um, rec, plan);
+}
+
+/// Snapshot of the process-wide plan cache counters.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    plan_global().lock().expect("plan cache lock").stats()
+}
+
+/// Resize **both** process-wide cache layers at runtime (the same effect
+/// as restarting with `PARALLAX_LAYOUT_CACHE=<units>`): shrinking evicts
+/// stalest-first down to the new budget, `0` disables and clears both.
+/// Concurrent compiles stay correct at any capacity — caches only ever
+/// change *when* work is recomputed, never its result.
+pub fn resize(capacity: usize) {
+    global().lock().expect("layout cache lock").set_capacity(capacity);
+    plan_global().lock().expect("plan cache lock").set_capacity(capacity);
 }
 
 #[cfg(test)]
@@ -340,6 +626,99 @@ mod tests {
         assert_eq!(c.get(&LayoutKey { graph: 1, machine: 1, placement: 1 }).unwrap().energy, 1.0);
         assert_eq!(c.get(&LayoutKey { graph: 1, machine: 2, placement: 1 }).unwrap().energy, 2.0);
         assert_eq!(c.get(&LayoutKey { graph: 1, machine: 1, placement: 2 }).unwrap().energy, 3.0);
+    }
+
+    fn plan_array() -> AtomArray {
+        let mut a = AtomArray::new(MachineSpec::quera_aquila_256(), 3);
+        a.place_in_slm(0, (2, 2));
+        a.place_in_slm(1, (10, 10));
+        a.place_in_slm(2, (6, 2));
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a
+    }
+
+    fn plan_key(a: &AtomArray) -> PlanKey {
+        PlanKey {
+            layout: a.static_fingerprint(),
+            aod_config: a.aod_fingerprint(),
+            mover: 0,
+            target: 1,
+        }
+    }
+
+    fn a_plan() -> MovePlan {
+        MovePlan {
+            moves: vec![AodMove { q: 0, x: 35.0, y: 35.0 }],
+            max_distance_um: 29.7,
+            recursion_used: 2,
+        }
+    }
+
+    #[test]
+    fn plan_hit_requires_exact_state_and_knobs() {
+        let a = plan_array();
+        let key = plan_key(&a);
+        let mut c = PlanCache::new(64);
+        assert!(c.get(&key, &a, 7.0, 80).is_none());
+        c.insert(key, a.placed_snapshot(), 7.0, 80, &a_plan());
+        let hit = c.get(&key, &a, 7.0, 80).expect("exact repeat must hit");
+        assert_eq!(hit.moves, a_plan().moves);
+        assert_eq!(hit.max_distance_um.to_bits(), a_plan().max_distance_um.to_bits());
+        assert_eq!(hit.recursion_used, 2);
+        // Different planner knobs: same key, but verification fails.
+        assert!(c.get(&key, &a, 7.5, 80).is_none(), "different radius must miss");
+        assert!(c.get(&key, &a, 7.0, 79).is_none(), "different budget must miss");
+        // A mutated array (same key supplied by a buggy/colliding caller)
+        // fails the exact snapshot comparison.
+        let mut moved = a.clone();
+        moved.apply_aod_moves(&[AodMove { q: 0, x: 20.0, y: 20.0 }]).unwrap();
+        assert!(c.get(&key, &moved, 7.0, 80).is_none(), "stale state must miss");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 4, 1));
+        assert_eq!(s.weight, 3 + 1, "three placed atoms + one move");
+    }
+
+    #[test]
+    fn plan_eviction_is_size_aware_and_oversized_entries_warn_off() {
+        let a = plan_array();
+        let base = plan_key(&a);
+        // Each entry weighs 4 (3 placed atoms + 1 move): capacity 8 holds
+        // exactly two.
+        let mut c = PlanCache::new(8);
+        for mover in 0..3u32 {
+            c.insert(PlanKey { mover, ..base }, a.placed_snapshot(), 7.0, 80, &a_plan());
+        }
+        let s = c.stats();
+        assert_eq!((s.len, s.weight, s.evictions), (2, 8, 1));
+        assert!(c.get(&PlanKey { mover: 0, ..base }, &a, 7.0, 80).is_none(), "LRU evicted");
+        assert!(c.get(&PlanKey { mover: 2, ..base }, &a, 7.0, 80).is_some());
+        // An entry outweighing the whole budget is skipped, nothing evicted.
+        let mut tiny = PlanCache::new(3);
+        tiny.insert(base, a.placed_snapshot(), 7.0, 80, &a_plan());
+        assert_eq!(tiny.stats().len, 0);
+        assert_eq!(tiny.stats().evictions, 0);
+        // Capacity 0 disables storage outright.
+        let mut off = PlanCache::new(0);
+        off.insert(base, a.placed_snapshot(), 7.0, 80, &a_plan());
+        assert!(off.get(&base, &a, 7.0, 80).is_none());
+        assert_eq!(off.stats().len, 0);
+    }
+
+    #[test]
+    fn plan_set_capacity_shrinks_and_disables() {
+        let a = plan_array();
+        let base = plan_key(&a);
+        let mut c = PlanCache::new(64);
+        for mover in 0..4u32 {
+            c.insert(PlanKey { mover, ..base }, a.placed_snapshot(), 7.0, 80, &a_plan());
+        }
+        assert_eq!(c.stats().weight, 16);
+        c.set_capacity(8);
+        let s = c.stats();
+        assert_eq!((s.len, s.weight, s.capacity), (2, 8, 8));
+        c.set_capacity(0);
+        assert_eq!(c.stats().len, 0);
+        assert_eq!(c.stats().weight, 0);
     }
 
     #[test]

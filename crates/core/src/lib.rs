@@ -22,19 +22,28 @@
 //!
 //! # Performance
 //!
-//! Two layers make repeat and near-miss traffic cheap. The process-wide
+//! Three layers make repeat and near-miss traffic cheap. The process-wide
 //! [`layout_cache`] skips the anneal for known (interaction graph,
 //! machine, placement-params) keys, with size-aware eviction (entries are
 //! charged their qubit count; `PARALLAX_LAYOUT_CACHE` sets the budget in
-//! qubit-units). Downstream of it, the [`scheduler`] — the whole cost of
-//! a warm-cache compile — runs on an incremental dependency frontier, a
-//! spatial blockade index, failed-move memoization, and a reusable layer
-//! scratch, all bit-identical to the reference implementation (proptested
-//! against the naive oracle). Measured on TFIM-128 (10-sample means, one
-//! machine): the schedule stage fell 192.7 ms → 52.8 ms (3.7x) in PR 4,
-//! on top of PR 3's 1.22 s → 0.19 s. `PARALLAX_PROFILE=1` records
-//! per-stage and per-scheduler-sub-stage timers ([`profile`]); the
-//! `profile_stages` example prints them for any workload.
+//! qubit-units). Riding the same layer, the process-wide **move-plan
+//! cache** ([`layout_cache::PlanCache`]) reuses successful AOD movement
+//! plans across compiles of the same layout, keyed by (layout hash,
+//! AOD-config fingerprint) and verified against the exact array state
+//! before every reuse; within a compile, the scheduler's per-compile plan
+//! memo answers the home-return steady state with an epoch fast path.
+//! Downstream, the [`scheduler`] — the whole cost of a warm-cache compile
+//! — runs on an incremental dependency frontier, a spatial blockade
+//! index, failed-move memoization, pruned endpoint cascades
+//! ([`movement`]), and a reusable layer scratch, all bit-identical to the
+//! reference implementations (proptested against the naive oracles).
+//! Measured on TFIM-128 (10-sample means, one machine): the schedule
+//! stage fell 192.7 ms → 52.8 ms (3.7x) in PR 4 and 55.2 ms → 10.4 ms
+//! (5.3x, re-measured same machine) in PR 5 — movement planning itself
+//! 50.8 ms → 6.4 ms — on top of PR 3's 1.22 s → 0.19 s.
+//! `PARALLAX_PROFILE=1` records per-stage and per-scheduler-sub-stage
+//! timers ([`profile`]); the `profile_stages` example prints them for any
+//! workload.
 //!
 //! # Example
 //! ```
@@ -70,7 +79,10 @@ pub use aod_select::{select_aod_qubits, AodSelection};
 pub use compiler::{CompilationResult, ParallaxCompiler, SharedCompiler};
 pub use config::CompilerConfig;
 pub use discretize::{discretize, DiscretizedLayout};
-pub use layout_cache::{cached_layout, layout_cache_stats, LayoutCache, LayoutCacheStats};
+pub use layout_cache::{
+    cached_layout, layout_cache_stats, plan_cache_stats, LayoutCache, LayoutCacheStats, PlanCache,
+    PlanCacheStats, PlanKey,
+};
 pub use movement::{plan_move_into_range, plan_return_home, MoveFailure, MovePlan};
 pub use parallel::{compile_batch, panic_message, try_compile_batch, BatchJobError};
 pub use parallelize::{replication_plan, sweep_factors, ReplicationPlan};

@@ -9,8 +9,17 @@
 //! resolved by the scheduler with a trap change. Static SLM atoms are never
 //! show-stoppers — the discretization pitch guarantees navigable space, so
 //! the planner simply picks a different approach angle around the target.
+//!
+//! The endpoint-candidate cascade is **pruned**: candidates that are
+//! provably infeasible — out of bounds, or within the minimum separation
+//! of an atom the cascade may never displace (a static atom or the pinned
+//! target), found through the hardware crate's spatial occupancy index —
+//! are skipped without probing (`endpoint_provably_blocked`). The first
+//! accepted plan is identical to the unpruned cascade's by construction;
+//! `plan_move_into_range_naive` is kept in test/debug builds as the
+//! oracle the differential proptests diff against.
 
-use parallax_hardware::{AodMove, AtomArray, Point, Trap, Violation};
+use parallax_hardware::{violates_separation, AodMove, AtomArray, Point, Trap, Violation};
 
 /// Why a movement plan could not be produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,16 +54,91 @@ impl MovePlan {
     }
 }
 
+/// Whether `endpoint` can be rejected without running the probe cascade.
+///
+/// Two conditions prove infeasibility outright, because the mover is
+/// pinned at the endpoint and the conflicting party can never be
+/// displaced by the cascade:
+///
+/// * the endpoint is outside the machine's addressable area (the same
+///   bounds rule the violation scan applies), or
+/// * an atom that the cascade may not move — a static SLM atom, or the
+///   pinned `target` — sits within the minimum separation distance of the
+///   endpoint (found through the spatial occupancy index, exactness
+///   re-checked with [`violates_separation`]).
+///
+/// Every displaced atom in a cascade is AOD-trapped and non-pinned, so a
+/// final configuration containing such a conflict can never validate: the
+/// probe would fail after however many resolution iterations it burned.
+/// Skipping it leaves the set of *successful* endpoints — and therefore
+/// the first accepted plan — untouched. The only observable difference is
+/// the failure **variant** of an all-endpoints-fail query: a pruned
+/// endpoint cannot report `RecursionLimit`, so a query the naive cascade
+/// answers `RecursionLimit` may answer `NoValidEndpoint` instead (the
+/// scheduler treats every failure identically).
+fn endpoint_provably_blocked(array: &AtomArray, mover: u32, target: u32, endpoint: Point) -> bool {
+    let margin = array.grid().pitch_um();
+    let max = array.spec().extent_um() + margin;
+    if endpoint.x < -margin || endpoint.y < -margin || endpoint.x > max || endpoint.y > max {
+        return true;
+    }
+    let min_sep = array.spec().min_separation_um;
+    let mut blocked = false;
+    array.for_each_atom_within(endpoint, min_sep, |q| {
+        if !blocked
+            && q != mover
+            && (q == target || !array.is_aod(q))
+            && violates_separation(&endpoint, &array.position(q), min_sep)
+        {
+            blocked = true;
+        }
+    });
+    blocked
+}
+
 /// Plan to bring `mover` (AOD-trapped) within radius `r_um` of `target`.
 ///
 /// The returned plan has already been validated against the array; the
 /// caller commits it with [`AtomArray::apply_aod_moves`].
+///
+/// Endpoint candidates that are provably infeasible (see
+/// [`endpoint_provably_blocked`]) are skipped without probing; the first
+/// accepted plan is identical to the unpruned cascade's by construction,
+/// and [`plan_move_into_range_naive`] is kept as the oracle the
+/// differential tests diff against.
 pub fn plan_move_into_range(
     array: &AtomArray,
     mover: u32,
     target: u32,
     r_um: f64,
     max_recursion: usize,
+) -> Result<MovePlan, MoveFailure> {
+    plan_move_impl(array, mover, target, r_um, max_recursion, true)
+}
+
+/// The unpruned probe cascade: every endpoint candidate is probed, none
+/// pre-filtered. Test oracle for [`plan_move_into_range`] — successful
+/// plans must be bit-identical, failures must agree modulo the
+/// `RecursionLimit`/`NoValidEndpoint` variant (see
+/// [`endpoint_provably_blocked`]).
+#[cfg(any(test, debug_assertions))]
+pub fn plan_move_into_range_naive(
+    array: &AtomArray,
+    mover: u32,
+    target: u32,
+    r_um: f64,
+    max_recursion: usize,
+) -> Result<MovePlan, MoveFailure> {
+    plan_move_impl(array, mover, target, r_um, max_recursion, false)
+}
+
+fn plan_move_impl(
+    array: &AtomArray,
+    mover: u32,
+    target: u32,
+    r_um: f64,
+    max_recursion: usize,
+    prune: bool,
 ) -> Result<MovePlan, MoveFailure> {
     if !array.is_aod(mover) {
         return Err(MoveFailure::NotInAod);
@@ -130,6 +214,9 @@ pub fn plan_move_into_range(
                 target_pos.x + dx * dc.signum() as f64,
                 target_pos.y + dy * dr.signum() as f64,
             );
+            if prune && endpoint_provably_blocked(array, mover, target, corner) {
+                continue;
+            }
             let mut budget = max_recursion;
             if let Ok(moves) = try_endpoint(array, mover, target, corner, &mut budget) {
                 let used = max_recursion - budget;
@@ -149,6 +236,9 @@ pub fn plan_move_into_range(
                 target_pos.x + approach * angle.cos(),
                 target_pos.y + approach * angle.sin(),
             );
+            if prune && endpoint_provably_blocked(array, mover, target, endpoint) {
+                continue;
+            }
             match try_endpoint(array, mover, target, endpoint, &mut recursion_budget) {
                 Ok(moves) => {
                     debug_assert!(
@@ -446,6 +536,124 @@ mod tests {
         let plan = plan_move_into_range(&a, 0, 1, 7.0, 80).unwrap();
         for m in &plan.moves {
             assert!(a.is_aod(m.q), "plan moved non-AOD atom q{}", m.q);
+        }
+    }
+
+    // -- Pruned cascade vs the naive oracle --
+
+    /// Both planners from the same state: successful plans must be
+    /// bit-identical (the first accepted endpoint is the same by
+    /// construction); failures must agree on failing, though the pruned
+    /// path may report `NoValidEndpoint` where the naive one burned its
+    /// budget into `RecursionLimit`.
+    fn assert_matches_naive_plan(a: &AtomArray, mover: u32, target: u32, r: f64, rec: usize) {
+        let pruned = plan_move_into_range(a, mover, target, r, rec);
+        let naive = plan_move_into_range_naive(a, mover, target, r, rec);
+        match (&pruned, &naive) {
+            (Ok(p), Ok(n)) => {
+                assert_eq!(p.moves, n.moves, "plans must be bit-identical");
+                assert_eq!(p.max_distance_um.to_bits(), n.max_distance_um.to_bits());
+                assert_eq!(p.recursion_used, n.recursion_used);
+            }
+            (Err(_), Err(_)) => {}
+            other => panic!("pruned/naive success disagreement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruned_cascade_matches_naive_on_obstructed_scenes() {
+        // Static obstruction on the direct approach, an AOD blocker, and a
+        // clean corridor — the three cascade shapes.
+        let scenes: &[&[(u16, u16)]] = &[
+            &[(2, 8), (8, 8), (7, 8)],
+            &[(2, 2), (12, 3), (11, 3)],
+            &[(2, 2), (12, 12)],
+            &[(2, 8), (8, 8), (7, 8), (7, 9), (7, 7), (9, 8)],
+        ];
+        for sites in scenes {
+            for rec in [0usize, 1, 3, 80] {
+                let mut a = array_with(sites);
+                a.transfer_to_aod(0, 0, 0).unwrap();
+                assert_matches_naive_plan(&a, 0, 1, 7.5, rec);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_statically_blocked_endpoints() {
+        // The straight-line approach point of q0 -> q1 is occupied by the
+        // static q2, so that endpoint is provably blocked…
+        let mut a = array_with(&[(2, 8), (8, 8), (7, 8)]);
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let target = a.position(1);
+        let mover = a.position(0);
+        let base = (mover.y - target.y).atan2(mover.x - target.x);
+        let blocked = Point::new(target.x + 6.75 * base.cos(), target.y + 6.75 * base.sin());
+        assert!(endpoint_provably_blocked(&a, 0, 1, blocked));
+        // …an in-bounds clear point is not, and out-of-bounds always is.
+        assert!(!endpoint_provably_blocked(&a, 0, 1, Point::new(42.0, 63.0)));
+        assert!(endpoint_provably_blocked(&a, 0, 1, Point::new(-1e4, 0.0)));
+        // The planner still finds the same plan as the oracle.
+        assert_matches_naive_plan(&a, 0, 1, 7.5, 80);
+    }
+
+    mod pruned_matches_naive_on_random_scenes {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Random crowded scenes: static atoms scattered on the grid,
+            /// a handful of AOD atoms on the diagonal, random (mover,
+            /// target) pairs and radii. The pruned planner must agree
+            /// with the naive oracle everywhere.
+            #[test]
+            fn on_random_arrays(
+                extra in proptest::collection::vec((0u16..14, 0u16..14), 0..10),
+                mover in 0u32..4,
+                target in 0u32..8,
+                r in 5.0f64..12.0,
+                rec in 0usize..6,
+            ) {
+                let mut a = AtomArray::new(MachineSpec::quera_aquila_256(), 8 + extra.len());
+                // Four AOD atoms on the diagonal, four static anchors.
+                for q in 0..4u16 {
+                    a.place_in_slm(q as u32, (3 * q, 3 * q));
+                }
+                a.place_in_slm(4, (13, 1));
+                a.place_in_slm(5, (1, 13));
+                a.place_in_slm(6, (13, 13));
+                a.place_in_slm(7, (7, 10));
+                let mut next = 8u32;
+                for &site in &extra {
+                    if !a.grid().is_occupied(site) {
+                        a.place_in_slm(next, site);
+                        next += 1;
+                    }
+                }
+                for q in 0..4u32 {
+                    a.transfer_to_aod(q, q as u16, q as u16).unwrap();
+                }
+                if mover != target {
+                    let pruned = plan_move_into_range(&a, mover, target, r, rec);
+                    let naive = plan_move_into_range_naive(&a, mover, target, r, rec);
+                    match (&pruned, &naive) {
+                        (Ok(p), Ok(n)) => {
+                            prop_assert_eq!(&p.moves, &n.moves);
+                            prop_assert_eq!(
+                                p.max_distance_um.to_bits(),
+                                n.max_distance_um.to_bits()
+                            );
+                        }
+                        (Err(_), Err(_)) => {}
+                        other => {
+                            return Err(TestCaseError::fail(format!(
+                                "success disagreement: {other:?}"
+                            )));
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -11,10 +11,10 @@
 //! # The hot path
 //!
 //! On large circuits the scheduler dominates warm-cache compiles, so its
-//! per-layer loop is engineered around four structures, each bit-identical
+//! per-layer loop is engineered around five structures, each bit-identical
 //! to the straightforward implementation it replaces (`schedule_gates_naive`
-//! is kept under `#[cfg(test)]` as the oracle, and proptests diff the two
-//! on random circuits):
+//! is kept under `#[cfg(any(test, debug_assertions))]` as the oracle, and
+//! proptests diff the two on random circuits):
 //!
 //! * an **incremental dependency frontier** — the ready set is updated from
 //!   the qubits whose gate pointer advanced in the previous layer instead
@@ -29,6 +29,14 @@
 //!   is not re-probed in later layers while the AOD configuration is
 //!   unchanged (position-epoch fast path, exact position comparison
 //!   fallback), because the planner is a pure function of the array state;
+//! * **successful-plan caching** — the dual of the failed-move memo plus a
+//!   process-wide cross-compile layer ([`crate::layout_cache::PlanCache`]):
+//!   a gate whose move was planned before against the exact current AOD
+//!   configuration (the home-return steady state, within a compile or
+//!   across repeat compiles of the same layout) reuses the recorded plan
+//!   instead of re-running the endpoint cascade, with
+//!   [`CompileStats::plan_cache_hits`]/[`CompileStats::plan_cache_cross_hits`]
+//!   counting the savings;
 //! * a reusable [`SchedulerScratch`] so the per-layer loop performs no
 //!   allocations beyond the `ScheduledLayer` outputs themselves.
 //!
@@ -39,7 +47,7 @@
 use crate::aod_select::AodSelection;
 use crate::config::CompilerConfig;
 use crate::discretize::DiscretizedLayout;
-use crate::movement::{plan_move_into_range, plan_return_home};
+use crate::movement::{plan_move_into_range, plan_return_home, MovePlan};
 use crate::profile::{self, Stage};
 use parallax_circuit::{Circuit, DependencyDag, Gate};
 use parallax_hardware::{within_blockade, AodMove, AtomArray, CellGeometry, Point};
@@ -97,6 +105,16 @@ pub struct CompileStats {
     /// table instead of a fresh probe cascade (a scheduling-cost counter;
     /// the compiled schedule is identical with the memo off).
     pub failed_move_memo_hits: usize,
+    /// Successful move plans answered by the **per-compile** plan memo
+    /// (the home-return steady state: the same gate re-planned against an
+    /// AOD configuration that returned to a recorded one). Like the memo
+    /// hits, a scheduling-cost counter — reused plans are bit-identical
+    /// to fresh cascades by planner purity, so the schedule is unchanged.
+    pub plan_cache_hits: usize,
+    /// Successful move plans answered by the **process-wide** plan cache
+    /// ([`crate::layout_cache::PlanCache`]) — repeat traffic across
+    /// compiles of the same layout skips the probe cascade entirely.
+    pub plan_cache_cross_hits: usize,
 }
 
 /// A compiled schedule: executable layers plus statistics.
@@ -289,7 +307,6 @@ impl BlockadeIndex {
 /// home-return, where every layer's moves are undone).
 struct FailedMoveMemo {
     entries: HashMap<(u32, u32), MemoEntry>,
-    scratch: Vec<(u32, Point)>,
     hits: usize,
 }
 
@@ -300,12 +317,7 @@ struct MemoEntry {
 
 impl FailedMoveMemo {
     fn new() -> Self {
-        Self { entries: HashMap::new(), scratch: Vec::new(), hits: 0 }
-    }
-
-    fn snapshot(array: &AtomArray, out: &mut Vec<(u32, Point)>) {
-        out.clear();
-        array.for_each_aod(|q| out.push((q, array.position(q))));
+        Self { entries: HashMap::new(), hits: 0 }
     }
 
     /// Whether a recorded failure for `(mover, target)` is still valid.
@@ -319,8 +331,7 @@ impl FailedMoveMemo {
             self.hits += 1;
             return true;
         }
-        Self::snapshot(array, &mut self.scratch);
-        if self.scratch == entry.aod_snapshot {
+        if array.aod_config_matches(&entry.aod_snapshot) {
             entry.epoch = array.positions_epoch();
             self.hits += 1;
             true
@@ -332,9 +343,135 @@ impl FailedMoveMemo {
     /// Record that `(mover, target)` failed against the current state.
     fn record(&mut self, array: &AtomArray, mover: u32, target: u32) {
         let mut aod_snapshot = Vec::new();
-        Self::snapshot(array, &mut aod_snapshot);
+        array.aod_snapshot(&mut aod_snapshot);
         self.entries
             .insert((mover, target), MemoEntry { epoch: array.positions_epoch(), aod_snapshot });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Successful-plan caching (per-compile memo + cross-compile layer)
+// ---------------------------------------------------------------------------
+
+/// Per-compile memo of **successful** movement plans, the dual of
+/// [`FailedMoveMemo`] with the same validity argument: the planner is a
+/// pure function of the array state and its arguments, and only AOD move
+/// batches mutate the array during scheduling, so a plan recorded against
+/// an AOD configuration is exactly what a fresh cascade would produce
+/// whenever that configuration recurs. Under home-return the configuration
+/// recurs every layer (atoms move out and back), which makes the epoch
+/// re-arm path the steady state on repetitive circuits.
+struct PlanMemo {
+    entries: HashMap<(u32, u32), PlanMemoEntry>,
+    hits: usize,
+}
+
+struct PlanMemoEntry {
+    epoch: u64,
+    aod_snapshot: Vec<(u32, Point)>,
+    plan: MovePlan,
+}
+
+impl PlanMemo {
+    fn new() -> Self {
+        Self { entries: HashMap::new(), hits: 0 }
+    }
+
+    /// The recorded plan for `(mover, target)` if the AOD configuration is
+    /// exactly the one it was planned against (epoch fast path, exact
+    /// snapshot fallback that re-arms the epoch).
+    fn lookup(&mut self, array: &AtomArray, mover: u32, target: u32) -> Option<MovePlan> {
+        let entry = self.entries.get_mut(&(mover, target))?;
+        if entry.epoch == array.positions_epoch() {
+            self.hits += 1;
+            return Some(entry.plan.clone());
+        }
+        if array.aod_config_matches(&entry.aod_snapshot) {
+            entry.epoch = array.positions_epoch();
+            self.hits += 1;
+            Some(entry.plan.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Record a fresh success against the current state.
+    fn record(&mut self, array: &AtomArray, mover: u32, target: u32, plan: MovePlan) {
+        let mut aod_snapshot = Vec::new();
+        array.aod_snapshot(&mut aod_snapshot);
+        self.entries.insert(
+            (mover, target),
+            PlanMemoEntry { epoch: array.positions_epoch(), aod_snapshot, plan },
+        );
+    }
+}
+
+/// The scheduler's two-level plan-reuse state: the per-compile [`PlanMemo`]
+/// plus the content address into the process-wide
+/// [`crate::layout_cache::PlanCache`]. The static half of the key is
+/// computed once per compile (SLM atoms never move while scheduling runs);
+/// the AOD half is re-fingerprinted at most once per position epoch.
+struct PlanCaches {
+    memo: PlanMemo,
+    static_fp: u64,
+    aod_fp: u64,
+    aod_fp_epoch: u64,
+    aod_fp_valid: bool,
+    cross_hits: usize,
+}
+
+impl PlanCaches {
+    fn new(array: &AtomArray) -> Self {
+        Self {
+            memo: PlanMemo::new(),
+            static_fp: array.static_fingerprint(),
+            aod_fp: 0,
+            aod_fp_epoch: 0,
+            aod_fp_valid: false,
+            cross_hits: 0,
+        }
+    }
+
+    fn aod_fp(&mut self, array: &AtomArray) -> u64 {
+        if !self.aod_fp_valid || self.aod_fp_epoch != array.positions_epoch() {
+            self.aod_fp = array.aod_fingerprint();
+            self.aod_fp_epoch = array.positions_epoch();
+            self.aod_fp_valid = true;
+        }
+        self.aod_fp
+    }
+
+    /// [`plan_move_into_range`] behind both cache levels: the per-compile
+    /// memo first, then the cross-compile cache (exact-state verified),
+    /// then the real probe cascade — recording a success in both layers.
+    /// Bit-identical to calling the planner directly, by purity plus the
+    /// exact-configuration checks on every reuse.
+    fn plan(
+        &mut self,
+        array: &AtomArray,
+        mover: u32,
+        target: u32,
+        r_um: f64,
+        max_recursion: usize,
+    ) -> Result<MovePlan, crate::movement::MoveFailure> {
+        if let Some(plan) = self.memo.lookup(array, mover, target) {
+            return Ok(plan);
+        }
+        let key = crate::layout_cache::PlanKey {
+            layout: self.static_fp,
+            aod_config: self.aod_fp(array),
+            mover,
+            target,
+        };
+        if let Some(plan) = crate::layout_cache::lookup_plan(&key, array, r_um, max_recursion) {
+            self.cross_hits += 1;
+            self.memo.record(array, mover, target, plan.clone());
+            return Ok(plan);
+        }
+        let plan = plan_move_into_range(array, mover, target, r_um, max_recursion)?;
+        self.memo.record(array, mover, target, plan.clone());
+        crate::layout_cache::record_plan(key, array, r_um, max_recursion, &plan);
+        Ok(plan)
     }
 }
 
@@ -360,6 +497,7 @@ struct SchedulerScratch {
     eff_stamp: Vec<u64>,
     blockade: BlockadeIndex,
     memo: FailedMoveMemo,
+    plans: PlanCaches,
 }
 
 impl SchedulerScratch {
@@ -377,6 +515,7 @@ impl SchedulerScratch {
             eff_stamp: vec![0; num_gates],
             blockade: BlockadeIndex::new(array.spec().extent_um(), margin, blockade_um),
             memo: FailedMoveMemo::new(),
+            plans: PlanCaches::new(array),
         }
     }
 }
@@ -467,7 +606,10 @@ pub fn schedule_gates(
                         kept.push(g);
                         continue;
                     }
-                    let mut attempt = plan_move_into_range(
+                    // Both cache levels sit in front of the probe cascade;
+                    // every reuse is exact-configuration verified, so the
+                    // plan is the one a fresh cascade would produce.
+                    let mut attempt = scratch.plans.plan(
                         &layout.array,
                         mover,
                         target,
@@ -477,7 +619,7 @@ pub fn schedule_gates(
                     // With both operands mobile, either may be the mover;
                     // retry in the other direction before giving up.
                     if attempt.is_err() && layout.array.is_aod(target) {
-                        attempt = plan_move_into_range(
+                        attempt = scratch.plans.plan(
                             &layout.array,
                             target,
                             mover,
@@ -658,6 +800,8 @@ pub fn schedule_gates(
         });
     }
     stats.failed_move_memo_hits = scratch.memo.hits;
+    stats.plan_cache_hits = scratch.plans.memo.hits;
+    stats.plan_cache_cross_hits = scratch.plans.cross_hits;
 
     let schedule = Schedule { layers, stats };
     debug_assert!(
@@ -669,12 +813,13 @@ pub fn schedule_gates(
 
 /// The pre-optimization Algorithm 1 implementation, verbatim: full frontier
 /// rescan per layer, `HashMap` effective positions, all-pairs blockade
-/// pass, no memoization. Kept as the test oracle — the proptests assert
-/// [`schedule_gates`] produces bit-identical layers, moves, and stats
-/// (modulo the memo-hit counter, which the naive path cannot have) on
-/// random circuits.
-#[cfg(test)]
-pub(crate) fn schedule_gates_naive(
+/// pass, no memoization, no plan caching. Kept as the test oracle — the
+/// proptests (in-crate and in the umbrella differential suite, which is
+/// why this is `pub` in debug builds) assert [`schedule_gates`] produces
+/// bit-identical layers, moves, and stats (modulo the memo/plan-cache hit
+/// counters, which the naive path cannot have) on random circuits.
+#[cfg(any(test, debug_assertions))]
+pub fn schedule_gates_naive(
     circuit: &Circuit,
     layout: &mut DiscretizedLayout,
     _selection: &AodSelection,
@@ -1120,6 +1265,8 @@ mod tests {
         assert_eq!(s_fast.layers, s_naive.layers);
         let mut stats = s_fast.stats.clone();
         stats.failed_move_memo_hits = 0;
+        stats.plan_cache_hits = 0;
+        stats.plan_cache_cross_hits = 0;
         assert_eq!(stats, s_naive.stats);
         for q in 0..n as u32 {
             assert_eq!(fast.array.position(q), naive.array.position(q), "q{q} position");
@@ -1239,33 +1386,120 @@ mod tests {
         assert_eq!(memo.hits, 0);
     }
 
+    // -- Successful-plan caching unit tests --
+
+    /// An array where the q0 -> q1 move plans successfully.
+    fn plannable_array() -> AtomArray {
+        let mut a = AtomArray::new(MachineSpec::quera_aquila_256(), 2);
+        a.place_in_slm(0, (2, 2));
+        a.place_in_slm(1, (12, 12));
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a
+    }
+
+    #[test]
+    fn plan_memo_reuses_only_the_exact_configuration() {
+        let mut a = plannable_array();
+        let plan = plan_move_into_range(&a, 0, 1, 7.0, 80).unwrap();
+        let mut memo = PlanMemo::new();
+        memo.record(&a, 0, 1, plan.clone());
+
+        // Identical state: epoch fast path.
+        let hit = memo.lookup(&a, 0, 1).expect("identical state must hit");
+        assert_eq!(hit.moves, plan.moves);
+        assert_eq!(memo.hits, 1);
+
+        // Commit the plan: the configuration changed, the memo must not
+        // serve the stale plan.
+        let home = a.position(0);
+        a.apply_aod_moves(&plan.moves).unwrap();
+        assert!(memo.lookup(&a, 0, 1).is_none(), "moved state must miss");
+
+        // Home return restores the recorded configuration: exact-snapshot
+        // fallback hits and re-arms the epoch for the next query.
+        a.apply_aod_moves(&[AodMove { q: 0, x: home.x, y: home.y }]).unwrap();
+        let back = memo.lookup(&a, 0, 1).expect("returned configuration must hit");
+        assert_eq!(back.moves, plan.moves);
+        assert!(memo.lookup(&a, 0, 1).is_some(), "re-armed epoch fast path");
+        assert_eq!(memo.hits, 3);
+    }
+
+    #[test]
+    fn plan_caches_serve_bit_identical_plans_end_to_end() {
+        // The two-level wrapper must hand back exactly what the planner
+        // would produce, from either level.
+        let a = plannable_array();
+        let direct = plan_move_into_range(&a, 0, 1, 7.0, 80).unwrap();
+        let mut caches = PlanCaches::new(&a);
+        let cold = caches.plan(&a, 0, 1, 7.0, 80).unwrap();
+        assert_eq!(cold.moves, direct.moves);
+        let warm = caches.plan(&a, 0, 1, 7.0, 80).unwrap();
+        assert_eq!(warm.moves, direct.moves);
+        assert_eq!(warm.max_distance_um.to_bits(), direct.max_distance_um.to_bits());
+        assert_eq!(caches.memo.hits, 1, "second query answers from the per-compile memo");
+
+        // A fresh compile's caches (new memo, same process): the global
+        // layer answers with the identical plan.
+        let mut fresh = PlanCaches::new(&a);
+        let cross = fresh.plan(&a, 0, 1, 7.0, 80).unwrap();
+        assert_eq!(cross.moves, direct.moves);
+        assert_eq!(fresh.cross_hits, 1, "fresh compile must hit the cross-compile layer");
+
+        // Different knobs bypass both levels (and re-plan).
+        let other = fresh.plan(&a, 0, 1, 7.5, 80).unwrap();
+        assert_eq!(fresh.cross_hits, 1);
+        assert_eq!(other.moves, plan_move_into_range(&a, 0, 1, 7.5, 80).unwrap().moves);
+    }
+
+    #[test]
+    fn repetitive_circuit_reuses_plans_within_and_across_compiles() {
+        // A Trotter-style circuit: the same long-range interactions repeat
+        // step after step, so under home-return the scheduler re-plans the
+        // same (mover, target) against the same configuration every step.
+        let mut b = CircuitBuilder::new(10);
+        for _step in 0..4 {
+            for i in 0..10u32 {
+                b.cx(i, (i + 5) % 10);
+            }
+        }
+        let c = b.build();
+        let cfg = CompilerConfig::quick(0xCAFE01);
+        let layout = GraphineLayout::generate(&c, &cfg.placement);
+        let mut first = discretize(&c, &layout, MachineSpec::quera_aquila_256());
+        let sel = select_aod_qubits(&c, &mut first, &cfg);
+        let mut second = first.clone();
+
+        let s1 = schedule_gates(&c, &mut first, &sel, &cfg);
+        assert!(s1.stats.moves_planned > 0, "circuit must exercise the movement planner");
+        assert!(
+            s1.stats.plan_cache_hits > 0,
+            "repeating steps must reuse plans within the compile: {:?}",
+            s1.stats
+        );
+
+        // The identical schedule again (same process): the cross-compile
+        // layer now answers first-time probes, and the schedule is
+        // bit-identical.
+        let s2 = schedule_gates(&c, &mut second, &sel, &cfg);
+        assert_eq!(s1.layers, s2.layers);
+        assert!(
+            s2.stats.plan_cache_cross_hits > 0,
+            "repeat compile must hit the cross-compile plan cache: {:?}",
+            s2.stats
+        );
+        let global = crate::layout_cache::plan_cache_stats();
+        assert!(global.hits >= u64::try_from(s2.stats.plan_cache_cross_hits).unwrap());
+    }
+
     mod matches_naive_on_random_circuits {
         use super::*;
+        use parallax_testkit::arb_hcz_circuit;
         use proptest::prelude::*;
 
-        /// A random circuit interleaving H and CZ over `n` qubits.
+        /// A random circuit interleaving H and CZ over `n` qubits (the
+        /// workspace-shared generator).
         fn random_circuit(n: u32) -> impl Strategy<Value = Circuit> {
-            let gate = prop_oneof![
-                (0..n).prop_map(|q| (q, None)),
-                (0..n, 1..n).prop_map(move |(a, d)| (a, Some((a + d) % n))),
-            ];
-            proptest::collection::vec(gate, 4..40).prop_map(move |gates| {
-                let mut b = CircuitBuilder::new(n as usize);
-                for (q, partner) in gates {
-                    match partner {
-                        None => {
-                            b.h(q);
-                        }
-                        Some(p) if p != q => {
-                            b.cz(q, p);
-                        }
-                        _ => {
-                            b.h(q);
-                        }
-                    }
-                }
-                b.build()
-            })
+            arb_hcz_circuit(n, 4, 40)
         }
 
         proptest! {
@@ -1289,6 +1523,8 @@ mod tests {
                 prop_assert_eq!(&s_fast.layers, &s_naive.layers);
                 let mut stats = s_fast.stats.clone();
                 stats.failed_move_memo_hits = 0;
+                stats.plan_cache_hits = 0;
+                stats.plan_cache_cross_hits = 0;
                 prop_assert_eq!(&stats, &s_naive.stats);
                 for q in 0..10u32 {
                     prop_assert_eq!(fast.array.position(q), naive.array.position(q));
@@ -1318,6 +1554,8 @@ mod tests {
                 prop_assert_eq!(&s_fast.layers, &s_naive.layers);
                 let mut stats = s_fast.stats.clone();
                 stats.failed_move_memo_hits = 0;
+                stats.plan_cache_hits = 0;
+                stats.plan_cache_cross_hits = 0;
                 prop_assert_eq!(&stats, &s_naive.stats);
             }
         }

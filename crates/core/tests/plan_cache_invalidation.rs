@@ -1,0 +1,81 @@
+//! Cache-invalidation edges of the process-wide layout + move-plan cache
+//! layer. This suite lives in its own integration-test binary (its own
+//! process) because it resizes and disables the process-global caches via
+//! [`parallax_core::layout_cache::resize`] — inside the shared lib-test
+//! process that would race sibling tests asserting hit/miss deltas. The
+//! whole sequence runs as ONE test function for the same reason: the test
+//! harness runs sibling `#[test]`s of a binary concurrently.
+
+use parallax_circuit::{Circuit, CircuitBuilder};
+use parallax_core::{layout_cache, CompilerConfig, ParallaxCompiler};
+use parallax_hardware::MachineSpec;
+
+/// A Trotter-style circuit whose long-range interactions repeat step after
+/// step — guaranteed to exercise the movement planner and its caches.
+fn trotter_circuit() -> Circuit {
+    let mut b = CircuitBuilder::new(10);
+    for _step in 0..4 {
+        for i in 0..10u32 {
+            b.cx(i, (i + 5) % 10);
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn plan_cache_lifecycle_across_resize_and_disable() {
+    let circuit = trotter_circuit();
+    let compiler =
+        ParallaxCompiler::new(MachineSpec::quera_aquila_256(), CompilerConfig::quick(0xFEED42));
+
+    // Cold: unique seed -> unique layout -> nothing to reuse across
+    // compiles yet (within-compile reuse is allowed and expected).
+    let cold = compiler.compile(&circuit);
+    assert!(cold.schedule.stats.moves_planned > 0, "circuit must plan moves");
+    assert_eq!(cold.schedule.stats.plan_cache_cross_hits, 0, "cold compile cannot cross-hit");
+    let after_cold = parallax_core::plan_cache_stats();
+    assert!(after_cold.len > 0, "cold compile must publish plans");
+
+    // Warm: the layout-cache hit is followed by cross-compile plan hits,
+    // and the compilation is bit-identical.
+    let layout_hits_before = parallax_core::layout_cache_stats().hits;
+    let warm = compiler.compile(&circuit);
+    assert!(
+        parallax_core::layout_cache_stats().hits > layout_hits_before,
+        "repeat compile must hit the layout cache"
+    );
+    assert!(
+        warm.schedule.stats.plan_cache_cross_hits > 0,
+        "cross-compile plan hits must follow a layout-cache hit: {:?}",
+        warm.schedule.stats
+    );
+    assert_eq!(warm.schedule.layers, cold.schedule.layers);
+    assert_eq!(warm.home_positions, cold.home_positions);
+
+    // Resize to a budget too small for any entry: stored plans (and
+    // layouts) are evicted, new ones warn-once and are not stored — the
+    // next compile re-plans from scratch, still bit-identical.
+    layout_cache::resize(1);
+    let stats = parallax_core::plan_cache_stats();
+    assert_eq!((stats.len, stats.weight, stats.capacity), (0, 0, 1), "{stats:?}");
+    let resized = compiler.compile(&circuit);
+    assert_eq!(resized.schedule.stats.plan_cache_cross_hits, 0, "evicted plans must miss");
+    assert_eq!(resized.schedule.layers, cold.schedule.layers);
+    assert_eq!(parallax_core::plan_cache_stats().len, 0, "oversized entries are not stored");
+
+    // Disable outright: nothing is stored or served.
+    layout_cache::resize(0);
+    let disabled = compiler.compile(&circuit);
+    assert_eq!(disabled.schedule.stats.plan_cache_cross_hits, 0);
+    assert_eq!(disabled.schedule.layers, cold.schedule.layers);
+    let stats = parallax_core::plan_cache_stats();
+    assert_eq!((stats.len, stats.weight, stats.capacity), (0, 0, 0), "{stats:?}");
+
+    // Re-enable: the first compile repopulates, the second reuses again.
+    layout_cache::resize(8192);
+    let repopulate = compiler.compile(&circuit);
+    assert_eq!(repopulate.schedule.stats.plan_cache_cross_hits, 0, "cache was empty");
+    let reuse = compiler.compile(&circuit);
+    assert!(reuse.schedule.stats.plan_cache_cross_hits > 0, "{:?}", reuse.schedule.stats);
+    assert_eq!(reuse.schedule.layers, cold.schedule.layers);
+}

@@ -259,6 +259,108 @@ impl AtomArray {
         self.positions_epoch
     }
 
+    /// Write every AOD-trapped qubit's `(id, position)` into `out`
+    /// (cleared first), ascending id — the mobile half of the array state.
+    /// The movement caches snapshot this on every record/verify.
+    pub fn aod_snapshot(&self, out: &mut Vec<(u32, Point)>) {
+        out.clear();
+        self.for_each_aod(|q| out.push((q, self.positions[q as usize])));
+    }
+
+    /// Whether the current AOD configuration is exactly `snapshot` (same
+    /// qubits in the same traps at bitwise-equal positions). Equivalent to
+    /// `{ let mut s = vec![]; self.aod_snapshot(&mut s); s == snapshot }`
+    /// without the allocation — the hot staleness check of the movement
+    /// caches, where a stale epoch usually means "moved out and back home".
+    pub fn aod_config_matches(&self, snapshot: &[(u32, Point)]) -> bool {
+        let mut rest = snapshot;
+        for (q, trap) in self.traps.iter().enumerate() {
+            if matches!(trap, Some(Trap::Aod { .. })) {
+                match rest.split_first() {
+                    Some((&(sq, sp), tail)) if sq == q as u32 && sp == self.positions[q] => {
+                        rest = tail;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        rest.is_empty()
+    }
+
+    /// Stable fingerprint of the AOD configuration: every AOD qubit's id
+    /// and position by IEEE bit pattern, ascending id. Together with
+    /// [`Self::static_fingerprint`] it content-addresses the full array
+    /// state (cross-compile move-plan cache key); equal configurations
+    /// fingerprint equally across processes.
+    pub fn aod_fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::StableHasher::new();
+        self.for_each_aod(|q| {
+            let p = self.positions[q as usize];
+            h.write_u64(u64::from(q)).write_f64(p.x).write_f64(p.y);
+        });
+        h.finish()
+    }
+
+    /// Stable fingerprint of everything that does *not* change while the
+    /// scheduler runs: the machine, and every placed atom's trap
+    /// assignment plus — for SLM atoms — its position. AOD positions are
+    /// deliberately excluded (they live in [`Self::aod_fingerprint`]); AOD
+    /// *line assignments* are included because they steer the planner's
+    /// ordering constraints and are fixed for the compile.
+    pub fn static_fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::StableHasher::new();
+        h.write_u64(self.spec.fingerprint()).write_usize(self.traps.len());
+        for (q, trap) in self.traps.iter().enumerate() {
+            match trap {
+                None => {
+                    h.write_u64(0);
+                }
+                Some(Trap::Slm(site)) => {
+                    let p = self.positions[q];
+                    h.write_u64(1).write_u64(u64::from(site.0)).write_u64(u64::from(site.1));
+                    h.write_f64(p.x).write_f64(p.y);
+                }
+                Some(Trap::Aod { row, col }) => {
+                    h.write_u64(2).write_u64(u64::from(*row)).write_u64(u64::from(*col));
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Snapshot the complete placed-atom state: `(qubit, trap, position)`
+    /// for every placed qubit, ascending id. The cross-compile plan cache
+    /// stores this with each entry and verifies it exactly before reuse,
+    /// so a (vanishingly unlikely) fingerprint collision degrades to a
+    /// cache miss instead of a wrong plan.
+    pub fn placed_snapshot(&self) -> Vec<(u32, Trap, Point)> {
+        self.traps
+            .iter()
+            .enumerate()
+            .filter_map(|(q, trap)| trap.map(|t| (q as u32, t, self.positions[q])))
+            .collect()
+    }
+
+    /// Whether the current placed-atom state is exactly `snapshot`
+    /// (allocation-free twin of comparing against
+    /// [`Self::placed_snapshot`]).
+    pub fn placed_state_matches(&self, snapshot: &[(u32, Trap, Point)]) -> bool {
+        let mut rest = snapshot;
+        for (q, trap) in self.traps.iter().enumerate() {
+            if let Some(t) = trap {
+                match rest.split_first() {
+                    Some((&(sq, st, sp), tail))
+                        if sq == q as u32 && st == *t && sp == self.positions[q] =>
+                    {
+                        rest = tail;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        rest.is_empty()
+    }
+
     /// Visit every placed atom in the spatial-index cells overlapping the
     /// disc of `radius` around `center` — a superset of the atoms within
     /// `radius`; callers filter by exact distance. Visit order follows the
@@ -994,6 +1096,84 @@ mod tests {
         seen.sort_unstable();
         assert!(seen.contains(&0) && seen.contains(&2), "{seen:?}");
         assert!(!seen.contains(&1), "{seen:?}");
+    }
+
+    #[test]
+    fn aod_snapshot_and_matcher_agree() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2));
+        a.place_in_slm(1, (6, 6));
+        a.place_in_slm(2, (10, 2));
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        a.transfer_to_aod(1, 1, 1).unwrap();
+        let mut snap = Vec::new();
+        a.aod_snapshot(&mut snap);
+        assert_eq!(snap.len(), 2);
+        assert!(a.aod_config_matches(&snap));
+        // Any divergence breaks the match: a move, a shorter snapshot, a
+        // position nudge.
+        let mut moved = a.clone();
+        moved.apply_aod_moves(&[AodMove { q: 0, x: 15.0, y: 15.0 }]).unwrap();
+        assert!(!moved.aod_config_matches(&snap));
+        assert!(!a.aod_config_matches(&snap[..1]));
+        let mut nudged = snap.clone();
+        nudged[1].1.x += 1e-12;
+        assert!(!a.aod_config_matches(&nudged));
+        // Moving out and back home restores the match (the steady state
+        // the movement caches exploit).
+        let home = a.position(0);
+        a.apply_aod_moves(&[AodMove { q: 0, x: 15.0, y: 15.0 }]).unwrap();
+        a.apply_aod_moves(&[AodMove { q: 0, x: home.x, y: home.y }]).unwrap();
+        assert!(a.aod_config_matches(&snap));
+    }
+
+    #[test]
+    fn fingerprints_split_static_and_aod_state() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2));
+        a.place_in_slm(1, (6, 6));
+        a.transfer_to_aod(0, 0, 0).unwrap();
+        let (s0, m0) = (a.static_fingerprint(), a.aod_fingerprint());
+        // An AOD move changes only the AOD fingerprint…
+        a.apply_aod_moves(&[AodMove { q: 0, x: 15.0, y: 15.0 }]).unwrap();
+        assert_eq!(a.static_fingerprint(), s0);
+        assert_ne!(a.aod_fingerprint(), m0);
+        // …and returning home restores it exactly.
+        a.apply_aod_moves(&[AodMove { q: 0, x: 14.0, y: 14.0 }]).unwrap();
+        assert_eq!(a.aod_fingerprint(), m0);
+        // A different SLM layout changes the static fingerprint.
+        let mut b = array();
+        b.place_in_slm(0, (2, 2));
+        b.place_in_slm(1, (8, 6));
+        b.transfer_to_aod(0, 0, 0).unwrap();
+        assert_ne!(b.static_fingerprint(), s0);
+        // A different machine does too (even with equal geometry of atoms).
+        let mut c = AtomArray::new(MachineSpec::atom_1225(), 8);
+        c.place_in_slm(0, (2, 2));
+        c.place_in_slm(1, (6, 6));
+        c.transfer_to_aod(0, 0, 0).unwrap();
+        assert_ne!(c.static_fingerprint(), s0);
+    }
+
+    #[test]
+    fn placed_snapshot_verifies_full_state() {
+        let mut a = array();
+        a.place_in_slm(0, (2, 2));
+        a.place_in_slm(1, (6, 6));
+        a.transfer_to_aod(1, 0, 0).unwrap();
+        let snap = a.placed_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(a.placed_state_matches(&snap));
+        // A trap change breaks the match even at identical positions.
+        let mut released = a.clone();
+        released.release_to_slm(1, (6, 6));
+        assert_eq!(released.position(1), a.position(1));
+        assert!(!released.placed_state_matches(&snap));
+        // An extra placed atom breaks it (suffix rule).
+        let mut grown = a.clone();
+        grown.place_in_slm(2, (10, 10));
+        assert!(!grown.placed_state_matches(&snap));
+        assert!(grown.placed_state_matches(&grown.placed_snapshot()));
     }
 
     #[test]

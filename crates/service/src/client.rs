@@ -162,9 +162,10 @@ fn fmt_us(us: u64) -> String {
 }
 
 /// Render a `STATS` snapshot as the human-readable report that
-/// `parallax-client stats` prints: job counters, queue gauge, **both**
-/// cache layers (per-server result cache and process-wide layout cache),
-/// the `PARALLAX_PROFILE` stage table, and the latency histogram.
+/// `parallax-client stats` prints: job counters, queue gauge, all three
+/// cache layers (per-server result cache, process-wide layout cache,
+/// process-wide move-plan cache), the `PARALLAX_PROFILE` stage table, and
+/// the latency histogram.
 pub fn render_stats(stats: &Json) -> String {
     let n = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
     let mut out = String::new();
@@ -183,6 +184,7 @@ pub fn render_stats(stats: &Json) -> String {
     out.push_str(&format!("queue         depth {}/{}\n", n("queue_depth"), n("queue_capacity")));
     out.push_str(&format!("result cache  {}\n", cache_layer_line(stats.get("cache"))));
     out.push_str(&format!("layout cache  {}\n", cache_layer_line(stats.get("layout_cache"))));
+    out.push_str(&format!("plan cache    {}\n", cache_layer_line(stats.get("plan_cache"))));
 
     if let Some(latency) = stats.get("latency") {
         let g = |k: &str| latency.get(k).and_then(Json::as_u64).unwrap_or(0);
@@ -255,13 +257,20 @@ mod tests {
             ("misses", Json::Int(2)),
             ("evictions", Json::Int(0)),
         ]);
-        let stats =
-            m.to_json(1, 64, result_cache, Metrics::layout_cache_json(), Metrics::profile_json());
+        let stats = m.to_json(
+            1,
+            64,
+            result_cache,
+            Metrics::layout_cache_json(),
+            Metrics::plan_cache_json(),
+            Metrics::profile_json(),
+        );
         let text = render_stats(&stats);
         assert!(text.contains("jobs          submitted 1  completed 1"), "{text}");
         assert!(text.contains("queue         depth 1/64"), "{text}");
         assert!(text.contains("result cache  len 2/64  hits 1  misses 2"), "{text}");
         assert!(text.contains("layout cache  len "), "layout-cache layer missing:\n{text}");
+        assert!(text.contains("plan cache    len "), "plan-cache layer missing:\n{text}");
         assert!(text.contains("latency       count 1  mean 250.00 ms"), "{text}");
         assert!(text.contains("<= 1.000 s"), "histogram bucket missing:\n{text}");
         assert!(text.contains("profile"), "{text}");
@@ -273,5 +282,6 @@ mod tests {
         assert!(text.contains("submitted 3"));
         assert!(text.contains("result cache  unavailable"));
         assert!(text.contains("layout cache  unavailable"));
+        assert!(text.contains("plan cache    unavailable"));
     }
 }

@@ -95,13 +95,15 @@ impl Metrics {
     /// Snapshot every counter (plus the caller-supplied queue gauges and
     /// per-cache-layer sub-objects) as the `STATS` payload. `cache` is the
     /// per-server result cache, `layout_cache` the process-wide layout
-    /// cache, and `profile` the `PARALLAX_PROFILE` stage counters.
+    /// cache, `plan_cache` the process-wide move-plan cache, and `profile`
+    /// the `PARALLAX_PROFILE` stage counters.
     pub fn to_json(
         &self,
         queue_depth: usize,
         queue_capacity: usize,
         cache: Json,
         layout_cache: Json,
+        plan_cache: Json,
         profile: Json,
     ) -> Json {
         let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed));
@@ -118,6 +120,7 @@ impl Metrics {
             ("queue_capacity", Json::Int(queue_capacity as u64)),
             ("cache", cache),
             ("layout_cache", layout_cache),
+            ("plan_cache", plan_cache),
             ("profile", profile),
             ("latency", self.latency.to_json()),
         ])
@@ -128,6 +131,24 @@ impl Metrics {
     /// `len` counts entries.
     pub fn layout_cache_json() -> Json {
         let s = parallax_core::layout_cache_stats();
+        Json::obj(vec![
+            ("len", Json::Int(s.len as u64)),
+            ("capacity", Json::Int(s.capacity as u64)),
+            ("weight", Json::Int(s.weight as u64)),
+            ("hits", Json::Int(s.hits)),
+            ("misses", Json::Int(s.misses)),
+            ("evictions", Json::Int(s.evictions)),
+        ])
+    }
+
+    /// The process-wide move-plan cache counters as a `STATS` sub-object.
+    /// `capacity` and `weight` are in position-units (snapshot positions
+    /// plus stored moves per entry); `len` counts entries. Hits mean the
+    /// scheduler skipped a probe cascade for repeat traffic across
+    /// compiles; the per-compile reuse counters travel with each
+    /// compilation's own stats instead.
+    pub fn plan_cache_json() -> Json {
+        let s = parallax_core::plan_cache_stats();
         Json::obj(vec![
             ("len", Json::Int(s.len as u64)),
             ("capacity", Json::Int(s.capacity as u64)),
@@ -204,6 +225,7 @@ mod tests {
             64,
             Json::obj(vec![("len", Json::Num(1.0))]),
             Metrics::layout_cache_json(),
+            Metrics::plan_cache_json(),
             Metrics::profile_json(),
         );
         assert_eq!(j.get("submitted").and_then(Json::as_u64), Some(1));
@@ -211,10 +233,12 @@ mod tests {
         assert_eq!(j.get("queue_depth").and_then(Json::as_u64), Some(3));
         assert_eq!(j.get("queue_capacity").and_then(Json::as_u64), Some(64));
         assert_eq!(j.get("cache").and_then(|c| c.get("len")).and_then(Json::as_u64), Some(1));
-        // The layout-cache layer is part of every snapshot.
-        let lc = j.get("layout_cache").expect("layout_cache sub-object");
-        for key in ["len", "capacity", "weight", "hits", "misses", "evictions"] {
-            assert!(lc.get(key).and_then(Json::as_u64).is_some(), "missing layout_cache.{key}");
+        // The layout- and plan-cache layers are part of every snapshot.
+        for layer in ["layout_cache", "plan_cache"] {
+            let lc = j.get(layer).unwrap_or_else(|| panic!("{layer} sub-object"));
+            for key in ["len", "capacity", "weight", "hits", "misses", "evictions"] {
+                assert!(lc.get(key).and_then(Json::as_u64).is_some(), "missing {layer}.{key}");
+            }
         }
         let profile = j.get("profile").expect("profile sub-object");
         assert!(profile.get("enabled").and_then(Json::as_bool).is_some());

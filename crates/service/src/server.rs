@@ -41,6 +41,11 @@ pub struct ServerConfig {
     /// How long a submission may wait for queue space before it is
     /// rejected with a `queue full` error (0 = reject immediately).
     pub enqueue_timeout_ms: u64,
+    /// Hard cap on one request line's length, bytes. An oversized line is
+    /// consumed (to resynchronize on the next newline) and answered with a
+    /// structured error instead of being buffered without bound — one
+    /// hostile connection cannot balloon the server's memory.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +56,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 256,
             enqueue_timeout_ms: 1000,
+            max_line_bytes: 8 * 1024 * 1024,
         }
     }
 }
@@ -94,6 +100,7 @@ struct ServerCore {
     drained: Condvar,
     addr: SocketAddr,
     enqueue_timeout: Duration,
+    max_line_bytes: usize,
     started: Instant,
     /// Set (after the shutdown response has been written to its client)
     /// to release [`ServerHandle::wait_until_drained`]; signalling only
@@ -196,6 +203,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         drained: Condvar::new(),
         addr,
         enqueue_timeout: Duration::from_millis(config.enqueue_timeout_ms),
+        max_line_bytes: config.max_line_bytes.max(1),
         started: Instant::now(),
         exit_requested: Mutex::new(false),
         exit: Condvar::new(),
@@ -220,6 +228,51 @@ fn accept_loop(listener: &TcpListener, core: &Arc<ServerCore>) {
     }
 }
 
+/// One framing read: a complete line, an oversized line (consumed through
+/// its newline so the connection can resynchronize), or end of stream.
+enum FrameRead {
+    /// A complete frame (final unterminated frames before EOF included,
+    /// matching `BufRead::lines`): raw bytes, newline stripped.
+    Line(Vec<u8>),
+    /// The line exceeded the cap; its bytes were discarded.
+    Oversized,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Read one newline-delimited frame, buffering at most `cap` bytes. An
+/// over-cap line is drained chunk by chunk (never held in memory) until
+/// its newline or EOF, then reported as [`FrameRead::Oversized`] so the
+/// caller can answer with a structured error and keep serving.
+fn read_frame_capped(reader: &mut impl BufRead, cap: usize) -> std::io::Result<FrameRead> {
+    let mut out: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(match (overflowed, out.is_empty()) {
+                (true, _) => FrameRead::Oversized,
+                (false, true) => FrameRead::Eof,
+                (false, false) => FrameRead::Line(out),
+            });
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(available.len());
+        if !overflowed {
+            if out.len() + take > cap {
+                overflowed = true;
+                out = Vec::new();
+            } else {
+                out.extend_from_slice(&available[..take]);
+            }
+        }
+        reader.consume(take + usize::from(newline.is_some()));
+        if newline.is_some() {
+            return Ok(if overflowed { FrameRead::Oversized } else { FrameRead::Line(out) });
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, core: &Arc<ServerCore>) {
     // Interactive request/response over tiny messages: Nagle's algorithm
     // would add tens of milliseconds per roundtrip, so send each response
@@ -227,13 +280,34 @@ fn handle_connection(stream: TcpStream, core: &Arc<ServerCore>) {
     let _ = stream.set_nodelay(true);
     let Ok(reader_stream) = stream.try_clone() else { return };
     let mut writer = stream;
-    let reader = BufReader::new(reader_stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (mut response, was_shutdown) = handle_request(&line, core);
+    let mut reader = BufReader::new(reader_stream);
+    loop {
+        let (mut response, was_shutdown) = match read_frame_capped(&mut reader, core.max_line_bytes)
+        {
+            Err(_) | Ok(FrameRead::Eof) => break,
+            Ok(FrameRead::Oversized) => {
+                Metrics::inc(&core.shared.metrics.bad_requests);
+                (
+                    error_response(
+                        &format!(
+                            "request line exceeds {} bytes; split the submission or raise \
+                             the server's line cap",
+                            core.max_line_bytes
+                        ),
+                        None,
+                    ),
+                    false,
+                )
+            }
+            Ok(FrameRead::Line(bytes)) => match String::from_utf8(bytes) {
+                Err(_) => {
+                    Metrics::inc(&core.shared.metrics.bad_requests);
+                    (error_response("request line is not valid UTF-8", None), false)
+                }
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => handle_request(&line, core),
+            },
+        };
         response.push('\n');
         let written = writer.write_all(response.as_bytes());
         if was_shutdown {
@@ -273,6 +347,7 @@ fn handle_request(line: &str, core: &Arc<ServerCore>) -> (String, bool) {
                 shared.queue.capacity(),
                 shared.cache_json(),
                 Metrics::layout_cache_json(),
+                Metrics::plan_cache_json(),
                 Metrics::profile_json(),
             );
             (Json::obj(vec![("ok", Json::Bool(true)), ("stats", stats)]).encode(), false)

@@ -1,0 +1,174 @@
+//! Negative-path protocol tests: hostile or broken wire input — truncated
+//! frames, oversized lines, invalid UTF-8/JSON, unknown ops, random
+//! garbage — must always be answered with a structured
+//! `{"ok":false,"error":...}` line (or a clean close for an empty
+//! truncated stream) and must never kill a worker: the same server keeps
+//! compiling real jobs afterwards.
+
+use parallax_service::{start, Json, ServerConfig, ServerHandle, ServiceClient, SubmitRequest};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+
+fn test_server() -> ServerHandle {
+    start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 8,
+        // Small cap so the oversized-line path is cheap to exercise.
+        max_line_bytes: 64 * 1024,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Send raw bytes on a fresh connection, half-close the write side, and
+/// collect every response line until the server closes.
+fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("write");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    BufReader::new(stream).lines().map_while(Result::ok).collect()
+}
+
+/// The server is still healthy: a real submission compiles on it.
+fn assert_still_serving(addr: std::net::SocketAddr) {
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let reply = client
+        .submit(SubmitRequest { quick: true, ..Default::default() })
+        .expect("server must still compile after hostile input");
+    assert_eq!(reply.result.get("swaps").and_then(Json::as_u64), Some(0));
+}
+
+fn assert_structured_error(line: &str) {
+    let v = parallax_service::json::parse(line).unwrap_or_else(|e| {
+        panic!("response must stay valid JSON, got {line:?}: {e}");
+    });
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+    assert!(v.get("error").and_then(Json::as_str).is_some(), "{line}");
+}
+
+#[test]
+fn truncated_frames_answer_or_close_cleanly() {
+    let server = test_server();
+    let addr = server.addr();
+
+    // A frame cut off before its newline: processed as a final partial
+    // line (a parse error) and answered before the connection closes.
+    let responses = raw_exchange(addr, b"{\"cmd\":\"sub");
+    assert_eq!(responses.len(), 1, "{responses:?}");
+    assert_structured_error(&responses[0]);
+
+    // A clean half-close with no bytes at all: no response, no harm.
+    assert!(raw_exchange(addr, b"").is_empty());
+
+    // A valid request followed by a truncated second one: both answered
+    // (the first with ok:true).
+    let responses = raw_exchange(addr, b"{\"cmd\":\"ping\"}\n{\"cmd\":\"st");
+    assert_eq!(responses.len(), 2, "{responses:?}");
+    assert!(responses[0].contains("\"pong\":true"), "{responses:?}");
+    assert_structured_error(&responses[1]);
+
+    assert_still_serving(addr);
+}
+
+#[test]
+fn oversized_lines_get_a_structured_error_and_resynchronize() {
+    let server = test_server();
+    let addr = server.addr();
+
+    // One giant line (4x the cap), then a valid ping on the same
+    // connection: the server must discard through the newline, answer
+    // with a structured error, and then serve the ping normally.
+    let mut giant = vec![b'x'; 256 * 1024];
+    giant.push(b'\n');
+    giant.extend_from_slice(b"{\"cmd\":\"ping\"}\n");
+    let responses = raw_exchange(addr, &giant);
+    assert_eq!(responses.len(), 2, "{responses:?}");
+    assert_structured_error(&responses[0]);
+    assert!(responses[0].contains("exceeds"), "{responses:?}");
+    assert!(responses[1].contains("\"pong\":true"), "resync failed: {responses:?}");
+
+    // Oversized truncated tail (no newline before EOF): still answered.
+    let responses = raw_exchange(addr, &vec![b'y'; 256 * 1024]);
+    assert_eq!(responses.len(), 1, "{responses:?}");
+    assert_structured_error(&responses[0]);
+
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.get("bad_requests").and_then(Json::as_u64).unwrap() >= 2,
+        "oversized lines must count as bad requests"
+    );
+    assert_still_serving(addr);
+}
+
+#[test]
+fn invalid_utf8_json_and_unknown_ops_are_rejected_without_casualties() {
+    let server = test_server();
+    let addr = server.addr();
+
+    let cases: &[&[u8]] = &[
+        b"\xff\xfe\x80garbage\n",                        // invalid UTF-8
+        b"not json at all\n",                            // invalid JSON
+        b"{\"cmd\":\"explode\"}\n",                      // unknown op
+        b"{}\n",                                         // missing cmd
+        b"{\"cmd\":\"submit\"}\n",                       // submit without a source
+        b"{\"cmd\":\"submit\",\"workload\":\"NOPE\"}\n", // unknown workload
+        b"{\"cmd\":\"submit\",\"qasm\":\"bad\",\"workload\":\"QFT\"}\n", // both sources
+        b"[1,2,3]\n",                                    // non-object JSON
+        b"\"just a string\"\n",                          // non-object JSON
+    ];
+    for &case in cases {
+        let responses = raw_exchange(addr, case);
+        assert_eq!(responses.len(), 1, "case {case:?} -> {responses:?}");
+        assert_structured_error(&responses[0]);
+    }
+    assert_still_serving(addr);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Random garbage lines (newline-free byte soup, printable or not):
+    /// every line gets exactly one structured error response, and the
+    /// server survives to compile another day.
+    #[test]
+    fn random_garbage_never_kills_the_server(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 1..200),
+            1..4,
+        )
+    ) {
+        // One shared server across cases would hide per-case crashes less
+        // well than it saves time; still, binding is cheap enough per case.
+        let server = test_server();
+        let addr = server.addr();
+        let mut wire = Vec::new();
+        let mut expected = 0usize;
+        for line in &lines {
+            let cleaned: Vec<u8> =
+                line.iter().copied().filter(|&b| b != b'\n' && b != b'\r').collect();
+            if std::str::from_utf8(&cleaned).is_ok_and(|s| s.trim().is_empty()) {
+                // Exactly the server's skip rule: a valid-UTF-8 line that
+                // trims to nothing (str::trim is Unicode-aware — 0x0B
+                // counts) gets no response by design; invalid UTF-8 is
+                // always answered.
+                continue;
+            }
+            wire.extend_from_slice(&cleaned);
+            wire.push(b'\n');
+            expected += 1;
+        }
+        let responses = raw_exchange(addr, &wire);
+        prop_assert_eq!(responses.len(), expected, "one response per line");
+        for r in &responses {
+            let v = parallax_service::json::parse(r)
+                .map_err(|e| TestCaseError::fail(format!("bad response {r:?}: {e}")))?;
+            // Random bytes cannot spell a valid request, which always has
+            // a lowercase `cmd` — every response is a structured error.
+            prop_assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+            prop_assert!(v.get("error").and_then(Json::as_str).is_some());
+        }
+        assert_still_serving(addr);
+    }
+}

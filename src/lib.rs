@@ -8,10 +8,11 @@
 //! # Building and testing
 //!
 //! ```text
-//! cargo build --release          # all 13 workspace crates
-//! cargo test -q                  # end-to-end + property tests (this crate)
+//! cargo build --release          # all 14 workspace crates
+//! cargo test -q                  # end-to-end + property + differential tests
 //! cargo test -q --workspace      # full tiered harness, every crate
 //! cargo fmt --check && cargo clippy --workspace --all-targets -- -D warnings
+//! PROPTEST_CASES=1024 cargo test -q --workspace   # the nightly CI sweep
 //! ```
 //!
 //! External deps (`rand`, `proptest`, `criterion`) are vendored offline
@@ -51,8 +52,10 @@
 //! * [`service`] — the concurrent compile server (`parallax-serve`,
 //!   `parallax-client`, job queue, result cache, wire protocol)
 //!
-//! (`parallax-bench`, the experiment harness, is a binary/bench crate and
-//! is not re-exported.)
+//! (`parallax-bench`, the experiment harness, is a binary/bench crate;
+//! `parallax-testkit`, the shared seeded test-generator crate every
+//! suite's dev-dependencies pull in, is test-only — neither is
+//! re-exported.)
 
 pub use parallax_anneal as anneal;
 pub use parallax_baselines as baselines;

@@ -1,0 +1,129 @@
+//! Workspace-wide differential test layer: every fast path the compiler
+//! grew (pruned endpoint cascades, plan caches, parallel placement) is
+//! diffed against its reference implementation on random inputs from
+//! `parallax-testkit`, and schedules are cross-checked against the
+//! statevector simulator — the oracle style every future optimization PR
+//! inherits for free.
+//!
+//! The naive-oracle comparisons live in a `#[cfg(debug_assertions)]`
+//! module because the oracles themselves are only compiled into debug
+//! builds of `parallax-core`; the cache-path and simulator equivalences
+//! run in every profile.
+
+use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_graphine::GraphineLayout;
+use parallax_hardware::MachineSpec;
+use parallax_service::compile_payload;
+use parallax_sim::parallax_schedule_fidelity;
+use parallax_testkit::{arb_circuit, arb_hcz_circuit, arb_quick_placement};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Repeat compiles of the same (circuit, config) are byte-identical —
+    /// the second run answers from the layout cache and (for repeated AOD
+    /// configurations) the cross-compile plan cache, and the canonical
+    /// payload (which digests the full schedule, every move included)
+    /// must not budge. Statevector equivalence closes the loop: the
+    /// cached-path schedule still implements the circuit exactly.
+    #[test]
+    fn cached_recompiles_are_byte_identical_and_exact(
+        circuit in arb_circuit(5, 24),
+        seed in 0u64..64,
+    ) {
+        let circuit = parallax_circuit::optimize(&circuit);
+        if circuit.is_empty() {
+            return Ok(());
+        }
+        let compiler = ParallaxCompiler::new(
+            MachineSpec::quera_aquila_256(),
+            CompilerConfig::quick(seed),
+        );
+        let cold = compiler.compile(&circuit);
+        let warm = compiler.compile(&circuit);
+        prop_assert_eq!(
+            compile_payload(&cold).encode(),
+            compile_payload(&warm).encode(),
+            "cache-assisted recompile must be byte-identical"
+        );
+        prop_assert_eq!(&cold.schedule.layers, &warm.schedule.layers);
+        let f = parallax_schedule_fidelity(&circuit, &warm, seed ^ 0x5eed);
+        prop_assert!((f - 1.0).abs() < 1e-7, "fidelity {}", f);
+    }
+
+    /// The placement worker count changes wall-clock time only, never the
+    /// compilation — asserted around the caches (fresh layouts each side)
+    /// so the parallel annealer itself is on trial, not the cache.
+    #[test]
+    fn placement_worker_count_never_steers_the_compile(
+        circuit in arb_hcz_circuit(6, 2, 18),
+        placement in arb_quick_placement(),
+    ) {
+        let circuit = parallax_circuit::optimize(&circuit);
+        if circuit.is_empty() {
+            return Ok(());
+        }
+        let machine = MachineSpec::quera_aquila_256();
+        let config_at = |workers: usize| {
+            let placement = parallax_graphine::PlacementConfig { workers, ..placement.clone() };
+            CompilerConfig { seed: placement.seed, placement, ..CompilerConfig::default() }
+        };
+        let serial = config_at(1);
+        let parallel = config_at(8);
+        let layout_serial = GraphineLayout::generate(&circuit, &serial.placement);
+        let layout_parallel = GraphineLayout::generate(&circuit, &parallel.placement);
+        prop_assert_eq!(&layout_serial, &layout_parallel, "layouts must be bit-identical");
+        let a = ParallaxCompiler::new(machine, serial).compile_with_layout(&circuit, &layout_serial);
+        let b = ParallaxCompiler::new(machine, parallel)
+            .compile_with_layout(&circuit, &layout_parallel);
+        prop_assert_eq!(compile_payload(&a).encode(), compile_payload(&b).encode());
+    }
+}
+
+/// Full-schedule byte-equality against the naive Algorithm 1 oracle (only
+/// compiled in debug builds, like the oracle itself).
+#[cfg(debug_assertions)]
+mod against_naive_oracles {
+    use super::*;
+    use parallax_core::scheduler::schedule_gates_naive;
+    use parallax_core::{discretize, schedule_gates, select_aod_qubits};
+    use parallax_testkit::arb_machine;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The production scheduler — incremental frontier, spatial
+        /// indexes, memos, plan caches, pruned endpoint cascades — against
+        /// the verbatim naive implementation, across machines, seeds, and
+        /// home-return arms: identical layers, moves, stats (modulo the
+        /// cache counters the naive path cannot have), and final array
+        /// state.
+        #[test]
+        fn full_schedules_are_bit_identical(
+            circuit in arb_hcz_circuit(8, 4, 30),
+            seed in 0u64..32,
+            machine in arb_machine(),
+            return_home in (0u8..2).prop_map(|b| b == 1),
+        ) {
+            let mut cfg = CompilerConfig::quick(seed);
+            cfg.return_home = return_home;
+            let layout = GraphineLayout::generate(&circuit, &cfg.placement);
+            let mut fast = discretize(&circuit, &layout, machine);
+            let sel = select_aod_qubits(&circuit, &mut fast, &cfg);
+            let mut naive = fast.clone();
+            let s_fast = schedule_gates(&circuit, &mut fast, &sel, &cfg);
+            let s_naive = schedule_gates_naive(&circuit, &mut naive, &sel, &cfg);
+            prop_assert_eq!(&s_fast.layers, &s_naive.layers);
+            let mut stats = s_fast.stats.clone();
+            stats.failed_move_memo_hits = 0;
+            stats.plan_cache_hits = 0;
+            stats.plan_cache_cross_hits = 0;
+            prop_assert_eq!(&stats, &s_naive.stats);
+            for q in 0..circuit.num_qubits() as u32 {
+                prop_assert_eq!(fast.array.position(q), naive.array.position(q));
+                prop_assert_eq!(fast.array.trap(q), naive.array.trap(q));
+            }
+        }
+    }
+}

@@ -3,38 +3,20 @@
 
 use parallax_anneal::{dual_annealing_multi, AnnealParams, MultiRestartParams};
 use parallax_baselines::{compile_eldi, EldiConfig};
-use parallax_circuit::{optimize, Circuit, DependencyDag, Gate};
+use parallax_circuit::{optimize, Circuit, DependencyDag};
 use parallax_circuit::{zyz_decompose, Mat2};
 use parallax_core::{CompilerConfig, ParallaxCompiler};
 use parallax_graphine::{connecting_radius, is_geometrically_connected, GraphineLayout};
 use parallax_hardware::MachineSpec;
 use parallax_sim::{baseline_routed_fidelity, parallax_schedule_fidelity, simulate};
+use parallax_testkit::arb_circuit;
 use proptest::prelude::*;
 use std::f64::consts::PI;
 
-/// Strategy: a random circuit on `n` qubits with `len` gates.
+/// Strategy: a random circuit on `n` qubits with up to `len` gates (the
+/// workspace-shared generator from `parallax-testkit`).
 fn random_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
-    let gate = prop_oneof![
-        // U3 with bounded angles
-        (0..n as u32, -3.2f64..3.2, -3.2f64..3.2, -3.2f64..3.2)
-            .prop_map(|(q, t, p, l)| Gate::u3(q, t, p, l)),
-        // CZ on distinct qubits
-        (0..n as u32, 1..n as u32).prop_map(move |(a, d)| {
-            let b = (a + d) % n as u32;
-            if a == b {
-                Gate::cz(a, (a + 1) % n as u32)
-            } else {
-                Gate::cz(a, b)
-            }
-        }),
-    ];
-    proptest::collection::vec(gate, 1..=len).prop_map(move |gates| {
-        let mut c = Circuit::new(n);
-        for g in gates {
-            c.push(g);
-        }
-        c
-    })
+    arb_circuit(n, len)
 }
 
 proptest! {

@@ -9,6 +9,18 @@
 //! Differences from real proptest: cases are generated from a fixed seed
 //! (fully deterministic run-to-run) and failing cases are reported but
 //! **not shrunk**.
+//!
+//! Two environment variables mirror real proptest's CI ergonomics:
+//!
+//! * `PROPTEST_CASES=<n>` overrides every test's case count (the nightly
+//!   extended CI job raises it to hammer the same deterministic streams
+//!   further than the fast default);
+//! * `PROPTEST_FAILURES_DIR=<dir>` makes a failing property also write a
+//!   `<test-name>.txt` replay file (test name, failing case index, derived
+//!   stream seed, message) into `<dir>` before panicking, which CI uploads
+//!   as an artifact. Because generation is name-seeded and deterministic,
+//!   re-running the named test with at least `case + 1` cases replays the
+//!   failure exactly.
 
 use rand::rngs::StdRng;
 
@@ -240,11 +252,44 @@ pub mod test_runner {
     }
 }
 
-/// Drive `body` for `config.cases` deterministic cases; panic on the first
-/// failure (no shrinking). Called by the [`proptest!`] macro expansion.
+/// The case count to actually run: the `PROPTEST_CASES` value when set
+/// and parsable, the config's count otherwise.
+pub fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Err(_) => configured,
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "warning: PROPTEST_CASES={v:?} is not a positive case count; \
+                     keeping the configured {configured}"
+                );
+                configured
+            }
+        },
+    }
+}
+
+/// Drive `body` for [`effective_cases`] deterministic cases; panic on the
+/// first failure (no shrinking), writing a replay file when
+/// `PROPTEST_FAILURES_DIR` is set. Called by the [`proptest!`] macro
+/// expansion.
 pub fn run_proptest(
     config: test_runner::ProptestConfig,
     name: &str,
+    body: impl FnMut(&mut StdRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    let failures_dir = std::env::var_os("PROPTEST_FAILURES_DIR").map(std::path::PathBuf::from);
+    run_proptest_with(effective_cases(config.cases), name, failures_dir.as_deref(), body);
+}
+
+/// [`run_proptest`] with the case count and failure directory fully
+/// explicit (tests drive this directly — mutating process environment
+/// variables from concurrently running tests would race).
+pub fn run_proptest_with(
+    cases: u32,
+    name: &str,
+    failures_dir: Option<&std::path::Path>,
     mut body: impl FnMut(&mut StdRng) -> Result<(), test_runner::TestCaseError>,
 ) {
     use rand::SeedableRng;
@@ -254,11 +299,47 @@ pub fn run_proptest(
         .bytes()
         .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
     let mut rng = StdRng::seed_from_u64(seed);
-    for case in 0..config.cases {
+    for case in 0..cases {
         if let Err(e) = body(&mut rng) {
-            panic!("proptest '{name}' failed at case {case}/{}: {e}", config.cases);
+            let mut report = format!("proptest '{name}' failed at case {case}/{cases}: {e}");
+            if let Some(dir) = failures_dir {
+                match write_failure_file(dir, name, case, cases, seed, &e.message) {
+                    Ok(path) => {
+                        report.push_str(&format!(" (replay file: {})", path.display()));
+                    }
+                    Err(io) => {
+                        report.push_str(&format!(" (could not write replay file: {io})"));
+                    }
+                }
+            }
+            panic!("{report}");
         }
     }
+}
+
+/// Write the deterministic replay recipe for a failing case; returns the
+/// file's path.
+fn write_failure_file(
+    dir: &std::path::Path,
+    name: &str,
+    case: u32,
+    cases: u32,
+    seed: u64,
+    message: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    // Test names are Rust identifiers, so they are safe as file names.
+    let path = dir.join(format!("{name}.txt"));
+    std::fs::write(
+        &path,
+        format!(
+            "test: {name}\nfailing_case: {case}\ncases_run: {cases}\nstream_seed: {seed:#018x}\n\
+             message: {message}\nreplay: cases are generated deterministically from the test \
+             name; run the named test with PROPTEST_CASES={min_cases} or more to reproduce.\n",
+            min_cases = case + 1
+        ),
+    )?;
+    Ok(path)
 }
 
 /// Common imports, mirroring `proptest::prelude`.
@@ -385,10 +466,41 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failures_panic() {
-        crate::run_proptest(ProptestConfig::with_cases(16), "failures_panic", |rng| {
+        // run_proptest_with + None: this deliberate failure must not leave
+        // a replay file behind when CI sets PROPTEST_FAILURES_DIR.
+        crate::run_proptest_with(16, "failures_panic", None, |rng| {
             let x = Strategy::new_value(&(5u32..9), rng);
             prop_assert!(x < 7, "x was {}", x);
             Ok(())
         });
+    }
+
+    #[test]
+    fn effective_cases_respects_config_without_env() {
+        // The test environment never sets PROPTEST_CASES for the regular
+        // run; with it set this assertion is vacuous but harmless.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(crate::effective_cases(24), 24);
+        }
+    }
+
+    #[test]
+    fn failing_case_writes_a_replay_file() {
+        let dir = std::env::temp_dir().join(format!("proptest-failures-{}", std::process::id()));
+        let result = std::panic::catch_unwind(|| {
+            crate::run_proptest_with(16, "write_replay_probe", Some(&dir), |rng| {
+                let x = Strategy::new_value(&(5u32..9), rng);
+                prop_assert!(x < 6, "x was {}", x);
+                Ok(())
+            });
+        });
+        assert!(result.is_err(), "the property must fail");
+        let content = std::fs::read_to_string(dir.join("write_replay_probe.txt"))
+            .expect("replay file must exist");
+        assert!(content.contains("test: write_replay_probe"), "{content}");
+        assert!(content.contains("failing_case:"), "{content}");
+        assert!(content.contains("stream_seed: 0x"), "{content}");
+        assert!(content.contains("PROPTEST_CASES="), "{content}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use parallax_bench::placement_for;
 use parallax_circuit::optimize;
-use parallax_core::{discretize, schedule_gates, select_aod_qubits, CompilerConfig};
+use parallax_core::{
+    discretize, schedule_gates, select_aod_qubits, CompiledTemplate, CompilerConfig,
+    ParallaxCompiler,
+};
 use parallax_graphine::{GraphineLayout, InteractionGraph, PlacementConfig};
 use parallax_hardware::MachineSpec;
 
@@ -59,5 +62,36 @@ fn bench_stages(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stages);
+/// The variational fast path against the path it replaces: rebinding a
+/// 100-point QAOA sweep from one [`CompiledTemplate`] versus 100 warm
+/// full compiles (layout + plan caches hot — the best the per-point
+/// pipeline can do). The per-point speedup recorded in
+/// `benches/baseline/README.md` is `warm_compile` divided by a hundredth
+/// of `rebind_100`.
+fn bench_sweep(c: &mut Criterion) {
+    let bench = parallax_workloads::benchmark("QAOA").unwrap();
+    let circuit = bench.circuit(0);
+    let compiler = ParallaxCompiler::new(MachineSpec::quera_aquila_256(), CompilerConfig::quick(0));
+    let template = CompiledTemplate::compile(&compiler, &circuit);
+    let slots = template.num_params();
+    let points: Vec<Vec<f64>> = (0..100)
+        .map(|p| (0..slots).map(|s| ((p * slots + s) % 571) as f64 * 0.011 - 3.1).collect())
+        .collect();
+    compiler.compile(&circuit); // warm the layout + plan caches
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("rebind_100/QAOA", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .map(|p| template.rebind(p).expect("grid angles bind").len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("warm_compile/QAOA", |b| b.iter(|| compiler.compile(&circuit)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_sweep);
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! experiments [table2|table3|fig9|fig10|table4|fig11|fig12|fig13|summary|all]
 //!             [--quick] [--seed N]
 //! experiments sweep-restarts [--quick] [--seed N]
+//! experiments variational-sweep [--quick] [--seed N]
 //! ```
 //!
 //! `--quick` restricts to six small benchmarks (useful in debug builds);
@@ -12,7 +13,10 @@
 //! --bin experiments -- all`. `sweep-restarts` is a tuning mode (not part
 //! of `all`): it sweeps `PlacementConfig::restarts` over {1, 2, 4, 8} and
 //! reports placement wall time vs schedule quality, the measurement
-//! behind the preset default.
+//! behind the preset default. `variational-sweep` (also outside `all`)
+//! measures the parameterized-template fast path: per benchmark, one
+//! structure compile followed by a 100-point rebind sweep, reporting the
+//! per-point rebind time against a warm full compile.
 
 use parallax_bench::*;
 use parallax_hardware::MachineSpec;
@@ -117,6 +121,23 @@ fn main() {
         println!(
             "== Restart sweep: placement cost vs schedule quality (QuEra-256) ==\n{}",
             render_table(&h, &d)
+        );
+    }
+
+    // The variational-sweep scenario (outside `all`, like sweep-restarts):
+    // the QAOA/VQE serving shape — one structure, many angle bindings.
+    if which == "variational-sweep" {
+        let benches = selected_benchmarks(quick);
+        eprintln!("[experiments] variational sweep: {} benchmarks x 100 points...", benches.len());
+        let (h, d) = variational_sweep_rows(&benches, seed, 100);
+        println!(
+            "== Variational sweep: template rebind vs warm full compile (QuEra-256) ==\n{}",
+            render_table(&h, &d)
+        );
+        let tc = parallax_core::template_cache_stats();
+        println!(
+            "template cache: len {} weight {}/{} hits {} misses {} evictions {}",
+            tc.len, tc.weight, tc.capacity, tc.hits, tc.misses, tc.evictions
         );
     }
 

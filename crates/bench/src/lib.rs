@@ -480,6 +480,75 @@ pub fn sweep_restarts_rows(rows: &[RestartSweepRow]) -> (Vec<&'static str>, Vec<
     (headers, data)
 }
 
+/// Measure the variational-sweep serving shape per benchmark: one
+/// structure compile into a [`parallax_core::CompiledTemplate`] (through
+/// the process-wide template cache), then `points` rebinds on a
+/// deterministic angle grid, against a warm full compile of the same
+/// circuit (layout + plan caches hot — the best the per-point pipeline
+/// can do). Columns report per-point rebind time and the resulting
+/// speedup; benchmarks without U3 slots are skipped.
+pub fn variational_sweep_rows(
+    benches: &[Benchmark],
+    seed: u64,
+    points: usize,
+) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "Bench",
+        "Qubits",
+        "Slots",
+        "Points",
+        "Compile (ms)",
+        "Warm (µs)",
+        "Rebind (µs)",
+        "Speedup",
+    ];
+    let mut data = Vec::new();
+    for bench in benches {
+        let circuit = bench.circuit(seed);
+        let placement = placement_for(bench.qubits, seed);
+        let config = CompilerConfig { seed, placement, ..Default::default() };
+        let compiler =
+            parallax_core::ParallaxCompiler::new(MachineSpec::quera_aquila_256(), config);
+
+        let t0 = std::time::Instant::now();
+        let (template, _) = parallax_core::compiled_template(&compiler, &circuit);
+        let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let slots = template.num_params();
+        if slots == 0 {
+            continue;
+        }
+
+        compiler.compile(&circuit); // ensure layout + plan caches are hot
+        let t0 = std::time::Instant::now();
+        let warm = compiler.compile(&circuit);
+        let warm_us = t0.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(warm.schedule.layers, template.result().schedule.layers);
+
+        let grid: Vec<Vec<f64>> = (0..points)
+            .map(|p| (0..slots).map(|s| ((p * slots + s) % 571) as f64 * 0.011 - 3.1).collect())
+            .collect();
+        let t0 = std::time::Instant::now();
+        let mut bound_gates = 0usize;
+        for point in &grid {
+            bound_gates += template.rebind(point).expect("grid angles bind").len();
+        }
+        let rebind_us = t0.elapsed().as_secs_f64() * 1e6 / points.max(1) as f64;
+        assert_eq!(bound_gates, circuit.len() * points);
+
+        data.push(vec![
+            bench.name.to_string(),
+            bench.qubits.to_string(),
+            slots.to_string(),
+            points.to_string(),
+            format!("{compile_ms:.1}"),
+            format!("{warm_us:.0}"),
+            format!("{rebind_us:.2}"),
+            format!("{:.0}x", warm_us / rebind_us.max(1e-9)),
+        ]);
+    }
+    (headers, data)
+}
+
 /// Table II as printable rows.
 pub fn table2_rows() -> (Vec<&'static str>, Vec<Vec<String>>) {
     let p = HardwareParams::table2();

@@ -1,0 +1,382 @@
+//! Parameterized circuit templates for variational sweeps.
+//!
+//! QAOA/VQE-style traffic compiles millions of circuits that differ only
+//! in their U3 rotation angles. Placement and movement scheduling depend
+//! only on circuit *structure* (CZ topology + gate order), so the sweep's
+//! members can share one compiled artifact. This module provides the
+//! structure side of that contract: a [`CircuitTemplate`] canonicalizes a
+//! circuit's angles into ordinal parameter slots, hashes the remaining
+//! structure ([`structural_hash`]), and re-materializes concrete circuits
+//! via [`CircuitTemplate::bind`] — validating arity and finiteness so a
+//! malformed parameter vector can never produce a silently-wrong circuit.
+//!
+//! The structural hash is defined as the FNV-1a hash of the circuit's
+//! canonical QASM rendering with every angle replaced by its slot marker —
+//! byte-identical to
+//! [`parallax_qasm::structural_source_hash`] of [`Circuit::to_qasm`], so
+//! the text front end and the IR agree on what "same structure" means.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use parallax_qasm::fnv1a_64;
+use std::fmt;
+
+/// One gate of a template: a U3 whose three angles are ordinal parameter
+/// slots, or an angle-free CZ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateGate {
+    /// `U3` whose `(theta, phi, lambda)` come from `slots` of the bound
+    /// parameter vector.
+    U3 {
+        /// Target qubit.
+        q: u32,
+        /// Parameter-vector indices for `(theta, phi, lambda)`.
+        slots: [usize; 3],
+    },
+    /// Two-qubit controlled-Z (carries no parameters).
+    Cz {
+        /// First qubit.
+        a: u32,
+        /// Second qubit.
+        b: u32,
+    },
+}
+
+/// A circuit with its rotation angles abstracted into ordinal slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitTemplate {
+    num_qubits: usize,
+    gates: Vec<TemplateGate>,
+    num_params: usize,
+    structural: u64,
+}
+
+/// Why a parameter vector could not be bound to a template.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BindError {
+    /// The vector's length does not match the template's slot count.
+    ParamCount {
+        /// Slots the template expects.
+        expected: usize,
+        /// Parameters supplied.
+        got: usize,
+    },
+    /// A parameter is NaN or infinite.
+    NonFinite {
+        /// Slot index of the offending parameter.
+        slot: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BindError::ParamCount { expected, got } => {
+                write!(f, "parameter count mismatch: template has {expected} slots, got {got}")
+            }
+            BindError::NonFinite { slot, value } => {
+                write!(f, "parameter {slot} is not finite ({value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+impl CircuitTemplate {
+    /// Abstract `circuit` into a template: each U3 angle becomes the next
+    /// ordinal parameter slot, in program order `(theta, phi, lambda)`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut gates = Vec::with_capacity(circuit.len());
+        let mut slot = 0usize;
+        for g in circuit.gates() {
+            match *g {
+                Gate::U3 { q, .. } => {
+                    gates.push(TemplateGate::U3 { q, slots: [slot, slot + 1, slot + 2] });
+                    slot += 3;
+                }
+                Gate::Cz { a, b } => gates.push(TemplateGate::Cz { a, b }),
+            }
+        }
+        let structural = structural_hash(circuit);
+        Self { num_qubits: circuit.num_qubits(), gates, num_params: slot, structural }
+    }
+
+    /// Number of qubits of every bound circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of parameter slots a bind must fill (3 per U3 gate).
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the template contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The template's gates with slot back-references.
+    pub fn gates(&self) -> &[TemplateGate] {
+        &self.gates
+    }
+
+    /// The structural fingerprint shared by every circuit this template
+    /// abstracts (see [`structural_hash`]).
+    pub fn structural_hash(&self) -> u64 {
+        self.structural
+    }
+
+    /// True when `circuit` has exactly this template's structure (same
+    /// qubit count, gate kinds, operands, and order) — i.e. when
+    /// [`params_of`](Self::params_of) would succeed.
+    pub fn matches(&self, circuit: &Circuit) -> bool {
+        self.params_of(circuit).is_some()
+    }
+
+    /// Extract the parameter vector that would re-bind to `circuit`, or
+    /// `None` if `circuit` does not share this template's structure.
+    pub fn params_of(&self, circuit: &Circuit) -> Option<Vec<f64>> {
+        if circuit.num_qubits() != self.num_qubits || circuit.len() != self.gates.len() {
+            return None;
+        }
+        let mut params = vec![0.0; self.num_params];
+        for (tg, g) in self.gates.iter().zip(circuit.gates()) {
+            match (*tg, *g) {
+                (TemplateGate::U3 { q, slots }, Gate::U3 { q: cq, theta, phi, lam }) if q == cq => {
+                    params[slots[0]] = theta;
+                    params[slots[1]] = phi;
+                    params[slots[2]] = lam;
+                }
+                (TemplateGate::Cz { a, b }, Gate::Cz { a: ca, b: cb }) if a == ca && b == cb => {}
+                _ => return None,
+            }
+        }
+        Some(params)
+    }
+
+    /// Materialize a concrete circuit from `params`.
+    ///
+    /// Fails (never panics) on arity mismatch or non-finite parameters, so
+    /// untrusted parameter vectors — e.g. from the service protocol — are
+    /// safe to bind directly.
+    pub fn bind(&self, params: &[f64]) -> Result<Circuit, BindError> {
+        if params.len() != self.num_params {
+            return Err(BindError::ParamCount { expected: self.num_params, got: params.len() });
+        }
+        if let Some(slot) = params.iter().position(|v| !v.is_finite()) {
+            return Err(BindError::NonFinite { slot, value: params[slot] });
+        }
+        let mut c = Circuit::new(self.num_qubits);
+        for tg in &self.gates {
+            match *tg {
+                TemplateGate::U3 { q, slots } => {
+                    c.push(Gate::u3(q, params[slots[0]], params[slots[1]], params[slots[2]]));
+                }
+                TemplateGate::Cz { a, b } => c.push(Gate::cz(a, b)),
+            }
+        }
+        Ok(c)
+    }
+}
+
+/// Structural fingerprint of a circuit: the FNV-1a hash of its canonical
+/// QASM rendering with every U3 angle replaced by its ordinal slot marker
+/// (`$0`, `$1`, ...). Circuits that differ only in rotation angles collide
+/// here; any change to gate kinds, operands, order, or register sizes does
+/// not. Identical to `parallax_qasm::structural_source_hash(&c.to_qasm())`.
+pub fn structural_hash(circuit: &Circuit) -> u64 {
+    use std::fmt::Write as _;
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    let _ = writeln!(out, "OPENQASM 2.0;");
+    let _ = writeln!(out, "include \"qelib1.inc\";");
+    let _ = writeln!(out, "qreg q[{n}];");
+    let _ = writeln!(out, "creg c[{n}];");
+    let mut slot = 0usize;
+    for g in circuit.gates() {
+        match *g {
+            Gate::U3 { q, .. } => {
+                let _ = writeln!(out, "u3(${},${},${}) q[{q}];", slot, slot + 1, slot + 2);
+                slot += 3;
+            }
+            Gate::Cz { a, b } => {
+                let _ = writeln!(out, "cz q[{a}],q[{b}];");
+            }
+        }
+    }
+    let _ = writeln!(out, "measure q -> c;");
+    fnv1a_64(out.as_bytes())
+}
+
+/// Bit-exact content hash of a circuit: FNV-1a over the qubit count and
+/// every gate's kind, operands, and raw angle bit patterns (in program
+/// order). Two circuits collide exactly when every gate and every angle
+/// bit agrees — the same discrimination as hashing the canonical QASM
+/// rendering, at a fraction of the cost: no float formatting, which
+/// dominates text hashing on angle-dense circuits. This is the sweep
+/// protocol's per-point attestation (`bound_hash`): it runs once per
+/// rebind inside the microsecond budget, and a client can recompute it
+/// from its own [`CircuitTemplate::bind`] to verify the server
+/// materialized the same member.
+pub fn circuit_bits_hash(circuit: &Circuit) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + circuit.len() * 29);
+    bytes.extend_from_slice(&(circuit.num_qubits() as u64).to_le_bytes());
+    for g in circuit.gates() {
+        match *g {
+            Gate::U3 { q, theta, phi, lam } => {
+                bytes.push(1);
+                bytes.extend_from_slice(&q.to_le_bytes());
+                for a in [theta, phi, lam] {
+                    bytes.extend_from_slice(&a.to_bits().to_le_bytes());
+                }
+            }
+            Gate::Cz { a, b } => {
+                bytes.push(2);
+                bytes.extend_from_slice(&a.to_le_bytes());
+                bytes.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+    }
+    fnv1a_64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::cz(0, 1));
+        c.push(Gate::u3(2, 0.1, -0.2, 0.3));
+        c.push(Gate::cz(1, 2));
+        c
+    }
+
+    #[test]
+    fn round_trips_its_own_circuit() {
+        let c = sample();
+        let t = CircuitTemplate::from_circuit(&c);
+        assert_eq!(t.num_params(), 6);
+        assert_eq!(t.len(), 4);
+        assert!(t.matches(&c));
+        let params = t.params_of(&c).unwrap();
+        assert_eq!(t.bind(&params).unwrap(), c);
+    }
+
+    #[test]
+    fn bind_swaps_in_new_angles_without_touching_structure() {
+        let c = sample();
+        let t = CircuitTemplate::from_circuit(&c);
+        let params = vec![0.0, PI, 2.0 * PI, -PI / 2.0, 1.25, -3.0];
+        let bound = t.bind(&params).unwrap();
+        assert_eq!(structural_hash(&bound), t.structural_hash());
+        assert_ne!(bound, c);
+        assert_eq!(bound.gates()[0], Gate::u3(0, 0.0, PI, 2.0 * PI));
+        assert_eq!(bound.gates()[1], Gate::cz(0, 1));
+    }
+
+    #[test]
+    fn bind_rejects_bad_parameter_vectors() {
+        let t = CircuitTemplate::from_circuit(&sample());
+        assert_eq!(t.bind(&[0.0; 5]).unwrap_err(), BindError::ParamCount { expected: 6, got: 5 });
+        let mut params = vec![0.0; 6];
+        params[4] = f64::NAN;
+        assert!(matches!(t.bind(&params).unwrap_err(), BindError::NonFinite { slot: 4, .. }));
+        params[4] = f64::INFINITY;
+        assert!(matches!(t.bind(&params).unwrap_err(), BindError::NonFinite { slot: 4, .. }));
+        // Error messages are human-readable for the service protocol.
+        assert!(t.bind(&[0.0; 5]).unwrap_err().to_string().contains("6 slots"));
+    }
+
+    #[test]
+    fn structural_hash_is_angle_blind_but_structure_sighted() {
+        let a = sample();
+        let t = CircuitTemplate::from_circuit(&a);
+        let b = t.bind(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+
+        let mut other_qubit = Circuit::new(3);
+        other_qubit.push(Gate::h(1)); // h(0) -> h(1)
+        other_qubit.push(Gate::cz(0, 1));
+        other_qubit.push(Gate::u3(2, 0.1, -0.2, 0.3));
+        other_qubit.push(Gate::cz(1, 2));
+        assert_ne!(structural_hash(&a), structural_hash(&other_qubit));
+
+        let mut fewer = sample();
+        fewer = {
+            let mut c = Circuit::new(3);
+            for g in fewer.gates().iter().take(3) {
+                c.push(*g);
+            }
+            c
+        };
+        assert_ne!(structural_hash(&a), structural_hash(&fewer));
+    }
+
+    #[test]
+    fn bits_hash_is_angle_sighted_and_text_equivalent() {
+        let a = sample();
+        let t = CircuitTemplate::from_circuit(&a);
+        let b = t.bind(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        // Angle-sighted where the structural hash is angle-blind…
+        assert_ne!(circuit_bits_hash(&a), circuit_bits_hash(&b));
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+        // …and exactly as discriminating as the canonical text: equal bits
+        // imply equal QASM, distinct bits came from distinct circuits.
+        let c = t.params_of(&a).map(|p| t.bind(&p).unwrap()).unwrap();
+        assert_eq!(circuit_bits_hash(&a), circuit_bits_hash(&c));
+        assert_eq!(a.to_qasm(), c.to_qasm());
+        let mut fewer = Circuit::new(3);
+        fewer.push(Gate::h(0));
+        assert_ne!(circuit_bits_hash(&a), circuit_bits_hash(&fewer));
+    }
+
+    #[test]
+    fn structural_hash_agrees_with_the_qasm_front_end() {
+        for c in [sample(), Circuit::new(2), {
+            let mut c = Circuit::new(4);
+            c.push(Gate::cz(0, 3));
+            c.push(Gate::rz(1, 0.7));
+            c
+        }] {
+            assert_eq!(
+                structural_hash(&c),
+                parallax_qasm::structural_source_hash(&c.to_qasm()).unwrap(),
+                "IR and text front end must agree on structure"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_structures_fail_params_of() {
+        let t = CircuitTemplate::from_circuit(&sample());
+        let mut other = Circuit::new(3);
+        other.push(Gate::cz(0, 1));
+        assert!(t.params_of(&other).is_none());
+        assert!(!t.matches(&other));
+        // Same length, different gate kind at one position.
+        let mut swapped = Circuit::new(3);
+        swapped.push(Gate::h(0));
+        swapped.push(Gate::cz(0, 1));
+        swapped.push(Gate::h(2));
+        swapped.push(Gate::cz(1, 2));
+        assert!(t.params_of(&swapped).is_some(), "same structure, different angles");
+        let mut kinds = Circuit::new(3);
+        kinds.push(Gate::cz(0, 1));
+        kinds.push(Gate::h(0));
+        kinds.push(Gate::u3(2, 0.1, -0.2, 0.3));
+        kinds.push(Gate::cz(1, 2));
+        assert!(kinds.len() == t.len() && t.params_of(&kinds).is_none());
+    }
+}

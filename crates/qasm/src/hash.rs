@@ -41,6 +41,23 @@ pub fn source_hash(source: &str) -> Result<u64> {
     Ok(program_hash(&crate::parse(source)?))
 }
 
+/// Structural content hash of a parsed [`Program`]: like [`program_hash`]
+/// but over the rendering of
+/// [`write_structural_program`](crate::writer::write_structural_program),
+/// where every gate-call parameter is canonicalized to its ordinal slot
+/// (`$0`, `$1`, ...). Two programs that differ only in rotation angles —
+/// the shape of variational parameter sweeps — collide here while their
+/// exact [`program_hash`]es differ.
+pub fn structural_program_hash(program: &Program) -> u64 {
+    fnv1a_64(crate::writer::write_structural_program(program).as_bytes())
+}
+
+/// Parse `source` and return its [`structural_program_hash`]. Errors if
+/// `source` is not valid OpenQASM 2.0.
+pub fn structural_source_hash(source: &str) -> Result<u64> {
+    Ok(structural_program_hash(&crate::parse(source)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +94,36 @@ mod tests {
     #[test]
     fn invalid_source_errors() {
         assert!(source_hash("OPENQASM 2.0; qreg q[").is_err());
+        assert!(structural_source_hash("OPENQASM 2.0; qreg q[").is_err());
+    }
+
+    const PARAM: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+                         u3(0.25,0.5,0.75) q[0];\ncx q[0],q[1];\nmeasure q -> c;\n";
+
+    #[test]
+    fn structural_hash_ignores_angles_but_not_structure() {
+        let other_angles = PARAM.replace("0.25,0.5,0.75", "1.5,2.5,-3.5");
+        assert_ne!(source_hash(PARAM).unwrap(), source_hash(&other_angles).unwrap());
+        assert_eq!(
+            structural_source_hash(PARAM).unwrap(),
+            structural_source_hash(&other_angles).unwrap()
+        );
+        // Structure changes (gate order, operands, arity) still miss.
+        let other_qubit = PARAM.replace("u3(0.25,0.5,0.75) q[0]", "u3(0.25,0.5,0.75) q[1]");
+        assert_ne!(
+            structural_source_hash(PARAM).unwrap(),
+            structural_source_hash(&other_qubit).unwrap()
+        );
+        let fewer_gates = PARAM.replace("cx q[0],q[1];\n", "");
+        assert_ne!(
+            structural_source_hash(PARAM).unwrap(),
+            structural_source_hash(&fewer_gates).unwrap()
+        );
+    }
+
+    #[test]
+    fn structural_hash_is_whitespace_insensitive_like_the_exact_hash() {
+        let noisy = PARAM.replace("u3(0.25,0.5,0.75) q[0];", "u3( 0.25 , 0.5 , 0.75 )  q[0] ;");
+        assert_eq!(structural_source_hash(PARAM).unwrap(), structural_source_hash(&noisy).unwrap());
     }
 }

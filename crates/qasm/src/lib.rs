@@ -36,10 +36,12 @@ pub mod writer;
 pub use ast::{Argument, GateDef, Program, Statement};
 pub use error::{QasmError, Result};
 pub use expr::Expr;
-pub use hash::{fnv1a_64, program_hash, source_hash};
+pub use hash::{
+    fnv1a_64, program_hash, source_hash, structural_program_hash, structural_source_hash,
+};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::Parser;
-pub use writer::write_program;
+pub use writer::{write_program, write_structural_program};
 
 /// Parse OpenQASM 2.0 source text into a [`Program`].
 ///

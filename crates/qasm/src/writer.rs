@@ -18,6 +18,49 @@ pub fn write_program(program: &Program) -> String {
     out
 }
 
+/// Render `program` with every top-level gate-call parameter replaced by
+/// its ordinal slot marker (`$0`, `$1`, ...), in program order.
+///
+/// Two programs that differ only in numeric rotation angles render to the
+/// same structural text; this is the basis of
+/// [`structural_program_hash`](crate::hash::structural_program_hash), the
+/// fingerprint variational parameter sweeps share. Gate *definitions* keep
+/// their symbolic parameters verbatim — they are structure, not values.
+pub fn write_structural_program(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "OPENQASM {};", program.version);
+    let mut slot = 0usize;
+    for stmt in &program.statements {
+        write_structural_statement(&mut out, stmt, &mut slot);
+    }
+    out
+}
+
+fn write_structural_statement(out: &mut String, stmt: &Statement, slot: &mut usize) {
+    match stmt {
+        Statement::GateCall { name, params, args } => {
+            let _ = write!(out, "{name}");
+            if !params.is_empty() {
+                let rendered: Vec<String> = params
+                    .iter()
+                    .map(|_| {
+                        let s = format!("${slot}");
+                        *slot += 1;
+                        s
+                    })
+                    .collect();
+                let _ = write!(out, "({})", rendered.join(","));
+            }
+            let _ = writeln!(out, " {};", args_str(args));
+        }
+        Statement::Conditional { creg, value, then } => {
+            let _ = write!(out, "if ({creg} == {value}) ");
+            write_structural_statement(out, then, slot);
+        }
+        other => write_statement(out, other),
+    }
+}
+
 fn write_statement(out: &mut String, stmt: &Statement) {
     match stmt {
         Statement::Include(file) => {
@@ -152,5 +195,18 @@ mod tests {
     fn integers_render_as_reals_for_reparse_stability() {
         assert_eq!(format_f64(2.0), "2.0");
         assert_eq!(format_f64(0.5), "0.5");
+    }
+
+    #[test]
+    fn structural_rendering_slots_out_angles() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\ncreg c[1];\n\
+                   u3(0.1,0.2,0.3) q[0];\ncz q[0],q[1];\n\
+                   if (c == 1) u3(0.4,0.5,0.6) q[1];\n";
+        let p = parse(src).unwrap();
+        let s = write_structural_program(&p);
+        assert!(s.contains("u3($0,$1,$2) q[0];"), "{s}");
+        assert!(s.contains("if (c == 1) u3($3,$4,$5) q[1];"), "{s}");
+        assert!(s.contains("cz q[0],q[1];"), "{s}");
+        assert!(!s.contains("0.1"), "{s}");
     }
 }

@@ -8,22 +8,63 @@
 //!     [--seed N] [--machine quera|atom] [--quick] [--no-return-home]
 //!     [--priority 0..9] [--aod-dim N]
 //! parallax-client [--addr HOST:PORT] submit --workload NAME [options...]
+//! parallax-client [--addr HOST:PORT] sweep <file.qasm|-> | --workload NAME \
+//!     [--points N] [--param-seed S] [submit options...]
 //! ```
 //!
 //! `submit` prints the compilation metrics the server returned; repeat an
 //! identical submission to watch `cached: true` come back instantly.
+//!
+//! `sweep` resolves the circuit locally to count its U3 angle slots,
+//! generates `--points` pseudo-random parameter vectors in [-π, π), and
+//! drives the server's `submit-sweep` fast path: the structure compiles
+//! once, every other point is a template-cache rebind.
 
-use parallax_service::{render_stats, Json, ServiceClient, SubmitRequest, SubmitSource};
+use parallax_circuit::CircuitTemplate;
+use parallax_service::{
+    render_stats, Json, ServiceClient, SubmitRequest, SubmitSource, SweepRequest,
+};
 use std::io::Read;
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: parallax-client [--addr HOST:PORT] <ping|stats|shutdown|submit> ...\n\
+        "usage: parallax-client [--addr HOST:PORT] <ping|stats|shutdown|submit|sweep> ...\n\
          submit: <file.qasm|-> | --workload NAME, plus [--seed N] [--machine quera|atom]\n\
-         [--quick] [--no-return-home] [--priority 0..9] [--aod-dim N]"
+         [--quick] [--no-return-home] [--priority 0..9] [--aod-dim N]\n\
+         sweep: submit arguments plus [--points N] [--param-seed S]"
     );
     std::process::exit(2)
+}
+
+/// The circuit source for submit/sweep: a QASM file, stdin, or a workload.
+fn resolve_source(workload: Option<String>, path: Option<String>) -> SubmitSource {
+    match (workload, path) {
+        (Some(w), None) => SubmitSource::Workload(w),
+        (None, Some(p)) => {
+            let text = if p == "-" {
+                let mut buf = String::new();
+                std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| die(&e.to_string()));
+                buf
+            } else {
+                std::fs::read_to_string(&p).unwrap_or_else(|e| die(&format!("{p}: {e}")))
+            };
+            SubmitSource::Qasm(text)
+        }
+        (Some(_), Some(_)) => die("provide a file or --workload, not both"),
+        (None, None) => die("submit needs a QASM file, '-', or --workload NAME"),
+    }
+}
+
+/// Deterministic angle stream in [-π, π): an splitmix-style LCG so the CLI
+/// needs no RNG dependency and a given `--param-seed` replays exactly.
+fn angle_stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03);
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+        (2.0 * unit - 1.0) * std::f64::consts::PI
+    }
 }
 
 fn main() {
@@ -33,6 +74,8 @@ fn main() {
     let mut path: Option<String> = None;
     let mut request = SubmitRequest { quick: false, ..Default::default() };
     let mut workload: Option<String> = None;
+    let mut points = 100usize;
+    let mut param_seed = 0u64;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -61,6 +104,16 @@ fn main() {
                 request.priority =
                     it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --priority"))
             }
+            "--points" => {
+                points =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| die("bad --points"))
+            }
+            "--param-seed" => {
+                param_seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("bad --param-seed"))
+            }
             "--quick" => request.quick = true,
             "--no-return-home" => request.return_home = false,
             other if !other.starts_with("--") && command.is_none() => {
@@ -82,29 +135,47 @@ fn main() {
         "stats" => client.stats().map(|v| render_stats(&v)),
         "shutdown" => client.shutdown().map(|v| v.encode()),
         "submit" => {
-            request.source = match (workload, path) {
-                (Some(w), None) => SubmitSource::Workload(w),
-                (None, Some(p)) => {
-                    let text = if p == "-" {
-                        let mut buf = String::new();
-                        std::io::stdin()
-                            .read_to_string(&mut buf)
-                            .unwrap_or_else(|e| die(&e.to_string()));
-                        buf
-                    } else {
-                        std::fs::read_to_string(&p).unwrap_or_else(|e| die(&format!("{p}: {e}")))
-                    };
-                    SubmitSource::Qasm(text)
-                }
-                (Some(_), Some(_)) => die("provide a file or --workload, not both"),
-                (None, None) => die("submit needs a QASM file, '-', or --workload NAME"),
-            };
+            request.source = resolve_source(workload, path);
             client.submit(request).map(|reply| {
                 let mut out =
                     format!("cached: {}  server latency: {} µs\n", reply.cached, reply.total_us);
                 if let Json::Obj(pairs) = &reply.result {
                     for (k, v) in pairs {
                         out.push_str(&format!("{k:<18} {}\n", v.encode()));
+                    }
+                }
+                out.trim_end().to_string()
+            })
+        }
+        "sweep" => {
+            request.source = resolve_source(workload, path);
+            // Resolve locally only to count the structure's angle slots;
+            // the server re-resolves from the same request fields.
+            let circuit = request.resolve_circuit().unwrap_or_else(|e| die(&e));
+            let slots = CircuitTemplate::from_circuit(&circuit).num_params();
+            if slots == 0 {
+                die("circuit has no U3 angle slots to sweep");
+            }
+            let mut next = angle_stream(param_seed);
+            let params: Vec<Vec<f64>> =
+                (0..points.max(1)).map(|_| (0..slots).map(|_| next()).collect()).collect();
+            client.submit_sweep(SweepRequest { submit: request, params }).map(|reply| {
+                let hits = reply.points.iter().filter(|p| p.cached).count();
+                let hit_ns: Vec<u64> =
+                    reply.points.iter().filter(|p| p.cached).map(|p| p.rebind_ns).collect();
+                let mean_ns =
+                    hit_ns.iter().sum::<u64>().checked_div(hit_ns.len() as u64).unwrap_or(0);
+                let mut out = format!(
+                    "points: {}  slots/point: {}  template hits: {hits} ({:.1}%)\n\
+                     server latency: {} µs total, rebind mean {mean_ns} ns/point\n",
+                    reply.points.len(),
+                    reply.params_per_point,
+                    100.0 * hits as f64 / reply.points.len().max(1) as f64,
+                    reply.total_us,
+                );
+                if let Some(first) = reply.points.first() {
+                    if let Some(digest) = first.result.get("digest") {
+                        out.push_str(&format!("shared schedule digest: {}\n", digest.encode()));
                     }
                 }
                 out.trim_end().to_string()

@@ -5,7 +5,7 @@
 //! pair every response with its request (and assert it via the `id` echo).
 
 use crate::json::{self, Json};
-use crate::protocol::{encode_request, Request, SubmitRequest};
+use crate::protocol::{encode_request, Request, SubmitRequest, SweepRequest};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -51,6 +51,39 @@ pub struct SubmitReply {
     pub result: Json,
 }
 
+/// One point of a successful sweep response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPointReply {
+    /// Zero-based index into the request's `params`.
+    pub point: u64,
+    /// Whether the process-wide template cache answered this point.
+    pub cached: bool,
+    /// Server-side nanoseconds to serve this point (template probe +
+    /// parameter rebind; includes the one-time compile on a miss).
+    pub rebind_ns: u64,
+    /// Bit-exact hash of the bound circuit this point executes
+    /// ([`parallax_circuit::circuit_bits_hash`] — recompute it from a
+    /// local `CircuitTemplate::bind` to verify the materialization).
+    pub bound_hash: String,
+    /// The canonical compilation payload every point of the sweep shares.
+    pub result: Json,
+}
+
+/// A successful submit-sweep response: the header plus every point line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReply {
+    /// The client-supplied id, echoed back.
+    pub id: Option<u64>,
+    /// Parameter slots per point (the structure's U3 angle count).
+    pub params_per_point: u64,
+    /// Points answered by the template cache (cold sweep: N − 1).
+    pub template_cache_hits: u64,
+    /// Server-side latency for the whole sweep, µs.
+    pub total_us: u64,
+    /// One reply per requested parameter vector, in request order.
+    pub points: Vec<SweepPointReply>,
+}
+
 /// A blocking connection to a `parallax-serve` instance.
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
@@ -79,6 +112,11 @@ impl ServiceClient {
         framed.push_str(line);
         framed.push('\n');
         self.writer.write_all(framed.as_bytes())?;
+        self.read_response_line()
+    }
+
+    /// Read and validate one `{"ok":...}` response line off the stream.
+    fn read_response_line(&mut self) -> Result<Json, ClientError> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -109,6 +147,55 @@ impl ServiceClient {
                 .get("result")
                 .cloned()
                 .ok_or_else(|| ClientError::Protocol("missing 'result'".into()))?,
+        })
+    }
+
+    /// Submit a parameter sweep and collect its streamed response: the
+    /// header line, then exactly `points` per-point lines. A refused sweep
+    /// (validation error) surfaces as [`ClientError::Server`] from the
+    /// single error line the server sent instead of a stream.
+    pub fn submit_sweep(&mut self, request: SweepRequest) -> Result<SweepReply, ClientError> {
+        let header = self.roundtrip(&Request::SubmitSweep(Box::new(request)))?;
+        if header.get("sweep").and_then(Json::as_bool) != Some(true) {
+            return Err(ClientError::Protocol("missing sweep header".into()));
+        }
+        let count = header
+            .get("points")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("sweep header missing 'points'".into()))?;
+        let mut points = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let v = self.read_response_line()?;
+            points.push(SweepPointReply {
+                point: v
+                    .get("point")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ClientError::Protocol(format!("point {i} missing 'point'")))?,
+                cached: v
+                    .get("cached")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ClientError::Protocol(format!("point {i} missing 'cached'")))?,
+                rebind_ns: v.get("rebind_ns").and_then(Json::as_u64).unwrap_or(0),
+                bound_hash: v
+                    .get("bound_hash")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                result: v
+                    .get("result")
+                    .cloned()
+                    .ok_or_else(|| ClientError::Protocol(format!("point {i} missing 'result'")))?,
+            });
+        }
+        Ok(SweepReply {
+            id: header.get("id").and_then(Json::as_u64),
+            params_per_point: header.get("params_per_point").and_then(Json::as_u64).unwrap_or(0),
+            template_cache_hits: header
+                .get("template_cache_hits")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            total_us: header.get("total_us").and_then(Json::as_u64).unwrap_or(0),
+            points,
         })
     }
 
@@ -162,10 +249,10 @@ fn fmt_us(us: u64) -> String {
 }
 
 /// Render a `STATS` snapshot as the human-readable report that
-/// `parallax-client stats` prints: job counters, queue gauge, all three
-/// cache layers (per-server result cache, process-wide layout cache,
-/// process-wide move-plan cache), the `PARALLAX_PROFILE` stage table, and
-/// the latency histogram.
+/// `parallax-client stats` prints: job counters, queue gauge, all four
+/// cache layers (per-server result cache, process-wide layout, move-plan,
+/// and compiled-template caches), the sweep/rebind counters, the
+/// `PARALLAX_PROFILE` stage table, and the latency histogram.
 pub fn render_stats(stats: &Json) -> String {
     let n = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
     let mut out = String::new();
@@ -185,6 +272,15 @@ pub fn render_stats(stats: &Json) -> String {
     out.push_str(&format!("result cache  {}\n", cache_layer_line(stats.get("cache"))));
     out.push_str(&format!("layout cache  {}\n", cache_layer_line(stats.get("layout_cache"))));
     out.push_str(&format!("plan cache    {}\n", cache_layer_line(stats.get("plan_cache"))));
+    out.push_str(&format!("tmpl cache    {}\n", cache_layer_line(stats.get("template_cache"))));
+    let rebind_mean_ns = n("rebind_ns").checked_div(n("template_cache_hits")).unwrap_or(0);
+    out.push_str(&format!(
+        "sweeps        points {}  template hits {}  misses {}  rebind mean {} ns\n",
+        n("sweep_points"),
+        n("template_cache_hits"),
+        n("template_cache_misses"),
+        rebind_mean_ns
+    ));
 
     if let Some(latency) = stats.get("latency") {
         let g = |k: &str| latency.get(k).and_then(Json::as_u64).unwrap_or(0);
@@ -257,20 +353,22 @@ mod tests {
             ("misses", Json::Int(2)),
             ("evictions", Json::Int(0)),
         ]);
-        let stats = m.to_json(
-            1,
-            64,
-            result_cache,
-            Metrics::layout_cache_json(),
-            Metrics::plan_cache_json(),
-            Metrics::profile_json(),
-        );
+        Metrics::inc(&m.sweep_points);
+        Metrics::inc(&m.sweep_points);
+        Metrics::inc(&m.template_cache_hits);
+        m.rebind_ns.fetch_add(4200, std::sync::atomic::Ordering::Relaxed);
+        let stats = m.to_json(1, 64, result_cache);
         let text = render_stats(&stats);
         assert!(text.contains("jobs          submitted 1  completed 1"), "{text}");
         assert!(text.contains("queue         depth 1/64"), "{text}");
         assert!(text.contains("result cache  len 2/64  hits 1  misses 2"), "{text}");
         assert!(text.contains("layout cache  len "), "layout-cache layer missing:\n{text}");
         assert!(text.contains("plan cache    len "), "plan-cache layer missing:\n{text}");
+        assert!(text.contains("tmpl cache    len "), "template-cache layer missing:\n{text}");
+        assert!(
+            text.contains("sweeps        points 2  template hits 1  misses 0  rebind mean 4200 ns"),
+            "{text}"
+        );
         assert!(text.contains("latency       count 1  mean 250.00 ms"), "{text}");
         assert!(text.contains("<= 1.000 s"), "histogram bucket missing:\n{text}");
         assert!(text.contains("profile"), "{text}");
@@ -283,5 +381,6 @@ mod tests {
         assert!(text.contains("result cache  unavailable"));
         assert!(text.contains("layout cache  unavailable"));
         assert!(text.contains("plan cache    unavailable"));
+        assert!(text.contains("tmpl cache    unavailable"));
     }
 }

@@ -30,6 +30,12 @@
 //!   `SHUTDOWN` response is sent ([`server`]).
 //! * `STATS` reports job counters, queue depth, cache hit rate, and a
 //!   log-bucket latency histogram ([`metrics`]).
+//! * `submit-sweep` serves variational parameter sweeps: one structure, N
+//!   parameter vectors, answered as a streamed header + per-point lines.
+//!   The structure compiles once into a process-wide
+//!   [`CompiledTemplate`](parallax_core::CompiledTemplate) cache; every
+//!   other point is a microsecond-scale parameter rebind, with per-point
+//!   `rebind_ns` and `template_cache_hits` reported in `STATS`.
 //!
 //! ## Running it
 //!
@@ -39,6 +45,8 @@
 //!     --addr 127.0.0.1:7878 submit --workload QFT --seed 3
 //! cargo run --release -p parallax-service --bin parallax-client -- \
 //!     --addr 127.0.0.1:7878 submit path/to/circuit.qasm
+//! cargo run --release -p parallax-service --bin parallax-client -- \
+//!     --addr 127.0.0.1:7878 sweep --workload QAOA --points 100
 //! cargo run --release -p parallax-service --bin parallax-client -- \
 //!     --addr 127.0.0.1:7878 stats
 //! cargo run --release -p parallax-service --bin parallax-client -- \
@@ -73,12 +81,14 @@ pub mod server;
 pub mod worker;
 
 pub use cache::{CacheKey, ResultCache};
-pub use client::{render_stats, ClientError, ServiceClient, SubmitReply};
+pub use client::{
+    render_stats, ClientError, ServiceClient, SubmitReply, SweepPointReply, SweepReply,
+};
 pub use json::{Json, JsonError};
 pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{
     circuit_content_hash, compile_payload, encode_request, parse_request, schedule_digest, Request,
-    SubmitRequest, SubmitSource,
+    SubmitRequest, SubmitSource, SweepRequest,
 };
 pub use queue::{JobQueue, PushError};
 pub use server::{start, ServerConfig, ServerHandle, ServiceShared};

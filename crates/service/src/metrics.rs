@@ -82,6 +82,17 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Malformed or invalid request lines.
     pub bad_requests: AtomicU64,
+    /// Parameter points served through `submit-sweep`.
+    pub sweep_points: AtomicU64,
+    /// Sweep points answered by the process-wide template cache (a rebind,
+    /// no compile).
+    pub template_cache_hits: AtomicU64,
+    /// Sweep points that had to compile their structure's template.
+    pub template_cache_misses: AtomicU64,
+    /// Cumulative nanoseconds spent on the rebind fast path (template-hit
+    /// sweep points only, so `rebind_ns / template_cache_hits` is the mean
+    /// cost of serving one warm sweep point).
+    pub rebind_ns: AtomicU64,
     /// End-to-end submit latency (arrival to response encode), µs.
     pub latency: LatencyHistogram,
 }
@@ -92,20 +103,16 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot every counter (plus the caller-supplied queue gauges and
-    /// per-cache-layer sub-objects) as the `STATS` payload. `cache` is the
-    /// per-server result cache, `layout_cache` the process-wide layout
-    /// cache, `plan_cache` the process-wide move-plan cache, and `profile`
-    /// the `PARALLAX_PROFILE` stage counters.
-    pub fn to_json(
-        &self,
-        queue_depth: usize,
-        queue_capacity: usize,
-        cache: Json,
-        layout_cache: Json,
-        plan_cache: Json,
-        profile: Json,
-    ) -> Json {
+    /// Snapshot every counter (plus the caller-supplied queue gauges) as
+    /// the `STATS` payload. `cache` is the per-server result cache; the
+    /// process-wide sub-objects (`layout_cache`, `plan_cache`,
+    /// `template_cache`, `profile`) are snapshotted here — they are global
+    /// to the process, so there is nothing server-specific to inject.
+    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, cache: Json) -> Json {
+        let layout_cache = Self::layout_cache_json();
+        let plan_cache = Self::plan_cache_json();
+        let template_cache = Self::template_cache_json();
+        let profile = Self::profile_json();
         let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed));
         Json::obj(vec![
             ("submitted", load(&self.submitted)),
@@ -116,11 +123,16 @@ impl Metrics {
             ("cache_hits", load(&self.cache_hits)),
             ("cache_misses", load(&self.cache_misses)),
             ("bad_requests", load(&self.bad_requests)),
+            ("sweep_points", load(&self.sweep_points)),
+            ("template_cache_hits", load(&self.template_cache_hits)),
+            ("template_cache_misses", load(&self.template_cache_misses)),
+            ("rebind_ns", load(&self.rebind_ns)),
             ("queue_depth", Json::Int(queue_depth as u64)),
             ("queue_capacity", Json::Int(queue_capacity as u64)),
             ("cache", cache),
             ("layout_cache", layout_cache),
             ("plan_cache", plan_cache),
+            ("template_cache", template_cache),
             ("profile", profile),
             ("latency", self.latency.to_json()),
         ])
@@ -149,6 +161,24 @@ impl Metrics {
     /// compilation's own stats instead.
     pub fn plan_cache_json() -> Json {
         let s = parallax_core::plan_cache_stats();
+        Json::obj(vec![
+            ("len", Json::Int(s.len as u64)),
+            ("capacity", Json::Int(s.capacity as u64)),
+            ("weight", Json::Int(s.weight as u64)),
+            ("hits", Json::Int(s.hits)),
+            ("misses", Json::Int(s.misses)),
+            ("evictions", Json::Int(s.evictions)),
+        ])
+    }
+
+    /// The process-wide compiled-template cache counters as a `STATS`
+    /// sub-object. `capacity` and `weight` are qubit-units (a template is
+    /// charged its qubit count plus scheduled gate/move volume); `len`
+    /// counts entries. A hit means a whole variational sweep point was
+    /// served by a parameter rebind instead of a placement + scheduling
+    /// run.
+    pub fn template_cache_json() -> Json {
+        let s = parallax_core::template_cache_stats();
         Json::obj(vec![
             ("len", Json::Int(s.len as u64)),
             ("capacity", Json::Int(s.capacity as u64)),
@@ -220,21 +250,18 @@ mod tests {
         let m = Metrics::default();
         Metrics::inc(&m.submitted);
         Metrics::inc(&m.cache_hits);
-        let j = m.to_json(
-            3,
-            64,
-            Json::obj(vec![("len", Json::Num(1.0))]),
-            Metrics::layout_cache_json(),
-            Metrics::plan_cache_json(),
-            Metrics::profile_json(),
-        );
+        let j = m.to_json(3, 64, Json::obj(vec![("len", Json::Num(1.0))]));
         assert_eq!(j.get("submitted").and_then(Json::as_u64), Some(1));
         assert_eq!(j.get("cache_hits").and_then(Json::as_u64), Some(1));
         assert_eq!(j.get("queue_depth").and_then(Json::as_u64), Some(3));
         assert_eq!(j.get("queue_capacity").and_then(Json::as_u64), Some(64));
         assert_eq!(j.get("cache").and_then(|c| c.get("len")).and_then(Json::as_u64), Some(1));
-        // The layout- and plan-cache layers are part of every snapshot.
-        for layer in ["layout_cache", "plan_cache"] {
+        // Sweep counters ride along (zero until a submit-sweep is served).
+        assert_eq!(j.get("sweep_points").and_then(Json::as_u64), Some(0));
+        assert_eq!(j.get("template_cache_hits").and_then(Json::as_u64), Some(0));
+        assert_eq!(j.get("rebind_ns").and_then(Json::as_u64), Some(0));
+        // Every process-wide cache layer is part of every snapshot.
+        for layer in ["layout_cache", "plan_cache", "template_cache"] {
             let lc = j.get(layer).unwrap_or_else(|| panic!("{layer} sub-object"));
             for key in ["len", "capacity", "weight", "hits", "misses", "evictions"] {
                 assert!(lc.get(key).and_then(Json::as_u64).is_some(), "missing {layer}.{key}");

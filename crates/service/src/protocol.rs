@@ -7,6 +7,7 @@
 //! ```text
 //! {"cmd":"submit","qasm":"OPENQASM 2.0;...","seed":0,"machine":"quera","quick":true}
 //! {"cmd":"submit","workload":"QFT","seed":3,"priority":9,"id":17}
+//! {"cmd":"submit-sweep","workload":"QAOA","seed":3,"params":[[0.1,0.2],[0.3,0.4]]}
 //! {"cmd":"stats"}
 //! {"cmd":"ping"}
 //! {"cmd":"shutdown"}
@@ -19,6 +20,15 @@
 //! an in-process `ParallaxCompiler::compile` call produces for the same
 //! circuit, seed, machine, and knobs — the property the end-to-end suite
 //! asserts.
+//!
+//! `submit-sweep` is the variational fast path: one circuit *structure*
+//! plus N parameter vectors. The server compiles (or fetches) the
+//! [`CompiledTemplate`](parallax_core::CompiledTemplate) once and answers
+//! with a **stream of N+1 lines** — a sweep header, then one response line
+//! per parameter point carrying its rebind timing and the shared payload.
+//! A sweep that fails validation (wrong arity, non-finite angles, empty
+//! `params`) is refused with a single structured error line before any
+//! compilation happens.
 
 use crate::json::{self, Json};
 use parallax_circuit::{from_qasm, optimize, Circuit};
@@ -59,11 +69,26 @@ pub struct SubmitRequest {
     pub id: Option<u64>,
 }
 
+/// A parsed submit-sweep request: one circuit structure, N parameter
+/// vectors. The submit fields name the structure, machine, and knobs
+/// exactly as for a plain submit; `priority` is ignored (sweeps are served
+/// inline on the connection, not through the worker queue).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// The circuit/machine/knobs the whole sweep shares.
+    pub submit: SubmitRequest,
+    /// One parameter vector per sweep point; each must match the
+    /// structure's slot count (validated against the template server-side).
+    pub params: Vec<Vec<f64>>,
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Compile a circuit.
     Submit(Box<SubmitRequest>),
+    /// Compile one structure, rebind N parameter vectors.
+    SubmitSweep(Box<SweepRequest>),
     /// Report live service metrics.
     Stats,
     /// Liveness probe.
@@ -85,37 +110,74 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
-        "submit" => {
-            let qasm = v.get("qasm").and_then(Json::as_str);
-            let workload = v.get("workload").and_then(Json::as_str);
-            let source = match (qasm, workload) {
-                (Some(q), None) => SubmitSource::Qasm(q.to_string()),
-                (None, Some(w)) => SubmitSource::Workload(w.to_string()),
-                (Some(_), Some(_)) => return Err("provide 'qasm' or 'workload', not both".into()),
-                (None, None) => return Err("submit needs a 'qasm' or 'workload' field".into()),
-            };
-            let priority = match v.get("priority") {
-                None => DEFAULT_PRIORITY,
-                Some(p) => {
-                    let p = p.as_u64().ok_or("'priority' must be a non-negative number")?;
-                    u8::try_from(p).ok().filter(|p| *p <= MAX_PRIORITY).ok_or_else(|| {
-                        format!("'priority' must be in 0..={MAX_PRIORITY}, got {p}")
-                    })?
-                }
-            };
-            Ok(Request::Submit(Box::new(SubmitRequest {
-                source,
-                seed: v.get("seed").and_then(Json::as_u64).unwrap_or(0),
-                machine: v.get("machine").and_then(Json::as_str).unwrap_or("quera").to_string(),
-                aod_dim: v.get("aod_dim").and_then(Json::as_u64).map(|n| n as usize),
-                quick: v.get("quick").and_then(Json::as_bool).unwrap_or(false),
-                return_home: v.get("return_home").and_then(Json::as_bool).unwrap_or(true),
-                priority,
-                id: v.get("id").and_then(Json::as_u64),
-            })))
-        }
+        "submit" => Ok(Request::Submit(Box::new(parse_submit_fields(&v)?))),
+        "submit-sweep" => Ok(Request::SubmitSweep(Box::new(SweepRequest {
+            submit: parse_submit_fields(&v)?,
+            params: parse_sweep_params(&v)?,
+        }))),
         other => Err(format!("unknown cmd '{other}'")),
     }
+}
+
+/// The submit fields shared by `submit` and `submit-sweep`.
+fn parse_submit_fields(v: &Json) -> Result<SubmitRequest, String> {
+    let qasm = v.get("qasm").and_then(Json::as_str);
+    let workload = v.get("workload").and_then(Json::as_str);
+    let source = match (qasm, workload) {
+        (Some(q), None) => SubmitSource::Qasm(q.to_string()),
+        (None, Some(w)) => SubmitSource::Workload(w.to_string()),
+        (Some(_), Some(_)) => return Err("provide 'qasm' or 'workload', not both".into()),
+        (None, None) => return Err("submit needs a 'qasm' or 'workload' field".into()),
+    };
+    let priority = match v.get("priority") {
+        None => DEFAULT_PRIORITY,
+        Some(p) => {
+            let p = p.as_u64().ok_or("'priority' must be a non-negative number")?;
+            u8::try_from(p)
+                .ok()
+                .filter(|p| *p <= MAX_PRIORITY)
+                .ok_or_else(|| format!("'priority' must be in 0..={MAX_PRIORITY}, got {p}"))?
+        }
+    };
+    Ok(SubmitRequest {
+        source,
+        seed: v.get("seed").and_then(Json::as_u64).unwrap_or(0),
+        machine: v.get("machine").and_then(Json::as_str).unwrap_or("quera").to_string(),
+        aod_dim: v.get("aod_dim").and_then(Json::as_u64).map(|n| n as usize),
+        quick: v.get("quick").and_then(Json::as_bool).unwrap_or(false),
+        return_home: v.get("return_home").and_then(Json::as_bool).unwrap_or(true),
+        priority,
+        id: v.get("id").and_then(Json::as_u64),
+    })
+}
+
+/// The `params` array of a `submit-sweep`: non-empty, every point an array
+/// of numbers. Arity and finiteness are checked against the resolved
+/// template server-side (the slot count is a property of the circuit, not
+/// the wire line).
+fn parse_sweep_params(v: &Json) -> Result<Vec<Vec<f64>>, String> {
+    let Some(Json::Arr(points)) = v.get("params") else {
+        return Err("submit-sweep needs a 'params' array of parameter vectors".into());
+    };
+    if points.is_empty() {
+        return Err("empty sweep: 'params' must contain at least one parameter vector".into());
+    }
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, point)| {
+            let Json::Arr(values) = point else {
+                return Err(format!("'params[{i}]' must be an array of numbers"));
+            };
+            values
+                .iter()
+                .enumerate()
+                .map(|(j, value)| {
+                    value.as_f64().ok_or_else(|| format!("'params[{i}][{j}]' must be a number"))
+                })
+                .collect()
+        })
+        .collect()
 }
 
 impl SubmitRequest {
@@ -244,26 +306,38 @@ pub fn encode_request(request: &Request) -> String {
         Request::Stats => "{\"cmd\":\"stats\"}".to_string(),
         Request::Ping => "{\"cmd\":\"ping\"}".to_string(),
         Request::Shutdown => "{\"cmd\":\"shutdown\"}".to_string(),
-        Request::Submit(s) => {
-            let mut pairs = vec![("cmd", Json::Str("submit".into()))];
-            match &s.source {
-                SubmitSource::Qasm(text) => pairs.push(("qasm", Json::Str(text.clone()))),
-                SubmitSource::Workload(name) => pairs.push(("workload", Json::Str(name.clone()))),
-            }
-            pairs.push(("seed", Json::Int(s.seed)));
-            pairs.push(("machine", Json::Str(s.machine.clone())));
-            if let Some(dim) = s.aod_dim {
-                pairs.push(("aod_dim", Json::Int(dim as u64)));
-            }
-            pairs.push(("quick", Json::Bool(s.quick)));
-            pairs.push(("return_home", Json::Bool(s.return_home)));
-            pairs.push(("priority", Json::Int(u64::from(s.priority))));
-            if let Some(id) = s.id {
-                pairs.push(("id", Json::Int(id)));
-            }
+        Request::Submit(s) => Json::obj(submit_pairs("submit", s)).encode(),
+        Request::SubmitSweep(s) => {
+            let mut pairs = submit_pairs("submit-sweep", &s.submit);
+            let points = s
+                .params
+                .iter()
+                .map(|point| Json::Arr(point.iter().map(|&x| Json::Num(x)).collect()))
+                .collect();
+            pairs.push(("params", Json::Arr(points)));
             Json::obj(pairs).encode()
         }
     }
+}
+
+fn submit_pairs<'a>(cmd: &'a str, s: &SubmitRequest) -> Vec<(&'a str, Json)> {
+    let mut pairs = vec![("cmd", Json::Str(cmd.into()))];
+    match &s.source {
+        SubmitSource::Qasm(text) => pairs.push(("qasm", Json::Str(text.clone()))),
+        SubmitSource::Workload(name) => pairs.push(("workload", Json::Str(name.clone()))),
+    }
+    pairs.push(("seed", Json::Int(s.seed)));
+    pairs.push(("machine", Json::Str(s.machine.clone())));
+    if let Some(dim) = s.aod_dim {
+        pairs.push(("aod_dim", Json::Int(dim as u64)));
+    }
+    pairs.push(("quick", Json::Bool(s.quick)));
+    pairs.push(("return_home", Json::Bool(s.return_home)));
+    pairs.push(("priority", Json::Int(u64::from(s.priority))));
+    if let Some(id) = s.id {
+        pairs.push(("id", Json::Int(id)));
+    }
+    pairs
 }
 
 impl Default for SubmitRequest {
@@ -407,12 +481,49 @@ mod tests {
                 id: Some(42),
             })),
             Request::Submit(Box::default()),
+            Request::SubmitSweep(Box::new(SweepRequest {
+                submit: SubmitRequest { seed: 7, id: Some(9), ..Default::default() },
+                params: vec![vec![0.5, -1.25, 3.0], vec![0.0, 2.0, -0.75]],
+            })),
         ];
         for r in requests {
             let line = encode_request(&r);
             assert!(!line.contains('\n'), "wire lines must be single-line: {line}");
             assert_eq!(parse_request(&line).unwrap(), r, "{line}");
         }
+    }
+
+    #[test]
+    fn sweep_parse_shares_submit_fields_and_validates_params() {
+        let r = parse_request(
+            "{\"cmd\":\"submit-sweep\",\"workload\":\"QAOA\",\"seed\":4,\"quick\":true,\
+             \"params\":[[0.1,0.2],[0.3,0.4]]}",
+        )
+        .unwrap();
+        let Request::SubmitSweep(s) = r else { panic!("expected sweep") };
+        assert_eq!(s.submit.source, SubmitSource::Workload("QAOA".into()));
+        assert_eq!(s.submit.seed, 4);
+        assert!(s.submit.quick);
+        assert_eq!(s.params, vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+
+        // Structured parse errors: missing, empty, and malformed params.
+        for bad in [
+            "{\"cmd\":\"submit-sweep\",\"workload\":\"QAOA\"}",
+            "{\"cmd\":\"submit-sweep\",\"workload\":\"QAOA\",\"params\":[]}",
+            "{\"cmd\":\"submit-sweep\",\"workload\":\"QAOA\",\"params\":[0.1]}",
+            "{\"cmd\":\"submit-sweep\",\"workload\":\"QAOA\",\"params\":[[\"x\"]]}",
+            "{\"cmd\":\"submit-sweep\",\"params\":[[0.1]]}",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+
+        // Infinity parses (1e999 overflows to inf); the *server* refuses it
+        // against the template, so the parse layer must stay permissive.
+        let r =
+            parse_request("{\"cmd\":\"submit-sweep\",\"workload\":\"QAOA\",\"params\":[[1e999]]}")
+                .unwrap();
+        let Request::SubmitSweep(s) = r else { panic!("expected sweep") };
+        assert!(s.params[0][0].is_infinite());
     }
 
     #[test]

@@ -16,10 +16,13 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    circuit_content_hash, error_response, parse_request, Request, SubmitRequest,
+    circuit_content_hash, compile_payload, error_response, parse_request, Request, SubmitRequest,
+    SweepRequest,
 };
 use crate::queue::{JobQueue, PushError};
 use crate::worker::{effective_workers, spawn_workers, Job, JobOutcome};
+use parallax_circuit::{Circuit, CircuitTemplate};
+use parallax_core::ParallaxCompiler;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -346,9 +349,6 @@ fn handle_request(line: &str, core: &Arc<ServerCore>) -> (String, bool) {
                 shared.queue.len(),
                 shared.queue.capacity(),
                 shared.cache_json(),
-                Metrics::layout_cache_json(),
-                Metrics::plan_cache_json(),
-                Metrics::profile_json(),
             );
             (Json::obj(vec![("ok", Json::Bool(true)), ("stats", stats)]).encode(), false)
         }
@@ -360,7 +360,24 @@ fn handle_request(line: &str, core: &Arc<ServerCore>) -> (String, bool) {
             )
         }
         Ok(Request::Submit(req)) => (handle_submit(&req, core), false),
+        Ok(Request::SubmitSweep(req)) => (handle_sweep(&req, core), false),
     }
+}
+
+/// Build the compiler and resolve the circuit for a submission, rejecting
+/// circuits that outsize the machine. Shared by submit and submit-sweep.
+fn resolve_submission(req: &SubmitRequest) -> Result<(ParallaxCompiler, Circuit), String> {
+    let compiler = req.build_compiler()?;
+    let circuit = req.resolve_circuit()?;
+    if circuit.num_qubits() > compiler.machine().num_sites() {
+        return Err(format!(
+            "circuit needs {} qubits but {} has {} sites",
+            circuit.num_qubits(),
+            compiler.machine().name,
+            compiler.machine().num_sites()
+        ));
+    }
+    Ok((compiler, circuit))
 }
 
 fn handle_submit(req: &SubmitRequest, core: &Arc<ServerCore>) -> String {
@@ -370,18 +387,7 @@ fn handle_submit(req: &SubmitRequest, core: &Arc<ServerCore>) -> String {
         Metrics::inc(&shared.metrics.rejected_shutdown);
         return error_response("server is shutting down", req.id);
     }
-    let (compiler, circuit) = match req.build_compiler().and_then(|compiler| {
-        let circuit = req.resolve_circuit()?;
-        if circuit.num_qubits() > compiler.machine().num_sites() {
-            return Err(format!(
-                "circuit needs {} qubits but {} has {} sites",
-                circuit.num_qubits(),
-                compiler.machine().name,
-                compiler.machine().num_sites()
-            ));
-        }
-        Ok((compiler, circuit))
-    }) {
+    let (compiler, circuit) = match resolve_submission(req) {
         Ok(pair) => pair,
         Err(e) => {
             Metrics::inc(&shared.metrics.bad_requests);
@@ -430,6 +436,120 @@ fn handle_submit(req: &SubmitRequest, core: &Arc<ServerCore>) -> String {
     };
     shared.metrics.latency.record(arrived.elapsed().as_micros() as u64);
     response
+}
+
+/// Serve a parameter sweep inline on the connection thread: compile (or
+/// fetch) the structure's [`parallax_core::CompiledTemplate`] once, then
+/// answer every point with a parameter rebind against the shared artifact.
+///
+/// The response is a *stream*: one sweep header line followed by one line
+/// per point, joined with `\n` (the connection loop appends the final
+/// newline). Every point probes the process-wide template cache, so a cold
+/// N-point sweep reports exactly 1 miss + N−1 hits; repeat sweeps are all
+/// hits. Invalid sweeps (arity mismatch, non-finite angles) are refused
+/// with a single structured error *before* any compilation — the server
+/// keeps serving.
+fn handle_sweep(req: &SweepRequest, core: &Arc<ServerCore>) -> String {
+    use std::fmt::Write as _;
+    let shared = &core.shared;
+    let arrived = Instant::now();
+    let id = req.submit.id;
+    if !core.accepting.load(Ordering::SeqCst) {
+        Metrics::inc(&shared.metrics.rejected_shutdown);
+        return error_response("server is shutting down", id);
+    }
+    let (compiler, circuit) = match resolve_submission(&req.submit) {
+        Ok(pair) => pair,
+        Err(e) => {
+            Metrics::inc(&shared.metrics.bad_requests);
+            return error_response(&e, id);
+        }
+    };
+
+    // Validate every point against the structure's slot count up front: the
+    // template shape is cheap (no compile), so a bad sweep costs nothing.
+    let expected = CircuitTemplate::from_circuit(&circuit).num_params();
+    for (i, point) in req.params.iter().enumerate() {
+        if point.len() != expected {
+            Metrics::inc(&shared.metrics.bad_requests);
+            return error_response(
+                &format!(
+                    "sweep point {i}: parameter count mismatch: template has {expected} \
+                     slots, got {}",
+                    point.len()
+                ),
+                id,
+            );
+        }
+        if let Some(j) = point.iter().position(|v| !v.is_finite()) {
+            Metrics::inc(&shared.metrics.bad_requests);
+            return error_response(
+                &format!("sweep point {i}: parameter {j} is not finite ({})", point[j]),
+                id,
+            );
+        }
+    }
+
+    // Key the template cache once for the whole sweep: the key renders the
+    // slot-canonical QASM text, which would otherwise be the single largest
+    // per-point cost. Each point still probes the cache itself, so the
+    // hit/miss accounting stays per point (1 miss + N-1 hits when cold).
+    let key = parallax_core::template_key(&compiler, &circuit);
+
+    let mut lines = vec![String::new()]; // header placeholder, filled last
+    let mut payload: Option<String> = None;
+    let mut hits = 0u64;
+    for (i, point) in req.params.iter().enumerate() {
+        let t0 = Instant::now();
+        let (template, cached) = parallax_core::compiled_template_keyed(key, &compiler, &circuit);
+        // Materialize the bound circuit — the artifact a backend would
+        // execute — and attest it per point via its bit-exact hash
+        // (`circuit_bits_hash`, not the QASM text hash: float formatting
+        // would dominate the rebind and defeat the microsecond budget).
+        let bound = match template.rebind(point) {
+            Ok(b) => b,
+            Err(e) => {
+                // Unreachable after the up-front validation, but a sweep
+                // must never panic the connection thread.
+                Metrics::inc(&shared.metrics.bad_requests);
+                return error_response(&format!("sweep point {i}: {e}"), id);
+            }
+        };
+        let bound_hash = parallax_circuit::circuit_bits_hash(&bound);
+        let ns = t0.elapsed().as_nanos() as u64;
+        let payload = payload.get_or_insert_with(|| compile_payload(template.result()).encode());
+        Metrics::inc(&shared.metrics.sweep_points);
+        if cached {
+            hits += 1;
+            Metrics::inc(&shared.metrics.template_cache_hits);
+            shared.metrics.rebind_ns.fetch_add(ns, Ordering::Relaxed);
+        } else {
+            Metrics::inc(&shared.metrics.template_cache_misses);
+        }
+        let mut line = String::with_capacity(payload.len() + 96);
+        let _ = write!(
+            line,
+            "{{\"ok\":true,\"point\":{i},\"cached\":{cached},\"rebind_ns\":{ns},\
+             \"bound_hash\":\"{bound_hash:016x}\",\"result\":{payload}}}"
+        );
+        lines.push(line);
+    }
+
+    let total_us = arrived.elapsed().as_micros() as u64;
+    let mut header = String::with_capacity(128);
+    header.push_str("{\"ok\":true,\"sweep\":true,");
+    if let Some(id) = id {
+        let _ = write!(header, "\"id\":{id},");
+    }
+    let _ = write!(
+        header,
+        "\"points\":{},\"params_per_point\":{expected},\"template_cache_hits\":{hits},\
+         \"total_us\":{total_us}}}",
+        req.params.len()
+    );
+    lines[0] = header;
+    shared.metrics.latency.record(total_us);
+    lines.join("\n")
 }
 
 fn ok_response(id: Option<u64>, cached: bool, payload: &str, arrived: Instant) -> String {
@@ -523,6 +643,95 @@ mod tests {
         let r = json::parse(&handle_request(&req, &server.core).0).unwrap();
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
         assert!(r.get("error").and_then(Json::as_str).unwrap().contains("300 qubits"));
+    }
+
+    /// A two-u3 + one-cz circuit: 6 parameter slots, structure unique to
+    /// this test so its template-cache key cannot collide across the suite.
+    fn sweep_qasm() -> &'static str {
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+         u3(0.1,0.2,0.3) q[0];\nu3(0.4,0.5,0.6) q[1];\ncz q[0],q[1];\n"
+    }
+
+    fn sweep_line(params: &str) -> String {
+        let req = Json::obj(vec![
+            ("cmd", Json::Str("submit-sweep".into())),
+            ("qasm", Json::Str(sweep_qasm().into())),
+            ("seed", Json::Int(0xA11CE)),
+            ("quick", Json::Bool(true)),
+            ("id", Json::Int(7)),
+        ])
+        .encode();
+        // Splice the raw params array in so tests control the exact JSON.
+        format!("{},\"params\":{params}}}", &req[..req.len() - 1])
+    }
+
+    #[test]
+    fn sweep_streams_one_line_per_point_from_one_template() {
+        let server = test_server(1, 4, 8);
+        let core = &server.core;
+        let line =
+            sweep_line("[[0.1,0.2,0.3,0.4,0.5,0.6],[1.0,2.0,3.0,4.0,5.0,6.0],[0,0,0,0,0,0]]");
+        let response = handle_request(&line, core).0;
+        let lines: Vec<&str> = response.split('\n').collect();
+        assert_eq!(lines.len(), 4, "header + 3 points:\n{response}");
+
+        let header = json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(header.get("sweep").and_then(Json::as_bool), Some(true));
+        assert_eq!(header.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(header.get("points").and_then(Json::as_u64), Some(3));
+        assert_eq!(header.get("params_per_point").and_then(Json::as_u64), Some(6));
+        assert_eq!(header.get("template_cache_hits").and_then(Json::as_u64), Some(2));
+
+        let points: Vec<Json> = lines[1..].iter().map(|l| json::parse(l).unwrap()).collect();
+        assert_eq!(points[0].get("cached").and_then(Json::as_bool), Some(false));
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.get("point").and_then(Json::as_u64), Some(i as u64));
+            assert!(p.get("rebind_ns").and_then(Json::as_u64).is_some());
+            assert_eq!(
+                p.get("result").unwrap().encode(),
+                points[0].get("result").unwrap().encode(),
+                "every point shares the structure's payload"
+            );
+        }
+        assert_eq!(points[1].get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(points[2].get("cached").and_then(Json::as_bool), Some(true));
+        // Distinct angles → distinct bound circuits, attested per point.
+        assert_ne!(
+            points[0].get("bound_hash").and_then(Json::as_str),
+            points[1].get("bound_hash").and_then(Json::as_str)
+        );
+
+        // A repeat sweep is all hits.
+        let repeat = handle_request(&sweep_line("[[9,8,7,6,5,4]]"), core).0;
+        let header = json::parse(repeat.split('\n').next().unwrap()).unwrap();
+        assert_eq!(header.get("template_cache_hits").and_then(Json::as_u64), Some(1));
+
+        let stats = json::parse(&handle_request("{\"cmd\":\"stats\"}", core).0).unwrap();
+        let stats = stats.get("stats").unwrap();
+        assert_eq!(stats.get("sweep_points").and_then(Json::as_u64), Some(4));
+        assert_eq!(stats.get("template_cache_hits").and_then(Json::as_u64), Some(3));
+        assert_eq!(stats.get("template_cache_misses").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_points_with_one_structured_error() {
+        let server = test_server(1, 4, 8);
+        let core = &server.core;
+        for (params, needle) in [
+            ("[[0.1,0.2]]", "parameter count mismatch"),
+            ("[[0.1,0.2,0.3,0.4,0.5,1e999]]", "not finite"),
+        ] {
+            let response = handle_request(&sweep_line(params), core).0;
+            assert!(!response.contains('\n'), "errors are single-line: {response}");
+            let r = json::parse(&response).unwrap();
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{params}");
+            assert!(r.get("error").and_then(Json::as_str).unwrap().contains(needle), "{response}");
+            assert_eq!(r.get("id").and_then(Json::as_u64), Some(7));
+        }
+        // The server keeps compiling after refused sweeps.
+        let ok = json::parse(&handle_request(&submit_line("ADD", 3), core).0).unwrap();
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
     }
 
     #[test]

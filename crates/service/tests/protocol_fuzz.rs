@@ -127,6 +127,88 @@ fn invalid_utf8_json_and_unknown_ops_are_rejected_without_casualties() {
     assert_still_serving(addr);
 }
 
+#[test]
+fn malformed_sweeps_are_rejected_without_casualties() {
+    let server = test_server();
+    let addr = server.addr();
+
+    // Every malformed sweep is a single structured error line — the server
+    // must not start compiling (or worse, panic binding) a bad parameter
+    // set. JSON cannot spell NaN, so the non-finite arm rides in on the
+    // parser's permissive `1e999` -> infinity mapping: the *protocol*
+    // accepts the number, the server's bind validation rejects it.
+    let cases: &[(&[u8], &str)] = &[
+        (b"{\"cmd\":\"submit-sweep\",\"workload\":\"QFT\"}\n", "params"),
+        (b"{\"cmd\":\"submit-sweep\",\"workload\":\"QFT\",\"params\":[]}\n", "empty sweep"),
+        (b"{\"cmd\":\"submit-sweep\",\"workload\":\"QFT\",\"params\":7}\n", "params"),
+        (b"{\"cmd\":\"submit-sweep\",\"workload\":\"QFT\",\"params\":[7]}\n", "array of numbers"),
+        (b"{\"cmd\":\"submit-sweep\",\"workload\":\"QFT\",\"params\":[[\"x\"]]}\n", "number"),
+        (
+            b"{\"cmd\":\"submit-sweep\",\"workload\":\"QFT\",\"params\":[[0.5]]}\n",
+            "parameter count mismatch",
+        ),
+    ];
+    for &(wire, needle) in cases {
+        let responses = raw_exchange(addr, wire);
+        assert_eq!(responses.len(), 1, "case {:?} -> {responses:?}", String::from_utf8_lossy(wire));
+        assert_structured_error(&responses[0]);
+        assert!(
+            responses[0].contains(needle),
+            "error for {:?} must mention {needle:?}: {}",
+            String::from_utf8_lossy(wire),
+            responses[0]
+        );
+    }
+
+    // Arity is validated before finiteness, so `[[1e999]]` alone rejects
+    // as a count mismatch; spell a correct-arity point with one infinity
+    // to pin the non-finite rejection.
+    let request = parallax_service::SubmitRequest {
+        source: parallax_service::SubmitSource::Workload("QFT".into()),
+        quick: true,
+        ..Default::default()
+    };
+    let circuit = request.resolve_circuit().expect("workload resolves");
+    let slots = parallax_circuit::CircuitTemplate::from_circuit(&circuit).num_params();
+    assert!(slots > 0, "QFT must carry U3 slots");
+    let mut point = vec!["0.1".to_string(); slots];
+    point[slots / 2] = "1e999".into();
+    let wire = format!(
+        "{{\"cmd\":\"submit-sweep\",\"workload\":\"QFT\",\"quick\":true,\"params\":[[{}]]}}\n",
+        point.join(",")
+    );
+    let responses = raw_exchange(addr, wire.as_bytes());
+    assert_eq!(responses.len(), 1, "{responses:?}");
+    assert_structured_error(&responses[0]);
+    assert!(responses[0].contains("not finite"), "{responses:?}");
+
+    // The typed client cannot transport Inf/NaN at all: the canonical
+    // encoder maps non-finite to `null`, which the parser refuses as a
+    // non-number — also a structured error, never a compile.
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let mut params = vec![vec![0.1f64; slots]];
+    params[0][0] = f64::NAN;
+    let err = client
+        .submit_sweep(parallax_service::SweepRequest { submit: request, params })
+        .expect_err("a NaN sweep point must be refused");
+    assert!(err.to_string().contains("must be a number"), "{err}");
+
+    // An oversized sweep line (4x the request-line cap) is the transport
+    // layer's problem: structured error, resync, and the server lives on.
+    let mut giant = Vec::from(&b"{\"cmd\":\"submit-sweep\",\"workload\":\"QFT\",\"params\":[["[..]);
+    while giant.len() < 256 * 1024 {
+        giant.extend_from_slice(b"0.125,");
+    }
+    giant.extend_from_slice(b"0.125]]}\n{\"cmd\":\"ping\"}\n");
+    let responses = raw_exchange(addr, &giant);
+    assert_eq!(responses.len(), 2, "{responses:?}");
+    assert_structured_error(&responses[0]);
+    assert!(responses[0].contains("exceeds"), "{responses:?}");
+    assert!(responses[1].contains("\"pong\":true"), "resync failed: {responses:?}");
+
+    assert_still_serving(addr);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
     /// Random garbage lines (newline-free byte soup, printable or not):

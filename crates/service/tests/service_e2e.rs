@@ -5,7 +5,7 @@
 
 use parallax_service::{
     compile_payload, start, ClientError, Json, ServerConfig, ServiceClient, SubmitRequest,
-    SubmitSource,
+    SubmitSource, SweepRequest,
 };
 use std::time::Duration;
 
@@ -250,6 +250,69 @@ fn repeat_traffic_across_server_instances_hits_the_plan_cache() {
         plan(&after_cold, "hits"),
         plan(&after_warm, "hits")
     );
+}
+
+#[test]
+fn hundred_point_qaoa_sweep_rebinds_from_one_template() {
+    let server = start(test_config()).expect("bind");
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+
+    // Unique seed → this test's (structural hash, fingerprint) key cannot
+    // collide with sibling tests in the process-global template cache, so
+    // the hit-count assertions are exact rather than delta-based.
+    let req = submit_for("QAOA", 990_077);
+    let circuit = req.resolve_circuit().expect("workload resolves");
+    let template = parallax_circuit::CircuitTemplate::from_circuit(&circuit);
+    let slots = template.num_params();
+    assert!(slots > 0, "QAOA must carry U3 angle slots");
+
+    // A deterministic 100-point angle grid, every point distinct.
+    let params: Vec<Vec<f64>> = (0..100)
+        .map(|p| (0..slots).map(|s| ((p * slots + s) % 571) as f64 * 0.011 - 3.1).collect())
+        .collect();
+
+    let before = client.stats().expect("stats");
+    let reply = client
+        .submit_sweep(SweepRequest { submit: req.clone(), params: params.clone() })
+        .expect("sweep succeeds");
+
+    // One template: the first point compiles, all 99 others rebind.
+    assert_eq!(reply.points.len(), 100);
+    assert_eq!(reply.params_per_point, slots as u64);
+    assert_eq!(reply.template_cache_hits, 99, "one miss, then 99 structural hits");
+    assert!(!reply.points[0].cached && reply.points[1..].iter().all(|p| p.cached));
+
+    // Every point shares the structure's payload byte-for-byte — the same
+    // payload a direct in-process compile of the submission produces —
+    // while the per-point bound_hash attests the angle materialization.
+    let want = direct_payload(&req);
+    let mut seen = std::collections::HashSet::new();
+    for (i, point) in reply.points.iter().enumerate() {
+        assert_eq!(point.point, i as u64, "points stream in order");
+        assert_eq!(point.result.encode(), want, "point {i} must share the template payload");
+        let bound = template.bind(&params[i]).expect("grid angles bind");
+        assert_eq!(
+            point.bound_hash,
+            format!("{:016x}", parallax_circuit::circuit_bits_hash(&bound)),
+            "point {i} must attest its bound circuit"
+        );
+        assert!(seen.insert(point.bound_hash.clone()), "distinct angles, distinct hashes");
+        if point.cached {
+            assert!(point.rebind_ns > 0, "hits report their rebind time");
+        }
+    }
+
+    // A repeat sweep is all hits; STATS carries the running counters.
+    let again =
+        client.submit_sweep(SweepRequest { submit: req, params }).expect("repeat sweep succeeds");
+    assert_eq!(again.template_cache_hits, 100, "repeat sweep rebinds every point");
+    let stats = client.stats().expect("stats");
+    let delta = |k: &str| {
+        stats.get(k).and_then(Json::as_u64).unwrap() - before.get(k).and_then(Json::as_u64).unwrap()
+    };
+    assert_eq!(delta("sweep_points"), 200);
+    assert_eq!(delta("template_cache_hits"), 199);
+    assert!(delta("rebind_ns") > 0);
 }
 
 #[test]

@@ -20,11 +20,12 @@
 //! assert_eq!(c.len(), 40);
 //! ```
 
-use parallax_circuit::{Circuit, CircuitBuilder, Gate};
+use parallax_circuit::{Circuit, CircuitBuilder, CircuitTemplate, Gate};
 use parallax_graphine::PlacementConfig;
 use parallax_hardware::MachineSpec;
 use proptest::prelude::*;
 use proptest::strategy::Union;
+use proptest::TestRng;
 
 /// Strategy: a random {U3, CZ} circuit on `n` qubits with `1..=max_len`
 /// gates — U3s with bounded angles, CZs on distinct qubits. The historical
@@ -112,6 +113,78 @@ pub fn arb_quick_placement() -> impl Strategy<Value = PlacementConfig> {
     })
 }
 
+/// Strategy: a variational sweep family — one seeded {U3, CZ} structure
+/// plus `1..=max_sets` angle vectors sized to the structure's parameter
+/// slot count (3 per U3). Angle values mix uniform draws in ±3.2 with the
+/// rebind edge cases `{0, π, -π, 2π}`, so template differential tests see
+/// both generic and boundary bindings. Shrinking drops angle vectors
+/// (keeping at least one) and zeroes them one at a time; the structure
+/// itself does not shrink.
+pub fn parameterized_circuit_family(
+    n: usize,
+    max_len: usize,
+    max_sets: usize,
+) -> CircuitFamilyStrategy {
+    assert!(max_sets >= 1, "a sweep family needs at least one angle vector");
+    CircuitFamilyStrategy { circuit: arb_circuit(n, max_len).boxed(), max_sets }
+}
+
+/// The [`parameterized_circuit_family`] strategy. A custom [`Strategy`]
+/// impl because the angle-vector length depends on the generated
+/// structure's slot count — a dependency `prop_map` cannot express.
+pub struct CircuitFamilyStrategy {
+    circuit: BoxedStrategy<Circuit>,
+    max_sets: usize,
+}
+
+impl Strategy for CircuitFamilyStrategy {
+    type Value = (Circuit, Vec<Vec<f64>>);
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        use std::f64::consts::PI;
+        let circuit = self.circuit.new_value(rng);
+        let slots = CircuitTemplate::from_circuit(&circuit).num_params();
+        let k = (1..=self.max_sets).new_value(rng);
+        let kind = 0usize..8;
+        let uniform = -3.2f64..3.2;
+        let sets = (0..k)
+            .map(|_| {
+                (0..slots)
+                    .map(|_| match kind.new_value(rng) {
+                        0 => 0.0,
+                        1 => PI,
+                        2 => -PI,
+                        3 => 2.0 * PI,
+                        _ => uniform.new_value(rng),
+                    })
+                    .collect()
+            })
+            .collect();
+        (circuit, sets)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let (circuit, sets) = value;
+        let mut out = Vec::new();
+        if sets.len() > 1 {
+            out.push((circuit.clone(), sets[..1].to_vec()));
+            for i in 0..sets.len() {
+                let mut next = sets.clone();
+                next.remove(i);
+                out.push((circuit.clone(), next));
+            }
+        }
+        for (i, set) in sets.iter().enumerate() {
+            if set.iter().any(|&a| a != 0.0) {
+                let mut next = sets.clone();
+                next[i] = vec![0.0; set.len()];
+                out.push((circuit.clone(), next));
+            }
+        }
+        out
+    }
+}
+
 /// A deterministic pseudo-random circuit without any RNG dependency (LCG
 /// over the gate choice), exercising U3/H/CZ interleavings — for plain
 /// `for seed in 0..k` test loops. Exactly `len` gates on `n` qubits.
@@ -191,6 +264,24 @@ mod tests {
         fn machines_are_valid(m in arb_machine()) {
             prop_assert!(m.aod_dim >= 3);
             prop_assert!(m.num_sites() >= 256);
+        }
+
+        #[test]
+        fn families_bind_cleanly(family in parameterized_circuit_family(4, 16, 5)) {
+            let (circuit, sets) = family;
+            let template = CircuitTemplate::from_circuit(&circuit);
+            prop_assert!(!sets.is_empty() && sets.len() <= 5);
+            for set in &sets {
+                prop_assert_eq!(set.len(), template.num_params());
+                let bound = template.bind(set).map_err(|e| {
+                    TestCaseError::fail(format!("family set must bind: {e}"))
+                })?;
+                // Binding preserves the structure, by construction.
+                prop_assert_eq!(
+                    parallax_circuit::structural_hash(&bound),
+                    template.structural_hash()
+                );
+            }
         }
 
         #[test]

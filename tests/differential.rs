@@ -10,12 +10,14 @@
 //! builds of `parallax-core`; the cache-path and simulator equivalences
 //! run in every profile.
 
-use parallax_core::{CompilerConfig, ParallaxCompiler};
+use parallax_core::{CompiledTemplate, CompilerConfig, ParallaxCompiler};
 use parallax_graphine::GraphineLayout;
 use parallax_hardware::MachineSpec;
 use parallax_service::compile_payload;
 use parallax_sim::parallax_schedule_fidelity;
-use parallax_testkit::{arb_circuit, arb_hcz_circuit, arb_quick_placement};
+use parallax_testkit::{
+    arb_circuit, arb_hcz_circuit, arb_machine, arb_quick_placement, parameterized_circuit_family,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -52,6 +54,42 @@ proptest! {
         prop_assert!((f - 1.0).abs() < 1e-7, "fidelity {}", f);
     }
 
+    /// The variational fast path on trial: a [`CompiledTemplate`] built
+    /// from one sweep member must serve *every* member. Each rebind's
+    /// payload is diffed byte-for-byte against an independent cold compile
+    /// of the bound circuit — fresh `GraphineLayout::generate`, no layout
+    /// cache — and the shared schedule is statevector-checked against the
+    /// bound circuit, across machines and seeds. This is the guarantee
+    /// `parallax_core::template` documents as "carried by the differential
+    /// layer": placement and scheduling never read a U3 angle.
+    #[test]
+    fn template_rebinds_match_independent_cold_compiles(
+        family in parameterized_circuit_family(5, 20, 3),
+        seed in 0u64..32,
+        machine in arb_machine(),
+    ) {
+        let (structure, sets) = family;
+        let config = CompilerConfig::quick(seed);
+        let template =
+            CompiledTemplate::compile(&ParallaxCompiler::new(machine, config.clone()), &structure);
+        let shared = compile_payload(template.result()).encode();
+        for set in &sets {
+            let bound = template.rebind(set).map_err(|e| {
+                TestCaseError::fail(format!("family set must rebind: {e}"))
+            })?;
+            let layout = GraphineLayout::generate(&bound, &config.placement);
+            let cold = ParallaxCompiler::new(machine, config.clone())
+                .compile_with_layout(&bound, &layout);
+            prop_assert_eq!(
+                &shared,
+                &compile_payload(&cold).encode(),
+                "rebind payload must be byte-identical to a cold compile of the bound member"
+            );
+            let f = parallax_schedule_fidelity(&bound, template.result(), seed ^ 0x7e31);
+            prop_assert!((f - 1.0).abs() < 1e-7, "fidelity {}", f);
+        }
+    }
+
     /// The placement worker count changes wall-clock time only, never the
     /// compilation — asserted around the caches (fresh layouts each side)
     /// so the parallel annealer itself is on trial, not the cache.
@@ -78,6 +116,62 @@ proptest! {
         let b = ParallaxCompiler::new(machine, parallel)
             .compile_with_layout(&circuit, &layout_parallel);
         prop_assert_eq!(compile_payload(&a).encode(), compile_payload(&b).encode());
+    }
+}
+
+/// The rebind boundary angles, pinned deterministically: a QAOA-shaped
+/// ansatz bound with every slot at 0, π, 2π, and a negative angle, on both
+/// paper machines. Random sweeps above cover these values probabilistically;
+/// this test guarantees they are exercised on every run, because 0-angle
+/// U3s are exactly what `optimize` elides — the template fast path must
+/// stay byte-faithful even where the circuit-level optimizer would not.
+#[test]
+fn rebind_edge_angles_stay_byte_faithful() {
+    use parallax_circuit::Gate;
+    use std::f64::consts::PI;
+
+    let mut structure = parallax_circuit::Circuit::new(4);
+    for q in 0..4u32 {
+        structure.push(Gate::u3(q, 0.7, 0.1, -0.4));
+    }
+    for q in 0..3u32 {
+        structure.push(Gate::cz(q, q + 1));
+    }
+    for q in 0..4u32 {
+        structure.push(Gate::u3(q, -1.2, 0.9, 0.2));
+    }
+    let slots = 24;
+    let edge_sets: Vec<Vec<f64>> = vec![
+        vec![0.0; slots],
+        vec![PI; slots],
+        vec![2.0 * PI; slots],
+        vec![-PI; slots],
+        (0..slots).map(|i| if i % 2 == 0 { 0.0 } else { -2.0 * PI }).collect(),
+    ];
+
+    for machine in [MachineSpec::quera_aquila_256(), MachineSpec::atom_1225()] {
+        for seed in [3u64, 17] {
+            let config = CompilerConfig::quick(seed);
+            let template = CompiledTemplate::compile(
+                &ParallaxCompiler::new(machine, config.clone()),
+                &structure,
+            );
+            assert_eq!(template.num_params(), slots);
+            let shared = compile_payload(template.result()).encode();
+            for set in &edge_sets {
+                let bound = template.rebind(set).expect("edge angles are finite");
+                let layout = GraphineLayout::generate(&bound, &config.placement);
+                let cold = ParallaxCompiler::new(machine, config.clone())
+                    .compile_with_layout(&bound, &layout);
+                assert_eq!(
+                    shared,
+                    compile_payload(&cold).encode(),
+                    "edge-angle rebind must match a cold compile (seed {seed})"
+                );
+                let f = parallax_schedule_fidelity(&bound, template.result(), seed ^ 0xedce);
+                assert!((f - 1.0).abs() < 1e-7, "fidelity {f} (seed {seed})");
+            }
+        }
     }
 }
 

@@ -7,8 +7,12 @@
 //! `proptest!`/`prop_assert!`/`prop_assert_eq!` macros.
 //!
 //! Differences from real proptest: cases are generated from a fixed seed
-//! (fully deterministic run-to-run) and failing cases are reported but
-//! **not shrunk**.
+//! (fully deterministic run-to-run), and shrinking is a bounded greedy
+//! descent over [`strategy::Strategy::shrink`] candidates rather than a
+//! full value-tree search. Range, tuple, and `collection::vec` strategies
+//! shrink (toward the range minimum / fewer elements); `prop_map` and
+//! `prop_oneof!` outputs do not (the map inverse and the producing arm are
+//! unknown), and custom strategies opt in by overriding `shrink`.
 //!
 //! Two environment variables mirror real proptest's CI ergonomics:
 //!
@@ -17,15 +21,21 @@
 //!   further than the fast default);
 //! * `PROPTEST_FAILURES_DIR=<dir>` makes a failing property also write a
 //!   `<test-name>.txt` replay file (test name, failing case index, derived
-//!   stream seed, message) into `<dir>` before panicking, which CI uploads
-//!   as an artifact. Because generation is name-seeded and deterministic,
-//!   re-running the named test with at least `case + 1` cases replays the
-//!   failure exactly.
+//!   stream seed, message, and the minimal shrunk counterexample) into
+//!   `<dir>` before panicking, which CI uploads as an artifact. Because
+//!   generation is name-seeded and deterministic, re-running the named
+//!   test with at least `case + 1` cases replays the original failure
+//!   exactly; the `minimal:` line records the shrunk value verbatim.
 
 use rand::rngs::StdRng;
 
+// For downstream custom `Strategy` impls (e.g. `parallax-testkit`): the
+// RNG type `new_value` receives, so implementors can name it without
+// depending on the vendored `rand` directly.
+pub use rand::rngs::StdRng as TestRng;
+
 pub mod strategy {
-    //! Value-generation strategies (no shrinking).
+    //! Value-generation strategies with minimal greedy shrinking.
 
     use rand::rngs::StdRng;
     use rand::Rng;
@@ -37,6 +47,15 @@ pub mod strategy {
 
         /// Generate one value.
         fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Candidate simplifications of a failing `value`, most aggressive
+        /// first; the runner greedily descends through whichever candidate
+        /// still fails. The default — no candidates — keeps strategies
+        /// that cannot invert their construction (`prop_map`,
+        /// `prop_oneof!`, custom impls) correct, just unshrunk.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Transform generated values with `f`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -76,6 +95,9 @@ pub mod strategy {
         fn new_value(&self, rng: &mut StdRng) -> T {
             self.0.new_value(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.0.shrink(value)
+        }
     }
 
     /// Uniform choice among alternatives; output of [`crate::prop_oneof!`].
@@ -99,6 +121,28 @@ pub mod strategy {
         }
     }
 
+    /// Shrink candidates for a numeric value toward the range minimum:
+    /// straight to `lo`, halfway to `lo`, one step down. Shared by every
+    /// integer range impl.
+    macro_rules! int_shrink {
+        ($value:expr, $lo:expr) => {{
+            let (value, lo) = (*$value, $lo);
+            let mut out = Vec::new();
+            if value != lo {
+                out.push(lo);
+                let mid = lo + (value - lo) / 2;
+                if mid != lo && mid != value {
+                    out.push(mid);
+                }
+                let dec = value - 1;
+                if dec != lo && dec != mid && dec != value {
+                    out.push(dec);
+                }
+            }
+            out
+        }};
+    }
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for core::ops::Range<$t> {
@@ -106,11 +150,17 @@ pub mod strategy {
                 fn new_value(&self, rng: &mut StdRng) -> $t {
                     rng.random_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!(value, self.start)
+                }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
                 fn new_value(&self, rng: &mut StdRng) -> $t {
                     rng.random_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!(value, *self.start())
                 }
             }
         )*};
@@ -121,6 +171,23 @@ pub mod strategy {
         type Value = f64;
         fn new_value(&self, rng: &mut StdRng) -> f64 {
             rng.random_range(self.clone())
+        }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let lo = self.start;
+            let mut out = Vec::new();
+            if *value != lo {
+                out.push(lo);
+                // Zero is the canonical "simple" float when the range
+                // straddles it (e.g. angle ranges like -3.2..3.2).
+                if lo < 0.0 && *value != 0.0 && self.contains(&0.0) {
+                    out.push(0.0);
+                }
+                let mid = lo + (*value - lo) / 2.0;
+                if mid.is_finite() && mid != lo && mid != *value {
+                    out.push(mid);
+                }
+            }
+            out
         }
     }
 
@@ -136,23 +203,42 @@ pub mod strategy {
     }
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($name:ident, $field:ident, $idx:tt)),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
                 #[allow(non_snake_case)]
                 fn new_value(&self, rng: &mut StdRng) -> Self::Value {
                     let ($($name,)+) = self;
                     ($($name.new_value(rng),)+)
                 }
+                /// Component-wise: every candidate of every component,
+                /// substituted one at a time.
+                #[allow(non_snake_case)]
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let ($($name,)+) = self;
+                    let ($($field,)+) = value;
+                    let mut out = Vec::new();
+                    $(
+                        for cand in $name.shrink($field) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
             }
         };
     }
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!((A, a, 0));
+    impl_tuple_strategy!((A, a, 0), (B, b, 1));
+    impl_tuple_strategy!((A, a, 0), (B, b, 1), (C, c, 2));
+    impl_tuple_strategy!((A, a, 0), (B, b, 1), (C, c, 2), (D, d, 3));
+    impl_tuple_strategy!((A, a, 0), (B, b, 1), (C, c, 2), (D, d, 3), (E, e, 4));
+    impl_tuple_strategy!((A, a, 0), (B, b, 1), (C, c, 2), (D, d, 3), (E, e, 4), (F, f, 5));
 }
 
 pub mod collection {
@@ -199,11 +285,44 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = rng.random_range(self.size.lo..=self.size.hi);
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+        /// Structurally smaller first (respecting the minimum length):
+        /// aggressive prefix truncations, then dropping each single
+        /// element, then element-wise candidates substituted one at a
+        /// time.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo;
+            if value.len() > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo.max(value.len() / 2);
+                if half != lo && half != value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                // Dropping any one element keeps an offending element
+                // reachable wherever it sits in the vector.
+                for i in 0..value.len() {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -272,8 +391,9 @@ pub fn effective_cases(configured: u32) -> u32 {
 
 /// Drive `body` for [`effective_cases`] deterministic cases; panic on the
 /// first failure (no shrinking), writing a replay file when
-/// `PROPTEST_FAILURES_DIR` is set. Called by the [`proptest!`] macro
-/// expansion.
+/// `PROPTEST_FAILURES_DIR` is set. The raw rng-closure entry point for
+/// callers that manage generation themselves; the [`proptest!`] macro goes
+/// through the shrinking [`run_proptest_shrink`] instead.
 pub fn run_proptest(
     config: test_runner::ProptestConfig,
     name: &str,
@@ -292,28 +412,148 @@ pub fn run_proptest_with(
     failures_dir: Option<&std::path::Path>,
     mut body: impl FnMut(&mut StdRng) -> Result<(), test_runner::TestCaseError>,
 ) {
-    use rand::SeedableRng;
-    // Per-test seed derived from the test name (FNV-1a) so sibling tests
-    // explore different streams but every run is identical.
-    let seed = name
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let seed = stream_seed(name);
+    let mut rng = seeded_rng(seed);
     for case in 0..cases {
         if let Err(e) = body(&mut rng) {
             let mut report = format!("proptest '{name}' failed at case {case}/{cases}: {e}");
             if let Some(dir) = failures_dir {
-                match write_failure_file(dir, name, case, cases, seed, &e.message) {
-                    Ok(path) => {
-                        report.push_str(&format!(" (replay file: {})", path.display()));
-                    }
-                    Err(io) => {
-                        report.push_str(&format!(" (could not write replay file: {io})"));
-                    }
-                }
+                append_replay_note(&mut report, dir, name, case, cases, seed, &e.message, None);
             }
             panic!("{report}");
         }
+    }
+}
+
+/// Upper bound on failing-candidate evaluations during one shrink descent,
+/// so a pathological strategy cannot hang a failing test.
+pub const MAX_SHRINK_ATTEMPTS: usize = 256;
+
+/// Drive `strategy`-generated cases through `body`; on the first failure,
+/// greedily descend through [`strategy::Strategy::shrink`] candidates (at
+/// most [`MAX_SHRINK_ATTEMPTS`] evaluations) and report — and record in
+/// the `PROPTEST_FAILURES_DIR` replay file — the minimal counterexample
+/// found. Called by the [`proptest!`] macro expansion.
+pub fn run_proptest_shrink<S: strategy::Strategy>(
+    config: test_runner::ProptestConfig,
+    name: &str,
+    strategy: &S,
+    body: impl FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
+) where
+    S::Value: Clone + core::fmt::Debug,
+{
+    let failures_dir = std::env::var_os("PROPTEST_FAILURES_DIR").map(std::path::PathBuf::from);
+    run_proptest_shrink_with(
+        effective_cases(config.cases),
+        name,
+        failures_dir.as_deref(),
+        strategy,
+        body,
+    );
+}
+
+/// [`run_proptest_shrink`] with the case count and failure directory fully
+/// explicit (see [`run_proptest_with`]).
+pub fn run_proptest_shrink_with<S: strategy::Strategy>(
+    cases: u32,
+    name: &str,
+    failures_dir: Option<&std::path::Path>,
+    strategy: &S,
+    mut body: impl FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
+) where
+    S::Value: Clone + core::fmt::Debug,
+{
+    let seed = stream_seed(name);
+    let mut rng = seeded_rng(seed);
+    for case in 0..cases {
+        let value = strategy.new_value(&mut rng);
+        if let Err(e) = body(value.clone()) {
+            let (minimal, error, steps) = shrink_failure(strategy, &mut body, value, e);
+            let minimal_repr = format!("{minimal:?}");
+            let mut report = format!(
+                "proptest '{name}' failed at case {case}/{cases}: {error}\n\
+                 minimal counterexample ({steps} shrink steps): {minimal_repr}"
+            );
+            if let Some(dir) = failures_dir {
+                append_replay_note(
+                    &mut report,
+                    dir,
+                    name,
+                    case,
+                    cases,
+                    seed,
+                    &error.message,
+                    Some((&minimal_repr, steps)),
+                );
+            }
+            panic!("{report}");
+        }
+    }
+}
+
+/// Greedy descent: repeatedly take the first shrink candidate that still
+/// fails, until no candidate fails or the attempt budget is spent.
+fn shrink_failure<S: strategy::Strategy>(
+    strategy: &S,
+    body: &mut impl FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
+    value: S::Value,
+    error: test_runner::TestCaseError,
+) -> (S::Value, test_runner::TestCaseError, usize)
+where
+    S::Value: Clone,
+{
+    let mut best = value;
+    let mut best_err = error;
+    let mut attempts = 0usize;
+    let mut steps = 0usize;
+    'descent: loop {
+        for candidate in strategy.shrink(&best) {
+            if attempts >= MAX_SHRINK_ATTEMPTS {
+                break 'descent;
+            }
+            attempts += 1;
+            if let Err(e) = body(candidate.clone()) {
+                best = candidate;
+                best_err = e;
+                steps += 1;
+                continue 'descent;
+            }
+        }
+        break;
+    }
+    (best, best_err, steps)
+}
+
+/// Per-test stream seed derived from the test name (FNV-1a) so sibling
+/// tests explore different streams but every run is identical.
+pub fn stream_seed(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
+}
+
+/// A deterministic [`TestRng`] for driving strategies outside the
+/// [`proptest!`] harness (e.g. one seeded draw inside a plain `#[test]`)
+/// without a direct `rand` dependency.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(seed)
+}
+
+/// Write the replay file and append its outcome to the panic report.
+#[allow(clippy::too_many_arguments)]
+fn append_replay_note(
+    report: &mut String,
+    dir: &std::path::Path,
+    name: &str,
+    case: u32,
+    cases: u32,
+    seed: u64,
+    message: &str,
+    minimal: Option<(&str, usize)>,
+) {
+    match write_failure_file(dir, name, case, cases, seed, message, minimal) {
+        Ok(path) => report.push_str(&format!(" (replay file: {})", path.display())),
+        Err(io) => report.push_str(&format!(" (could not write replay file: {io})")),
     }
 }
 
@@ -326,16 +566,22 @@ fn write_failure_file(
     cases: u32,
     seed: u64,
     message: &str,
+    minimal: Option<(&str, usize)>,
 ) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     // Test names are Rust identifiers, so they are safe as file names.
     let path = dir.join(format!("{name}.txt"));
+    let minimal_lines = match minimal {
+        Some((repr, steps)) => format!("minimal: {repr}\nshrink_steps: {steps}\n"),
+        None => String::new(),
+    };
     std::fs::write(
         &path,
         format!(
             "test: {name}\nfailing_case: {case}\ncases_run: {cases}\nstream_seed: {seed:#018x}\n\
-             message: {message}\nreplay: cases are generated deterministically from the test \
-             name; run the named test with PROPTEST_CASES={min_cases} or more to reproduce.\n",
+             message: {message}\n{minimal_lines}replay: cases are generated deterministically \
+             from the test name; run the named test with PROPTEST_CASES={min_cases} or more to \
+             reproduce the original failure (the minimal line above is the shrunk form).\n",
             min_cases = case + 1
         ),
     )?;
@@ -368,11 +614,21 @@ macro_rules! __proptest_items {
     )*) => {$(
         $(#[$meta])*
         fn $name() {
-            $crate::run_proptest($cfg, stringify!($name), |__proptest_rng| {
-                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __proptest_rng);)+
-                $body
-                ::core::result::Result::Ok(())
-            });
+            // All argument strategies fuse into one tuple strategy, so the
+            // runner can regenerate and shrink the whole argument list as
+            // a unit. Generation order matches the per-argument expansion,
+            // so existing name-seeded streams reproduce identically.
+            let __proptest_strategy = ($(($strat),)+);
+            $crate::run_proptest_shrink(
+                $cfg,
+                stringify!($name),
+                &__proptest_strategy,
+                |__proptest_value| {
+                    let ($($arg,)+) = __proptest_value;
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
         }
     )*};
 }
@@ -482,6 +738,93 @@ mod tests {
         if std::env::var("PROPTEST_CASES").is_err() {
             assert_eq!(crate::effective_cases(24), 24);
         }
+    }
+
+    fn panic_message(result: std::thread::Result<()>) -> String {
+        let err = result.expect_err("the property must fail");
+        err.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+            err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap_or_default()
+        })
+    }
+
+    #[test]
+    fn integer_failures_shrink_to_the_boundary() {
+        // x < 10 fails for any x in 10..100; the greedy descent over
+        // range candidates (lo, midpoint, decrement) must land on 10.
+        let message = panic_message(std::panic::catch_unwind(|| {
+            crate::run_proptest_shrink_with(64, "int_shrink_probe", None, &(0u32..100), |x| {
+                prop_assert!(x < 10, "x was {}", x);
+                Ok(())
+            });
+        }));
+        assert!(message.contains("minimal counterexample"), "{message}");
+        assert!(message.contains(": 10"), "must shrink to the boundary: {message}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_to_one_offending_element() {
+        // Any vector containing an element >= 50 fails; minimal form is a
+        // single element at exactly 50 (prefix-drop + element shrinks).
+        let message = panic_message(std::panic::catch_unwind(|| {
+            crate::run_proptest_shrink_with(
+                64,
+                "vec_shrink_probe",
+                None,
+                &crate::collection::vec(0u32..100, 0..8),
+                |v| {
+                    prop_assert!(v.iter().all(|&x| x < 50), "v was {:?}", v);
+                    Ok(())
+                },
+            );
+        }));
+        assert!(message.contains("minimal counterexample"), "{message}");
+        assert!(message.contains("[50]"), "must shrink to the single boundary element: {message}");
+    }
+
+    #[test]
+    fn tuple_failures_shrink_component_wise() {
+        // Fails whenever a + b >= 30; the minimal failing tuple under
+        // component-wise descent has one component at its range minimum.
+        let message = panic_message(std::panic::catch_unwind(|| {
+            crate::run_proptest_shrink_with(
+                64,
+                "tuple_shrink_probe",
+                None,
+                &(0u32..100, 0u32..100),
+                |(a, b)| {
+                    prop_assert!(a + b < 30, "({}, {})", a, b);
+                    Ok(())
+                },
+            );
+        }));
+        assert!(message.contains("minimal counterexample"), "{message}");
+        assert!(
+            message.contains("(0, 30)") || message.contains("(30, 0)"),
+            "must pin one component at the minimum: {message}"
+        );
+    }
+
+    #[test]
+    fn replay_file_records_the_minimal_counterexample() {
+        let dir = std::env::temp_dir().join(format!("proptest-shrink-{}", std::process::id()));
+        let result = std::panic::catch_unwind(|| {
+            crate::run_proptest_shrink_with(
+                16,
+                "shrink_replay_probe",
+                Some(&dir),
+                &(0u32..100),
+                |x| {
+                    prop_assert!(x < 5, "x was {}", x);
+                    Ok(())
+                },
+            );
+        });
+        assert!(result.is_err(), "the property must fail");
+        let content = std::fs::read_to_string(dir.join("shrink_replay_probe.txt"))
+            .expect("replay file must exist");
+        assert!(content.contains("minimal: 5"), "{content}");
+        assert!(content.contains("shrink_steps:"), "{content}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

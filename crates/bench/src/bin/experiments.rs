@@ -3,7 +3,7 @@
 //! Usage:
 //! ```text
 //! experiments [table2|table3|fig9|fig10|table4|fig11|fig12|fig13|summary|all]
-//!             [--quick] [--seed N]
+//!             [--quick] [--seed N] [--trace FILE] [--metrics]
 //! experiments sweep-restarts [--quick] [--seed N]
 //! experiments variational-sweep [--quick] [--seed N]
 //! ```
@@ -17,6 +17,13 @@
 //! measures the parameterized-template fast path: per benchmark, one
 //! structure compile followed by a 100-point rebind sweep, reporting the
 //! per-point rebind time against a warm full compile.
+//!
+//! `--trace FILE` enables span tracing for the run and exports every
+//! recorded span as Chrome trace-event JSON (open in `chrome://tracing`
+//! or Perfetto). The export summary goes to stderr, so stdout stays
+//! byte-identical to an untraced run — tracing must never change results.
+//! `--metrics` appends the unified metrics registry (Prometheus text) to
+//! stdout after the tables.
 
 use parallax_bench::*;
 use parallax_hardware::MachineSpec;
@@ -24,17 +31,36 @@ use parallax_hardware::MachineSpec;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(0);
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--") && a.as_str() != seed.to_string())
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let flag_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+    let seed = flag_value("--seed").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    let trace_path = flag_value("--trace");
+    // The subcommand is the first argument that is neither a flag nor the
+    // value consumed by a value-taking flag (`--seed N`, `--trace FILE`).
+    let mut which: Option<String> = None;
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--seed" || a == "--trace" {
+            skip_value = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        which = Some(a.clone());
+        break;
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
+
+    if trace_path.is_some() {
+        parallax_trace::set_enabled(true);
+    }
+    parallax_core::register_observability();
 
     let run = |name: &str| which == name || which == "all";
 
@@ -155,6 +181,35 @@ fn main() {
         println!(
             "plan cache:   len {} weight {}/{} hits {} misses {} evictions {}",
             pc.len, pc.weight, pc.capacity, pc.hits, pc.misses, pc.evictions
+        );
+    }
+
+    // Opt-in registry dump: everything the run recorded (stage timers,
+    // compile stats, cache gauges) in Prometheus text exposition.
+    if metrics {
+        println!("== Metrics registry (Prometheus text exposition) ==");
+        print!("{}", parallax_trace::render_prometheus());
+    }
+
+    // The Chrome trace export goes last so it captures every span of the
+    // run; its summary goes to stderr so a traced run's *stdout* stays
+    // byte-identical to an untraced one (the determinism contract).
+    if let Some(path) = trace_path {
+        let events = parallax_trace::snapshot_events();
+        let json = parallax_trace::export_chrome(&events);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("[experiments] cannot write trace file {path}: {e}");
+            std::process::exit(1);
+        }
+        let dropped = parallax_trace::dropped_events();
+        eprintln!(
+            "[experiments] wrote {} spans to {path} (open in chrome://tracing or Perfetto){}",
+            events.len(),
+            if dropped > 0 {
+                format!("; {dropped} dropped by the ring buffer")
+            } else {
+                String::new()
+            }
         );
     }
 }

@@ -84,6 +84,7 @@ pub type SharedCompiler = std::sync::Arc<ParallaxCompiler>;
 impl ParallaxCompiler {
     /// Create a compiler for `machine` with `config`.
     pub fn new(machine: MachineSpec, config: CompilerConfig) -> Self {
+        crate::register_observability();
         Self { machine, config }
     }
 
@@ -139,16 +140,28 @@ impl ParallaxCompiler {
         circuit: &Circuit,
         layout: &GraphineLayout,
     ) -> CompilationResult {
+        // The root span lives here, not in `compile`, so every entry point
+        // — full compiles, pre-placed bench runs, template structure
+        // compiles — traces the same `compile → stage.*` tree. Placement
+        // (`stage.placement`, inside the layout cache) precedes this call
+        // in `compile` and records as a sibling root of the same trace.
+        let _root = parallax_trace::span!("compile");
         let t = profile::begin();
+        let sp = parallax_trace::span!("stage.discretize");
         let mut disc: DiscretizedLayout = discretize(circuit, layout, self.machine);
+        drop(sp);
         profile::record(profile::Stage::Discretize, t, 0);
         let t = profile::begin();
+        let sp = parallax_trace::span!("stage.aod_select");
         let aod_selection = select_aod_qubits(circuit, &mut disc, &self.config);
+        drop(sp);
         profile::record(profile::Stage::AodSelect, t, 0);
         let home_positions: Vec<Point> =
             (0..circuit.num_qubits() as u32).map(|q| disc.array.position(q)).collect();
         let t = profile::begin();
+        let sp = parallax_trace::span!("stage.schedule");
         let schedule = schedule_gates(circuit, &mut disc, &aod_selection, &self.config);
+        drop(sp);
         profile::record(profile::Stage::Schedule, t, 0);
         CompilationResult {
             machine: self.machine,

@@ -263,7 +263,11 @@ pub fn lookup_or_generate(
     placement: &PlacementConfig,
 ) -> (GraphineLayout, bool) {
     let key = LayoutKey::new(graph, machine, placement);
-    if let Some(layout) = global().lock().expect("layout cache lock").get(&key) {
+    let probe = {
+        let _s = parallax_trace::span!("cache.layout.probe");
+        global().lock().expect("layout cache lock").get(&key)
+    };
+    if let Some(layout) = probe {
         return (layout, true);
     }
     let layout = GraphineLayout::from_graph(graph, placement);
@@ -279,6 +283,7 @@ pub fn cached_layout(
     machine: &MachineSpec,
     placement: &PlacementConfig,
 ) -> GraphineLayout {
+    let _sp = parallax_trace::span!("stage.placement");
     let started = profile::begin();
     let graph = InteractionGraph::from_circuit(circuit);
     let (layout, hit) = lookup_or_generate(&graph, machine, placement);
@@ -721,6 +726,58 @@ pub fn resize(capacity: usize) {
     global().lock().expect("layout cache lock").set_capacity(capacity);
     plan_global().lock().expect("plan cache lock").set_capacity(capacity);
     template_global().lock().expect("template cache lock").set_capacity(capacity);
+}
+
+/// Register the three cache layers with the process-wide metrics registry
+/// as a pull-model collector: the caches keep their own counters under
+/// their own locks, and exposition samples them on demand instead of
+/// mirroring every probe into a second atomic. Idempotent — safe to call
+/// from every entry point (compiler construction, service start,
+/// `experiments --metrics`).
+pub fn register_cache_metrics() {
+    parallax_trace::register_collector(
+        "parallax_core.caches",
+        Box::new(|out| {
+            let push = |out: &mut Vec<parallax_trace::Sample>,
+                        cache: &str,
+                        hits: u64,
+                        misses: u64,
+                        evictions: u64,
+                        len: usize,
+                        capacity: usize,
+                        weight: usize| {
+                let l = [("cache", cache)];
+                out.push(parallax_trace::Sample::counter("parallax_cache_hits_total", &l, hits));
+                out.push(parallax_trace::Sample::counter(
+                    "parallax_cache_misses_total",
+                    &l,
+                    misses,
+                ));
+                out.push(parallax_trace::Sample::counter(
+                    "parallax_cache_evictions_total",
+                    &l,
+                    evictions,
+                ));
+                out.push(parallax_trace::Sample::gauge("parallax_cache_entries", &l, len as u64));
+                out.push(parallax_trace::Sample::gauge(
+                    "parallax_cache_capacity_units",
+                    &l,
+                    capacity as u64,
+                ));
+                out.push(parallax_trace::Sample::gauge(
+                    "parallax_cache_weight_units",
+                    &l,
+                    weight as u64,
+                ));
+            };
+            let s = layout_cache_stats();
+            push(out, "layout", s.hits, s.misses, s.evictions, s.len, s.capacity, s.weight);
+            let s = plan_cache_stats();
+            push(out, "plan", s.hits, s.misses, s.evictions, s.len, s.capacity, s.weight);
+            let s = template_cache_stats();
+            push(out, "template", s.hits, s.misses, s.evictions, s.len, s.capacity, s.weight);
+        }),
+    );
 }
 
 #[cfg(test)]

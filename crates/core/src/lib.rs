@@ -99,6 +99,16 @@ pub use layout_cache::{
     TemplateKey,
 };
 pub use movement::{plan_move_into_range, plan_return_home, MoveFailure, MovePlan};
+
+/// Register core's pull-model metrics (the three cache layers) with the
+/// process-wide `parallax-trace` registry. Once per process; every entry
+/// point calls it — compiler construction, the compile service, the bench
+/// harness — so exposition always includes the cache gauges no matter
+/// which surface scraped first.
+pub fn register_observability() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(layout_cache::register_cache_metrics);
+}
 pub use parallel::{compile_batch, panic_message, try_compile_batch, BatchJobError};
 pub use parallelize::{replication_plan, sweep_factors, ReplicationPlan};
 pub use scheduler::{schedule_gates, CompileStats, Schedule, ScheduledLayer};

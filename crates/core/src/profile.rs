@@ -6,13 +6,15 @@
 //! on a cached boolean per stage — no `Instant::now`, no atomics — so the
 //! compile hot path pays nothing.
 //!
-//! Counters are process-global lock-free atomics, which lets every surface
-//! report them through the existing STATS machinery: the compile service
-//! embeds [`snapshot`] in its `STATS` response (rendered by
-//! `parallax-client stats`), and the `experiments` binary prints the same
-//! table after a profiled run.
+//! Counters live in the process-wide `parallax-trace` metrics registry
+//! (families `parallax_stage_calls_total`, `parallax_stage_time_ns_total`,
+//! `parallax_stage_allocs_total`, one series per `stage` label), which lets
+//! every surface report them: the compile service embeds [`snapshot`] in
+//! its `STATS` response (rendered by `parallax-client stats`), the same
+//! numbers appear in the `METRICS` Prometheus exposition, and the
+//! `experiments` binary prints the table after a profiled run.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use parallax_trace::Counter;
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -54,21 +56,28 @@ pub const STAGE_NAMES: [&str; 8] = [
 ];
 
 struct StageCounters {
-    calls: AtomicU64,
-    time_ns: AtomicU64,
-    allocs: AtomicU64,
+    calls: Counter,
+    time_ns: Counter,
+    allocs: Counter,
 }
 
-const fn zeroed() -> StageCounters {
-    StageCounters {
-        calls: AtomicU64::new(0),
-        time_ns: AtomicU64::new(0),
-        allocs: AtomicU64::new(0),
-    }
+// Registry handles resolve once; afterwards a stage record is three
+// relaxed fetch_adds, same as the pre-registry static table. Sub-stage
+// display names carry a two-space indent for the text table; the metric
+// label is the trimmed name.
+fn table() -> &'static [StageCounters; 8] {
+    static TABLE: OnceLock<[StageCounters; 8]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        STAGE_NAMES.map(|name| {
+            let labels = [("stage", name.trim_start())];
+            StageCounters {
+                calls: parallax_trace::counter("parallax_stage_calls_total", &labels),
+                time_ns: parallax_trace::counter("parallax_stage_time_ns_total", &labels),
+                allocs: parallax_trace::counter("parallax_stage_allocs_total", &labels),
+            }
+        })
+    })
 }
-
-static TABLE: [StageCounters; 8] =
-    [zeroed(), zeroed(), zeroed(), zeroed(), zeroed(), zeroed(), zeroed(), zeroed()];
 
 static ENABLED: OnceLock<bool> = OnceLock::new();
 
@@ -107,10 +116,10 @@ pub fn record(stage: Stage, started: Option<Instant>, allocs: u64) {
 /// Record a stage observation directly (used by [`record`] and by tests,
 /// which cannot set the environment variable process-wide).
 pub fn record_raw(stage: Stage, time_ns: u64, allocs: u64) {
-    let c = &TABLE[stage as usize];
-    c.calls.fetch_add(1, Ordering::Relaxed);
-    c.time_ns.fetch_add(time_ns, Ordering::Relaxed);
-    c.allocs.fetch_add(allocs, Ordering::Relaxed);
+    let c = &table()[stage as usize];
+    c.calls.inc();
+    c.time_ns.add(time_ns);
+    c.allocs.add(allocs);
 }
 
 /// One stage's accumulated counters.
@@ -128,14 +137,14 @@ pub struct StageSnapshot {
 
 /// Snapshot every stage (zeros when profiling never ran).
 pub fn snapshot() -> Vec<StageSnapshot> {
-    TABLE
+    table()
         .iter()
         .zip(STAGE_NAMES)
         .map(|(c, stage)| StageSnapshot {
             stage,
-            calls: c.calls.load(Ordering::Relaxed),
-            total_us: c.time_ns.load(Ordering::Relaxed) / 1_000,
-            allocs: c.allocs.load(Ordering::Relaxed),
+            calls: c.calls.get(),
+            total_us: c.time_ns.get() / 1_000,
+            allocs: c.allocs.get(),
         })
         .collect()
 }
@@ -159,10 +168,10 @@ pub fn render() -> String {
 
 /// Zero every counter (test isolation).
 pub fn reset() {
-    for c in &TABLE {
-        c.calls.store(0, Ordering::Relaxed);
-        c.time_ns.store(0, Ordering::Relaxed);
-        c.allocs.store(0, Ordering::Relaxed);
+    for c in table() {
+        c.calls.reset();
+        c.time_ns.reset();
+        c.allocs.reset();
     }
 }
 

@@ -117,6 +117,47 @@ pub struct CompileStats {
     pub plan_cache_cross_hits: usize,
 }
 
+impl CompileStats {
+    /// Accumulate this compile's statistics into the process-wide metrics
+    /// registry (`parallax_compile_stat_total{stat=...}`), so fleet-level
+    /// gate/move/trap-change totals show up in the `METRICS` exposition
+    /// alongside the stage timers. Registry handles resolve once per
+    /// process; afterwards this is a dozen relaxed adds per compile —
+    /// noise next to the compile itself. Distances are rounded to whole
+    /// µm (counters are integral).
+    pub fn publish_metrics(&self) {
+        type StatRow = (parallax_trace::Counter, fn(&CompileStats) -> u64);
+        struct Handles {
+            table: [StatRow; 12],
+        }
+        static HANDLES: std::sync::OnceLock<Handles> = std::sync::OnceLock::new();
+        let h = HANDLES.get_or_init(|| {
+            let c = |stat: &str| {
+                parallax_trace::counter("parallax_compile_stat_total", &[("stat", stat)])
+            };
+            Handles {
+                table: [
+                    (c("compiles"), |_| 1),
+                    (c("cz_gates"), |s| s.cz_count as u64),
+                    (c("u3_gates"), |s| s.u3_count as u64),
+                    (c("layers"), |s| s.layer_count as u64),
+                    (c("trap_changes"), |s| s.trap_changes as u64),
+                    (c("moves_planned"), |s| s.moves_planned as u64),
+                    (c("failed_moves"), |s| s.failed_moves as u64),
+                    (c("move_distance_um"), |s| s.total_move_distance_um.round() as u64),
+                    (c("deferred_gates"), |s| s.deferred_gates as u64),
+                    (c("blockade_ejections"), |s| s.blockade_ejections as u64),
+                    (c("plan_memo_hits"), |s| s.plan_cache_hits as u64),
+                    (c("plan_cross_hits"), |s| s.plan_cache_cross_hits as u64),
+                ],
+            }
+        });
+        for (counter, extract) in &h.table {
+            counter.add(extract(self));
+        }
+    }
+}
+
 /// A compiled schedule: executable layers plus statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
@@ -457,6 +498,7 @@ impl PlanCaches {
         if let Some(plan) = self.memo.lookup(array, mover, target) {
             return Ok(plan);
         }
+        let _probe = parallax_trace::span!("cache.plan.probe");
         let key = crate::layout_cache::PlanKey {
             layout: self.static_fp,
             aod_config: self.aod_fp(array),
@@ -556,13 +598,16 @@ pub fn schedule_gates(
 
         // ---- Lines 7-11: build the dependency frontier layer. ----
         let t_frontier = profile::begin();
+        let sp_frontier = parallax_trace::span!("schedule.frontier");
         let curr = &mut scratch.curr;
         scratch.frontier.collect(&qubit_gates, &ptr, curr);
+        drop(sp_frontier);
         profile::record(Stage::ScheduleFrontier, t_frontier, 0);
         assert!(!curr.is_empty(), "dependency frontier is empty before completion");
 
         // ---- Lines 12-19: movement resolution for out-of-range CZs. ----
         let t_movement = profile::begin();
+        let sp_movement = parallax_trace::span!("schedule.movement");
         let mut moved_this_layer = false;
         let mut committed_moves: Vec<AodMove> = Vec::new();
         let mut move_distance_um = 0.0f64;
@@ -689,6 +734,7 @@ pub fn schedule_gates(
 
         // ---- Line 20: shuffle to avoid starving any one qubit. ----
         kept.shuffle(&mut rng);
+        drop(sp_movement);
         profile::record(Stage::ScheduleMovement, t_movement, 0);
 
         // ---- Lines 21-22: Rydberg blockade interference ejection. ----
@@ -697,6 +743,7 @@ pub fn schedule_gates(
         // effective operand positions of every kept CZ gate (stamped
         // index-keyed scratch; the stamp is this layer's guard count).
         let t_blockade = profile::begin();
+        let sp_blockade = parallax_trace::span!("schedule.blockade");
         for &g in kept.iter() {
             if let Gate::Cz { a, b } = gates[g] {
                 let mut pa = layout.array.position(a);
@@ -739,6 +786,7 @@ pub fn schedule_gates(
                 }
             }
         }
+        drop(sp_blockade);
         profile::record(Stage::ScheduleBlockade, t_blockade, 0);
         assert!(
             !accepted.is_empty(),
@@ -769,11 +817,14 @@ pub fn schedule_gates(
             }
         }
         let t_frontier = profile::begin();
+        let sp_frontier = parallax_trace::span!("schedule.frontier");
         scratch.frontier.advance(advanced, gates, &qubit_gates, &ptr);
+        drop(sp_frontier);
         profile::record(Stage::ScheduleFrontier, t_frontier, 0);
 
         // ---- Line 24: return moved atoms home. ----
         let t_return = profile::begin();
+        let sp_return = parallax_trace::span!("schedule.return");
         let mut return_distance_um = 0.0;
         if config.return_home && !moved_homes.is_empty() {
             let plan = plan_return_home(&layout.array, moved_homes);
@@ -785,6 +836,7 @@ pub fn schedule_gates(
                     .expect("home configuration is always valid");
             }
         }
+        drop(sp_return);
         profile::record(Stage::ScheduleReturn, t_return, 0);
 
         stats.layer_count += 1;
@@ -802,6 +854,7 @@ pub fn schedule_gates(
     stats.failed_move_memo_hits = scratch.memo.hits;
     stats.plan_cache_hits = scratch.plans.memo.hits;
     stats.plan_cache_cross_hits = scratch.plans.cross_hits;
+    stats.publish_metrics();
 
     let schedule = Schedule { layers, stats };
     debug_assert!(

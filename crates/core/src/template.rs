@@ -102,7 +102,11 @@ pub fn compiled_template_keyed(
     compiler: &ParallaxCompiler,
     circuit: &Circuit,
 ) -> (Arc<CompiledTemplate>, bool) {
-    if let Some(template) = layout_cache::lookup_template(&key) {
+    let probe = {
+        let _s = parallax_trace::span!("cache.template.probe");
+        layout_cache::lookup_template(&key)
+    };
+    if let Some(template) = probe {
         return (template, true);
     }
     let template = Arc::new(CompiledTemplate::compile(compiler, circuit));

@@ -75,8 +75,12 @@ impl GraphineLayout {
     /// (lets callers that already hashed the graph for the layout cache
     /// avoid rebuilding it).
     pub fn from_graph(graph: &InteractionGraph, config: &PlacementConfig) -> Self {
+        let sp = parallax_trace::span!("placement.anneal");
         let placement = place(graph, config);
+        drop(sp);
+        let sp = parallax_trace::span!("placement.radius");
         let interaction_radius = connecting_radius(&placement.positions);
+        drop(sp);
         Self {
             positions: placement.positions,
             interaction_radius,

@@ -293,6 +293,7 @@ impl AtomArray {
     /// state (cross-compile move-plan cache key); equal configurations
     /// fingerprint equally across processes.
     pub fn aod_fingerprint(&self) -> u64 {
+        let _sp = parallax_trace::span!("fingerprint.aod");
         let mut h = crate::fingerprint::StableHasher::new();
         self.for_each_aod(|q| {
             let p = self.positions[q as usize];
@@ -308,6 +309,7 @@ impl AtomArray {
     /// *line assignments* are included because they steer the planner's
     /// ordering constraints and are fixed for the compile.
     pub fn static_fingerprint(&self) -> u64 {
+        let _sp = parallax_trace::span!("fingerprint.static");
         let mut h = crate::fingerprint::StableHasher::new();
         h.write_u64(self.spec.fingerprint()).write_usize(self.traps.len());
         for (q, trap) in self.traps.iter().enumerate() {

@@ -3,17 +3,27 @@
 //! ```text
 //! parallax-client [--addr HOST:PORT] ping
 //! parallax-client [--addr HOST:PORT] stats
+//! parallax-client [--addr HOST:PORT] metrics
+//! parallax-client [--addr HOST:PORT] trace [--limit N]
 //! parallax-client [--addr HOST:PORT] shutdown
 //! parallax-client [--addr HOST:PORT] submit <file.qasm|-> \
 //!     [--seed N] [--machine quera|atom] [--quick] [--no-return-home]
-//!     [--priority 0..9] [--aod-dim N]
+//!     [--priority 0..9] [--aod-dim N] [--trace-id STR]
 //! parallax-client [--addr HOST:PORT] submit --workload NAME [options...]
 //! parallax-client [--addr HOST:PORT] sweep <file.qasm|-> | --workload NAME \
 //!     [--points N] [--param-seed S] [submit options...]
 //! ```
 //!
 //! `submit` prints the compilation metrics the server returned; repeat an
-//! identical submission to watch `cached: true` come back instantly.
+//! identical submission to watch `cached: true` come back instantly. Pass
+//! `--trace-id my-request-7` to correlate the submission with the server's
+//! span log; without it the server mints (and echoes) a 16-hex id.
+//!
+//! `metrics` prints the server's unified registry in Prometheus text
+//! exposition format, ready to pipe into a scrape file.
+//!
+//! `trace` prints the last N per-request span trees still in the server's
+//! ring buffer (requires the server to run with `PARALLAX_TRACE=1`).
 //!
 //! `sweep` resolves the circuit locally to count its U3 angle slots,
 //! generates `--points` pseudo-random parameter vectors in [-π, π), and
@@ -29,10 +39,12 @@ use std::io::Read;
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: parallax-client [--addr HOST:PORT] <ping|stats|shutdown|submit|sweep> ...\n\
+        "usage: parallax-client [--addr HOST:PORT] \
+         <ping|stats|metrics|trace|shutdown|submit|sweep> ...\n\
          submit: <file.qasm|-> | --workload NAME, plus [--seed N] [--machine quera|atom]\n\
-         [--quick] [--no-return-home] [--priority 0..9] [--aod-dim N]\n\
-         sweep: submit arguments plus [--points N] [--param-seed S]"
+         [--quick] [--no-return-home] [--priority 0..9] [--aod-dim N] [--trace-id STR]\n\
+         sweep: submit arguments plus [--points N] [--param-seed S]\n\
+         trace: [--limit N] most recent compile span trees"
     );
     std::process::exit(2)
 }
@@ -67,6 +79,44 @@ fn angle_stream(seed: u64) -> impl FnMut() -> f64 {
     }
 }
 
+/// Render a `TRACE` response as indented per-request span trees: one
+/// header line per trace id, one line per span (depth → indentation).
+fn render_trace(v: &Json) -> String {
+    let traces = match v.get("traces") {
+        Some(Json::Arr(a)) => a.as_slice(),
+        _ => &[],
+    };
+    if traces.is_empty() {
+        let enabled = v.get("enabled").and_then(Json::as_bool).unwrap_or(false);
+        return if enabled {
+            "no traces recorded yet (submit a job first)".to_string()
+        } else {
+            "tracing is disabled on the server (start it with PARALLAX_TRACE=1)".to_string()
+        };
+    }
+    let mut out = String::new();
+    for tree in traces {
+        let id = tree.get("trace_id").and_then(Json::as_str).unwrap_or("?");
+        let events = match tree.get("events") {
+            Some(Json::Arr(a)) => a.as_slice(),
+            _ => &[],
+        };
+        match tree.get("client_trace_id").and_then(Json::as_str) {
+            Some(tag) => {
+                out.push_str(&format!("trace {id} (client: {tag})  ({} spans)\n", events.len()))
+            }
+            None => out.push_str(&format!("trace {id}  ({} spans)\n", events.len())),
+        }
+        for e in events {
+            let g = |k: &str| e.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let name = e.get("name").and_then(Json::as_str).unwrap_or("?");
+            let indent = "  ".repeat(g("depth") as usize + 1);
+            out.push_str(&format!("{indent}{name:<24} {:.3} ms\n", g("dur_ns") as f64 / 1e6));
+        }
+    }
+    out.trim_end().to_string()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7878".to_string();
@@ -76,6 +126,7 @@ fn main() {
     let mut workload: Option<String> = None;
     let mut points = 100usize;
     let mut param_seed = 0u64;
+    let mut trace_limit: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -114,6 +165,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("bad --param-seed"))
             }
+            "--trace-id" => {
+                request.trace =
+                    Some(it.next().cloned().unwrap_or_else(|| die("--trace-id expects a string")))
+            }
+            "--limit" => {
+                trace_limit = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("bad --limit (must be >= 1)")),
+                )
+            }
             "--quick" => request.quick = true,
             "--no-return-home" => request.return_home = false,
             other if !other.starts_with("--") && command.is_none() => {
@@ -132,13 +195,26 @@ fn main() {
 
     let outcome = match command.as_str() {
         "ping" => client.ping().map(|v| v.encode()),
-        "stats" => client.stats().map(|v| render_stats(&v)),
+        "stats" => client.stats_response().map(|v| {
+            let mut out = String::new();
+            if let Some(trace) = v.get("trace_id").and_then(Json::as_str) {
+                out.push_str(&format!("trace id      {trace}\n"));
+            }
+            out.push_str(&render_stats(v.get("stats").unwrap_or(&Json::Null)));
+            out.trim_end().to_string()
+        }),
+        "metrics" => client.metrics().map(|text| text.trim_end().to_string()),
+        "trace" => client
+            .trace(trace_limit.unwrap_or(parallax_service::DEFAULT_TRACE_LIMIT))
+            .map(|v| render_trace(&v)),
         "shutdown" => client.shutdown().map(|v| v.encode()),
         "submit" => {
             request.source = resolve_source(workload, path);
             client.submit(request).map(|reply| {
-                let mut out =
-                    format!("cached: {}  server latency: {} µs\n", reply.cached, reply.total_us);
+                let mut out = format!(
+                    "cached: {}  server latency: {} µs  trace id: {}\n",
+                    reply.cached, reply.total_us, reply.trace_id
+                );
                 if let Json::Obj(pairs) = &reply.result {
                     for (k, v) in pairs {
                         out.push_str(&format!("{k:<18} {}\n", v.encode()));
@@ -167,11 +243,13 @@ fn main() {
                     hit_ns.iter().sum::<u64>().checked_div(hit_ns.len() as u64).unwrap_or(0);
                 let mut out = format!(
                     "points: {}  slots/point: {}  template hits: {hits} ({:.1}%)\n\
-                     server latency: {} µs total, rebind mean {mean_ns} ns/point\n",
+                     server latency: {} µs total, rebind mean {mean_ns} ns/point\n\
+                     trace id: {}\n",
                     reply.points.len(),
                     reply.params_per_point,
                     100.0 * hits as f64 / reply.points.len().max(1) as f64,
                     reply.total_us,
+                    reply.trace_id,
                 );
                 if let Some(first) = reply.points.first() {
                     if let Some(digest) = first.result.get("digest") {

@@ -45,6 +45,9 @@ pub struct SubmitReply {
     pub cached: bool,
     /// The client-supplied id, echoed back.
     pub id: Option<u64>,
+    /// The request's trace id: the client-supplied string echoed back, or
+    /// the server-minted 16-hex id tagging this compile's spans.
+    pub trace_id: String,
     /// Server-side latency from arrival to response, µs.
     pub total_us: u64,
     /// The canonical compilation payload (metrics + schedule digest).
@@ -74,6 +77,9 @@ pub struct SweepPointReply {
 pub struct SweepReply {
     /// The client-supplied id, echoed back.
     pub id: Option<u64>,
+    /// The sweep's trace id (client-supplied or server-minted); every
+    /// point of the sweep shares it.
+    pub trace_id: String,
     /// Parameter slots per point (the structure's U3 angle count).
     pub params_per_point: u64,
     /// Points answered by the template cache (cold sweep: N − 1).
@@ -142,6 +148,7 @@ impl ServiceClient {
                 .and_then(Json::as_bool)
                 .ok_or_else(|| ClientError::Protocol("missing 'cached'".into()))?,
             id: v.get("id").and_then(Json::as_u64),
+            trace_id: v.get("trace_id").and_then(Json::as_str).unwrap_or_default().to_string(),
             total_us: v.get("total_us").and_then(Json::as_u64).unwrap_or(0),
             result: v
                 .get("result")
@@ -189,6 +196,7 @@ impl ServiceClient {
         }
         Ok(SweepReply {
             id: header.get("id").and_then(Json::as_u64),
+            trace_id: header.get("trace_id").and_then(Json::as_str).unwrap_or_default().to_string(),
             params_per_point: header.get("params_per_point").and_then(Json::as_u64).unwrap_or(0),
             template_cache_hits: header
                 .get("template_cache_hits")
@@ -208,6 +216,29 @@ impl ServiceClient {
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         let v = self.roundtrip(&Request::Stats)?;
         v.get("stats").cloned().ok_or_else(|| ClientError::Protocol("missing 'stats'".into()))
+    }
+
+    /// Fetch the full `STATS` response wrapper, which also carries the
+    /// response's `trace_id` (the `stats` sub-object never does).
+    pub fn stats_response(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Stats)
+    }
+
+    /// Fetch the server's unified metrics registry rendered as Prometheus
+    /// text exposition (the `METRICS` op).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let v = self.roundtrip(&Request::Metrics)?;
+        v.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("missing 'metrics'".into()))
+    }
+
+    /// Fetch the server's most recent per-request span trees (the `TRACE`
+    /// op). Empty unless the server runs with tracing enabled
+    /// (`PARALLAX_TRACE=1`); the response's `enabled` flag disambiguates.
+    pub fn trace(&mut self, limit: usize) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Trace { limit })
     }
 
     /// Ask the server to drain and stop accepting; returns once every
@@ -356,7 +387,7 @@ mod tests {
         Metrics::inc(&m.sweep_points);
         Metrics::inc(&m.sweep_points);
         Metrics::inc(&m.template_cache_hits);
-        m.rebind_ns.fetch_add(4200, std::sync::atomic::Ordering::Relaxed);
+        m.rebind_ns.add(4200);
         let stats = m.to_json(1, 64, result_cache);
         let text = render_stats(&stats);
         assert!(text.contains("jobs          submitted 1  completed 1"), "{text}");

@@ -30,6 +30,13 @@
 //!   `SHUTDOWN` response is sent ([`server`]).
 //! * `STATS` reports job counters, queue depth, cache hit rate, and a
 //!   log-bucket latency histogram ([`metrics`]).
+//! * `METRICS` serves the unified observability registry (service
+//!   counters, compiler stage timers, cache gauges, latency histograms)
+//!   as Prometheus text exposition; `TRACE` returns the most recent
+//!   per-request span trees when the server runs with `PARALLAX_TRACE=1`.
+//!   Every submit/sweep/stats response carries a `trace_id` — client
+//!   supplied (echoed verbatim) or server-minted 16-hex — correlating it
+//!   with those spans.
 //! * `submit-sweep` serves variational parameter sweeps: one structure, N
 //!   parameter vectors, answered as a streamed header + per-point lines.
 //!   The structure compiles once into a process-wide
@@ -88,7 +95,7 @@ pub use json::{Json, JsonError};
 pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{
     circuit_content_hash, compile_payload, encode_request, parse_request, schedule_digest, Request,
-    SubmitRequest, SubmitSource, SweepRequest,
+    SubmitRequest, SubmitSource, SweepRequest, DEFAULT_TRACE_LIMIT,
 };
 pub use queue::{JobQueue, PushError};
 pub use server::{start, ServerConfig, ServerHandle, ServiceShared};

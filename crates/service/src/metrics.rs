@@ -1,55 +1,70 @@
 //! Live service metrics: job counters, latency histogram, cache and queue
 //! gauges — everything the `STATS` command reports.
 //!
-//! Counters are lock-free atomics updated from connection handlers and
-//! workers; the histogram uses fixed logarithmic buckets so recording a
-//! latency is one `fetch_add`. Snapshots are encoded with the canonical
-//! [`crate::json`] encoder.
+//! Counters live in the process-wide `parallax-trace` metrics registry
+//! (family `parallax_service_events_total`, one series per event kind),
+//! so the same numbers back both the JSON `STATS` snapshot and the
+//! Prometheus `METRICS` exposition. Each [`Metrics`] instance gets its own
+//! `instance` label: servers in the same process (tests run several) keep
+//! independent counts, exactly as the old per-struct atomics did, while a
+//! production process exposes its single instance's series. The hot path
+//! is unchanged — a registered counter is one relaxed `fetch_add`.
+//! Snapshots are encoded with the canonical [`crate::json`] encoder.
 
 use crate::json::Json;
-use std::sync::atomic::{AtomicU64, Ordering};
+pub use parallax_trace::Counter;
+use parallax_trace::Histogram;
 
 /// Upper bounds (µs, inclusive) of the latency histogram buckets; the last
 /// bucket is unbounded. Spans 100 µs to 100 s in decades.
 pub const LATENCY_BUCKET_BOUNDS_US: [u64; 7] =
     [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
 
-/// A fixed-bucket log-scale latency histogram.
-#[derive(Debug, Default)]
+/// A fixed-bucket log-scale latency histogram (a [`parallax_trace::Histogram`]
+/// with the service's decade bounds and the `STATS` JSON shape).
+#[derive(Debug)]
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
-    count: AtomicU64,
-    total_us: AtomicU64,
-    max_us: AtomicU64,
+    inner: Histogram,
+}
+
+impl Default for LatencyHistogram {
+    /// A detached histogram (not in the registry) — unit tests and other
+    /// standalone uses. Service instances are built registered via
+    /// [`Metrics::new`].
+    fn default() -> Self {
+        Self { inner: Histogram::detached(&LATENCY_BUCKET_BOUNDS_US) }
+    }
 }
 
 impl LatencyHistogram {
+    fn registered(instance: &str) -> Self {
+        Self {
+            inner: parallax_trace::histogram(
+                "parallax_service_latency_us",
+                &[("instance", instance)],
+                &LATENCY_BUCKET_BOUNDS_US,
+            ),
+        }
+    }
+
     /// Record one latency observation.
     pub fn record(&self, micros: u64) {
-        let idx = LATENCY_BUCKET_BOUNDS_US
-            .iter()
-            .position(|&bound| micros <= bound)
-            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(micros, Ordering::Relaxed);
-        self.max_us.fetch_max(micros, Ordering::Relaxed);
+        self.inner.record(micros);
     }
 
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.inner.count()
     }
 
     /// Mean latency in µs (0 when empty).
     pub fn mean_us(&self) -> u64 {
-        self.total_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+        self.inner.mean()
     }
 
     /// Snapshot as JSON: bucket upper bounds and counts, plus summary.
     pub fn to_json(&self) -> Json {
-        let counts: Vec<Json> =
-            self.buckets.iter().map(|b| Json::Int(b.load(Ordering::Relaxed))).collect();
+        let counts: Vec<Json> = self.inner.bucket_counts().into_iter().map(Json::Int).collect();
         let mut bounds: Vec<Json> =
             LATENCY_BUCKET_BOUNDS_US.iter().map(|&b| Json::Int(b)).collect();
         bounds.push(Json::Null); // the overflow bucket has no upper bound
@@ -58,49 +73,88 @@ impl LatencyHistogram {
             ("counts", Json::Arr(counts)),
             ("count", Json::Int(self.count())),
             ("mean_us", Json::Int(self.mean_us())),
-            ("max_us", Json::Int(self.max_us.load(Ordering::Relaxed))),
+            ("max_us", Json::Int(self.inner.max())),
         ])
     }
 }
 
-/// All service counters, shared by reference across threads.
-#[derive(Debug, Default)]
+/// All service counters, shared by reference across threads. Each field is
+/// a registry handle; the struct itself is just the instance's view.
+#[derive(Debug)]
 pub struct Metrics {
     /// Jobs accepted into the queue (excludes cache hits and rejections).
-    pub submitted: AtomicU64,
+    pub submitted: Counter,
     /// Jobs compiled to completion.
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Jobs whose compilation panicked.
-    pub failed: AtomicU64,
+    pub failed: Counter,
     /// Submissions refused because the queue was full (backpressure).
-    pub rejected_full: AtomicU64,
+    pub rejected_full: Counter,
     /// Submissions refused because the server was draining.
-    pub rejected_shutdown: AtomicU64,
+    pub rejected_shutdown: Counter,
     /// Submissions answered straight from the result cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
     /// Submissions that had to compile (cache misses).
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Counter,
     /// Malformed or invalid request lines.
-    pub bad_requests: AtomicU64,
+    pub bad_requests: Counter,
     /// Parameter points served through `submit-sweep`.
-    pub sweep_points: AtomicU64,
+    pub sweep_points: Counter,
     /// Sweep points answered by the process-wide template cache (a rebind,
     /// no compile).
-    pub template_cache_hits: AtomicU64,
+    pub template_cache_hits: Counter,
     /// Sweep points that had to compile their structure's template.
-    pub template_cache_misses: AtomicU64,
+    pub template_cache_misses: Counter,
     /// Cumulative nanoseconds spent on the rebind fast path (template-hit
     /// sweep points only, so `rebind_ns / template_cache_hits` is the mean
     /// cost of serving one warm sweep point).
-    pub rebind_ns: AtomicU64,
+    pub rebind_ns: Counter,
     /// End-to-end submit latency (arrival to response encode), µs.
     pub latency: LatencyHistogram,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Metrics {
+    /// Create this server's registry-backed counters under a fresh
+    /// `instance` label.
+    pub fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let instance = INSTANCE.fetch_add(1, Ordering::Relaxed).to_string();
+        let event = |event: &str| {
+            parallax_trace::counter(
+                "parallax_service_events_total",
+                &[("event", event), ("instance", &instance)],
+            )
+        };
+        Self {
+            submitted: event("submitted"),
+            completed: event("completed"),
+            failed: event("failed"),
+            rejected_full: event("rejected_full"),
+            rejected_shutdown: event("rejected_shutdown"),
+            cache_hits: event("cache_hit"),
+            cache_misses: event("cache_miss"),
+            bad_requests: event("bad_request"),
+            sweep_points: event("sweep_point"),
+            template_cache_hits: event("template_cache_hit"),
+            template_cache_misses: event("template_cache_miss"),
+            rebind_ns: parallax_trace::counter(
+                "parallax_service_rebind_ns_total",
+                &[("instance", &instance)],
+            ),
+            latency: LatencyHistogram::registered(&instance),
+        }
+    }
+
     /// Bump `counter` by one.
-    pub fn inc(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub fn inc(counter: &Counter) {
+        counter.inc();
     }
 
     /// Snapshot every counter (plus the caller-supplied queue gauges) as
@@ -113,7 +167,7 @@ impl Metrics {
         let plan_cache = Self::plan_cache_json();
         let template_cache = Self::template_cache_json();
         let profile = Self::profile_json();
-        let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed));
+        let load = |c: &Counter| Json::Int(c.get());
         Json::obj(vec![
             ("submitted", load(&self.submitted)),
             ("completed", load(&self.completed)),
@@ -272,5 +326,21 @@ mod tests {
         // The four pipeline stages plus the scheduler's four sub-stages.
         let Some(Json::Arr(stages)) = profile.get("stages") else { panic!("profile.stages") };
         assert_eq!(stages.len(), 8);
+    }
+
+    #[test]
+    fn instances_are_independent_and_exposed() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.submitted.inc();
+        a.submitted.inc();
+        b.submitted.inc();
+        assert_eq!(a.submitted.get(), 2);
+        assert_eq!(b.submitted.get(), 1);
+        a.latency.record(42);
+        // Both instances appear in the process-wide exposition.
+        let text = parallax_trace::render_prometheus_filtered("parallax_service_");
+        assert!(text.contains("# TYPE parallax_service_events_total counter"), "{text}");
+        assert!(text.contains("parallax_service_latency_us_count"), "{text}");
     }
 }

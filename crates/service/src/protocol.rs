@@ -67,6 +67,10 @@ pub struct SubmitRequest {
     /// Optional client-chosen id echoed back in the response, so clients
     /// can assert responses are index-stable.
     pub id: Option<u64>,
+    /// Optional client-supplied trace id (wire key `trace_id`): echoed
+    /// verbatim in every response line for cross-system correlation. When
+    /// absent the server mints one (16 hex digits) and returns it.
+    pub trace: Option<String>,
 }
 
 /// A parsed submit-sweep request: one circuit structure, N parameter
@@ -91,11 +95,21 @@ pub enum Request {
     SubmitSweep(Box<SweepRequest>),
     /// Report live service metrics.
     Stats,
+    /// Prometheus text exposition of the process-wide metrics registry.
+    Metrics,
+    /// The last N compile traces from the span ring buffer.
+    Trace {
+        /// Maximum number of traces to return.
+        limit: usize,
+    },
     /// Liveness probe.
     Ping,
     /// Drain in-flight work and stop accepting jobs.
     Shutdown,
 }
+
+/// Default number of traces a `TRACE` op returns.
+pub const DEFAULT_TRACE_LIMIT: usize = 4;
 
 /// Highest accepted priority (inclusive).
 pub const MAX_PRIORITY: u8 = 9;
@@ -108,6 +122,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let cmd = v.get("cmd").and_then(Json::as_str).ok_or("missing string field 'cmd'")?;
     match cmd {
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => Ok(Request::Trace {
+            limit: match v.get("limit") {
+                None => DEFAULT_TRACE_LIMIT,
+                Some(n) => n
+                    .as_u64()
+                    .filter(|&n| n >= 1)
+                    .map(|n| n as usize)
+                    .ok_or("'limit' must be a positive number")?,
+            },
+        }),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         "submit" => Ok(Request::Submit(Box::new(parse_submit_fields(&v)?))),
@@ -148,6 +173,7 @@ fn parse_submit_fields(v: &Json) -> Result<SubmitRequest, String> {
         return_home: v.get("return_home").and_then(Json::as_bool).unwrap_or(true),
         priority,
         id: v.get("id").and_then(Json::as_u64),
+        trace: v.get("trace_id").and_then(Json::as_str).map(str::to_string),
     })
 }
 
@@ -304,6 +330,11 @@ pub fn compile_payload(result: &CompilationResult) -> Json {
 pub fn encode_request(request: &Request) -> String {
     match request {
         Request::Stats => "{\"cmd\":\"stats\"}".to_string(),
+        Request::Metrics => "{\"cmd\":\"metrics\"}".to_string(),
+        Request::Trace { limit } => {
+            Json::obj(vec![("cmd", Json::Str("trace".into())), ("limit", Json::Int(*limit as u64))])
+                .encode()
+        }
         Request::Ping => "{\"cmd\":\"ping\"}".to_string(),
         Request::Shutdown => "{\"cmd\":\"shutdown\"}".to_string(),
         Request::Submit(s) => Json::obj(submit_pairs("submit", s)).encode(),
@@ -337,6 +368,9 @@ fn submit_pairs<'a>(cmd: &'a str, s: &SubmitRequest) -> Vec<(&'a str, Json)> {
     if let Some(id) = s.id {
         pairs.push(("id", Json::Int(id)));
     }
+    if let Some(trace) = &s.trace {
+        pairs.push(("trace_id", Json::Str(trace.clone())));
+    }
     pairs
 }
 
@@ -351,6 +385,7 @@ impl Default for SubmitRequest {
             return_home: true,
             priority: DEFAULT_PRIORITY,
             id: None,
+            trace: None,
         }
     }
 }
@@ -469,6 +504,8 @@ mod tests {
         let requests = vec![
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
+            Request::Trace { limit: 7 },
             Request::Shutdown,
             Request::Submit(Box::new(SubmitRequest {
                 source: SubmitSource::Qasm("OPENQASM 2.0;\nqreg q[1];\n".into()),
@@ -479,6 +516,7 @@ mod tests {
                 return_home: false,
                 priority: 8,
                 id: Some(42),
+                trace: Some("corr-77af".into()),
             })),
             Request::Submit(Box::default()),
             Request::SubmitSweep(Box::new(SweepRequest {
@@ -524,6 +562,29 @@ mod tests {
                 .unwrap();
         let Request::SubmitSweep(s) = r else { panic!("expected sweep") };
         assert!(s.params[0][0].is_infinite());
+    }
+
+    #[test]
+    fn metrics_and_trace_commands_parse() {
+        assert_eq!(parse_request("{\"cmd\":\"metrics\"}").unwrap(), Request::Metrics);
+        assert_eq!(
+            parse_request("{\"cmd\":\"trace\"}").unwrap(),
+            Request::Trace { limit: DEFAULT_TRACE_LIMIT }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"trace\",\"limit\":9}").unwrap(),
+            Request::Trace { limit: 9 }
+        );
+        assert!(parse_request("{\"cmd\":\"trace\",\"limit\":0}").is_err());
+        assert!(parse_request("{\"cmd\":\"trace\",\"limit\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn trace_id_field_parses_and_defaults_off() {
+        let s = submit("{\"cmd\":\"submit\",\"workload\":\"QFT\"}");
+        assert!(s.trace.is_none());
+        let s = submit("{\"cmd\":\"submit\",\"workload\":\"QFT\",\"trace_id\":\"abc-123\"}");
+        assert_eq!(s.trace.as_deref(), Some("abc-123"));
     }
 
     #[test]

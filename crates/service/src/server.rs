@@ -72,9 +72,34 @@ pub struct ServiceShared {
     pub cache: Mutex<ResultCache>,
     /// Live counters.
     pub metrics: Metrics,
+    /// Recent (internal span id → client-supplied trace id) pairs, so the
+    /// `TRACE` op can annotate a span tree with the correlation string the
+    /// client actually knows. Bounded FIFO; untagged requests (the server
+    /// minted the wire id from the span id) need no entry.
+    trace_tags: Mutex<std::collections::VecDeque<(u64, String)>>,
 }
 
+/// How many client-tagged requests the `TRACE` annotation map remembers —
+/// comfortably more than the span ring holds distinct traces.
+const TRACE_TAG_CAPACITY: usize = 256;
+
 impl ServiceShared {
+    /// Remember that spans tagged with internal id `num` belong to the
+    /// client-supplied trace id `tag`.
+    fn record_trace_tag(&self, num: u64, tag: &str) {
+        let mut tags = self.trace_tags.lock().expect("trace tags lock");
+        if tags.len() == TRACE_TAG_CAPACITY {
+            tags.pop_front();
+        }
+        tags.push_back((num, tag.to_string()));
+    }
+
+    /// The client-supplied trace id recorded for internal id `num`, if any.
+    fn client_trace_tag(&self, num: u64) -> Option<String> {
+        let tags = self.trace_tags.lock().expect("trace tags lock");
+        tags.iter().rev().find(|(n, _)| *n == num).map(|(_, t)| t.clone())
+    }
+
     /// Cache counters as the `STATS` sub-object.
     fn cache_json(&self) -> Json {
         let c = self.cache.lock().expect("cache lock");
@@ -190,12 +215,16 @@ impl Drop for ServerHandle {
 
 /// Start a server per `config`; returns once the listener is bound.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    // Expose the compiler's cache gauges/counters through the process-wide
+    // metrics registry before the first `METRICS` request can arrive.
+    parallax_core::register_observability();
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(ServiceShared {
         queue: JobQueue::new(config.queue_capacity),
         cache: Mutex::new(ResultCache::new(config.cache_capacity)),
         metrics: Metrics::default(),
+        trace_tags: Mutex::new(std::collections::VecDeque::new()),
     });
     let workers = spawn_workers(effective_workers(config.workers), shared.clone());
     let core = Arc::new(ServerCore {
@@ -350,8 +379,28 @@ fn handle_request(line: &str, core: &Arc<ServerCore>) -> (String, bool) {
                 shared.queue.capacity(),
                 shared.cache_json(),
             );
-            (Json::obj(vec![("ok", Json::Bool(true)), ("stats", stats)]).encode(), false)
+            // The trace id rides the response *wrapper* so the `stats`
+            // object itself keeps its pinned (golden-tested) shape.
+            let trace = format!("{:016x}", parallax_trace::next_trace_id());
+            (
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("trace_id", Json::Str(trace)),
+                    ("stats", stats),
+                ])
+                .encode(),
+                false,
+            )
         }
+        Ok(Request::Metrics) => (
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("metrics", Json::Str(parallax_trace::render_prometheus())),
+            ])
+            .encode(),
+            false,
+        ),
+        Ok(Request::Trace { limit }) => (trace_response(shared, limit), false),
         Ok(Request::Shutdown) => {
             core.drain();
             (
@@ -362,6 +411,47 @@ fn handle_request(line: &str, core: &Arc<ServerCore>) -> (String, bool) {
         Ok(Request::Submit(req)) => (handle_submit(&req, core), false),
         Ok(Request::SubmitSweep(req)) => (handle_sweep(&req, core), false),
     }
+}
+
+/// The `TRACE` response: the most recent per-request span trees still in
+/// the ring buffer, newest first. When tracing is disabled the list is
+/// empty — the `enabled` flag tells the client which case it is seeing.
+/// Trees whose request carried a client-supplied trace id additionally
+/// report it as `client_trace_id`, joining the tree to the id the client
+/// saw echoed in its response.
+fn trace_response(shared: &ServiceShared, limit: usize) -> String {
+    let traces = parallax_trace::recent_traces(limit);
+    let trees: Vec<Json> = traces
+        .iter()
+        .map(|t| {
+            let events: Vec<Json> = t
+                .events
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("name", Json::Str(e.name.to_string())),
+                        ("tid", Json::Int(u64::from(e.tid))),
+                        ("depth", Json::Int(u64::from(e.depth))),
+                        ("ts_ns", Json::Int(e.ts_ns)),
+                        ("dur_ns", Json::Int(e.dur_ns)),
+                    ])
+                })
+                .collect();
+            let mut pairs = vec![("trace_id", Json::Str(format!("{:016x}", t.trace_id)))];
+            if let Some(tag) = shared.client_trace_tag(t.trace_id) {
+                pairs.push(("client_trace_id", Json::Str(tag)));
+            }
+            pairs.push(("events", Json::Arr(events)));
+            Json::obj(pairs)
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("enabled", Json::Bool(parallax_trace::enabled())),
+        ("dropped_events", Json::Int(parallax_trace::dropped_events())),
+        ("traces", Json::Arr(trees)),
+    ])
+    .encode()
 }
 
 /// Build the compiler and resolve the circuit for a submission, rejecting
@@ -383,6 +473,17 @@ fn resolve_submission(req: &SubmitRequest) -> Result<(ParallaxCompiler, Circuit)
 fn handle_submit(req: &SubmitRequest, core: &Arc<ServerCore>) -> String {
     let shared = &core.shared;
     let arrived = Instant::now();
+    // Every submission gets a numeric trace id tagging its spans in the
+    // ring buffer; the *wire* id echoed back is the client's own string
+    // when supplied, else the hex rendering of the minted id.
+    let trace_num = parallax_trace::next_trace_id();
+    let trace = req.trace.clone().unwrap_or_else(|| format!("{trace_num:016x}"));
+    if req.trace.is_some() {
+        shared.record_trace_tag(trace_num, &trace);
+    }
+    // Tag connection-thread work (the cache probe) too, not just the
+    // worker's compile.
+    let _scope = parallax_trace::trace_id_scope(trace_num);
     if !core.accepting.load(Ordering::SeqCst) {
         Metrics::inc(&shared.metrics.rejected_shutdown);
         return error_response("server is shutting down", req.id);
@@ -399,13 +500,13 @@ fn handle_submit(req: &SubmitRequest, core: &Arc<ServerCore>) -> String {
         CacheKey { circuit: circuit_content_hash(&circuit), compiler: compiler.fingerprint() };
     if let Some(payload) = shared.cache.lock().expect("cache lock").get(&key) {
         Metrics::inc(&shared.metrics.cache_hits);
-        let response = ok_response(req.id, true, &payload, arrived);
+        let response = ok_response(req.id, &trace, true, &payload, arrived);
         shared.metrics.latency.record(arrived.elapsed().as_micros() as u64);
         return response;
     }
 
     let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job { circuit, compiler, key, reply: reply_tx };
+    let job = Job { circuit, compiler, key, trace_id: trace_num, reply: reply_tx };
     match shared.queue.push_timeout(job, req.priority, core.enqueue_timeout) {
         Err(PushError::Full(_)) => {
             Metrics::inc(&shared.metrics.rejected_full);
@@ -426,7 +527,9 @@ fn handle_submit(req: &SubmitRequest, core: &Arc<ServerCore>) -> String {
         }
     }
     let response = match reply_rx.recv() {
-        Ok(JobOutcome::Done { payload, .. }) => ok_response(req.id, false, &payload, arrived),
+        Ok(JobOutcome::Done { payload, .. }) => {
+            ok_response(req.id, &trace, false, &payload, arrived)
+        }
         Ok(JobOutcome::Failed { error }) => {
             error_response(&format!("compilation failed: {error}"), req.id)
         }
@@ -454,6 +557,14 @@ fn handle_sweep(req: &SweepRequest, core: &Arc<ServerCore>) -> String {
     let shared = &core.shared;
     let arrived = Instant::now();
     let id = req.submit.id;
+    let trace_num = parallax_trace::next_trace_id();
+    let trace = req.submit.trace.clone().unwrap_or_else(|| format!("{trace_num:016x}"));
+    if req.submit.trace.is_some() {
+        shared.record_trace_tag(trace_num, &trace);
+    }
+    // One trace id for the whole sweep: every per-point template probe and
+    // rebind span lands in the same tree.
+    let _scope = parallax_trace::trace_id_scope(trace_num);
     if !core.accepting.load(Ordering::SeqCst) {
         Metrics::inc(&shared.metrics.rejected_shutdown);
         return error_response("server is shutting down", id);
@@ -522,7 +633,7 @@ fn handle_sweep(req: &SweepRequest, core: &Arc<ServerCore>) -> String {
         if cached {
             hits += 1;
             Metrics::inc(&shared.metrics.template_cache_hits);
-            shared.metrics.rebind_ns.fetch_add(ns, Ordering::Relaxed);
+            shared.metrics.rebind_ns.add(ns);
         } else {
             Metrics::inc(&shared.metrics.template_cache_misses);
         }
@@ -543,8 +654,9 @@ fn handle_sweep(req: &SweepRequest, core: &Arc<ServerCore>) -> String {
     }
     let _ = write!(
         header,
-        "\"points\":{},\"params_per_point\":{expected},\"template_cache_hits\":{hits},\
-         \"total_us\":{total_us}}}",
+        "\"trace_id\":{},\"points\":{},\"params_per_point\":{expected},\
+         \"template_cache_hits\":{hits},\"total_us\":{total_us}}}",
+        Json::Str(trace).encode(),
         req.params.len()
     );
     lines[0] = header;
@@ -552,19 +664,26 @@ fn handle_sweep(req: &SweepRequest, core: &Arc<ServerCore>) -> String {
     lines.join("\n")
 }
 
-fn ok_response(id: Option<u64>, cached: bool, payload: &str, arrived: Instant) -> String {
+fn ok_response(
+    id: Option<u64>,
+    trace: &str,
+    cached: bool,
+    payload: &str,
+    arrived: Instant,
+) -> String {
     // The payload is already canonically encoded, so splice it in verbatim
     // — no parse/re-encode on the serving hot path, and the served
     // `result` stays byte-identical to a direct compile's encoding.
     use std::fmt::Write as _;
-    let mut out = String::with_capacity(payload.len() + 64);
+    let mut out = String::with_capacity(payload.len() + 96);
     out.push_str("{\"ok\":true,");
     if let Some(id) = id {
         let _ = write!(out, "\"id\":{id},");
     }
     let _ = write!(
         out,
-        "\"cached\":{cached},\"total_us\":{},\"result\":{payload}}}",
+        "\"trace_id\":{},\"cached\":{cached},\"total_us\":{},\"result\":{payload}}}",
+        Json::Str(trace.to_string()).encode(),
         arrived.elapsed().as_micros()
     );
     out
@@ -613,6 +732,90 @@ mod tests {
         assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("cache_misses").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn responses_carry_trace_ids_and_echo_client_supplied_ones() {
+        let server = test_server(1, 4, 4);
+        let core = &server.core;
+        // Server-minted: 16 lowercase hex digits.
+        let r = json::parse(&handle_request(&submit_line("ADD", 11), core).0).unwrap();
+        let minted = r.get("trace_id").and_then(Json::as_str).expect("trace_id").to_string();
+        assert_eq!(minted.len(), 16, "minted ids are 16-hex: {minted}");
+        assert!(minted.chars().all(|c| c.is_ascii_hexdigit()));
+        // Client-supplied: echoed verbatim (and on the cached path too).
+        let tagged = "{\"cmd\":\"submit\",\"workload\":\"ADD\",\"seed\":11,\"quick\":true,\
+             \"trace_id\":\"corr-abc\"}";
+        let r = json::parse(&handle_request(tagged, core).0).unwrap();
+        assert_eq!(r.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(r.get("trace_id").and_then(Json::as_str), Some("corr-abc"));
+        // Stats responses are tagged on the wrapper, not inside `stats`.
+        let s = json::parse(&handle_request("{\"cmd\":\"stats\"}", core).0).unwrap();
+        assert!(s.get("trace_id").and_then(Json::as_str).is_some());
+        assert!(s.get("stats").unwrap().get("trace_id").is_none());
+    }
+
+    #[test]
+    fn metrics_op_serves_prometheus_text() {
+        let server = test_server(1, 4, 4);
+        let core = &server.core;
+        let _ = handle_request(&submit_line("QFT", 2), core).0;
+        let r = json::parse(&handle_request("{\"cmd\":\"metrics\"}", core).0).unwrap();
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let text = r.get("metrics").and_then(Json::as_str).expect("metrics text");
+        assert!(text.contains("# TYPE parallax_service_events_total counter"), "{text}");
+        assert!(text.contains("parallax_compile_stat_total"), "{text}");
+        assert!(text.contains("parallax_service_latency_us_bucket"), "{text}");
+    }
+
+    #[test]
+    fn trace_op_returns_span_trees_when_enabled() {
+        let server = test_server(1, 4, 4);
+        let core = &server.core;
+        parallax_trace::set_enabled(true);
+        let r = json::parse(&handle_request(&submit_line("TFIM", 5), core).0).unwrap();
+        parallax_trace::set_enabled(false);
+        let wire = r.get("trace_id").and_then(Json::as_str).unwrap().to_string();
+        let t = json::parse(&handle_request("{\"cmd\":\"trace\",\"limit\":64}", core).0).unwrap();
+        assert_eq!(t.get("ok").and_then(Json::as_bool), Some(true));
+        let traces = match t.get("traces") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("traces must be an array, got {other:?}"),
+        };
+        let tree = traces
+            .iter()
+            .find(|tr| tr.get("trace_id").and_then(Json::as_str) == Some(wire.as_str()))
+            .expect("the traced submit's tree is retrievable by its wire id");
+        let events = match tree.get("events") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("events must be an array, got {other:?}"),
+        };
+        let names: Vec<&str> =
+            events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+        assert!(names.contains(&"compile"), "{names:?}");
+        assert!(names.contains(&"stage.schedule"), "{names:?}");
+    }
+
+    #[test]
+    fn trace_op_annotates_client_tagged_requests() {
+        let server = test_server(1, 4, 4);
+        let core = &server.core;
+        parallax_trace::set_enabled(true);
+        let tagged = "{\"cmd\":\"submit\",\"workload\":\"SAT\",\"seed\":9,\"quick\":true,\
+                      \"trace_id\":\"corr-xyz\"}";
+        let r = json::parse(&handle_request(tagged, core).0).unwrap();
+        parallax_trace::set_enabled(false);
+        assert_eq!(r.get("trace_id").and_then(Json::as_str), Some("corr-xyz"));
+        let t = json::parse(&handle_request("{\"cmd\":\"trace\",\"limit\":64}", core).0).unwrap();
+        let traces = match t.get("traces") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("traces must be an array, got {other:?}"),
+        };
+        let tree = traces
+            .iter()
+            .find(|tr| tr.get("client_trace_id").and_then(Json::as_str) == Some("corr-xyz"))
+            .expect("client-tagged tree is annotated with its correlation id");
+        assert!(tree.get("trace_id").and_then(Json::as_str).is_some());
     }
 
     #[test]

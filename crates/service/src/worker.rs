@@ -28,6 +28,10 @@ pub struct Job {
     pub compiler: ParallaxCompiler,
     /// Content address for the result cache.
     pub key: CacheKey,
+    /// Numeric trace id of the originating request: the worker tags every
+    /// span of this job's compile with it, so the service `TRACE` op can
+    /// slice the ring buffer per request.
+    pub trace_id: u64,
     /// Where the submitting connection waits for the outcome.
     pub reply: mpsc::Sender<JobOutcome>,
 }
@@ -86,6 +90,10 @@ fn worker_loop(shared: &ServiceShared) {
 
 /// Compile one job, record metrics, and publish via `publish` on success.
 fn run_job(job: &Job, metrics: &Metrics, publish: impl FnOnce(CacheKey, String)) -> JobOutcome {
+    // Tag every span the compile records with the request's trace id; the
+    // guard sits outside catch_unwind, so the previous id is restored even
+    // when the compile panics.
+    let _trace = parallax_trace::trace_id_scope(job.trace_id);
     let started = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| job.compiler.compile(&job.circuit))) {
         Ok(result) => {
@@ -120,7 +128,7 @@ mod tests {
             ParallaxCompiler::new(MachineSpec::quera_aquila_256(), CompilerConfig::quick(1));
         let key =
             CacheKey { circuit: circuit_content_hash(&circuit), compiler: compiler.fingerprint() };
-        Job { circuit, compiler, key, reply }
+        Job { circuit, compiler, key, trace_id: parallax_trace::next_trace_id(), reply }
     }
 
     #[test]
@@ -139,7 +147,7 @@ mod tests {
             }
             other => panic!("unexpected outcome {other:?}"),
         }
-        assert_eq!(metrics.completed.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(metrics.completed.get(), 1);
     }
 
     #[test]
@@ -155,10 +163,10 @@ mod tests {
         let compiler = ParallaxCompiler::new(tiny, CompilerConfig::quick(1));
         let key = CacheKey { circuit: 0, compiler: 0 };
         let (tx, _rx) = mpsc::channel();
-        let j = Job { circuit, compiler, key, reply: tx };
+        let j = Job { circuit, compiler, key, trace_id: 0, reply: tx };
         let metrics = Metrics::default();
         let outcome = run_job(&j, &metrics, |_, _| panic!("must not publish"));
         assert!(matches!(outcome, JobOutcome::Failed { .. }), "got {outcome:?}");
-        assert_eq!(metrics.failed.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(metrics.failed.get(), 1);
     }
 }

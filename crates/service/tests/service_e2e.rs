@@ -438,3 +438,60 @@ fn shutdown_drains_accepted_jobs_without_dropping_any() {
     );
     assert!(client_completed > 0, "some jobs must have completed before the drain");
 }
+
+#[test]
+fn metrics_and_trace_ops_work_over_the_wire() {
+    let server = start(test_config()).expect("bind");
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+
+    // Tag the submission with a client-side correlation id and check the
+    // echo, live over TCP.
+    let reply = client
+        .submit(SubmitRequest { trace: Some("e2e-tag-1".into()), ..submit_for("ADD", 41) })
+        .expect("submit");
+    assert_eq!(reply.trace_id, "e2e-tag-1");
+    // Untagged: the server mints a 16-hex id.
+    let minted = client.submit(submit_for("MLT", 41)).expect("submit").trace_id;
+    assert_eq!(minted.len(), 16, "minted trace id must be 16 hex chars: {minted}");
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()));
+
+    // The Prometheus exposition reflects the live server's registry. This
+    // server's own counters carry a fresh `instance` label, so its series
+    // start from exactly the two submissions above.
+    let text = client.metrics().expect("metrics op");
+    assert!(
+        text.contains("# TYPE parallax_service_events_total counter"),
+        "missing service counter family:\n{text}"
+    );
+    assert!(text.contains("# TYPE parallax_service_latency_us histogram"), "{text}");
+    assert!(text.contains("parallax_compile_stat_total"), "{text}");
+    assert!(text.contains("parallax_cache_entries"), "{text}");
+    let events: Vec<&str> =
+        text.lines().filter(|l| l.starts_with("parallax_service_events_total")).collect();
+    assert!(!events.is_empty(), "no event series rendered:\n{text}");
+
+    // The TRACE op always answers; span trees appear only when tracing is
+    // enabled, and the `enabled` flag tells the client which case holds.
+    let trace = client.trace(8).expect("trace op");
+    assert_eq!(trace.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(trace.get("enabled").and_then(Json::as_bool).is_some());
+    assert!(matches!(trace.get("traces"), Some(Json::Arr(_))));
+
+    // Stats responses carry a wrapper-level trace id; the pinned `stats`
+    // object stays untouched.
+    let wrapper = client.stats_response().expect("stats");
+    assert!(wrapper.get("trace_id").and_then(Json::as_str).is_some());
+    assert!(wrapper.get("stats").and_then(|s| s.get("trace_id")).is_none());
+
+    // Sweep headers carry the id too (echoed when client-supplied). QAOA
+    // has U3 slots; one zero vector of the right arity is enough.
+    let submit = SubmitRequest { trace: Some("e2e-sweep-7".into()), ..submit_for("QAOA", 41) };
+    let slots = parallax_circuit::CircuitTemplate::from_circuit(
+        &submit.resolve_circuit().expect("workload"),
+    )
+    .num_params();
+    let sweep = client
+        .submit_sweep(SweepRequest { submit, params: vec![vec![0.0; slots]] })
+        .expect("one-point sweep");
+    assert_eq!(sweep.trace_id, "e2e-sweep-7");
+}

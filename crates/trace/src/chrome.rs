@@ -1,0 +1,132 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders ring-buffer events as the Trace Event Format's "X" (complete)
+//! events, loadable in `chrome://tracing` or Perfetto. Timestamps and
+//! durations are microseconds; nesting is implied by containment of
+//! `[ts, ts+dur]` intervals per thread, which holds by construction for
+//! same-thread spans recorded by this crate.
+
+use crate::ring::TraceEvent;
+
+/// Render events as a Chrome trace-event JSON document.
+pub fn export_chrome(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Name strings are interned `&'static str` literals from `span!`
+        // sites; escape anyway so exotic names can't corrupt the document.
+        let mut name = String::new();
+        for ch in e.name.chars() {
+            match ch {
+                '"' => name.push_str("\\\""),
+                '\\' => name.push_str("\\\\"),
+                c if (c as u32) < 0x20 => name.push_str(&format!("\\u{:04x}", c as u32)),
+                c => name.push(c),
+            }
+        }
+        out.push_str(&format!(
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\
+             \"name\":\"{}\",\"args\":{{\"trace_id\":\"{:016x}\",\"depth\":{}}}}}",
+            e.tid,
+            e.ts_ns / 1_000,
+            e.ts_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+            name,
+            e.trace_id,
+            e.depth,
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Check that per-thread spans nest: sorted by start time, every span at
+/// depth `d+1` must lie within the most recent still-open span at depth
+/// `d` on the same thread. Returns the first violation as an error string.
+/// Used by tests and the CI traced-smoke step.
+pub fn validate_nesting(events: &[TraceEvent]) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.tid, e.ts_ns, std::cmp::Reverse(e.dur_ns)));
+    // Per-thread stack of open (end_ns, depth) intervals.
+    let mut stacks: BTreeMap<u16, Vec<(u64, u16)>> = BTreeMap::new();
+    for e in sorted {
+        let stack = stacks.entry(e.tid).or_default();
+        while let Some(&(end, _)) = stack.last() {
+            if e.ts_ns >= end {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(end, depth)) = stack.last() {
+            let self_end = e.ts_ns + e.dur_ns;
+            if self_end > end {
+                return Err(format!(
+                    "span '{}' (tid {}) overruns its parent: ends {} > parent end {}",
+                    e.name, e.tid, self_end, end
+                ));
+            }
+            if e.depth != depth + 1 {
+                return Err(format!(
+                    "span '{}' (tid {}) has depth {} inside a depth-{} parent",
+                    e.name, e.tid, e.depth, depth
+                ));
+            }
+        } else if e.depth != 0 {
+            return Err(format!(
+                "span '{}' (tid {}) has depth {} with no enclosing span",
+                e.name, e.tid, e.depth
+            ));
+        }
+        stack.push((e.ts_ns + e.dur_ns, e.depth));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::TraceEvent;
+
+    fn ev(name: &'static str, tid: u16, depth: u16, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent { name, tid, depth, ts_ns: ts, dur_ns: dur, trace_id: 1, order: ts }
+    }
+
+    #[test]
+    fn export_emits_complete_events() {
+        let events = vec![ev("compile", 0, 0, 1_000, 9_000), ev("schedule", 0, 1, 2_000, 3_500)];
+        let json = export_chrome(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"compile\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":3.500"));
+        assert!(json.contains("\"trace_id\":\"0000000000000001\""));
+    }
+
+    #[test]
+    fn nesting_accepts_contained_spans() {
+        let events = vec![
+            ev("root", 0, 0, 0, 100),
+            ev("mid", 0, 1, 10, 50),
+            ev("leaf", 0, 2, 20, 10),
+            ev("root2", 0, 0, 200, 50),
+            ev("other-thread", 1, 0, 15, 1_000),
+        ];
+        assert!(validate_nesting(&events).is_ok());
+    }
+
+    #[test]
+    fn nesting_rejects_overrun_and_bad_depth() {
+        let overrun = vec![ev("root", 0, 0, 0, 100), ev("late", 0, 1, 90, 50)];
+        assert!(validate_nesting(&overrun).is_err());
+        let bad_depth = vec![ev("root", 0, 0, 0, 100), ev("skip", 0, 2, 10, 20)];
+        assert!(validate_nesting(&bad_depth).is_err());
+        let orphan = vec![ev("orphan", 0, 1, 0, 10)];
+        assert!(validate_nesting(&orphan).is_err());
+    }
+}

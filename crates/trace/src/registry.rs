@@ -1,0 +1,449 @@
+//! The process-wide metrics registry.
+//!
+//! One registry absorbs every counter the stack used to scatter across
+//! ad-hoc statics: pipeline stage timers (`parallax-core::profile`),
+//! service job/cache counters (`parallax-service::metrics`), and the
+//! process-wide cache layers. Metrics are **named families** of **labeled
+//! series**; a handle ([`Counter`], [`Gauge`], [`Histogram`]) is an `Arc`
+//! onto the series' atomics, so the hot path after registration is one
+//! `fetch_add` — the registry lock is only taken at registration and
+//! exposition time.
+//!
+//! Components whose state lives elsewhere (the cache layers' own hit/miss
+//! atomics, queue depths) publish through a [`Collector`] callback sampled
+//! at exposition time — the Prometheus pull model — instead of mirroring
+//! every update into a second atomic.
+//!
+//! [`render_prometheus`] renders the whole registry (families sorted by
+//! name, series by label set) as Prometheus text exposition, which the
+//! service's `METRICS` op and `parallax-client metrics` serve verbatim.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Create a detached counter (not registered; unit tests).
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (test isolation; exposition treats it as a reset).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A settable gauge handle (non-negative values).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared state of a fixed-bucket histogram: cumulative-style buckets
+/// (recorded into the first bucket whose inclusive upper bound fits),
+/// plus count/sum/max summaries. Bounds are in whatever unit the caller
+/// records (the service uses µs); the last bucket is unbounded.
+#[derive(Debug)]
+pub struct HistogramCore {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &[u64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Create a detached histogram (not registered; unit tests and
+    /// standalone use).
+    pub fn detached(bounds: &[u64]) -> Self {
+        Histogram(Arc::new(HistogramCore::new(bounds)))
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let c = &self.0;
+        let idx = c.bounds.iter().position(|&b| value <= b).unwrap_or(c.bounds.len());
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Inclusive upper bounds of the bounded buckets.
+    pub fn bounds(&self) -> &[u64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket counts (bounded buckets then the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of every recorded value.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+}
+
+/// What kind of series a [`Sample`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Monotonic counter (rendered with a `counter` TYPE line).
+    Counter,
+    /// Point-in-time gauge (rendered with a `gauge` TYPE line).
+    Gauge,
+}
+
+/// One exposition sample produced by a [`Collector`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Metric family name (`snake_case`, counters end in `_total`).
+    pub name: String,
+    /// Label pairs, rendered in the given order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: u64,
+    /// Counter or gauge.
+    pub kind: SampleKind,
+}
+
+impl Sample {
+    /// Counter sample helper.
+    pub fn counter(name: &str, labels: &[(&str, &str)], value: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            value,
+            kind: SampleKind::Counter,
+        }
+    }
+
+    /// Gauge sample helper.
+    pub fn gauge(name: &str, labels: &[(&str, &str)], value: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            value,
+            kind: SampleKind::Gauge,
+        }
+    }
+}
+
+/// A pull-model metrics source sampled at exposition time.
+pub type Collector = Box<dyn Fn(&mut Vec<Sample>) + Send + Sync>;
+
+enum Series {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+struct Family {
+    series: BTreeMap<String, Series>,
+}
+
+struct Registry {
+    families: BTreeMap<String, Family>,
+    collectors: BTreeMap<String, Collector>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static R: OnceLock<Mutex<Registry>> = OnceLock::new();
+    R.get_or_init(|| {
+        Mutex::new(Registry { families: BTreeMap::new(), collectors: BTreeMap::new() })
+    })
+}
+
+/// Render a label set as its exposition fragment (`{k="v",...}`; empty
+/// string for no labels). Doubles as the series key, so a (name, labels)
+/// pair always resolves to the same atomics.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Get or create the counter `name{labels}`.
+pub fn counter(name: &str, labels: &[(&str, &str)]) -> Counter {
+    let key = label_key(labels);
+    let mut reg = registry().lock().expect("metrics registry lock");
+    let family = reg.families.entry(name.to_string()).or_insert(Family { series: BTreeMap::new() });
+    match family.series.entry(key).or_insert_with(|| Series::Counter(Arc::new(AtomicU64::new(0)))) {
+        Series::Counter(a) => Counter(Arc::clone(a)),
+        _ => panic!("metric '{name}' already registered with a different type"),
+    }
+}
+
+/// Get or create the gauge `name{labels}`.
+pub fn gauge(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    let key = label_key(labels);
+    let mut reg = registry().lock().expect("metrics registry lock");
+    let family = reg.families.entry(name.to_string()).or_insert(Family { series: BTreeMap::new() });
+    match family.series.entry(key).or_insert_with(|| Series::Gauge(Arc::new(AtomicU64::new(0)))) {
+        Series::Gauge(a) => Gauge(Arc::clone(a)),
+        _ => panic!("metric '{name}' already registered with a different type"),
+    }
+}
+
+/// Get or create the histogram `name{labels}` with the given inclusive
+/// bucket upper bounds (an unbounded overflow bucket is added).
+pub fn histogram(name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+    let key = label_key(labels);
+    let mut reg = registry().lock().expect("metrics registry lock");
+    let family = reg.families.entry(name.to_string()).or_insert(Family { series: BTreeMap::new() });
+    match family
+        .series
+        .entry(key)
+        .or_insert_with(|| Series::Histogram(Arc::new(HistogramCore::new(bounds))))
+    {
+        Series::Histogram(h) => Histogram(Arc::clone(h)),
+        _ => panic!("metric '{name}' already registered with a different type"),
+    }
+}
+
+/// Register (or replace) the pull-model collector `id`. Registration is
+/// idempotent by id, so lazily-initialized components can call this on
+/// every init path without duplicating samples.
+pub fn register_collector(id: &str, f: Collector) {
+    registry().lock().expect("metrics registry lock").collectors.insert(id.to_string(), f);
+}
+
+/// Render the full registry as Prometheus text exposition.
+pub fn render_prometheus() -> String {
+    render_prometheus_filtered("")
+}
+
+/// [`render_prometheus`] restricted to families whose name starts with
+/// `prefix` (tests pin golden output without seeing unrelated metrics; an
+/// empty prefix renders everything).
+pub fn render_prometheus_filtered(prefix: &str) -> String {
+    let reg = registry().lock().expect("metrics registry lock");
+    // Sampled collector output merges with registered families by name so
+    // exposition stays sorted and deterministic for a fixed set of series.
+    let mut collected: Vec<Sample> = Vec::new();
+    for f in reg.collectors.values() {
+        f(&mut collected);
+    }
+    let mut extra: BTreeMap<String, Vec<(String, u64, SampleKind)>> = BTreeMap::new();
+    for s in collected {
+        if !s.name.starts_with(prefix) {
+            continue;
+        }
+        let labels: Vec<(&str, &str)> =
+            s.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        extra.entry(s.name.clone()).or_default().push((label_key(&labels), s.value, s.kind));
+    }
+
+    let mut out = String::new();
+    let mut emitted: std::collections::BTreeSet<&String> = std::collections::BTreeSet::new();
+    for (name, family) in reg.families.iter().filter(|(n, _)| n.starts_with(prefix)) {
+        emitted.insert(name);
+        let type_name = match family.series.values().next() {
+            Some(Series::Counter(_)) => "counter",
+            Some(Series::Gauge(_)) => "gauge",
+            Some(Series::Histogram(_)) => "histogram",
+            None => continue,
+        };
+        out.push_str(&format!("# TYPE {name} {type_name}\n"));
+        for (labels, series) in &family.series {
+            match series {
+                Series::Counter(a) | Series::Gauge(a) => {
+                    out.push_str(&format!("{name}{labels} {}\n", a.load(Ordering::Relaxed)));
+                }
+                Series::Histogram(h) => render_histogram_series(&mut out, name, labels, h),
+            }
+        }
+        // Collector samples may extend a registered family (rare); append
+        // them under the family's TYPE line.
+        if let Some(samples) = extra.remove(name) {
+            for (labels, value, _) in samples {
+                out.push_str(&format!("{name}{labels} {value}\n"));
+            }
+        }
+    }
+    for (name, samples) in extra {
+        let type_name = match samples.first().map(|(_, _, k)| *k) {
+            Some(SampleKind::Counter) => "counter",
+            _ => "gauge",
+        };
+        out.push_str(&format!("# TYPE {name} {type_name}\n"));
+        for (labels, value, _) in samples {
+            out.push_str(&format!("{name}{labels} {value}\n"));
+        }
+    }
+    out
+}
+
+fn render_histogram_series(out: &mut String, name: &str, labels: &str, h: &HistogramCore) {
+    // `le` joins the series' own labels inside one brace pair.
+    let open = |le: &str| {
+        if labels.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+        }
+    };
+    let mut cumulative = 0u64;
+    for (i, bound) in h.bounds.iter().enumerate() {
+        cumulative += h.buckets[i].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{} {cumulative}\n", open(&bound.to_string())));
+    }
+    cumulative += h.buckets[h.bounds.len()].load(Ordering::Relaxed);
+    out.push_str(&format!("{name}_bucket{} {cumulative}\n", open("+Inf")));
+    out.push_str(&format!("{name}_sum{labels} {}\n", h.sum.load(Ordering::Relaxed)));
+    out.push_str(&format!("{name}_count{labels} {}\n", h.count.load(Ordering::Relaxed)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_series_by_name_and_labels() {
+        let a = counter("regtest_shared_total", &[("x", "1")]);
+        let b = counter("regtest_shared_total", &[("x", "1")]);
+        let other = counter("regtest_shared_total", &[("x", "2")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_max() {
+        let h = Histogram::detached(&[10, 100]);
+        h.record(5);
+        h.record(10);
+        h.record(50);
+        h.record(1000);
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1065);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 266);
+    }
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        // A dedicated prefix isolates this test from every other series the
+        // shared process registry accumulates.
+        let c = counter("zgold_jobs_total", &[("event", "done")]);
+        c.add(7);
+        counter("zgold_jobs_total", &[("event", "failed")]);
+        gauge("zgold_depth", &[]).set(3);
+        let h = histogram("zgold_latency_us", &[("instance", "0")], &[100, 1000]);
+        h.record(50);
+        h.record(700);
+        h.record(5000);
+        register_collector(
+            "zgold",
+            Box::new(|out| {
+                out.push(Sample::gauge("zgold_pulled", &[("cache", "layout")], 42));
+            }),
+        );
+        let text = render_prometheus_filtered("zgold_");
+        let expected = "\
+# TYPE zgold_depth gauge
+zgold_depth 3
+# TYPE zgold_jobs_total counter
+zgold_jobs_total{event=\"done\"} 7
+zgold_jobs_total{event=\"failed\"} 0
+# TYPE zgold_latency_us histogram
+zgold_latency_us_bucket{instance=\"0\",le=\"100\"} 1
+zgold_latency_us_bucket{instance=\"0\",le=\"1000\"} 2
+zgold_latency_us_bucket{instance=\"0\",le=\"+Inf\"} 3
+zgold_latency_us_sum{instance=\"0\"} 5750
+zgold_latency_us_count{instance=\"0\"} 3
+# TYPE zgold_pulled gauge
+zgold_pulled{cache=\"layout\"} 42
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(label_key(&[("k", "a\"b\\c\nd")]), "{k=\"a\\\"b\\\\c\\nd\"}");
+    }
+}

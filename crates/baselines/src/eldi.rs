@@ -55,15 +55,10 @@ pub fn grid_placement(circuit: &Circuit, machine: &MachineSpec) -> Vec<Point> {
     assert!(n <= machine.num_sites(), "circuit does not fit on {}", machine.name);
     let dim = machine.grid_dim;
     let pitch = machine.site_pitch_um();
+    // CSR adjacency: neighbor/weight lanes for the greedy attachment
+    // order and precomputed degrees, replacing a per-qubit Vec<Vec<_>>.
     let graph = InteractionGraph::from_circuit(circuit);
-    let degrees = graph.weighted_degrees();
-
-    // Adjacency with weights for the greedy attachment order.
-    let mut weights = vec![Vec::new(); n];
-    for &(a, b, w) in &graph.edges {
-        weights[a as usize].push((b as usize, w));
-        weights[b as usize].push((a as usize, w));
-    }
+    let adj = graph.csr();
 
     // Site spiral: all sites sorted by distance from the grid centre.
     let centre = ((dim as f64 - 1.0) / 2.0, (dim as f64 - 1.0) / 2.0);
@@ -91,8 +86,14 @@ pub fn grid_placement(circuit: &Circuit, machine: &MachineSpec) -> Vec<Point> {
             if placed[q] {
                 continue;
             }
-            let attach: f64 = weights[q].iter().filter(|&&(p, _)| placed[p]).map(|&(_, w)| w).sum();
-            let key = (attach, degrees[q]);
+            let attach: f64 = adj
+                .neighbors(q)
+                .iter()
+                .zip(adj.weights(q))
+                .filter(|&(&p, _)| placed[p as usize])
+                .map(|(_, &w)| w)
+                .sum();
+            let key = (attach, adj.degree(q));
             if best == usize::MAX || key > best_key {
                 best = q;
                 best_key = key;
@@ -107,8 +108,13 @@ pub fn grid_placement(circuit: &Circuit, machine: &MachineSpec) -> Vec<Point> {
         // partners; with no placed partner, the innermost free spiral site.
         let mut best_site = None;
         let mut best_cost = f64::INFINITY;
-        let partners: Vec<(usize, f64)> =
-            weights[q].iter().filter(|&&(p, _)| positions[p].is_some()).cloned().collect();
+        let partners: Vec<(usize, f64)> = adj
+            .neighbors(q)
+            .iter()
+            .zip(adj.weights(q))
+            .filter(|&(&p, _)| positions[p as usize].is_some())
+            .map(|(&p, &w)| (p as usize, w))
+            .collect();
         for &s in &spiral {
             if occupied[site_idx(s)] {
                 continue;

@@ -6,6 +6,7 @@
 //!             [--quick] [--seed N] [--trace FILE] [--metrics]
 //! experiments sweep-restarts [--quick] [--seed N]
 //! experiments variational-sweep [--quick] [--seed N]
+//! experiments scale [--samples N] [--seed N]
 //! ```
 //!
 //! `--quick` restricts to six small benchmarks (useful in debug builds);
@@ -16,7 +17,10 @@
 //! behind the preset default. `variational-sweep` (also outside `all`)
 //! measures the parameterized-template fast path: per benchmark, one
 //! structure compile followed by a 100-point rebind sweep, reporting the
-//! per-point rebind time against a warm full compile.
+//! per-point rebind time against a warm full compile. `scale` (also
+//! outside `all`) measures the post-placement cold pipeline at
+//! 1,000–4,000 qubits on Atom-1225 and the synthetic 2,048/4,096-site
+//! grids, `--samples` cold compiles per arm (default 3).
 //!
 //! `--trace FILE` enables span tracing for the run and exports every
 //! recorded span as Chrome trace-event JSON (open in `chrome://tracing`
@@ -35,6 +39,7 @@ fn main() {
     let flag_value =
         |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
     let seed = flag_value("--seed").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    let samples = flag_value("--samples").and_then(|v| v.parse::<usize>().ok()).unwrap_or(3);
     let trace_path = flag_value("--trace");
     // The subcommand is the first argument that is neither a flag nor the
     // value consumed by a value-taking flag (`--seed N`, `--trace FILE`).
@@ -45,7 +50,7 @@ fn main() {
             skip_value = false;
             continue;
         }
-        if a == "--seed" || a == "--trace" {
+        if a == "--seed" || a == "--trace" || a == "--samples" {
             skip_value = true;
             continue;
         }
@@ -164,6 +169,19 @@ fn main() {
         println!(
             "template cache: len {} weight {}/{} hits {} misses {} evictions {}",
             tc.len, tc.weight, tc.capacity, tc.hits, tc.misses, tc.evictions
+        );
+    }
+
+    // Fleet-scale cold-compile mode (outside `all`, like sweep-restarts:
+    // the table prints wall-clock times, so it can never join the
+    // byte-identity set). Post-placement pipeline, fresh jittered layout
+    // per sample — every cache key cold.
+    if which == "scale" {
+        eprintln!("[experiments] scale: 3 machine arms x {samples} cold compiles...");
+        let (h, d) = scale::scale_rows(samples.max(1), seed);
+        println!(
+            "== Scale: post-placement cold compile at 1k-4k qubits ==\n{}",
+            render_table(&h, &d)
         );
     }
 

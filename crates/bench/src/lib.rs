@@ -22,6 +22,7 @@ use parallax_core::{cached_layout, replication_plan, CompilerConfig, ParallaxCom
 use parallax_graphine::{GraphineLayout, PlacementConfig};
 
 pub mod compare;
+pub mod scale;
 use parallax_hardware::{HardwareParams, MachineSpec};
 use parallax_sim::{
     baseline_fidelity_inputs, parallax_fidelity_inputs, success_probability, ShotModel,

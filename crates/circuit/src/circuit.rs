@@ -108,8 +108,38 @@ impl Circuit {
         crate::dag::layers(self).len()
     }
 
-    /// Per-qubit lists of gate indices in program order, the structure the
-    /// schedulers consume.
+    /// Per-qubit gate-index lists in program order as one CSR pair
+    /// (offsets + flat targets), the structure the scheduler's frontier
+    /// walks on every layer. Built by a stable counting sort, so each
+    /// qubit's row is exactly the nested
+    /// [`Circuit::qubit_gate_indices`] oracle's list.
+    pub fn qubit_gates_csr(&self) -> QubitGatesCsr {
+        assert!(self.gates.len() < u32::MAX as usize, "circuit too large for u32 gate indices");
+        let mut offsets = vec![0u32; self.num_qubits + 1];
+        for g in &self.gates {
+            for q in &g.qubits() {
+                offsets[q as usize + 1] += 1;
+            }
+        }
+        for q in 1..=self.num_qubits {
+            offsets[q] += offsets[q - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..self.num_qubits].to_vec();
+        let mut targets = vec![0u32; *offsets.last().unwrap() as usize];
+        for (i, g) in self.gates.iter().enumerate() {
+            for q in &g.qubits() {
+                targets[cursor[q as usize] as usize] = i as u32;
+                cursor[q as usize] += 1;
+            }
+        }
+        QubitGatesCsr { offsets, targets }
+    }
+
+    /// Per-qubit lists of gate indices in program order — the nested-Vec
+    /// layout [`Circuit::qubit_gates_csr`] replaced, kept as its
+    /// differential oracle and for the naive scheduler twin. (Not
+    /// cfg-gated: downstream crates' release-profile test builds compile
+    /// their naive oracles against this crate's release build.)
     pub fn qubit_gate_indices(&self) -> Vec<Vec<usize>> {
         let mut per_qubit = vec![Vec::new(); self.num_qubits];
         for (i, g) in self.gates.iter().enumerate() {
@@ -134,6 +164,35 @@ impl Circuit {
         }
         let _ = writeln!(out, "measure q -> c;");
         out
+    }
+}
+
+/// CSR view of per-qubit gate-index lists: qubit `q`'s gates occupy
+/// `targets[offsets[q] as usize..offsets[q + 1] as usize]`, ascending.
+/// Two flat arrays total, so the scheduler frontier's per-layer head
+/// probes hit contiguous memory regardless of qubit count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QubitGatesCsr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl QubitGatesCsr {
+    /// Number of qubits (rows).
+    pub fn num_qubits(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Qubit `q`'s gate indices in program order.
+    pub fn row(&self, q: usize) -> &[u32] {
+        &self.targets[self.offsets[q] as usize..self.offsets[q + 1] as usize]
+    }
+
+    /// The `idx`-th gate on qubit `q`, or `None` past the row's end — the
+    /// frontier's head probe (`row(q)[ptr[q]]` with bounds semantics).
+    #[inline]
+    pub fn gate_at(&self, q: usize, idx: usize) -> Option<usize> {
+        self.row(q).get(idx).map(|&g| g as usize)
     }
 }
 
@@ -204,6 +263,20 @@ mod tests {
         assert_eq!(per_q[0], vec![0, 1, 3]);
         assert_eq!(per_q[1], vec![1, 2, 3]);
         assert_eq!(per_q[2], vec![2, 4]);
+    }
+
+    #[test]
+    fn qubit_gates_csr_matches_nested_oracle() {
+        let c = sample();
+        let csr = c.qubit_gates_csr();
+        let nested = c.qubit_gate_indices();
+        assert_eq!(csr.num_qubits(), 3);
+        for q in 0..3 {
+            let row: Vec<usize> = csr.row(q).iter().map(|&g| g as usize).collect();
+            assert_eq!(row, nested[q], "qubit {q}");
+            assert_eq!(csr.gate_at(q, nested[q].len()), None);
+        }
+        assert_eq!(csr.gate_at(0, 1), Some(1));
     }
 
     #[test]

@@ -25,19 +25,80 @@ pub fn layers(circuit: &Circuit) -> Vec<Vec<usize>> {
     out
 }
 
-/// Explicit gate dependency DAG.
+/// Explicit gate dependency DAG in compressed sparse row form.
 ///
-/// `preds[i]` lists the gate indices that must complete before gate `i`
-/// (at most one per operand qubit — the previous gate on that qubit).
+/// `predecessors(i)` lists the gate indices that must complete before gate
+/// `i` (at most one per operand qubit — the previous gate on that qubit).
+/// Both directions are stored as one offsets array plus one flat target
+/// array, so a full DAG walk touches two contiguous allocations instead of
+/// a `Vec<Vec<_>>`'s per-gate heap islands; at 4,000-qubit circuits the
+/// walk is bandwidth-bound and the layout is what keeps it cheap. The
+/// per-list orders are identical to the retained nested-Vec oracle
+/// ([`DependencyDag::build_nested`]) by construction: predecessors appear
+/// in operand order, successors in ascending gate order (a stable
+/// counting sort over edges discovered in ascending gate order).
 #[derive(Debug, Clone)]
 pub struct DependencyDag {
-    preds: Vec<Vec<usize>>,
-    succs: Vec<Vec<usize>>,
+    /// Gate `i`'s predecessors occupy `pred_targets[pred_offsets[i] as
+    /// usize..pred_offsets[i + 1] as usize]`.
+    pred_offsets: Vec<u32>,
+    pred_targets: Vec<u32>,
+    /// Same shape for the successor direction.
+    succ_offsets: Vec<u32>,
+    succ_targets: Vec<u32>,
 }
 
 impl DependencyDag {
     /// Build the DAG for `circuit`.
     pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        assert!(n < u32::MAX as usize, "circuit too large for u32 gate indices");
+        // Predecessor edges in discovery order: ascending gate, and within
+        // a gate, operand order (the nested builder's push order). Because
+        // discovery order is already CSR order for the predecessor
+        // direction, `edges` *is* `pred_targets`.
+        let mut pred_targets: Vec<u32> = Vec::with_capacity(n * 2);
+        let mut pred_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        pred_offsets.push(0);
+        let mut last_on_qubit: Vec<u32> = vec![u32::MAX; circuit.num_qubits()];
+        for (i, g) in circuit.gates().iter().enumerate() {
+            let start = *pred_offsets.last().unwrap() as usize;
+            for &q in g.qubits().as_slice() {
+                let p = last_on_qubit[q as usize];
+                if p != u32::MAX && !pred_targets[start..].contains(&p) {
+                    pred_targets.push(p);
+                }
+                last_on_qubit[q as usize] = i as u32;
+            }
+            pred_offsets.push(pred_targets.len() as u32);
+        }
+        // Successors: stable counting sort of the same edges by source
+        // gate. Scattering in edge (= ascending gate) order reproduces the
+        // nested builder's `succs[p].push(i)` order exactly.
+        let mut succ_offsets = vec![0u32; n + 1];
+        for &p in &pred_targets {
+            succ_offsets[p as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            succ_offsets[i] += succ_offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = succ_offsets[..n].to_vec();
+        let mut succ_targets = vec![0u32; pred_targets.len()];
+        for i in 0..n {
+            let (s, e) = (pred_offsets[i] as usize, pred_offsets[i + 1] as usize);
+            for &p in &pred_targets[s..e] {
+                succ_targets[cursor[p as usize] as usize] = i as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+        Self { pred_offsets, pred_targets, succ_offsets, succ_targets }
+    }
+
+    /// The nested-Vec construction the CSR build replaced, kept as the
+    /// differential oracle: `(preds, succs)` with the exact per-gate list
+    /// orders [`DependencyDag::build`] must reproduce.
+    #[cfg(any(test, debug_assertions))]
+    pub fn build_nested(circuit: &Circuit) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
         let n = circuit.len();
         let mut preds = vec![Vec::new(); n];
         let mut succs = vec![Vec::new(); n];
@@ -53,27 +114,27 @@ impl DependencyDag {
                 last_on_qubit[q as usize] = Some(i);
             }
         }
-        Self { preds, succs }
+        (preds, succs)
     }
 
-    /// Gates that must run before gate `i`.
-    pub fn predecessors(&self, i: usize) -> &[usize] {
-        &self.preds[i]
+    /// Gates that must run before gate `i`, in operand order.
+    pub fn predecessors(&self, i: usize) -> &[u32] {
+        &self.pred_targets[self.pred_offsets[i] as usize..self.pred_offsets[i + 1] as usize]
     }
 
-    /// Gates that directly depend on gate `i`.
-    pub fn successors(&self, i: usize) -> &[usize] {
-        &self.succs[i]
+    /// Gates that directly depend on gate `i`, ascending.
+    pub fn successors(&self, i: usize) -> &[u32] {
+        &self.succ_targets[self.succ_offsets[i] as usize..self.succ_offsets[i + 1] as usize]
     }
 
     /// Number of gates in the DAG.
     pub fn len(&self) -> usize {
-        self.preds.len()
+        self.pred_offsets.len() - 1
     }
 
     /// True for an empty circuit.
     pub fn is_empty(&self) -> bool {
-        self.preds.is_empty()
+        self.len() == 0
     }
 
     /// Verify that `order` (a permutation of gate indices) respects every
@@ -90,9 +151,9 @@ impl DependencyDag {
             }
             pos[g] = at;
         }
-        for (i, ps) in self.preds.iter().enumerate() {
-            for &p in ps {
-                if pos[p] >= pos[i] {
+        for i in 0..self.len() {
+            for &p in self.predecessors(i) {
+                if pos[p as usize] >= pos[i] {
                     return false;
                 }
             }
@@ -155,6 +216,19 @@ mod tests {
         assert_eq!(dag.predecessors(5), &[4, 2]);
         assert_eq!(dag.predecessors(6), &[4]);
         assert!(dag.successors(0).contains(&2));
+    }
+
+    #[test]
+    fn csr_matches_nested_oracle_list_for_list() {
+        let c = fredkin_like();
+        let dag = DependencyDag::build(&c);
+        let (preds, succs) = DependencyDag::build_nested(&c);
+        for i in 0..c.len() {
+            let p: Vec<usize> = dag.predecessors(i).iter().map(|&g| g as usize).collect();
+            let s: Vec<usize> = dag.successors(i).iter().map(|&g| g as usize).collect();
+            assert_eq!(p, preds[i], "preds of gate {i}");
+            assert_eq!(s, succs[i], "succs of gate {i}");
+        }
     }
 
     #[test]

@@ -7,6 +7,16 @@
 //! of the Qiskit transpiler ([`lower`]), a peephole optimizer ([`optimize`]),
 //! and a programmatic builder for the workload generators ([`builder`]).
 //!
+//! The structures the scheduler walks per layer are CSR, not nested
+//! `Vec`s: [`dag::DependencyDag`] stores predecessor/successor lists as
+//! offsets + flat `u32` lanes (four allocations total, any gate count),
+//! and [`circuit::QubitGatesCsr`] does the same for the per-qubit gate
+//! lists the frontier probes. Both are proven row-identical to their
+//! retained nested oracles (`build_nested`, `qubit_gate_indices`) by
+//! proptests here and in the umbrella differential suite; see
+//! `docs/DATA_LAYOUT.md` for the layout and the oracle-retention
+//! convention.
+//!
 //! # Example
 //! ```
 //! use parallax_circuit::{CircuitBuilder, optimize::optimize};
@@ -28,7 +38,7 @@ pub mod template;
 pub mod unitary;
 
 pub use builder::CircuitBuilder;
-pub use circuit::Circuit;
+pub use circuit::{Circuit, QubitGatesCsr};
 pub use dag::{layers, DependencyDag};
 pub use gate::Gate;
 pub use lower::{apply_named, circuit_from_qasm_str, from_qasm, LowerError};

@@ -48,7 +48,7 @@ fn dag_edges_follow_operand_qubits() {
     let mut b = CircuitBuilder::new(3);
     b.h(0).cz(0, 1).cz(1, 2).h(0);
     let dag = DependencyDag::build(&b.build());
-    assert_eq!(dag.predecessors(0), &[] as &[usize]);
+    assert_eq!(dag.predecessors(0), &[] as &[u32]);
     assert_eq!(dag.predecessors(1), &[0]);
     assert_eq!(dag.predecessors(2), &[1]);
     assert_eq!(dag.predecessors(3), &[1], "h(0) waits on cz(0,1), not cz(1,2)");

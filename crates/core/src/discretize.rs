@@ -36,10 +36,10 @@ pub fn discretize(
     let mut array = AtomArray::new(spec, n);
 
     let graph = InteractionGraph::from_circuit(circuit);
-    let degrees = graph.weighted_degrees();
+    let adj = graph.csr();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
-        degrees[b as usize].partial_cmp(&degrees[a as usize]).unwrap().then(a.cmp(&b))
+        adj.degree(b as usize).partial_cmp(&adj.degree(a as usize)).unwrap().then(a.cmp(&b))
     });
 
     // Compact the annealed layout onto a sub-grid sized to the circuit:

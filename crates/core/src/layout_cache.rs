@@ -51,6 +51,7 @@ use crate::profile::{self, Stage};
 use parallax_graphine::{GraphineLayout, InteractionGraph, PlacementConfig};
 use parallax_hardware::MachineSpec;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Content address of one layout computation.
@@ -322,6 +323,8 @@ pub struct PlanKey {
 }
 
 /// Counters and gauges of the plan cache (the `STATS` sub-object).
+/// The process-wide instance is sharded ([`ShardedPlanCache`]); these are
+/// the counters summed across every shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Lookups answered from the cache (exact state match).
@@ -330,6 +333,11 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
+    /// Probes that found their shard's lock held and had to block — the
+    /// residual serialization the sharding did not remove. With one global
+    /// mutex every concurrent probe pair collided; sharded, only probes
+    /// that hash to the same of [`PLAN_SHARDS`] locks can.
+    pub contended: u64,
     /// Entries currently cached.
     pub len: usize,
     /// Maximum total weight in position-units (0 = disabled).
@@ -460,12 +468,14 @@ impl PlanCache {
         );
     }
 
-    /// Current counters and gauges.
+    /// Current counters and gauges. `contended` is owned by the sharded
+    /// wrapper — a single unshared shard never contends with itself.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            contended: 0,
             len: self.map.len(),
             capacity: self.capacity,
             weight: self.weight,
@@ -500,34 +510,137 @@ impl PlanCache {
     }
 }
 
-fn plan_global() -> &'static Mutex<PlanCache> {
-    static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(PlanCache::new(configured_capacity())))
+/// Number of independent locks the process-wide plan cache is split
+/// across. The plan cache is the hottest of the three layers — it is
+/// probed once per *movement plan* rather than once per compile — so under
+/// concurrent serving traffic a single mutex serializes every scheduler
+/// on one cache line. Eight shards keyed by a stable fold of [`PlanKey`]
+/// cut that collision probability 8x while keeping each shard a plain
+/// [`PlanCache`] whose LRU/size-aware semantics are tested directly.
+pub const PLAN_SHARDS: usize = 8;
+
+/// Stable shard selector: an FNV-1a fold of the key's four words. Not
+/// `std::hash::Hash` — the shard of a key must not depend on hasher
+/// randomization, or the per-shard LRU contents (and therefore eviction
+/// traffic) would differ run to run.
+fn plan_shard_index(key: &PlanKey) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in [key.layout, key.aod_config, u64::from(key.mover), u64::from(key.target)] {
+        h ^= w;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // FNV's multiply only carries entropy upward; fold the high half back
+    // down so keys differing in late-folded words spread across shards.
+    ((h ^ (h >> 32)) as usize) % PLAN_SHARDS
+}
+
+/// Per-shard budget for a `total` position-unit budget: an even split,
+/// rounded up so the shard sum never undercuts the configured total.
+/// `0` (disabled) stays `0` for every shard.
+fn plan_shard_capacity(total: usize) -> usize {
+    if total == 0 {
+        0
+    } else {
+        total.div_ceil(PLAN_SHARDS)
+    }
+}
+
+/// The process-wide plan cache: [`PLAN_SHARDS`] independently locked
+/// [`PlanCache`]s plus a contention counter. A probe takes exactly one
+/// shard lock, chosen by [`plan_shard_index`]; the counter records how
+/// often `try_lock` found that shard held (the probe then blocks as
+/// before — sharding narrows the window, the counter measures what's
+/// left of it).
+struct ShardedPlanCache {
+    shards: [Mutex<PlanCache>; PLAN_SHARDS],
+    /// The configured *total* budget — what [`PlanCacheStats::capacity`]
+    /// reports. Each shard holds `ceil(total / PLAN_SHARDS)`.
+    capacity: AtomicUsize,
+    contended: AtomicU64,
+}
+
+impl ShardedPlanCache {
+    fn new(capacity: usize) -> Self {
+        let per_shard = plan_shard_capacity(capacity);
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(PlanCache::new(per_shard))),
+            capacity: AtomicUsize::new(capacity),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the shard owning `key`, counting the probe as contended when
+    /// the lock was already held.
+    fn shard(&self, key: &PlanKey) -> std::sync::MutexGuard<'_, PlanCache> {
+        let i = plan_shard_index(key);
+        match self.shards[i].try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.shards[i].lock().expect("plan cache shard lock")
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => panic!("plan cache shard lock: {e}"),
+        }
+    }
+
+    /// Counters summed across every shard; `capacity` is the configured
+    /// total rather than the per-shard sum (which rounds up).
+    fn stats(&self) -> PlanCacheStats {
+        let mut total = PlanCacheStats {
+            capacity: self.capacity.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            ..PlanCacheStats::default()
+        };
+        for shard in &self.shards {
+            let s = shard.lock().expect("plan cache shard lock").stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.len += s.len;
+            total.weight += s.weight;
+        }
+        total
+    }
+
+    fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let per_shard = plan_shard_capacity(capacity);
+        for shard in &self.shards {
+            shard.lock().expect("plan cache shard lock").set_capacity(per_shard);
+        }
+    }
+}
+
+fn plan_global() -> &'static ShardedPlanCache {
+    static CACHE: OnceLock<ShardedPlanCache> = OnceLock::new();
+    CACHE.get_or_init(|| ShardedPlanCache::new(configured_capacity()))
 }
 
 /// Look up a cross-compile move plan for `(mover, target)` against the
 /// array's current exact state. `None` means the caller must run the probe
-/// cascade (and should [`record_plan`] a success).
+/// cascade (and should [`record_plan`] a success). Only the key's shard
+/// is locked, so concurrent compiles collide on a probe only when their
+/// keys fold to the same shard.
 pub fn lookup_plan(
     key: &PlanKey,
     array: &AtomArray,
     r_um: f64,
     max_recursion: usize,
 ) -> Option<MovePlan> {
-    plan_global().lock().expect("plan cache lock").get(key, array, r_um, max_recursion)
+    plan_global().shard(key).get(key, array, r_um, max_recursion)
 }
 
 /// Publish a freshly planned success for cross-compile reuse. The
 /// verification snapshot is taken before the lock, so concurrent compiles
-/// contend only on the map insert itself.
+/// contend only on the (single-shard) map insert itself.
 pub fn record_plan(key: PlanKey, array: &AtomArray, r_um: f64, rec: usize, plan: &MovePlan) {
     let snapshot = array.placed_snapshot();
-    plan_global().lock().expect("plan cache lock").insert(key, snapshot, r_um, rec, plan);
+    plan_global().shard(&key).insert(key, snapshot, r_um, rec, plan);
 }
 
-/// Snapshot of the process-wide plan cache counters.
+/// Snapshot of the process-wide plan cache counters, summed across shards.
 pub fn plan_cache_stats() -> PlanCacheStats {
-    plan_global().lock().expect("plan cache lock").stats()
+    plan_global().stats()
 }
 
 // ---------------------------------------------------------------------------
@@ -724,7 +837,7 @@ pub fn template_cache_stats() -> TemplateCacheStats {
 /// only ever change *when* work is recomputed, never its result.
 pub fn resize(capacity: usize) {
     global().lock().expect("layout cache lock").set_capacity(capacity);
-    plan_global().lock().expect("plan cache lock").set_capacity(capacity);
+    plan_global().set_capacity(capacity);
     template_global().lock().expect("template cache lock").set_capacity(capacity);
 }
 
@@ -774,6 +887,11 @@ pub fn register_cache_metrics() {
             push(out, "layout", s.hits, s.misses, s.evictions, s.len, s.capacity, s.weight);
             let s = plan_cache_stats();
             push(out, "plan", s.hits, s.misses, s.evictions, s.len, s.capacity, s.weight);
+            out.push(parallax_trace::Sample::counter(
+                "parallax_cache_lock_contended_total",
+                &[("cache", "plan")],
+                s.contended,
+            ));
             let s = template_cache_stats();
             push(out, "template", s.hits, s.misses, s.evictions, s.len, s.capacity, s.weight);
         }),
@@ -964,6 +1082,64 @@ mod tests {
         c.set_capacity(0);
         assert_eq!(c.stats().len, 0);
         assert_eq!(c.stats().weight, 0);
+    }
+
+    #[test]
+    fn sharded_plan_cache_routes_sums_and_resizes() {
+        let a = plan_array();
+        let base = plan_key(&a);
+        let c = ShardedPlanCache::new(PLAN_SHARDS * 8);
+        assert_eq!(c.stats().capacity, PLAN_SHARDS * 8, "reports the configured total");
+        // Shard choice is a pure function of the key, so a get after an
+        // insert lands on the same shard regardless of hasher state.
+        let mut hit_shards = std::collections::BTreeSet::new();
+        for mover in 0..32u32 {
+            let key = PlanKey { mover, ..base };
+            hit_shards.insert(plan_shard_index(&key));
+            c.shard(&key).insert(key, a.placed_snapshot(), 7.0, 80, &a_plan());
+            assert!(c.shard(&key).get(&key, &a, 7.0, 80).is_some(), "mover {mover}");
+        }
+        assert!(hit_shards.len() > 1, "32 keys must spread over shards, got {hit_shards:?}");
+        let s = c.stats();
+        assert_eq!(s.hits, 32);
+        assert_eq!(s.misses, 0);
+        assert!(s.len <= 32, "per-shard LRU may evict under the split budget");
+        assert_eq!(s.contended, 0, "single-threaded probes never contend");
+        // Resize to zero disables and clears every shard.
+        c.set_capacity(0);
+        let s = c.stats();
+        assert_eq!((s.len, s.weight, s.capacity), (0, 0, 0));
+    }
+
+    #[test]
+    fn sharded_plan_cache_counts_lock_contention() {
+        let a = plan_array();
+        let key = plan_key(&a);
+        let c = ShardedPlanCache::new(64);
+        std::thread::scope(|s| {
+            let held = c.shards[plan_shard_index(&key)].lock().unwrap();
+            s.spawn(|| {
+                // Blocks until the main thread releases the shard; the
+                // try_lock miss is what the counter records.
+                let _ = c.shard(&key).get(&key, &a, 7.0, 80);
+            });
+            while c.contended.load(Ordering::Relaxed) == 0 {
+                std::thread::yield_now();
+            }
+            drop(held);
+        });
+        let s = c.stats();
+        assert_eq!(s.contended, 1);
+        assert_eq!(s.misses, 1, "the blocked probe still completes");
+    }
+
+    #[test]
+    fn plan_shard_capacity_split_rounds_up_and_zero_disables() {
+        assert_eq!(plan_shard_capacity(0), 0);
+        assert_eq!(plan_shard_capacity(1), 1);
+        assert_eq!(plan_shard_capacity(PLAN_SHARDS), 1);
+        assert_eq!(plan_shard_capacity(PLAN_SHARDS + 1), 2);
+        assert_eq!(plan_shard_capacity(8192), 8192 / PLAN_SHARDS);
     }
 
     #[test]

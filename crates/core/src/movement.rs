@@ -402,19 +402,11 @@ fn upsert(moves: &mut Vec<AodMove>, q: u32, p: Point) {
 }
 
 fn owner_of_row(array: &AtomArray, row: u16) -> u32 {
-    array
-        .aod_qubits()
-        .into_iter()
-        .find(|&q| matches!(array.trap(q), Some(Trap::Aod { row: r, .. }) if r == row))
-        .expect("ordering violation names an owned row")
+    array.row_owner(row).expect("ordering violation names an owned row")
 }
 
 fn owner_of_col(array: &AtomArray, col: u16) -> u32 {
-    array
-        .aod_qubits()
-        .into_iter()
-        .find(|&q| matches!(array.trap(q), Some(Trap::Aod { col: c, .. }) if c == col))
-        .expect("ordering violation names an owned column")
+    array.col_owner(col).expect("ordering violation names an owned column")
 }
 
 /// Plan the reverse (home-return) batch for the given `(qubit, home)` pairs.

@@ -49,7 +49,7 @@ use crate::config::CompilerConfig;
 use crate::discretize::DiscretizedLayout;
 use crate::movement::{plan_move_into_range, plan_return_home, MovePlan};
 use crate::profile::{self, Stage};
-use parallax_circuit::{Circuit, DependencyDag, Gate};
+use parallax_circuit::{Circuit, DependencyDag, Gate, QubitGatesCsr};
 use parallax_hardware::{within_blockade, AodMove, AtomArray, CellGeometry, Point};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -115,6 +115,14 @@ pub struct CompileStats {
     /// ([`crate::layout_cache::PlanCache`]) — repeat traffic across
     /// compiles of the same layout skips the probe cascade entirely.
     pub plan_cache_cross_hits: usize,
+    /// Heap allocations performed by the scheduler's bucketed blockade
+    /// scratch over the whole compile: the bucket grid itself plus every
+    /// capacity growth of a bucket or the occupied-cell list. The scratch
+    /// is cleared (not freed) between layers, so in the steady state this
+    /// stays at its warm-up value no matter how many layers run — a
+    /// scheduling-cost counter like the memo hits; the naive twin has no
+    /// buckets and reports 0.
+    pub bucket_scratch_allocs: usize,
 }
 
 impl CompileStats {
@@ -128,7 +136,7 @@ impl CompileStats {
     pub fn publish_metrics(&self) {
         type StatRow = (parallax_trace::Counter, fn(&CompileStats) -> u64);
         struct Handles {
-            table: [StatRow; 12],
+            table: [StatRow; 13],
         }
         static HANDLES: std::sync::OnceLock<Handles> = std::sync::OnceLock::new();
         let h = HANDLES.get_or_init(|| {
@@ -149,6 +157,7 @@ impl CompileStats {
                     (c("blockade_ejections"), |s| s.blockade_ejections as u64),
                     (c("plan_memo_hits"), |s| s.plan_cache_hits as u64),
                     (c("plan_cross_hits"), |s| s.plan_cache_cross_hits as u64),
+                    (c("bucket_scratch_allocs"), |s| s.bucket_scratch_allocs as u64),
                 ],
             }
         });
@@ -204,20 +213,20 @@ impl Frontier {
         Self { emits: vec![false; num_qubits], emitters: Vec::with_capacity(num_qubits) }
     }
 
-    fn emission(q: usize, gates: &[Gate], qubit_gates: &[Vec<usize>], ptr: &[usize]) -> bool {
-        let Some(&g) = qubit_gates[q].get(ptr[q]) else { return false };
+    fn emission(q: usize, gates: &[Gate], qubit_gates: &QubitGatesCsr, ptr: &[usize]) -> bool {
+        let Some(g) = qubit_gates.gate_at(q, ptr[q]) else { return false };
         match gates[g] {
             Gate::U3 { .. } => true,
             Gate::Cz { a, b } => {
                 let (ai, bi) = (a as usize, b as usize);
                 q == ai.min(bi)
-                    && qubit_gates[ai].get(ptr[ai]) == Some(&g)
-                    && qubit_gates[bi].get(ptr[bi]) == Some(&g)
+                    && qubit_gates.gate_at(ai, ptr[ai]) == Some(g)
+                    && qubit_gates.gate_at(bi, ptr[bi]) == Some(g)
             }
         }
     }
 
-    fn refresh(&mut self, q: usize, gates: &[Gate], qubit_gates: &[Vec<usize>], ptr: &[usize]) {
+    fn refresh(&mut self, q: usize, gates: &[Gate], qubit_gates: &QubitGatesCsr, ptr: &[usize]) {
         let e = Self::emission(q, gates, qubit_gates, ptr);
         if e != self.emits[q] {
             self.emits[q] = e;
@@ -232,7 +241,7 @@ impl Frontier {
     }
 
     /// Initial population: one full scan, identical to the naive rebuild.
-    fn seed(&mut self, gates: &[Gate], qubit_gates: &[Vec<usize>], ptr: &[usize]) {
+    fn seed(&mut self, gates: &[Gate], qubit_gates: &QubitGatesCsr, ptr: &[usize]) {
         for q in 0..self.emits.len() {
             self.refresh(q, gates, qubit_gates, ptr);
         }
@@ -243,13 +252,13 @@ impl Frontier {
         &mut self,
         advanced: &[u32],
         gates: &[Gate],
-        qubit_gates: &[Vec<usize>],
+        qubit_gates: &QubitGatesCsr,
         ptr: &[usize],
     ) {
         for &q in advanced {
             let q = q as usize;
             self.refresh(q, gates, qubit_gates, ptr);
-            if let Some(&g) = qubit_gates[q].get(ptr[q]) {
+            if let Some(g) = qubit_gates.gate_at(q, ptr[q]) {
                 if let Gate::Cz { a, b } = gates[g] {
                     self.refresh(a as usize, gates, qubit_gates, ptr);
                     self.refresh(b as usize, gates, qubit_gates, ptr);
@@ -260,10 +269,10 @@ impl Frontier {
 
     /// Write the current layer's gate list into `curr` (ascending emitter
     /// order, one gate per emitter — a gate's emitter is unique).
-    fn collect(&self, qubit_gates: &[Vec<usize>], ptr: &[usize], curr: &mut Vec<usize>) {
+    fn collect(&self, qubit_gates: &QubitGatesCsr, ptr: &[usize], curr: &mut Vec<usize>) {
         curr.clear();
         for &q in &self.emitters {
-            curr.push(qubit_gates[q as usize][ptr[q as usize]]);
+            curr.push(qubit_gates.row(q as usize)[ptr[q as usize]] as usize);
         }
     }
 }
@@ -289,6 +298,11 @@ struct BlockadeIndex {
     reach_um: f64,
     buckets: Vec<Vec<Point>>,
     occupied: Vec<usize>,
+    /// Heap allocations this scratch has performed: the bucket grid plus
+    /// every capacity growth of a bucket or the occupied list. Feeds
+    /// [`CompileStats::bucket_scratch_allocs`] — `clear` keeps capacity,
+    /// so a compile's count plateaus once the per-layer working set fits.
+    allocs: usize,
 }
 
 impl BlockadeIndex {
@@ -299,6 +313,7 @@ impl BlockadeIndex {
             cells,
             reach_um: blockade_um + 1e-3,
             occupied: Vec::new(),
+            allocs: 1,
         }
     }
 
@@ -312,7 +327,13 @@ impl BlockadeIndex {
     fn insert(&mut self, p: Point) {
         let b = self.cells.cell_of(p);
         if self.buckets[b].is_empty() {
+            if self.occupied.len() == self.occupied.capacity() {
+                self.allocs += 1;
+            }
             self.occupied.push(b);
+        }
+        if self.buckets[b].len() == self.buckets[b].capacity() {
+            self.allocs += 1;
         }
         self.buckets[b].push(p);
     }
@@ -571,7 +592,7 @@ pub fn schedule_gates(
 ) -> Schedule {
     let gates = circuit.gates();
     let num_gates = gates.len();
-    let qubit_gates = circuit.qubit_gate_indices();
+    let qubit_gates = circuit.qubit_gates_csr();
     let mut ptr = vec![0usize; circuit.num_qubits()];
     let mut executed = vec![false; num_gates];
     let mut executed_count = 0usize;
@@ -743,6 +764,7 @@ pub fn schedule_gates(
         // effective operand positions of every kept CZ gate (stamped
         // index-keyed scratch; the stamp is this layer's guard count).
         let t_blockade = profile::begin();
+        let blockade_allocs_before = scratch.blockade.allocs;
         let sp_blockade = parallax_trace::span!("schedule.blockade");
         for &g in kept.iter() {
             if let Gate::Cz { a, b } = gates[g] {
@@ -787,7 +809,11 @@ pub fn schedule_gates(
             }
         }
         drop(sp_blockade);
-        profile::record(Stage::ScheduleBlockade, t_blockade, 0);
+        profile::record(
+            Stage::ScheduleBlockade,
+            t_blockade,
+            (scratch.blockade.allocs - blockade_allocs_before) as u64,
+        );
         assert!(
             !accepted.is_empty(),
             "blockade pass emptied a layer: curr={curr:?} kept={kept:?} moved={moved_this_layer} trap_changed={trap_changed:?}"
@@ -854,6 +880,7 @@ pub fn schedule_gates(
     stats.failed_move_memo_hits = scratch.memo.hits;
     stats.plan_cache_hits = scratch.plans.memo.hits;
     stats.plan_cache_cross_hits = scratch.plans.cross_hits;
+    stats.bucket_scratch_allocs = scratch.blockade.allocs;
     stats.publish_metrics();
 
     let schedule = Schedule { layers, stats };
@@ -1320,6 +1347,7 @@ mod tests {
         stats.failed_move_memo_hits = 0;
         stats.plan_cache_hits = 0;
         stats.plan_cache_cross_hits = 0;
+        stats.bucket_scratch_allocs = 0;
         assert_eq!(stats, s_naive.stats);
         for q in 0..n as u32 {
             assert_eq!(fast.array.position(q), naive.array.position(q), "q{q} position");
@@ -1578,6 +1606,7 @@ mod tests {
                 stats.failed_move_memo_hits = 0;
                 stats.plan_cache_hits = 0;
                 stats.plan_cache_cross_hits = 0;
+                stats.bucket_scratch_allocs = 0;
                 prop_assert_eq!(&stats, &s_naive.stats);
                 for q in 0..10u32 {
                     prop_assert_eq!(fast.array.position(q), naive.array.position(q));
@@ -1609,6 +1638,7 @@ mod tests {
                 stats.failed_move_memo_hits = 0;
                 stats.plan_cache_hits = 0;
                 stats.plan_cache_cross_hits = 0;
+                stats.bucket_scratch_allocs = 0;
                 prop_assert_eq!(&stats, &s_naive.stats);
             }
         }

@@ -59,17 +59,14 @@ impl InteractionGraph {
         if self.num_qubits == 0 {
             return true;
         }
-        let mut adj = vec![Vec::new(); self.num_qubits];
-        for &(a, b, _) in &self.edges {
-            adj[a as usize].push(b as usize);
-            adj[b as usize].push(a as usize);
-        }
+        let adj = self.csr();
         let mut seen = vec![false; self.num_qubits];
         let mut stack = vec![0usize];
         seen[0] = true;
         let mut count = 1;
         while let Some(v) = stack.pop() {
-            for &n in &adj[v] {
+            for &n in adj.neighbors(v) {
+                let n = n as usize;
                 if !seen[n] {
                     seen[n] = true;
                     count += 1;
@@ -78,6 +75,101 @@ impl InteractionGraph {
             }
         }
         count == self.num_qubits
+    }
+
+    /// Build the CSR adjacency view of this graph. `edges` stays the
+    /// canonical representation (and the sole input of
+    /// [`InteractionGraph::stable_hash`], so every cache key is untouched);
+    /// the CSR arrays are derived whenever a consumer is about to walk
+    /// per-qubit neighborhoods in a loop.
+    pub fn csr(&self) -> CsrAdjacency {
+        CsrAdjacency::build(self)
+    }
+}
+
+/// Degree-prefix CSR adjacency of an [`InteractionGraph`]: qubit `q`'s
+/// incidences occupy `offsets[q] as usize..offsets[q + 1] as usize` in the
+/// parallel `neighbors`/`weights`/`edge_ids` lanes, ordered by ascending
+/// edge index (a stable counting sort over `edges`, which is exactly the
+/// order the nested `Vec<Vec<_>>` builders it replaced produced). Four
+/// flat allocations regardless of qubit count, so the annealed placement
+/// inner loop and the incremental energy table stream contiguous memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrAdjacency {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    weights: Vec<f64>,
+    edge_ids: Vec<u32>,
+    degrees: Vec<f64>,
+}
+
+impl CsrAdjacency {
+    fn build(graph: &InteractionGraph) -> Self {
+        let q = graph.num_qubits;
+        assert!(graph.edges.len() < u32::MAX as usize / 2, "edge count overflows u32 CSR");
+        let mut offsets = vec![0u32; q + 1];
+        for &(a, b, _) in &graph.edges {
+            offsets[a as usize + 1] += 1;
+            if b != a {
+                offsets[b as usize + 1] += 1;
+            }
+        }
+        for i in 1..=q {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..q].to_vec();
+        let len = *offsets.last().unwrap() as usize;
+        let (mut neighbors, mut weights, mut edge_ids) =
+            (vec![0u32; len], vec![0.0f64; len], vec![0u32; len]);
+        let mut degrees = vec![0.0f64; q];
+        let mut scatter = |at: &mut Vec<u32>, q: usize, n: u32, w: f64, e: usize| {
+            let slot = at[q] as usize;
+            neighbors[slot] = n;
+            weights[slot] = w;
+            edge_ids[slot] = e as u32;
+            at[q] += 1;
+        };
+        for (e, &(a, b, w)) in graph.edges.iter().enumerate() {
+            scatter(&mut cursor, a as usize, b, w, e);
+            if b != a {
+                scatter(&mut cursor, b as usize, a, w, e);
+            }
+            degrees[a as usize] += w;
+            degrees[b as usize] += w;
+        }
+        Self { offsets, neighbors, weights, edge_ids, degrees }
+    }
+
+    /// Number of qubits (rows).
+    pub fn num_qubits(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn range(&self, q: usize) -> std::ops::Range<usize> {
+        self.offsets[q] as usize..self.offsets[q + 1] as usize
+    }
+
+    /// Qubit `q`'s neighbors, by ascending incident-edge index.
+    pub fn neighbors(&self, q: usize) -> &[u32] {
+        &self.neighbors[self.range(q)]
+    }
+
+    /// Edge weights parallel to [`CsrAdjacency::neighbors`].
+    pub fn weights(&self, q: usize) -> &[f64] {
+        &self.weights[self.range(q)]
+    }
+
+    /// Indices into the graph's `edges` parallel to
+    /// [`CsrAdjacency::neighbors`].
+    pub fn edge_ids(&self, q: usize) -> &[u32] {
+        &self.edge_ids[self.range(q)]
+    }
+
+    /// Precomputed weighted degree of qubit `q` (the lane twin of
+    /// [`InteractionGraph::weighted_degrees`], no allocation per query).
+    pub fn degree(&self, q: usize) -> f64 {
+        self.degrees[q]
     }
 }
 
@@ -138,6 +230,35 @@ mod tests {
         let mut b2 = CircuitBuilder::new(3);
         b2.h(0).cz(0, 1).h(2).cz(1, 2);
         assert_eq!(g.stable_hash(), InteractionGraph::from_circuit(&b2.build()).stable_hash());
+    }
+
+    #[test]
+    fn csr_matches_nested_adjacency_row_for_row() {
+        let mut b = CircuitBuilder::new(5);
+        b.cz(0, 1).cz(0, 1).cz(1, 2).cz(0, 3).cz(2, 3).h(4);
+        let g = InteractionGraph::from_circuit(&b.build());
+        let csr = g.csr();
+        assert_eq!(csr.num_qubits(), 5);
+        // Nested oracle: per-qubit (neighbor, weight, edge id) in edge order.
+        let mut nested: Vec<Vec<(u32, f64, u32)>> = vec![Vec::new(); g.num_qubits];
+        for (e, &(a, b, w)) in g.edges.iter().enumerate() {
+            nested[a as usize].push((b, w, e as u32));
+            nested[b as usize].push((a, w, e as u32));
+        }
+        for q in 0..g.num_qubits {
+            let row: Vec<(u32, f64, u32)> = csr
+                .neighbors(q)
+                .iter()
+                .zip(csr.weights(q))
+                .zip(csr.edge_ids(q))
+                .map(|((&n, &w), &e)| (n, w, e))
+                .collect();
+            assert_eq!(row, nested[q], "qubit {q}");
+            assert_eq!(csr.degree(q), g.weighted_degrees()[q], "degree of {q}");
+        }
+        // Isolated qubit: empty row, zero degree.
+        assert!(csr.neighbors(4).is_empty());
+        assert_eq!(csr.degree(4), 0.0);
     }
 
     #[test]

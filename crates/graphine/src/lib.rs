@@ -26,6 +26,14 @@
 //! | `fig9/compare/QAOA`                     | 5.0 ms | 2.0 ms | 2.5x |
 //! | `fig9/compare/QFT`                      | 14.6 ms | 6.1 ms | 2.4x |
 //!
+//! For 1000+ qubit machines the graph side is CSR: [`graph::CsrAdjacency`]
+//! (via `InteractionGraph::csr()`) lays per-qubit incidence out as offsets
+//! plus parallel neighbor/weight/edge-id/degree lanes, consumed by the
+//! energy table, the discretizer's degree ordering, connectivity, and the
+//! ELDI baseline. `edges` stays the canonical representation and the sole
+//! `stable_hash` input, so cache keys are unchanged; proptests diff every
+//! CSR row against the nested builders (`docs/DATA_LAYOUT.md`).
+//!
 //! # Example
 //! ```
 //! use parallax_circuit::CircuitBuilder;
@@ -43,7 +51,7 @@ pub mod placement;
 pub mod radius;
 mod stable;
 
-pub use graph::InteractionGraph;
+pub use graph::{CsrAdjacency, InteractionGraph};
 pub use placement::{place, placement_energy, EnergyTable, Placement, PlacementConfig};
 pub use radius::{connecting_radius, is_geometrically_connected};
 

@@ -7,7 +7,7 @@
 //! stacking (the separation constraint is enforced later by
 //! discretization; repulsion merely keeps the annealer's output usable).
 
-use crate::graph::InteractionGraph;
+use crate::graph::{CsrAdjacency, InteractionGraph};
 use crate::stable::WordHasher;
 use parallax_anneal::{dual_annealing_multi, AnnealParams, MultiRestartParams};
 
@@ -157,8 +157,10 @@ pub struct EnergyTable<'g> {
     edge_terms: Vec<f64>,
     /// Per-pair repulsion terms, upper triangle in row-major `(i, j)` order.
     pair_terms: Vec<f64>,
-    /// Edge indices incident to each qubit.
-    qubit_edges: Vec<Vec<usize>>,
+    /// CSR adjacency (per-qubit incident-edge ids in ascending edge order —
+    /// the same iteration order the nested `qubit_edges: Vec<Vec<usize>>`
+    /// it replaced produced, so updates touch terms identically).
+    adj: CsrAdjacency,
     /// Scratch: indices of qubits that moved since the previous evaluation.
     changed: Vec<usize>,
     primed: bool,
@@ -169,13 +171,6 @@ impl<'g> EnergyTable<'g> {
     /// with a full recomputation.
     pub fn new(graph: &'g InteractionGraph, repulsion_scale: f64) -> Self {
         let q = graph.num_qubits;
-        let mut qubit_edges = vec![Vec::new(); q];
-        for (e, &(a, b, _)) in graph.edges.iter().enumerate() {
-            qubit_edges[a as usize].push(e);
-            if b != a {
-                qubit_edges[b as usize].push(e);
-            }
-        }
         Self {
             graph,
             r0: 0.8 / (q.max(1) as f64).sqrt(),
@@ -183,7 +178,7 @@ impl<'g> EnergyTable<'g> {
             cached: Vec::new(),
             edge_terms: vec![0.0; graph.edges.len()],
             pair_terms: vec![0.0; q * q.saturating_sub(1) / 2],
-            qubit_edges,
+            adj: graph.csr(),
             changed: Vec::new(),
             primed: false,
         }
@@ -237,13 +232,13 @@ impl<'g> EnergyTable<'g> {
     }
 
     fn update_changed(&mut self, positions: &[(f64, f64)]) {
-        // Borrow-splitting dance: collect the edge list per changed qubit
-        // through an index loop (qubit_edges is disjoint from the term
+        // Borrow-splitting dance: walk the CSR row per changed qubit
+        // through an index loop (the adjacency is disjoint from the term
         // tables, but the borrow checker can't see that through &mut self).
         for c in 0..self.changed.len() {
             let qubit = self.changed[c];
-            for k in 0..self.qubit_edges[qubit].len() {
-                let e = self.qubit_edges[qubit][k];
+            for k in 0..self.adj.edge_ids(qubit).len() {
+                let e = self.adj.edge_ids(qubit)[k] as usize;
                 self.edge_terms[e] = self.edge_term(e, positions);
             }
             for other in 0..positions.len() {

@@ -163,17 +163,44 @@ impl SpatialIndex {
     }
 }
 
+/// Per-qubit trap tag: unplaced. The tag values deliberately equal the
+/// discriminants [`AtomArray::static_fingerprint`] hashes, so the packed
+/// state and the fingerprint stay aligned by construction.
+const TAG_NONE: u8 = 0;
+/// Per-qubit trap tag: static SLM site (payload lanes hold the site).
+const TAG_SLM: u8 = 1;
+/// Per-qubit trap tag: mobile AOD crossing (payload lanes hold row/col).
+const TAG_AOD: u8 = 2;
+/// Sentinel for an unowned AOD line in the packed owner lanes.
+const NO_OWNER: u32 = u32::MAX;
+
 /// The full atom-array state for one machine.
+///
+/// The per-qubit and per-line state is stored as packed parallel lanes
+/// (structure-of-arrays) rather than `Vec<Option<…>>`: a one-byte tag lane
+/// plus two `u32` payload lanes per qubit, and sentinel-encoded flat
+/// `f64`/`u32` arrays per AOD line. The blockade/occupancy scans and the
+/// fingerprint walks iterate contiguous dense memory, which is what keeps
+/// them cheap at 4,096 sites.
 #[derive(Debug, Clone)]
 pub struct AtomArray {
     spec: MachineSpec,
     grid: SiteGrid,
-    traps: Vec<Option<Trap>>,
+    /// Per qubit: [`TAG_NONE`] | [`TAG_SLM`] | [`TAG_AOD`].
+    trap_tags: Vec<u8>,
+    /// Per qubit: SLM site column, or AOD row (meaning chosen by the tag).
+    trap_a: Vec<u32>,
+    /// Per qubit: SLM site row, or AOD column (meaning chosen by the tag).
+    trap_b: Vec<u32>,
     positions: Vec<Point>,
-    row_y: Vec<Option<f64>>,
-    col_x: Vec<Option<f64>>,
-    row_owner: Vec<Option<u32>>,
-    col_owner: Vec<Option<u32>>,
+    /// Per AOD row: line y-coordinate; meaningful only while owned.
+    row_y: Vec<f64>,
+    /// Per AOD column: line x-coordinate; meaningful only while owned.
+    col_x: Vec<f64>,
+    /// Per AOD row: owning qubit, or [`NO_OWNER`].
+    row_owner: Vec<u32>,
+    /// Per AOD column: owning qubit, or [`NO_OWNER`].
+    col_owner: Vec<u32>,
     index: SpatialIndex,
     positions_epoch: u64,
 }
@@ -192,12 +219,14 @@ impl AtomArray {
             SpatialIndex::new(spec.extent_um(), grid.pitch_um(), grid.pitch_um(), num_qubits);
         Self {
             grid,
-            traps: vec![None; num_qubits],
+            trap_tags: vec![TAG_NONE; num_qubits],
+            trap_a: vec![0; num_qubits],
+            trap_b: vec![0; num_qubits],
             positions: vec![Point::default(); num_qubits],
-            row_y: vec![None; spec.aod_dim],
-            col_x: vec![None; spec.aod_dim],
-            row_owner: vec![None; spec.aod_dim],
-            col_owner: vec![None; spec.aod_dim],
+            row_y: vec![0.0; spec.aod_dim],
+            col_x: vec![0.0; spec.aod_dim],
+            row_owner: vec![NO_OWNER; spec.aod_dim],
+            col_owner: vec![NO_OWNER; spec.aod_dim],
             index,
             positions_epoch: 0,
             spec,
@@ -216,7 +245,7 @@ impl AtomArray {
 
     /// Number of logical atoms.
     pub fn num_qubits(&self) -> usize {
-        self.traps.len()
+        self.trap_tags.len()
     }
 
     /// Current physical position of qubit `q`, µm.
@@ -224,27 +253,51 @@ impl AtomArray {
         self.positions[q as usize]
     }
 
+    /// Reconstruct the trap enum for qubit index `q` from the packed lanes.
+    #[inline]
+    fn trap_of(&self, q: usize) -> Option<Trap> {
+        match self.trap_tags[q] {
+            TAG_NONE => None,
+            TAG_SLM => Some(Trap::Slm((self.trap_a[q] as u16, self.trap_b[q] as u16))),
+            _ => Some(Trap::Aod { row: self.trap_a[q] as u16, col: self.trap_b[q] as u16 }),
+        }
+    }
+
     /// Current trap of qubit `q` (`None` until placed).
     pub fn trap(&self, q: u32) -> Option<Trap> {
-        self.traps[q as usize]
+        self.trap_of(q as usize)
     }
 
     /// Whether qubit `q` is AOD-trapped.
     pub fn is_aod(&self, q: u32) -> bool {
-        matches!(self.traps[q as usize], Some(Trap::Aod { .. }))
+        self.trap_tags[q as usize] == TAG_AOD
+    }
+
+    /// The qubit currently owning AOD row `row`, if any. O(1) against the
+    /// packed owner lane — the movement planner resolves line ownership on
+    /// every recursive displacement probe.
+    pub fn row_owner(&self, row: u16) -> Option<u32> {
+        let q = self.row_owner[row as usize];
+        (q != NO_OWNER).then_some(q)
+    }
+
+    /// The qubit currently owning AOD column `col`, if any (O(1)).
+    pub fn col_owner(&self, col: u16) -> Option<u32> {
+        let q = self.col_owner[col as usize];
+        (q != NO_OWNER).then_some(q)
     }
 
     /// All AOD-trapped qubits.
     pub fn aod_qubits(&self) -> Vec<u32> {
-        (0..self.traps.len() as u32).filter(|&q| self.is_aod(q)).collect()
+        (0..self.trap_tags.len() as u32).filter(|&q| self.is_aod(q)).collect()
     }
 
     /// Visit every AOD-trapped qubit in ascending id order without
     /// allocating (the failed-move memoization snapshots positions through
     /// this on every probe decision).
     pub fn for_each_aod(&self, mut f: impl FnMut(u32)) {
-        for (q, trap) in self.traps.iter().enumerate() {
-            if matches!(trap, Some(Trap::Aod { .. })) {
+        for (q, &tag) in self.trap_tags.iter().enumerate() {
+            if tag == TAG_AOD {
                 f(q as u32);
             }
         }
@@ -274,8 +327,8 @@ impl AtomArray {
     /// caches, where a stale epoch usually means "moved out and back home".
     pub fn aod_config_matches(&self, snapshot: &[(u32, Point)]) -> bool {
         let mut rest = snapshot;
-        for (q, trap) in self.traps.iter().enumerate() {
-            if matches!(trap, Some(Trap::Aod { .. })) {
+        for (q, &tag) in self.trap_tags.iter().enumerate() {
+            if tag == TAG_AOD {
                 match rest.split_first() {
                     Some((&(sq, sp), tail)) if sq == q as u32 && sp == self.positions[q] => {
                         rest = tail;
@@ -311,20 +364,18 @@ impl AtomArray {
     pub fn static_fingerprint(&self) -> u64 {
         let _sp = parallax_trace::span!("fingerprint.static");
         let mut h = crate::fingerprint::StableHasher::new();
-        h.write_u64(self.spec.fingerprint()).write_usize(self.traps.len());
-        for (q, trap) in self.traps.iter().enumerate() {
-            match trap {
-                None => {
-                    h.write_u64(0);
-                }
-                Some(Trap::Slm(site)) => {
-                    let p = self.positions[q];
-                    h.write_u64(1).write_u64(u64::from(site.0)).write_u64(u64::from(site.1));
-                    h.write_f64(p.x).write_f64(p.y);
-                }
-                Some(Trap::Aod { row, col }) => {
-                    h.write_u64(2).write_u64(u64::from(*row)).write_u64(u64::from(*col));
-                }
+        h.write_u64(self.spec.fingerprint()).write_usize(self.trap_tags.len());
+        for (q, &tag) in self.trap_tags.iter().enumerate() {
+            // The tag lane doubles as the hashed discriminant (0/1/2); the
+            // payload lanes carry exactly what the enum match used to hash,
+            // so the fingerprint is byte-identical to the nested layout.
+            h.write_u64(u64::from(tag));
+            if tag == TAG_SLM {
+                let p = self.positions[q];
+                h.write_u64(u64::from(self.trap_a[q])).write_u64(u64::from(self.trap_b[q]));
+                h.write_f64(p.x).write_f64(p.y);
+            } else if tag == TAG_AOD {
+                h.write_u64(u64::from(self.trap_a[q])).write_u64(u64::from(self.trap_b[q]));
             }
         }
         h.finish()
@@ -336,10 +387,8 @@ impl AtomArray {
     /// so a (vanishingly unlikely) fingerprint collision degrades to a
     /// cache miss instead of a wrong plan.
     pub fn placed_snapshot(&self) -> Vec<(u32, Trap, Point)> {
-        self.traps
-            .iter()
-            .enumerate()
-            .filter_map(|(q, trap)| trap.map(|t| (q as u32, t, self.positions[q])))
+        (0..self.trap_tags.len())
+            .filter_map(|q| self.trap_of(q).map(|t| (q as u32, t, self.positions[q])))
             .collect()
     }
 
@@ -348,11 +397,11 @@ impl AtomArray {
     /// [`Self::placed_snapshot`]).
     pub fn placed_state_matches(&self, snapshot: &[(u32, Trap, Point)]) -> bool {
         let mut rest = snapshot;
-        for (q, trap) in self.traps.iter().enumerate() {
-            if let Some(t) = trap {
+        for q in 0..self.trap_tags.len() {
+            if let Some(t) = self.trap_of(q) {
                 match rest.split_first() {
                     Some((&(sq, st, sp), tail))
-                        if sq == q as u32 && st == *t && sp == self.positions[q] =>
+                        if sq == q as u32 && st == t && sp == self.positions[q] =>
                     {
                         rest = tail;
                     }
@@ -379,12 +428,26 @@ impl AtomArray {
 
     /// Place an unplaced qubit into the SLM at `site`.
     pub fn place_in_slm(&mut self, q: u32, site: Site) {
-        assert!(self.traps[q as usize].is_none(), "qubit {q} is already placed");
+        assert!(self.trap_tags[q as usize] == TAG_NONE, "qubit {q} is already placed");
         self.grid.occupy(site);
-        self.traps[q as usize] = Some(Trap::Slm(site));
+        self.set_trap_slm(q as usize, site);
         self.positions[q as usize] = self.grid.site_position(site);
         self.index.insert(q, self.positions[q as usize]);
         self.positions_epoch += 1;
+    }
+
+    #[inline]
+    fn set_trap_slm(&mut self, q: usize, site: Site) {
+        self.trap_tags[q] = TAG_SLM;
+        self.trap_a[q] = u32::from(site.0);
+        self.trap_b[q] = u32::from(site.1);
+    }
+
+    #[inline]
+    fn set_trap_aod(&mut self, q: usize, row: u16, col: u16) {
+        self.trap_tags[q] = TAG_AOD;
+        self.trap_a[q] = u32::from(row);
+        self.trap_b[q] = u32::from(col);
     }
 
     /// Transfer a SLM-trapped qubit into the AOD at line pair `(row, col)`,
@@ -393,22 +456,22 @@ impl AtomArray {
     /// Fails (without mutating) if the lines are taken or the resulting
     /// line coordinates would break row/column ordering.
     pub fn transfer_to_aod(&mut self, q: u32, row: u16, col: u16) -> Result<(), Violation> {
-        let site = match self.traps[q as usize] {
+        let site = match self.trap_of(q as usize) {
             Some(Trap::Slm(site)) => site,
             other => panic!("qubit {q} is not SLM-trapped (trap = {other:?})"),
         };
-        assert!(self.row_owner[row as usize].is_none(), "AOD row {row} is already owned");
-        assert!(self.col_owner[col as usize].is_none(), "AOD column {col} is already owned");
+        assert!(self.row_owner[row as usize] == NO_OWNER, "AOD row {row} is already owned");
+        assert!(self.col_owner[col as usize] == NO_OWNER, "AOD column {col} is already owned");
         let pos = self.positions[q as usize];
         if let Some(v) = self.check_line_orders(row, pos.y, col, pos.x) {
             return Err(v);
         }
         self.grid.vacate(site);
-        self.traps[q as usize] = Some(Trap::Aod { row, col });
-        self.row_owner[row as usize] = Some(q);
-        self.col_owner[col as usize] = Some(q);
-        self.row_y[row as usize] = Some(pos.y);
-        self.col_x[col as usize] = Some(pos.x);
+        self.set_trap_aod(q as usize, row, col);
+        self.row_owner[row as usize] = q;
+        self.col_owner[col as usize] = q;
+        self.row_y[row as usize] = pos.y;
+        self.col_x[col as usize] = pos.x;
         self.positions_epoch += 1;
         Ok(())
     }
@@ -426,18 +489,18 @@ impl AtomArray {
         x: f64,
         y: f64,
     ) -> Result<(), Violation> {
-        let site = match self.traps[q as usize] {
+        let site = match self.trap_of(q as usize) {
             Some(Trap::Slm(site)) => site,
             other => panic!("qubit {q} is not SLM-trapped (trap = {other:?})"),
         };
-        assert!(self.row_owner[row as usize].is_none(), "AOD row {row} is already owned");
-        assert!(self.col_owner[col as usize].is_none(), "AOD column {col} is already owned");
+        assert!(self.row_owner[row as usize] == NO_OWNER, "AOD row {row} is already owned");
+        assert!(self.col_owner[col as usize] == NO_OWNER, "AOD column {col} is already owned");
         if let Some(v) = self.check_line_orders(row, y, col, x) {
             return Err(v);
         }
         let target = Point::new(x, y);
-        for (other, trap) in self.traps.iter().enumerate() {
-            if trap.is_none() || other as u32 == q {
+        for (other, &tag) in self.trap_tags.iter().enumerate() {
+            if tag == TAG_NONE || other as u32 == q {
                 continue;
             }
             if violates_separation(&target, &self.positions[other], self.spec.min_separation_um) {
@@ -449,11 +512,11 @@ impl AtomArray {
             }
         }
         self.grid.vacate(site);
-        self.traps[q as usize] = Some(Trap::Aod { row, col });
-        self.row_owner[row as usize] = Some(q);
-        self.col_owner[col as usize] = Some(q);
-        self.row_y[row as usize] = Some(y);
-        self.col_x[col as usize] = Some(x);
+        self.set_trap_aod(q as usize, row, col);
+        self.row_owner[row as usize] = q;
+        self.col_owner[col as usize] = q;
+        self.row_y[row as usize] = y;
+        self.col_x[col as usize] = x;
         self.index.relocate(q, self.positions[q as usize], target);
         self.positions[q as usize] = target;
         self.positions_epoch += 1;
@@ -463,16 +526,16 @@ impl AtomArray {
     /// Release an AOD-trapped qubit back into the SLM at `site` (the second
     /// half of a trap-change; the paper's release/retrap fallback).
     pub fn release_to_slm(&mut self, q: u32, site: Site) {
-        let (row, col) = match self.traps[q as usize] {
+        let (row, col) = match self.trap_of(q as usize) {
             Some(Trap::Aod { row, col }) => (row, col),
             other => panic!("qubit {q} is not AOD-trapped (trap = {other:?})"),
         };
         self.grid.occupy(site);
-        self.row_owner[row as usize] = None;
-        self.col_owner[col as usize] = None;
-        self.row_y[row as usize] = None;
-        self.col_x[col as usize] = None;
-        self.traps[q as usize] = Some(Trap::Slm(site));
+        self.row_owner[row as usize] = NO_OWNER;
+        self.col_owner[col as usize] = NO_OWNER;
+        self.row_y[row as usize] = 0.0;
+        self.col_x[col as usize] = 0.0;
+        self.set_trap_slm(q as usize, site);
         let home = self.grid.site_position(site);
         self.index.relocate(q, self.positions[q as usize], home);
         self.positions[q as usize] = home;
@@ -491,12 +554,12 @@ impl AtomArray {
             return Err(v);
         }
         for m in moves {
-            let (row, col) = match self.traps[m.q as usize] {
+            let (row, col) = match self.trap_of(m.q as usize) {
                 Some(Trap::Aod { row, col }) => (row, col),
                 other => panic!("qubit {} is not AOD-trapped (trap = {other:?})", m.q),
             };
-            self.row_y[row as usize] = Some(m.y);
-            self.col_x[col as usize] = Some(m.x);
+            self.row_y[row as usize] = m.y;
+            self.col_x[col as usize] = m.x;
             let to = Point::new(m.x, m.y);
             self.index.relocate(m.q, self.positions[m.q as usize], to);
             self.positions[m.q as usize] = to;
@@ -559,7 +622,7 @@ impl AtomArray {
             }
         }
         for m in moves {
-            match self.traps[m.q as usize] {
+            match self.trap_of(m.q as usize) {
                 Some(Trap::Aod { row, col }) => {
                     upsert(&mut moved, m.q, Point::new(m.x, m.y));
                     upsert(&mut row_over, row, m.y);
@@ -590,16 +653,15 @@ impl AtomArray {
         // Row/column ordering with the minimum line gap.
         let gap = self.line_gap();
         let mut prev: Option<(u16, f64)> = None;
-        for (i, owner) in self.row_owner.iter().enumerate() {
-            if owner.is_none() {
+        for (i, &owner) in self.row_owner.iter().enumerate() {
+            if owner == NO_OWNER {
                 continue;
             }
             let y = row_over
                 .iter()
                 .find(|&&(r, _)| r as usize == i)
                 .map(|&(_, y)| y)
-                .or(self.row_y[i])
-                .expect("owned line has coord");
+                .unwrap_or(self.row_y[i]);
             if let Some((pi, py)) = prev {
                 if y - py < gap - 1e-9
                     && !emit(Violation::RowOrdering { row_a: pi, row_b: i as u16 })
@@ -610,16 +672,15 @@ impl AtomArray {
             prev = Some((i as u16, y));
         }
         let mut prev: Option<(u16, f64)> = None;
-        for (i, owner) in self.col_owner.iter().enumerate() {
-            if owner.is_none() {
+        for (i, &owner) in self.col_owner.iter().enumerate() {
+            if owner == NO_OWNER {
                 continue;
             }
             let x = col_over
                 .iter()
                 .find(|&&(c, _)| c as usize == i)
                 .map(|&(_, x)| x)
-                .or(self.col_x[i])
-                .expect("owned line has coord");
+                .unwrap_or(self.col_x[i]);
             if let Some((pi, px)) = prev {
                 if x - px < gap - 1e-9
                     && !emit(Violation::ColOrdering { col_a: pi, col_b: i as u16 })
@@ -698,7 +759,7 @@ impl AtomArray {
             }
         }
         for m in moves {
-            match self.traps[m.q as usize] {
+            match self.trap_of(m.q as usize) {
                 Some(Trap::Aod { row, col }) => {
                     upsert(&mut moved, m.q, Point::new(m.x, m.y));
                     upsert(&mut row_over, row, m.y);
@@ -727,16 +788,15 @@ impl AtomArray {
         }
         let gap = self.line_gap();
         let mut prev: Option<(u16, f64)> = None;
-        for (i, owner) in self.row_owner.iter().enumerate() {
-            if owner.is_none() {
+        for (i, &owner) in self.row_owner.iter().enumerate() {
+            if owner == NO_OWNER {
                 continue;
             }
             let y = row_over
                 .iter()
                 .find(|&&(r, _)| r as usize == i)
                 .map(|&(_, y)| y)
-                .or(self.row_y[i])
-                .expect("owned line has coord");
+                .unwrap_or(self.row_y[i]);
             if let Some((pi, py)) = prev {
                 if y - py < gap - 1e-9
                     && !emit(Violation::RowOrdering { row_a: pi, row_b: i as u16 })
@@ -747,16 +807,15 @@ impl AtomArray {
             prev = Some((i as u16, y));
         }
         let mut prev: Option<(u16, f64)> = None;
-        for (i, owner) in self.col_owner.iter().enumerate() {
-            if owner.is_none() {
+        for (i, &owner) in self.col_owner.iter().enumerate() {
+            if owner == NO_OWNER {
                 continue;
             }
             let x = col_over
                 .iter()
                 .find(|&&(c, _)| c as usize == i)
                 .map(|&(_, x)| x)
-                .or(self.col_x[i])
-                .expect("owned line has coord");
+                .unwrap_or(self.col_x[i]);
             if let Some((pi, px)) = prev {
                 if x - px < gap - 1e-9
                     && !emit(Violation::ColOrdering { col_a: pi, col_b: i as u16 })
@@ -769,8 +828,8 @@ impl AtomArray {
         let min_sep = self.spec.min_separation_um;
         for m in moves {
             let p = pos_of(m.q as usize);
-            for (other, trap) in self.traps.iter().enumerate() {
-                if trap.is_none() || other as u32 == m.q {
+            for (other, &tag) in self.trap_tags.iter().enumerate() {
+                if tag == TAG_NONE || other as u32 == m.q {
                     continue;
                 }
                 if other as u32 > m.q && moved.iter().any(|&(mq, _)| mq as usize == other) {
@@ -798,7 +857,7 @@ impl AtomArray {
             .row_owner
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| o.map(|_| (i as u16, self.row_y[i].unwrap())))
+            .filter_map(|(i, &o)| (o != NO_OWNER).then(|| (i as u16, self.row_y[i])))
             .collect();
         for w in rows.windows(2) {
             if w[1].1 - w[0].1 < gap - 1e-9 {
@@ -809,7 +868,7 @@ impl AtomArray {
             .col_owner
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| o.map(|_| (i as u16, self.col_x[i].unwrap())))
+            .filter_map(|(i, &o)| (o != NO_OWNER).then(|| (i as u16, self.col_x[i])))
             .collect();
         for w in cols.windows(2) {
             if w[1].1 - w[0].1 < gap - 1e-9 {
@@ -817,12 +876,12 @@ impl AtomArray {
             }
         }
         let min_sep = self.spec.min_separation_um;
-        for a in 0..self.traps.len() {
-            if self.traps[a].is_none() {
+        for a in 0..self.trap_tags.len() {
+            if self.trap_tags[a] == TAG_NONE {
                 continue;
             }
-            for b in (a + 1)..self.traps.len() {
-                if self.traps[b].is_none() {
+            for b in (a + 1)..self.trap_tags.len() {
+                if self.trap_tags[b] == TAG_NONE {
                     continue;
                 }
                 if violates_separation(&self.positions[a], &self.positions[b], min_sep) {
@@ -846,11 +905,11 @@ impl AtomArray {
 
     fn check_line_orders(&self, row: u16, y: f64, col: u16, x: f64) -> Option<Violation> {
         let gap = self.line_gap();
-        for (i, owner) in self.row_owner.iter().enumerate() {
-            if owner.is_none() {
+        for (i, &owner) in self.row_owner.iter().enumerate() {
+            if owner == NO_OWNER {
                 continue;
             }
-            let other_y = self.row_y[i].unwrap();
+            let other_y = self.row_y[i];
             let i = i as u16;
             if i < row && other_y > y - gap + 1e-9 {
                 return Some(Violation::RowOrdering { row_a: i, row_b: row });
@@ -859,11 +918,11 @@ impl AtomArray {
                 return Some(Violation::RowOrdering { row_a: row, row_b: i });
             }
         }
-        for (i, owner) in self.col_owner.iter().enumerate() {
-            if owner.is_none() {
+        for (i, &owner) in self.col_owner.iter().enumerate() {
+            if owner == NO_OWNER {
                 continue;
             }
-            let other_x = self.col_x[i].unwrap();
+            let other_x = self.col_x[i];
             let i = i as u16;
             if i < col && other_x > x - gap + 1e-9 {
                 return Some(Violation::ColOrdering { col_a: i, col_b: col });
@@ -913,6 +972,20 @@ mod tests {
         assert_eq!(a.aod_qubits(), vec![0]);
         // The SLM site is free again.
         assert!(!a.grid().is_occupied((4, 4)));
+    }
+
+    #[test]
+    fn owner_lookup_tracks_transfers_and_releases() {
+        let mut a = array();
+        a.place_in_slm(0, (4, 4));
+        assert_eq!(a.row_owner(3), None);
+        assert_eq!(a.col_owner(3), None);
+        a.transfer_to_aod(0, 3, 3).unwrap();
+        assert_eq!(a.row_owner(3), Some(0));
+        assert_eq!(a.col_owner(3), Some(0));
+        a.release_to_slm(0, (4, 4));
+        assert_eq!(a.row_owner(3), None);
+        assert_eq!(a.col_owner(3), None);
     }
 
     #[test]

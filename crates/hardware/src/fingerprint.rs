@@ -122,6 +122,15 @@ mod tests {
         assert_eq!(quera.fingerprint(), MachineSpec::quera_aquila_256().fingerprint());
         assert_ne!(quera.fingerprint(), MachineSpec::atom_1225().fingerprint());
         assert_ne!(quera.fingerprint(), quera.with_aod_dim(5).fingerprint());
+        // Synthetic grids: named sides and generic sides are all distinct
+        // (the generic name is shared, so grid_dim must discriminate).
+        let s46 = MachineSpec::synthetic_grid(46).fingerprint();
+        let s64 = MachineSpec::synthetic_grid(64).fingerprint();
+        let g50 = MachineSpec::synthetic_grid(50).fingerprint();
+        let g51 = MachineSpec::synthetic_grid(51).fingerprint();
+        assert_ne!(s46, s64);
+        assert_ne!(g50, g51);
+        assert_ne!(s46, quera.fingerprint());
     }
 
     #[test]

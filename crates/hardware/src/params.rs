@@ -107,6 +107,30 @@ impl MachineSpec {
         }
     }
 
+    /// Synthetic `side x side` machine for fleet-scale experiments beyond
+    /// the paper's largest evaluated configuration, with Table II physics
+    /// and the paper's AOD capacity. Two canonical sides carry stable
+    /// names — 46 ("Synthetic-2048": 2,116 sites, the smallest square grid
+    /// holding 2,048 atoms) and 64 ("Synthetic-4096": exactly 4,096
+    /// sites); any other side is a generic "Synthetic-Grid", still
+    /// distinguished in [`Self::fingerprint`] by `grid_dim`.
+    pub const fn synthetic_grid(side: usize) -> Self {
+        let name = match side {
+            46 => "Synthetic-2048",
+            64 => "Synthetic-4096",
+            _ => "Synthetic-Grid",
+        };
+        Self {
+            name,
+            grid_dim: side,
+            aod_dim: 20,
+            min_separation_um: 3.0,
+            padding_um: 1.0,
+            blockade_factor: 2.5,
+            params: HardwareParams::table2(),
+        }
+    }
+
     /// Total number of SLM sites (= maximum atoms).
     pub fn num_sites(&self) -> usize {
         self.grid_dim * self.grid_dim
@@ -181,6 +205,25 @@ mod tests {
         let diagonal = spec.extent_um() * 2f64.sqrt();
         let t = diagonal / spec.params.aod_move_speed_um_per_us;
         assert!(t > 1.0 && t < 3.5, "diagonal move time {t} µs");
+    }
+
+    #[test]
+    fn synthetic_grids_scale_past_the_paper() {
+        let s2048 = MachineSpec::synthetic_grid(46);
+        assert_eq!(s2048.name, "Synthetic-2048");
+        assert_eq!(s2048.num_sites(), 2116);
+        assert!(s2048.num_sites() >= 2048);
+        let s4096 = MachineSpec::synthetic_grid(64);
+        assert_eq!(s4096.name, "Synthetic-4096");
+        assert_eq!(s4096.num_sites(), 4096);
+        // Physics and AOD capacity match the paper machines.
+        assert_eq!(s4096.params, HardwareParams::table2());
+        assert_eq!(s4096.aod_dim, 20);
+        assert_eq!(s4096.site_pitch_um(), 7.0);
+        // Generic sides stay usable and distinguishable.
+        let other = MachineSpec::synthetic_grid(50);
+        assert_eq!(other.name, "Synthetic-Grid");
+        assert_eq!(other.num_sites(), 2500);
     }
 
     #[test]

@@ -212,7 +212,9 @@ impl Metrics {
     /// plus stored moves per entry); `len` counts entries. Hits mean the
     /// scheduler skipped a probe cascade for repeat traffic across
     /// compiles; the per-compile reuse counters travel with each
-    /// compilation's own stats instead.
+    /// compilation's own stats instead. `contended` counts probes that
+    /// found their shard's lock held — the residual serialization left
+    /// after sharding the cache across independent locks.
     pub fn plan_cache_json() -> Json {
         let s = parallax_core::plan_cache_stats();
         Json::obj(vec![
@@ -222,6 +224,7 @@ impl Metrics {
             ("hits", Json::Int(s.hits)),
             ("misses", Json::Int(s.misses)),
             ("evictions", Json::Int(s.evictions)),
+            ("contended", Json::Int(s.contended)),
         ])
     }
 

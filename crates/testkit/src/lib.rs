@@ -102,6 +102,24 @@ pub fn arb_machine() -> impl Strategy<Value = MachineSpec> {
     ]
 }
 
+/// Strategy: a large machine plus a sparse qubit count — synthetic square
+/// grids from 256 up to 4096 sites ([`MachineSpec::synthetic_grid`]) and
+/// the paper's Atom-1225, occupied at no more than ~6% of the sites
+/// (capped at 64 qubits so annealed placement stays test-fast). This is
+/// the regime the flat SoA/CSR data layouts target: site-indexed lanes
+/// far larger than the occupied set, where per-entity allocations and
+/// pointer-chasing used to dominate.
+pub fn large_machine() -> impl Strategy<Value = (MachineSpec, usize)> {
+    let spec = prop_oneof![
+        (16usize..=64).prop_map(MachineSpec::synthetic_grid),
+        Just(MachineSpec::atom_1225()),
+    ];
+    (spec, 0usize..1 << 16).prop_map(|(m, roll)| {
+        let max_qubits = (m.num_sites() / 16).min(64);
+        (m, 8 + roll % (max_qubits - 7))
+    })
+}
+
 /// Strategy: a quick placement preset with a bounded random seed and
 /// occasional multi-restart/multi-worker arms — every knob that steers
 /// (or deliberately must not steer) placement results.
@@ -264,6 +282,14 @@ mod tests {
         fn machines_are_valid(m in arb_machine()) {
             prop_assert!(m.aod_dim >= 3);
             prop_assert!(m.num_sites() >= 256);
+        }
+
+        #[test]
+        fn large_machines_are_large_and_sparse((m, q) in large_machine()) {
+            prop_assert!(m.num_sites() >= 256 && m.num_sites() <= 4096);
+            prop_assert!(q >= 8 && q <= (m.num_sites() / 16).min(64),
+                "{q} of {}", m.num_sites());
+            prop_assert!(m.aod_dim >= 3);
         }
 
         #[test]

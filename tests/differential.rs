@@ -117,6 +117,43 @@ proptest! {
             .compile_with_layout(&circuit, &layout_parallel);
         prop_assert_eq!(compile_payload(&a).encode(), compile_payload(&b).encode());
     }
+
+    /// The flat CSR data layouts against their nested-Vec oracles, row for
+    /// row: the interaction graph's adjacency (neighbor/weight/edge-id
+    /// order plus precomputed degrees, where the CSR build shares the
+    /// energy table's `b != a` incidence guard) and the circuit's
+    /// per-qubit gate-index lists the scheduler frontier walks.
+    #[test]
+    fn csr_layouts_match_nested_oracles(circuit in arb_circuit(8, 48)) {
+        let g = parallax_graphine::InteractionGraph::from_circuit(&circuit);
+        let csr = g.csr();
+        let mut nested: Vec<Vec<(u32, f64, u32)>> = vec![Vec::new(); g.num_qubits];
+        for (e, &(a, b, w)) in g.edges.iter().enumerate() {
+            nested[a as usize].push((b, w, e as u32));
+            if b != a {
+                nested[b as usize].push((a, w, e as u32));
+            }
+        }
+        let degrees = g.weighted_degrees();
+        for q in 0..g.num_qubits {
+            let row: Vec<(u32, f64, u32)> = csr
+                .neighbors(q)
+                .iter()
+                .zip(csr.weights(q))
+                .zip(csr.edge_ids(q))
+                .map(|((&n, &w), &e)| (n, w, e))
+                .collect();
+            prop_assert_eq!(&row, &nested[q], "adjacency row {}", q);
+            prop_assert_eq!(csr.degree(q).to_bits(), degrees[q].to_bits(), "degree {}", q);
+        }
+
+        let gates_csr = circuit.qubit_gates_csr();
+        let nested_gates = circuit.qubit_gate_indices();
+        for q in 0..circuit.num_qubits() {
+            let row: Vec<usize> = gates_csr.row(q).iter().map(|&i| i as usize).collect();
+            prop_assert_eq!(&row, &nested_gates[q], "gate row {}", q);
+        }
+    }
 }
 
 /// The rebind boundary angles, pinned deterministically: a QAOA-shaped
@@ -213,11 +250,58 @@ mod against_naive_oracles {
             stats.failed_move_memo_hits = 0;
             stats.plan_cache_hits = 0;
             stats.plan_cache_cross_hits = 0;
+            stats.bucket_scratch_allocs = 0;
             prop_assert_eq!(&stats, &s_naive.stats);
             for q in 0..circuit.num_qubits() as u32 {
                 prop_assert_eq!(fast.array.position(q), naive.array.position(q));
                 prop_assert_eq!(fast.array.trap(q), naive.array.trap(q));
             }
+        }
+
+        /// The CSR dependency DAG against the retained nested-Vec builder:
+        /// predecessor and successor lists must match element for element,
+        /// in the exact discovery order the nested construction produced.
+        #[test]
+        fn dag_csr_matches_nested_oracle(circuit in arb_hcz_circuit(10, 4, 60)) {
+            use parallax_circuit::DependencyDag;
+            let dag = DependencyDag::build(&circuit);
+            let (preds, succs) = DependencyDag::build_nested(&circuit);
+            for g in 0..circuit.len() {
+                let p: Vec<usize> = dag.predecessors(g).iter().map(|&x| x as usize).collect();
+                prop_assert_eq!(&p, &preds[g], "preds of gate {}", g);
+                let s: Vec<usize> = dag.successors(g).iter().map(|&x| x as usize).collect();
+                prop_assert_eq!(&s, &succs[g], "succs of gate {}", g);
+            }
+        }
+    }
+
+    /// One deterministic large-machine arm: a sparse 40-qubit circuit on
+    /// the 2116-site Synthetic-2048 grid, fast scheduler vs the naive
+    /// Algorithm 1. The proptest arms above stay on the paper machines
+    /// (256/1225 sites); this pins the packed-lane `AtomArray` and CSR
+    /// walks at a 46x46 grid where the site-indexed lanes dwarf the
+    /// occupied set.
+    #[test]
+    fn synthetic_2048_schedule_matches_naive() {
+        let machine = MachineSpec::synthetic_grid(46);
+        let circuit = parallax_testkit::lcg_circuit(40, 120, 2048);
+        let cfg = CompilerConfig::quick(9);
+        let layout = GraphineLayout::generate(&circuit, &cfg.placement);
+        let mut fast = discretize(&circuit, &layout, machine);
+        let sel = select_aod_qubits(&circuit, &mut fast, &cfg);
+        let mut naive = fast.clone();
+        let s_fast = schedule_gates(&circuit, &mut fast, &sel, &cfg);
+        let s_naive = schedule_gates_naive(&circuit, &mut naive, &sel, &cfg);
+        assert_eq!(s_fast.layers, s_naive.layers);
+        let mut stats = s_fast.stats.clone();
+        stats.failed_move_memo_hits = 0;
+        stats.plan_cache_hits = 0;
+        stats.plan_cache_cross_hits = 0;
+        stats.bucket_scratch_allocs = 0;
+        assert_eq!(stats, s_naive.stats);
+        for q in 0..40u32 {
+            assert_eq!(fast.array.position(q), naive.array.position(q), "q{q} position");
+            assert_eq!(fast.array.trap(q), naive.array.trap(q), "q{q} trap");
         }
     }
 }

@@ -1,0 +1,142 @@
+//! Fabric throughput: jobs/sec through `parallax-route` at one shard
+//! versus two, on a mixed cold/warm Table III workload.
+//!
+//! The machine this runs on has a single worker per shard, so the win
+//! being measured is **not** compute parallelism — it is the mechanism
+//! the fabric exists for: consistent hashing splits the keyspace, so N
+//! shards hold N result-cache budgets. The working set here (12 Table
+//! III jobs) is sized well past one shard's byte budget: a single
+//! shard's LRU thrashes (scan passes keep recompiling), while two shards
+//! each hold their half of the keyspace hot and serve repeats from
+//! memory. Each iteration also submits one genuinely cold job (fresh
+//! seed) so both configurations keep paying real compile costs.
+//!
+//! Eight closed-loop clients hammer the router concurrently — the same
+//! concurrency level the fabric e2e test pins for correctness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_service::{
+    compile_payload, start, start_router, RouterConfig, ServerConfig, ServerHandle, ServiceClient,
+    SubmitRequest, SubmitSource,
+};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Table III workloads in the working set (seeds 0..3 of each).
+const WORKLOADS: [&str; 4] = ["ADD", "MLT", "QAOA", "HLF"];
+const CLIENTS: usize = 8;
+const PASSES_PER_ITER: usize = 2;
+
+fn submit_for(workload: &str, seed: u64) -> SubmitRequest {
+    SubmitRequest {
+        source: SubmitSource::Workload(workload.to_string()),
+        seed,
+        quick: true,
+        ..Default::default()
+    }
+}
+
+fn working_set() -> Vec<SubmitRequest> {
+    WORKLOADS.iter().flat_map(|w| (0..3u64).map(move |s| submit_for(w, s))).collect()
+}
+
+/// Sum of the working set's payload bytes — what a cache must hold to
+/// serve every repeat from memory.
+fn working_set_bytes(jobs: &[SubmitRequest]) -> usize {
+    jobs.iter()
+        .map(|req| {
+            let compiler = req.build_compiler().expect("valid machine");
+            let circuit = req.resolve_circuit().expect("valid workload");
+            compile_payload(&compiler.compile(&circuit)).encode().len()
+        })
+        .sum()
+}
+
+/// An in-process fabric: `shards` servers behind one router, every cache
+/// capped at the same per-shard byte budget.
+struct Fabric {
+    _shards: Vec<ServerHandle>,
+    router: Option<parallax_service::RouterHandle>,
+    addr: SocketAddr,
+}
+
+impl Fabric {
+    fn start(shards: usize, cache_budget: usize) -> Fabric {
+        let shards: Vec<ServerHandle> = (0..shards)
+            .map(|_| {
+                start(ServerConfig {
+                    workers: 1,
+                    queue_capacity: 64,
+                    cache_capacity: cache_budget,
+                    ..ServerConfig::default()
+                })
+                .expect("start shard")
+            })
+            .collect();
+        let router = start_router(RouterConfig {
+            shards: shards.iter().map(|s| s.addr().to_string()).collect(),
+            ..RouterConfig::default()
+        })
+        .expect("start router");
+        let addr = router.addr();
+        Fabric { _shards: shards, router: Some(router), addr }
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        // Router first (it holds connections into the shards), then the
+        // shards via their own Drop.
+        self.router.take();
+    }
+}
+
+/// One closed-loop iteration: 8 clients, each submitting one cold job
+/// (fresh seed) plus `PASSES_PER_ITER` scans over the shared working
+/// set, phase-offset per client. Returns nothing; panics on any
+/// incorrect response so the bench cannot silently measure errors.
+fn drive(addr: SocketAddr, jobs: &[SubmitRequest], cold_seed: &AtomicU64) {
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let jobs = &*jobs;
+            scope.spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                if c == 0 {
+                    // One genuinely cold job per iteration keeps the mix
+                    // honest without letting cold compiles (which cost
+                    // the same at any shard count) swamp the signal.
+                    let seed = cold_seed.fetch_add(1, Ordering::Relaxed);
+                    client.submit(submit_for("ADD", 1_000_000 + seed)).expect("cold submit");
+                }
+                for pass in 0..PASSES_PER_ITER {
+                    for i in 0..jobs.len() {
+                        let req = jobs[(i + c + pass) % jobs.len()].clone();
+                        client.submit(req).expect("scan submit");
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let jobs = working_set();
+    // The set is ~180% of one shard's budget: a lone shard thrashes,
+    // while two shards (double the aggregate budget) hold the whole set
+    // hot with enough headroom that an uneven ring split still fits.
+    let budget = working_set_bytes(&jobs) * 5 / 9;
+    let cold_seed = AtomicU64::new(0);
+
+    let mut group = c.benchmark_group("fabric");
+    group.sample_size(10);
+    for shards in [1usize, 2] {
+        let fabric = Fabric::start(shards, budget);
+        group.bench_function(format!("throughput/shards{shards}"), |b| {
+            b.iter(|| drive(fabric.addr, &jobs, &cold_seed))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

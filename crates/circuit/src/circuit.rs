@@ -271,10 +271,10 @@ mod tests {
         let csr = c.qubit_gates_csr();
         let nested = c.qubit_gate_indices();
         assert_eq!(csr.num_qubits(), 3);
-        for q in 0..3 {
+        for (q, nested_row) in nested.iter().enumerate() {
             let row: Vec<usize> = csr.row(q).iter().map(|&g| g as usize).collect();
-            assert_eq!(row, nested[q], "qubit {q}");
-            assert_eq!(csr.gate_at(q, nested[q].len()), None);
+            assert_eq!(&row, nested_row, "qubit {q}");
+            assert_eq!(csr.gate_at(q, nested_row.len()), None);
         }
         assert_eq!(csr.gate_at(0, 1), Some(1));
     }

@@ -12,14 +12,20 @@
 //! ([`try_compile_batch`]). The infallible [`compile_batch`] wrapper keeps
 //! the original signature and re-raises the first job error as a panic
 //! that names the failing job.
+//!
+//! Dispatch runs through the same bounded-priority [`JobQueue`] the
+//! compile service schedules with — one scheduler type for both entry
+//! points. A batch enqueues every index at one priority level, closes the
+//! queue, and lets the workers drain it; the queue's admission-sequence
+//! tiebreak makes the pop order FIFO, so the fan-out is deterministic.
 
 use crate::compiler::{CompilationResult, ParallaxCompiler};
 use crate::config::CompilerConfig;
+use crate::queue::JobQueue;
 use parallax_circuit::Circuit;
 use parallax_hardware::MachineSpec;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 /// One job of a batch failed (its compile panicked).
@@ -52,9 +58,20 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Priority every batch job is admitted at. Batches have no inter-job
+/// ordering preference, so a single level turns the queue's
+/// priority-then-sequence order into plain FIFO.
+const BATCH_PRIORITY: u8 = 5;
+
 /// Run `jobs` indices through `run` on up to `threads` workers, catching
 /// per-job panics. Generic over the job body so the panic-isolation
 /// machinery is testable without a panicking compiler.
+///
+/// Indices are dispatched through the shared bounded-priority
+/// [`JobQueue`]: all enqueued up front at [`BATCH_PRIORITY`], the queue
+/// closed, and the workers pop until drained — the same
+/// admit-close-drain lifecycle the compile service runs, minus the
+/// network.
 fn run_batch<T, F>(num_jobs: usize, threads: usize, run: F) -> Vec<Result<T, BatchJobError>>
 where
     T: Send,
@@ -69,22 +86,28 @@ where
         return (0..num_jobs).map(guarded).collect();
     }
 
-    let next_job = AtomicUsize::new(0);
+    let queue = JobQueue::new(num_jobs);
+    for i in 0..num_jobs {
+        queue.try_push(i, BATCH_PRIORITY).unwrap_or_else(|_| {
+            // Unreachable: capacity == num_jobs and the queue is open.
+            panic!("batch queue refused job {i}")
+        });
+    }
+    queue.close();
+
     let mut slots: Vec<Option<Result<T, BatchJobError>>> = (0..num_jobs).map(|_| None).collect();
     let (result_tx, result_rx) = mpsc::channel::<(usize, Result<T, BatchJobError>)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let result_tx = result_tx.clone();
-            let next_job = &next_job;
+            let queue = &queue;
             let guarded = &guarded;
-            scope.spawn(move || loop {
-                let i = next_job.fetch_add(1, Ordering::Relaxed);
-                if i >= num_jobs {
-                    return;
-                }
-                if result_tx.send((i, guarded(i))).is_err() {
-                    return;
+            scope.spawn(move || {
+                while let Some(i) = queue.pop() {
+                    if result_tx.send((i, guarded(i))).is_err() {
+                        return;
+                    }
                 }
             });
         }

@@ -245,7 +245,7 @@ mod tests {
             nested[a as usize].push((b, w, e as u32));
             nested[b as usize].push((a, w, e as u32));
         }
-        for q in 0..g.num_qubits {
+        for (q, nested_row) in nested.iter().enumerate() {
             let row: Vec<(u32, f64, u32)> = csr
                 .neighbors(q)
                 .iter()
@@ -253,7 +253,7 @@ mod tests {
                 .zip(csr.edge_ids(q))
                 .map(|((&n, &w), &e)| (n, w, e))
                 .collect();
-            assert_eq!(row, nested[q], "qubit {q}");
+            assert_eq!(&row, nested_row, "qubit {q}");
             assert_eq!(csr.degree(q), g.weighted_degrees()[q], "degree of {q}");
         }
         // Isolated qubit: empty row, zero degree.

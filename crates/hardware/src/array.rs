@@ -857,7 +857,8 @@ impl AtomArray {
             .row_owner
             .iter()
             .enumerate()
-            .filter_map(|(i, &o)| (o != NO_OWNER).then(|| (i as u16, self.row_y[i])))
+            .filter(|&(_, &o)| o != NO_OWNER)
+            .map(|(i, _)| (i as u16, self.row_y[i]))
             .collect();
         for w in rows.windows(2) {
             if w[1].1 - w[0].1 < gap - 1e-9 {
@@ -868,7 +869,8 @@ impl AtomArray {
             .col_owner
             .iter()
             .enumerate()
-            .filter_map(|(i, &o)| (o != NO_OWNER).then(|| (i as u16, self.col_x[i])))
+            .filter(|&(_, &o)| o != NO_OWNER)
+            .map(|(i, _)| (i as u16, self.col_x[i]))
             .collect();
         for w in cols.windows(2) {
             if w[1].1 - w[0].1 < gap - 1e-9 {

@@ -6,6 +6,11 @@
 //! parallax-client [--addr HOST:PORT] metrics
 //! parallax-client [--addr HOST:PORT] trace [--limit N]
 //! parallax-client [--addr HOST:PORT] shutdown
+//! parallax-client [--addr HOST:PORT] drain
+//! parallax-client [--addr HOST:PORT] shards
+//! parallax-client [--addr HOST:PORT] cache-flush
+//! parallax-client [--addr HOST:PORT] cache-resize BYTES
+//! parallax-client [--addr HOST:PORT] cache-persist
 //! parallax-client [--addr HOST:PORT] submit <file.qasm|-> \
 //!     [--seed N] [--machine quera|atom] [--quick] [--no-return-home]
 //!     [--priority 0..9] [--aod-dim N] [--trace-id STR]
@@ -40,7 +45,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: parallax-client [--addr HOST:PORT] \
-         <ping|stats|metrics|trace|shutdown|submit|sweep> ...\n\
+         <ping|stats|metrics|trace|shutdown|drain|shards|\n\
+         cache-flush|cache-resize|cache-persist|submit|sweep> ...\n\
          submit: <file.qasm|-> | --workload NAME, plus [--seed N] [--machine quera|atom]\n\
          [--quick] [--no-return-home] [--priority 0..9] [--aod-dim N] [--trace-id STR]\n\
          sweep: submit arguments plus [--points N] [--param-seed S]\n\
@@ -112,6 +118,46 @@ fn render_trace(v: &Json) -> String {
             let name = e.get("name").and_then(Json::as_str).unwrap_or("?");
             let indent = "  ".repeat(g("depth") as usize + 1);
             out.push_str(&format!("{indent}{name:<24} {:.3} ms\n", g("dur_ns") as f64 / 1e6));
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// Render a `SHARDS` response: a router's topology as one line per shard,
+/// or a single shard's self-report.
+fn render_shards(v: &Json) -> String {
+    let shards = match v.get("shards") {
+        Some(Json::Arr(a)) => a.as_slice(),
+        _ => {
+            // A plain shard answering for itself.
+            let role = v.get("role").and_then(Json::as_str).unwrap_or("?");
+            let accepting = v.get("accepting").and_then(Json::as_bool).unwrap_or(false);
+            let depth = v.get("queue_depth").and_then(Json::as_u64).unwrap_or(0);
+            return format!("role: {role}  accepting: {accepting}  queue depth: {depth}");
+        }
+    };
+    let mut out = format!(
+        "router fronting {} shards ({} vnodes each)\n",
+        shards.len(),
+        v.get("vnodes").and_then(Json::as_u64).unwrap_or(0)
+    );
+    for s in shards {
+        let idx = s.get("index").and_then(Json::as_u64).unwrap_or(0);
+        let addr = s.get("addr").and_then(Json::as_str).unwrap_or("?");
+        let forwarded = s.get("forwarded").and_then(Json::as_u64).unwrap_or(0);
+        if s.get("reachable").and_then(Json::as_bool) == Some(true) {
+            let info = s.get("info").cloned().unwrap_or(Json::Null);
+            let accepting = info.get("accepting").and_then(Json::as_bool).unwrap_or(false);
+            let depth = info.get("queue_depth").and_then(Json::as_u64).unwrap_or(0);
+            let cache_len =
+                info.get("cache").and_then(|c| c.get("len")).and_then(Json::as_u64).unwrap_or(0);
+            out.push_str(&format!(
+                "  shard {idx}  {addr}  up  accepting: {accepting}  queue: {depth}  \
+                 cache entries: {cache_len}  forwarded: {forwarded}\n"
+            ));
+        } else {
+            let err = s.get("error").and_then(Json::as_str).unwrap_or("unreachable");
+            out.push_str(&format!("  shard {idx}  {addr}  DOWN  {err}\n"));
         }
     }
     out.trim_end().to_string()
@@ -208,6 +254,17 @@ fn main() {
             .trace(trace_limit.unwrap_or(parallax_service::DEFAULT_TRACE_LIMIT))
             .map(|v| render_trace(&v)),
         "shutdown" => client.shutdown().map(|v| v.encode()),
+        "drain" => client.drain().map(|v| v.encode()),
+        "shards" => client.shards().map(|v| render_shards(&v)),
+        "cache-flush" => client.cache_flush().map(|v| v.encode()),
+        "cache-persist" => client.cache_persist().map(|v| v.encode()),
+        "cache-resize" => {
+            let bytes = path
+                .as_deref()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("cache-resize needs a BYTES argument"));
+            client.cache_resize(bytes).map(|v| v.encode())
+        }
         "submit" => {
             request.source = resolve_source(workload, path);
             client.submit(request).map(|reply| {

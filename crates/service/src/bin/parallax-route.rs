@@ -1,0 +1,66 @@
+//! The fabric router daemon: front N `parallax-serve` shards with one
+//! address, sharding by consistent hashing on the job's content address.
+//!
+//! ```text
+//! parallax-route --shard HOST:PORT [--shard HOST:PORT ...]
+//!                [--addr HOST:PORT] [--vnodes N]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7979`), prints the resolved
+//! address, and routes until a client sends `{"cmd":"shutdown"}` — the
+//! shutdown fans out to every shard (draining the whole fabric) before
+//! the router exits.
+
+use parallax_service::{start_router, RouterConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: parallax-route --shard HOST:PORT [--shard HOST:PORT ...] \
+         [--addr HOST:PORT] [--vnodes N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut config = RouterConfig { addr: "127.0.0.1:7979".to_string(), ..RouterConfig::default() };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                config.addr = it.next().cloned().unwrap_or_else(|| die("--addr expects HOST:PORT"))
+            }
+            "--shard" => config
+                .shards
+                .push(it.next().cloned().unwrap_or_else(|| die("--shard expects HOST:PORT"))),
+            "--vnodes" => {
+                config.vnodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("bad --vnodes"))
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    if config.shards.is_empty() {
+        die("at least one --shard HOST:PORT is required");
+    }
+
+    let shards = config.shards.clone();
+    let vnodes = config.vnodes;
+    let mut router = match start_router(config) {
+        Ok(r) => r,
+        Err(e) => die(&format!("cannot start router: {e}")),
+    };
+    println!(
+        "parallax-route listening on {} ({} shards, {} vnodes each): {}",
+        router.addr(),
+        shards.len(),
+        vnodes,
+        shards.join(", ")
+    );
+    router.wait_until_drained();
+    println!("parallax-route drained; bye");
+}

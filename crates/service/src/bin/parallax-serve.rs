@@ -1,8 +1,8 @@
 //! The compile server daemon.
 //!
 //! ```text
-//! parallax-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!                [--enqueue-timeout-ms N]
+//! parallax-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache BYTES]
+//!                [--disk-cache DIR] [--enqueue-timeout-ms N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7878`), prints the resolved
@@ -14,8 +14,8 @@ use parallax_service::{start, ServerConfig};
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: parallax-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-         [--enqueue-timeout-ms N]"
+        "usage: parallax-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache BYTES] \
+         [--disk-cache DIR] [--enqueue-timeout-ms N]"
     );
     std::process::exit(2)
 }
@@ -34,7 +34,11 @@ fn main() {
             }
             "--workers" => config.workers = num(it.next(), "--workers"),
             "--queue" => config.queue_capacity = num(it.next(), "--queue").max(1),
-            "--cache" => config.cache_capacity = num(it.next(), "--cache").max(1),
+            "--cache" => config.cache_capacity = num(it.next(), "--cache"),
+            "--disk-cache" => {
+                config.disk_cache_dir =
+                    Some(it.next().cloned().unwrap_or_else(|| die("--disk-cache expects DIR")))
+            }
             "--enqueue-timeout-ms" => {
                 config.enqueue_timeout_ms = num(it.next(), "--enqueue-timeout-ms") as u64
             }
@@ -44,14 +48,18 @@ fn main() {
 
     let mut server = match start(config.clone()) {
         Ok(s) => s,
-        Err(e) => die(&format!("cannot bind {}: {e}", config.addr)),
+        Err(e) => die(&format!("cannot start on {}: {e}", config.addr)),
     };
     println!(
-        "parallax-serve listening on {} ({} workers, queue {}, cache {})",
+        "parallax-serve listening on {} ({} workers, queue {}, cache {} bytes{})",
         server.addr(),
         parallax_service::worker::effective_workers(config.workers),
         config.queue_capacity,
-        config.cache_capacity
+        config.cache_capacity,
+        match &config.disk_cache_dir {
+            Some(dir) => format!(", disk cache {dir}"),
+            None => String::new(),
+        }
     );
     // Block until a client drives the shutdown command, then finish the
     // drain (the handle's Drop would also drain if we exited otherwise).

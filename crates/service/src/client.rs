@@ -5,7 +5,7 @@
 //! pair every response with its request (and assert it via the `id` echo).
 
 use crate::json::{self, Json};
-use crate::protocol::{encode_request, Request, SubmitRequest, SweepRequest};
+use crate::protocol::{encode_request, CacheOp, Request, SubmitRequest, SweepRequest};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -246,6 +246,35 @@ impl ServiceClient {
     pub fn shutdown(&mut self) -> Result<Json, ClientError> {
         self.roundtrip(&Request::Shutdown)
     }
+
+    /// Admin: drop every in-memory result-cache entry (disk untouched).
+    /// Against a router this fans out to every shard.
+    pub fn cache_flush(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Cache(CacheOp::Flush))
+    }
+
+    /// Admin: change the in-memory result-cache byte budget (0 disables).
+    pub fn cache_resize(&mut self, bytes: usize) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Cache(CacheOp::Resize { bytes }))
+    }
+
+    /// Admin: write every in-memory result-cache entry through to the
+    /// disk tier (errors if the server runs without one).
+    pub fn cache_persist(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Cache(CacheOp::Persist))
+    }
+
+    /// Admin: stop accepting new submissions and finish accepted work,
+    /// keeping the process alive for stats/metrics/admin traffic.
+    pub fn drain(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Drain)
+    }
+
+    /// Admin: fabric topology and health — a router's shard table, or a
+    /// single shard's self-report.
+    pub fn shards(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Shards)
+    }
 }
 
 fn cache_layer_line(cache: Option<&Json>) -> String {
@@ -301,6 +330,22 @@ pub fn render_stats(stats: &Json) -> String {
     ));
     out.push_str(&format!("queue         depth {}/{}\n", n("queue_depth"), n("queue_capacity")));
     out.push_str(&format!("result cache  {}\n", cache_layer_line(stats.get("cache"))));
+    if let Some(disk) = stats.get("cache").and_then(|c| c.get("disk")) {
+        let line = if disk.get("enabled").and_then(Json::as_bool) == Some(true) {
+            let g = |k: &str| disk.get(k).and_then(Json::as_u64).unwrap_or(0);
+            format!(
+                "len {}  hits {}  misses {}  stores {}  store_errors {}",
+                g("len"),
+                g("hits"),
+                g("misses"),
+                g("stores"),
+                g("store_errors")
+            )
+        } else {
+            "disabled (start the server with --disk-cache DIR)".to_string()
+        };
+        out.push_str(&format!("disk cache    {line}\n"));
+    }
     out.push_str(&format!("layout cache  {}\n", cache_layer_line(stats.get("layout_cache"))));
     out.push_str(&format!("plan cache    {}\n", cache_layer_line(stats.get("plan_cache"))));
     out.push_str(&format!("tmpl cache    {}\n", cache_layer_line(stats.get("template_cache"))));
@@ -383,6 +428,17 @@ mod tests {
             ("hits", Json::Int(1)),
             ("misses", Json::Int(2)),
             ("evictions", Json::Int(0)),
+            (
+                "disk",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(true)),
+                    ("len", Json::Int(5)),
+                    ("hits", Json::Int(3)),
+                    ("misses", Json::Int(1)),
+                    ("stores", Json::Int(5)),
+                    ("store_errors", Json::Int(0)),
+                ]),
+            ),
         ]);
         Metrics::inc(&m.sweep_points);
         Metrics::inc(&m.sweep_points);
@@ -393,6 +449,10 @@ mod tests {
         assert!(text.contains("jobs          submitted 1  completed 1"), "{text}");
         assert!(text.contains("queue         depth 1/64"), "{text}");
         assert!(text.contains("result cache  len 2/64  hits 1  misses 2"), "{text}");
+        assert!(
+            text.contains("disk cache    len 5  hits 3  misses 1  stores 5  store_errors 0"),
+            "{text}"
+        );
         assert!(text.contains("layout cache  len "), "layout-cache layer missing:\n{text}");
         assert!(text.contains("plan cache    len "), "plan-cache layer missing:\n{text}");
         assert!(text.contains("tmpl cache    len "), "template-cache layer missing:\n{text}");

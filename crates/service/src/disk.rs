@@ -1,0 +1,143 @@
+//! The service's disk-backed result-cache tier.
+//!
+//! Wraps the content-addressed [`DiskStore`] from
+//! `parallax_core::layout_cache::persist` with the service's key type and
+//! observability: every probe and write bumps a
+//! `parallax_disk_cache_events_total` counter in the process-wide metrics
+//! registry, and the same numbers back the `STATS` `cache.disk`
+//! sub-object.
+//!
+//! The tier is what lets a shard survive restarts warm: the in-memory
+//! [`ResultCache`](crate::cache::ResultCache) dies with the process, but
+//! every compiled payload was written through here, so the restarted
+//! process answers previously-seen keys from disk — checksummed,
+//! version-gated, byte-identical — instead of recompiling. Corrupt or
+//! truncated files degrade to a miss (and are cleaned up), never an
+//! error; the compile path is always a correct fallback.
+
+use crate::cache::CacheKey;
+use parallax_core::layout_cache::DiskStore;
+use parallax_trace::Counter;
+use std::path::Path;
+
+/// A [`DiskStore`] of result payloads plus the counters that make its
+/// behaviour observable.
+pub struct DiskCache {
+    store: DiskStore,
+    /// Probes answered from disk.
+    pub hits: Counter,
+    /// Probes that found no (valid) entry.
+    pub misses: Counter,
+    /// Payloads durably written.
+    pub stores: Counter,
+    /// Writes that failed (I/O errors; the response is unaffected).
+    pub store_errors: Counter,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) the disk tier rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let instance = INSTANCE.fetch_add(1, Ordering::Relaxed).to_string();
+        let event = |event: &str| {
+            parallax_trace::counter(
+                "parallax_disk_cache_events_total",
+                &[("event", event), ("instance", &instance)],
+            )
+        };
+        Ok(Self {
+            store: DiskStore::open(dir.as_ref())?,
+            hits: event("hit"),
+            misses: event("miss"),
+            stores: event("store"),
+            store_errors: event("store_error"),
+        })
+    }
+
+    /// Probe the disk tier for `key`. A payload must round-trip the store's
+    /// validation *and* be UTF-8 (it was written from a `String`); anything
+    /// else is a counted miss.
+    pub fn load(&self, key: &CacheKey) -> Option<String> {
+        match self.store.load(key.circuit, key.compiler).and_then(|b| String::from_utf8(b).ok()) {
+            Some(payload) => {
+                self.hits.inc();
+                Some(payload)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Durably write `payload` under `key` (write-tmp-fsync-rename). Write
+    /// failures are counted, not propagated — the in-memory tier and the
+    /// response already have the payload.
+    pub fn store(&self, key: &CacheKey, payload: &str) {
+        match self.store.store(key.circuit, key.compiler, payload.as_bytes()) {
+            Ok(()) => self.stores.inc(),
+            Err(_) => self.store_errors.inc(),
+        }
+    }
+
+    /// Complete entries currently on disk.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the disk tier currently holds no complete entries.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The directory backing this tier.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("parallax-service-disk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_payloads_and_counts_events() {
+        let dir = temp_dir("roundtrip");
+        let disk = DiskCache::open(&dir).unwrap();
+        let key = CacheKey { circuit: 0xAB, compiler: 0xCD };
+        assert_eq!(disk.load(&key), None);
+        disk.store(&key, "{\"ok\":true}");
+        assert_eq!(disk.load(&key).as_deref(), Some("{\"ok\":true}"));
+        assert_eq!((disk.hits.get(), disk.misses.get(), disk.stores.get()), (1, 1, 1));
+        assert_eq!(disk.len(), 1);
+
+        // A second instance over the same dir — the restart case.
+        let reopened = DiskCache::open(&dir).unwrap();
+        assert_eq!(reopened.load(&key).as_deref(), Some("{\"ok\":true}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_utf8_payload_is_a_structured_miss() {
+        let dir = temp_dir("utf8");
+        let disk = DiskCache::open(&dir).unwrap();
+        let key = CacheKey { circuit: 1, compiler: 2 };
+        // Write invalid UTF-8 through the raw store: the header/checksum
+        // validate, but the service layer must still refuse it.
+        DiskStore::open(disk.dir())
+            .unwrap()
+            .store(key.circuit, key.compiler, &[0xFF, 0xFE])
+            .unwrap();
+        assert_eq!(disk.load(&key), None);
+        assert_eq!(disk.misses.get(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,7 +11,17 @@
 //! {"cmd":"stats"}
 //! {"cmd":"ping"}
 //! {"cmd":"shutdown"}
+//! {"cmd":"cache","op":"flush"}
+//! {"cmd":"cache","op":"resize","bytes":8388608}
+//! {"cmd":"cache","op":"persist"}
+//! {"cmd":"drain"}
+//! {"cmd":"shards"}
 //! ```
+//!
+//! The last five are the **admin plane** (see `docs/FABRIC.md`): result
+//! cache management, draining a shard without killing its process, and
+//! fabric topology. They ride the same newline-JSON framing as data ops,
+//! so one client speaks both.
 //!
 //! Responses are `{"ok":true,...}` or `{"ok":false,"error":"..."}`. A
 //! submit response embeds the canonical compilation payload under
@@ -86,6 +96,20 @@ pub struct SweepRequest {
     pub params: Vec<Vec<f64>>,
 }
 
+/// An admin operation on the result-cache tier (`{"cmd":"cache",...}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// Drop every in-memory entry (the disk tier is untouched).
+    Flush,
+    /// Change the in-memory byte budget at runtime (0 disables).
+    Resize {
+        /// New capacity in payload bytes.
+        bytes: usize,
+    },
+    /// Write every in-memory entry through to the disk tier.
+    Persist,
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -106,6 +130,14 @@ pub enum Request {
     Ping,
     /// Drain in-flight work and stop accepting jobs.
     Shutdown,
+    /// Admin: manage the result cache (flush / resize / persist).
+    Cache(CacheOp),
+    /// Admin: stop accepting new submissions and finish accepted work,
+    /// but keep the process alive for stats/metrics/admin traffic.
+    Drain,
+    /// Admin: fabric topology and per-shard health. A router answers with
+    /// its shard table; a plain shard answers with its own role and vitals.
+    Shards,
 }
 
 /// Default number of traces a `TRACE` op returns.
@@ -135,6 +167,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
+        "drain" => Ok(Request::Drain),
+        "shards" => Ok(Request::Shards),
+        "cache" => {
+            let op = v.get("op").and_then(Json::as_str).ok_or("cache needs a string 'op' field")?;
+            match op {
+                "flush" => Ok(Request::Cache(CacheOp::Flush)),
+                "persist" => Ok(Request::Cache(CacheOp::Persist)),
+                "resize" => {
+                    let bytes = v
+                        .get("bytes")
+                        .and_then(Json::as_u64)
+                        .ok_or("cache resize needs a non-negative 'bytes' field")?;
+                    Ok(Request::Cache(CacheOp::Resize { bytes: bytes as usize }))
+                }
+                other => Err(format!("unknown cache op '{other}' (flush|resize|persist)")),
+            }
+        }
         "submit" => Ok(Request::Submit(Box::new(parse_submit_fields(&v)?))),
         "submit-sweep" => Ok(Request::SubmitSweep(Box::new(SweepRequest {
             submit: parse_submit_fields(&v)?,
@@ -337,6 +386,15 @@ pub fn encode_request(request: &Request) -> String {
         }
         Request::Ping => "{\"cmd\":\"ping\"}".to_string(),
         Request::Shutdown => "{\"cmd\":\"shutdown\"}".to_string(),
+        Request::Drain => "{\"cmd\":\"drain\"}".to_string(),
+        Request::Shards => "{\"cmd\":\"shards\"}".to_string(),
+        Request::Cache(op) => match op {
+            CacheOp::Flush => "{\"cmd\":\"cache\",\"op\":\"flush\"}".to_string(),
+            CacheOp::Persist => "{\"cmd\":\"cache\",\"op\":\"persist\"}".to_string(),
+            CacheOp::Resize { bytes } => {
+                format!("{{\"cmd\":\"cache\",\"op\":\"resize\",\"bytes\":{bytes}}}")
+            }
+        },
         Request::Submit(s) => Json::obj(submit_pairs("submit", s)).encode(),
         Request::SubmitSweep(s) => {
             let mut pairs = submit_pairs("submit-sweep", &s.submit);
@@ -418,6 +476,32 @@ mod tests {
         assert!(parse_request("{\"cmd\":\"nope\"}").is_err());
         assert!(parse_request("not json").is_err());
         assert!(parse_request("{}").is_err());
+    }
+
+    #[test]
+    fn parses_admin_commands() {
+        assert_eq!(parse_request("{\"cmd\":\"drain\"}").unwrap(), Request::Drain);
+        assert_eq!(parse_request("{\"cmd\":\"shards\"}").unwrap(), Request::Shards);
+        assert_eq!(
+            parse_request("{\"cmd\":\"cache\",\"op\":\"flush\"}").unwrap(),
+            Request::Cache(CacheOp::Flush)
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"cache\",\"op\":\"persist\"}").unwrap(),
+            Request::Cache(CacheOp::Persist)
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"cache\",\"op\":\"resize\",\"bytes\":4096}").unwrap(),
+            Request::Cache(CacheOp::Resize { bytes: 4096 })
+        );
+        for bad in [
+            "{\"cmd\":\"cache\"}",
+            "{\"cmd\":\"cache\",\"op\":\"defrost\"}",
+            "{\"cmd\":\"cache\",\"op\":\"resize\"}",
+            "{\"cmd\":\"cache\",\"op\":\"resize\",\"bytes\":\"big\"}",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]
@@ -507,6 +591,11 @@ mod tests {
             Request::Metrics,
             Request::Trace { limit: 7 },
             Request::Shutdown,
+            Request::Drain,
+            Request::Shards,
+            Request::Cache(CacheOp::Flush),
+            Request::Cache(CacheOp::Persist),
+            Request::Cache(CacheOp::Resize { bytes: 1 << 20 }),
             Request::Submit(Box::new(SubmitRequest {
                 source: SubmitSource::Qasm("OPENQASM 2.0;\nqreg q[1];\n".into()),
                 seed: 11,

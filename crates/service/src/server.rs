@@ -13,11 +13,12 @@
 //! replied — nothing accepted is ever dropped.
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::disk::DiskCache;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    circuit_content_hash, compile_payload, error_response, parse_request, Request, SubmitRequest,
-    SweepRequest,
+    circuit_content_hash, compile_payload, error_response, parse_request, CacheOp, Request,
+    SubmitRequest, SweepRequest,
 };
 use crate::queue::{JobQueue, PushError};
 use crate::worker::{effective_workers, spawn_workers, Job, JobOutcome};
@@ -39,8 +40,14 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Job queue capacity (backpressure bound).
     pub queue_capacity: usize,
-    /// Result cache capacity (entries).
+    /// Result cache budget in **payload bytes** (0 disables caching). A
+    /// giant schedule is charged what it costs; see [`ResultCache`].
     pub cache_capacity: usize,
+    /// Directory for the disk-backed result-cache tier (`None` disables).
+    /// Payloads written here survive restarts: a fresh process pointed at
+    /// the same directory answers previously-seen keys without
+    /// recompiling.
+    pub disk_cache_dir: Option<String>,
     /// How long a submission may wait for queue space before it is
     /// rejected with a `queue full` error (0 = reject immediately).
     pub enqueue_timeout_ms: u64,
@@ -57,7 +64,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
             queue_capacity: 64,
-            cache_capacity: 256,
+            cache_capacity: 8 * 1024 * 1024,
+            disk_cache_dir: None,
             enqueue_timeout_ms: 1000,
             max_line_bytes: 8 * 1024 * 1024,
         }
@@ -68,8 +76,11 @@ impl Default for ServerConfig {
 pub struct ServiceShared {
     /// The bounded priority job queue.
     pub queue: JobQueue<Job>,
-    /// Content-addressed result cache.
+    /// Content-addressed result cache (in-memory tier, byte-budgeted).
     pub cache: Mutex<ResultCache>,
+    /// Restart-surviving disk tier, when configured. Probed on an
+    /// in-memory miss; compiled payloads are written through.
+    pub disk: Option<DiskCache>,
     /// Live counters.
     pub metrics: Metrics,
     /// Recent (internal span id → client-supplied trace id) pairs, so the
@@ -100,15 +111,38 @@ impl ServiceShared {
         tags.iter().rev().find(|(n, _)| *n == num).map(|(_, t)| t.clone())
     }
 
-    /// Cache counters as the `STATS` sub-object.
+    /// Cache counters as the `STATS` sub-object. `capacity`/`weight` are
+    /// payload bytes; the `disk` sub-object reports the restart-surviving
+    /// tier (all-zero `len`/counters when no disk dir is configured, so
+    /// the snapshot shape is stable either way).
     fn cache_json(&self) -> Json {
         let c = self.cache.lock().expect("cache lock");
+        let disk = match &self.disk {
+            Some(d) => Json::obj(vec![
+                ("enabled", Json::Bool(true)),
+                ("len", Json::Int(d.len() as u64)),
+                ("hits", Json::Int(d.hits.get())),
+                ("misses", Json::Int(d.misses.get())),
+                ("stores", Json::Int(d.stores.get())),
+                ("store_errors", Json::Int(d.store_errors.get())),
+            ]),
+            None => Json::obj(vec![
+                ("enabled", Json::Bool(false)),
+                ("len", Json::Int(0)),
+                ("hits", Json::Int(0)),
+                ("misses", Json::Int(0)),
+                ("stores", Json::Int(0)),
+                ("store_errors", Json::Int(0)),
+            ]),
+        };
         Json::obj(vec![
             ("len", Json::Int(c.len() as u64)),
             ("capacity", Json::Int(c.capacity() as u64)),
+            ("weight", Json::Int(c.weight() as u64)),
             ("hits", Json::Int(c.hits())),
             ("misses", Json::Int(c.misses())),
             ("evictions", Json::Int(c.evictions())),
+            ("disk", disk),
         ])
     }
 }
@@ -122,7 +156,13 @@ enum DrainPhase {
 
 struct ServerCore {
     shared: Arc<ServiceShared>,
+    /// Whether new *submissions* are accepted. Cleared by `DRAIN` and
+    /// shutdown; stats/metrics/admin traffic keeps flowing either way.
     accepting: AtomicBool,
+    /// Whether the accept loop should stop taking connections entirely.
+    /// Only shutdown sets this — a drained shard still answers its admin
+    /// plane on new connections.
+    exiting: AtomicBool,
     workers: Mutex<Option<Vec<JoinHandle<()>>>>,
     drain: Mutex<DrainPhase>,
     drained: Condvar,
@@ -154,8 +194,6 @@ impl ServerCore {
                 drop(phase);
                 self.accepting.store(false, Ordering::SeqCst);
                 self.shared.queue.close();
-                // Unblock the accept loop so it observes the flag.
-                let _ = TcpStream::connect(self.addr);
                 let workers = self.workers.lock().expect("workers lock").take().unwrap_or_default();
                 for w in workers {
                     let _ = w.join();
@@ -164,6 +202,15 @@ impl ServerCore {
                 self.drained.notify_all();
             }
         }
+    }
+
+    /// Stop the accept loop (connected clients finish their in-flight
+    /// request/response; new connections are refused). The final step of
+    /// shutdown — never part of a plain `DRAIN`.
+    fn stop_accepting_connections(&self) {
+        self.exiting.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
     }
 }
 
@@ -188,6 +235,7 @@ impl ServerHandle {
     /// and join it. Idempotent.
     pub fn shutdown(&mut self) {
         self.core.drain();
+        self.core.stop_accepting_connections();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -220,9 +268,14 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     parallax_core::register_observability();
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let disk = match &config.disk_cache_dir {
+        Some(dir) => Some(DiskCache::open(dir)?),
+        None => None,
+    };
     let shared = Arc::new(ServiceShared {
         queue: JobQueue::new(config.queue_capacity),
         cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+        disk,
         metrics: Metrics::default(),
         trace_tags: Mutex::new(std::collections::VecDeque::new()),
     });
@@ -230,6 +283,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let core = Arc::new(ServerCore {
         shared,
         accepting: AtomicBool::new(true),
+        exiting: AtomicBool::new(false),
         workers: Mutex::new(Some(workers)),
         drain: Mutex::new(DrainPhase::Running),
         drained: Condvar::new(),
@@ -249,7 +303,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
 
 fn accept_loop(listener: &TcpListener, core: &Arc<ServerCore>) {
     for stream in listener.incoming() {
-        if !core.accepting.load(Ordering::SeqCst) {
+        if core.exiting.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
@@ -262,7 +316,7 @@ fn accept_loop(listener: &TcpListener, core: &Arc<ServerCore>) {
 
 /// One framing read: a complete line, an oversized line (consumed through
 /// its newline so the connection can resynchronize), or end of stream.
-enum FrameRead {
+pub(crate) enum FrameRead {
     /// A complete frame (final unterminated frames before EOF included,
     /// matching `BufRead::lines`): raw bytes, newline stripped.
     Line(Vec<u8>),
@@ -276,7 +330,10 @@ enum FrameRead {
 /// over-cap line is drained chunk by chunk (never held in memory) until
 /// its newline or EOF, then reported as [`FrameRead::Oversized`] so the
 /// caller can answer with a structured error and keep serving.
-fn read_frame_capped(reader: &mut impl BufRead, cap: usize) -> std::io::Result<FrameRead> {
+pub(crate) fn read_frame_capped(
+    reader: &mut impl BufRead,
+    cap: usize,
+) -> std::io::Result<FrameRead> {
     let mut out: Vec<u8> = Vec::new();
     let mut overflowed = false;
     loop {
@@ -408,9 +465,69 @@ fn handle_request(line: &str, core: &Arc<ServerCore>) -> (String, bool) {
                 true,
             )
         }
+        Ok(Request::Drain) => {
+            core.drain();
+            (
+                Json::obj(vec![("ok", Json::Bool(true)), ("drained", Json::Bool(true))]).encode(),
+                false,
+            )
+        }
+        Ok(Request::Cache(op)) => (handle_cache_op(op, core), false),
+        Ok(Request::Shards) => (shard_role_response(core), false),
         Ok(Request::Submit(req)) => (handle_submit(&req, core), false),
         Ok(Request::SubmitSweep(req)) => (handle_sweep(&req, core), false),
     }
+}
+
+/// The admin `CACHE` ops: flush the in-memory tier, resize its byte
+/// budget, or persist it to disk. Every response carries the post-op
+/// cache snapshot so the admin sees the effect without a second round
+/// trip.
+fn handle_cache_op(op: CacheOp, core: &Arc<ServerCore>) -> String {
+    let shared = &core.shared;
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    match op {
+        CacheOp::Flush => {
+            shared.cache.lock().expect("cache lock").clear();
+            pairs.push(("flushed", Json::Bool(true)));
+        }
+        CacheOp::Resize { bytes } => {
+            shared.cache.lock().expect("cache lock").set_capacity(bytes);
+            pairs.push(("resized", Json::Int(bytes as u64)));
+        }
+        CacheOp::Persist => {
+            let Some(disk) = &shared.disk else {
+                return error_response(
+                    "no disk cache configured (start the server with --disk-cache DIR)",
+                    None,
+                );
+            };
+            let mut persisted = 0u64;
+            shared.cache.lock().expect("cache lock").for_each(|key, payload| {
+                disk.store(key, payload);
+                persisted += 1;
+            });
+            pairs.push(("persisted", Json::Int(persisted)));
+        }
+    }
+    pairs.push(("cache", shared.cache_json()));
+    Json::obj(pairs).encode()
+}
+
+/// A plain shard's `SHARDS` answer: its role and vitals. The router
+/// overrides this with the full topology; a shard answering for itself is
+/// what lets an admin point the same client at either tier.
+fn shard_role_response(core: &Arc<ServerCore>) -> String {
+    let shared = &core.shared;
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("role", Json::Str("shard".into())),
+        ("accepting", Json::Bool(core.accepting.load(Ordering::SeqCst))),
+        ("uptime_us", Json::Int(core.started.elapsed().as_micros() as u64)),
+        ("queue_depth", Json::Int(shared.queue.len() as u64)),
+        ("cache", shared.cache_json()),
+    ])
+    .encode()
 }
 
 /// The `TRACE` response: the most recent per-request span trees still in
@@ -503,6 +620,18 @@ fn handle_submit(req: &SubmitRequest, core: &Arc<ServerCore>) -> String {
         let response = ok_response(req.id, &trace, true, &payload, arrived);
         shared.metrics.latency.record(arrived.elapsed().as_micros() as u64);
         return response;
+    }
+    // Memory missed — probe the restart-surviving disk tier. A hit is
+    // promoted into memory (warming the fresh process for its keyspace)
+    // and served as cached, byte-identical to the compile that wrote it.
+    if let Some(disk) = &shared.disk {
+        if let Some(payload) = disk.load(&key) {
+            shared.cache.lock().expect("cache lock").insert(key, payload.clone());
+            Metrics::inc(&shared.metrics.cache_hits);
+            let response = ok_response(req.id, &trace, true, &payload, arrived);
+            shared.metrics.latency.record(arrived.elapsed().as_micros() as u64);
+            return response;
+        }
     }
 
     let (reply_tx, reply_rx) = mpsc::channel();
@@ -711,7 +840,7 @@ mod tests {
 
     #[test]
     fn handles_requests_in_process() {
-        let server = test_server(2, 8, 8);
+        let server = test_server(2, 8, 1 << 20);
         let core = &server.core;
         let pong = json::parse(&handle_request("{\"cmd\":\"ping\"}", core).0).unwrap();
         assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
@@ -736,7 +865,7 @@ mod tests {
 
     #[test]
     fn responses_carry_trace_ids_and_echo_client_supplied_ones() {
-        let server = test_server(1, 4, 4);
+        let server = test_server(1, 4, 1 << 20);
         let core = &server.core;
         // Server-minted: 16 lowercase hex digits.
         let r = json::parse(&handle_request(&submit_line("ADD", 11), core).0).unwrap();
@@ -757,7 +886,7 @@ mod tests {
 
     #[test]
     fn metrics_op_serves_prometheus_text() {
-        let server = test_server(1, 4, 4);
+        let server = test_server(1, 4, 1 << 20);
         let core = &server.core;
         let _ = handle_request(&submit_line("QFT", 2), core).0;
         let r = json::parse(&handle_request("{\"cmd\":\"metrics\"}", core).0).unwrap();
@@ -770,7 +899,7 @@ mod tests {
 
     #[test]
     fn trace_op_returns_span_trees_when_enabled() {
-        let server = test_server(1, 4, 4);
+        let server = test_server(1, 4, 1 << 20);
         let core = &server.core;
         parallax_trace::set_enabled(true);
         let r = json::parse(&handle_request(&submit_line("TFIM", 5), core).0).unwrap();
@@ -798,7 +927,7 @@ mod tests {
 
     #[test]
     fn trace_op_annotates_client_tagged_requests() {
-        let server = test_server(1, 4, 4);
+        let server = test_server(1, 4, 1 << 20);
         let core = &server.core;
         parallax_trace::set_enabled(true);
         let tagged = "{\"cmd\":\"submit\",\"workload\":\"SAT\",\"seed\":9,\"quick\":true,\
@@ -820,7 +949,7 @@ mod tests {
 
     #[test]
     fn rejects_invalid_submissions_without_queueing() {
-        let server = test_server(1, 4, 4);
+        let server = test_server(1, 4, 1 << 20);
         let core = &server.core;
         for bad in [
             "{\"cmd\":\"submit\",\"workload\":\"NOPE\"}",
@@ -834,7 +963,7 @@ mod tests {
 
     #[test]
     fn oversized_circuit_is_rejected_up_front() {
-        let server = test_server(1, 4, 4);
+        let server = test_server(1, 4, 1 << 20);
         // 300 declared qubits outsize the 256-site quera machine.
         let qasm = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[300];\nh q[0];\n";
         let req = Json::obj(vec![
@@ -870,7 +999,7 @@ mod tests {
 
     #[test]
     fn sweep_streams_one_line_per_point_from_one_template() {
-        let server = test_server(1, 4, 8);
+        let server = test_server(1, 4, 1 << 20);
         let core = &server.core;
         let line =
             sweep_line("[[0.1,0.2,0.3,0.4,0.5,0.6],[1.0,2.0,3.0,4.0,5.0,6.0],[0,0,0,0,0,0]]");
@@ -919,7 +1048,7 @@ mod tests {
 
     #[test]
     fn sweep_rejects_bad_points_with_one_structured_error() {
-        let server = test_server(1, 4, 8);
+        let server = test_server(1, 4, 1 << 20);
         let core = &server.core;
         for (params, needle) in [
             ("[[0.1,0.2]]", "parameter count mismatch"),
@@ -939,7 +1068,7 @@ mod tests {
 
     #[test]
     fn shutdown_is_idempotent_and_rejects_new_submits() {
-        let mut server = test_server(2, 8, 8);
+        let mut server = test_server(2, 8, 1 << 20);
         let ok = json::parse(&handle_request(&submit_line("MLT", 1), &server.core).0).unwrap();
         assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
         let drained =

@@ -1,0 +1,379 @@
+//! Fabric end-to-end tests with **real processes**: `parallax-serve`
+//! shards and the `parallax-route` front end launched as child processes
+//! and exercised over TCP.
+//!
+//! Three contracts are pinned here:
+//! 1. **Equivalence** — a router fronting two shards serves byte-identical
+//!    payloads to direct in-process compilation, under 8 concurrent
+//!    clients.
+//! 2. **Restart survival** — a shard killed and restarted against the
+//!    same `--disk-cache` directory answers a previously-seen key from
+//!    the disk tier (disk-hit counter > 0) without recompiling, byte
+//!    identically.
+//! 3. **Corruption tolerance** — truncated or garbage cache files degrade
+//!    to structured misses (the shard recompiles and still answers
+//!    correctly), never a panic.
+
+use parallax_service::{compile_payload, Json, ServiceClient, SubmitRequest, SubmitSource};
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A child daemon plus the address it printed on startup. Holds the
+/// stdout pipe open for the child's lifetime so its shutdown banner
+/// doesn't die on a broken pipe.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+    stdout: Option<BufReader<std::process::ChildStdout>>,
+}
+
+impl Daemon {
+    /// Launch `bin` with `args`, parse the `... listening on HOST:PORT ...`
+    /// line it prints once bound.
+    fn launch(bin: &str, args: &[&str]) -> Daemon {
+        let mut child = Command::new(bin)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn daemon");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut first_line = String::new();
+        reader.read_line(&mut first_line).expect("read startup line");
+        let addr = first_line
+            .split_whitespace()
+            .skip_while(|w| *w != "on")
+            .nth(1)
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("no address in startup line: {first_line:?}"));
+        Daemon { child, addr, stdout: Some(reader) }
+    }
+
+    fn serve(extra: &[&str]) -> Daemon {
+        let mut args = vec!["--addr", "127.0.0.1:0", "--workers", "2", "--queue", "16"];
+        args.extend_from_slice(extra);
+        Self::launch(env!("CARGO_BIN_EXE_parallax-serve"), &args)
+    }
+
+    fn route(shards: &[SocketAddr]) -> Daemon {
+        let shard_args: Vec<String> = shards.iter().map(|a| a.to_string()).collect();
+        let mut args = vec!["--addr".to_string(), "127.0.0.1:0".to_string()];
+        for s in &shard_args {
+            args.push("--shard".to_string());
+            args.push(s.clone());
+        }
+        let args: Vec<&str> = args.iter().map(String::as_str).collect();
+        Self::launch(env!("CARGO_BIN_EXE_parallax-route"), &args)
+    }
+
+    /// Wait (bounded) for the process to exit after a client-driven
+    /// shutdown.
+    fn wait(mut self) {
+        // Drain the rest of the child's stdout on the side so it can
+        // never block on a full pipe while exiting.
+        if let Some(mut reader) = self.stdout.take() {
+            std::thread::spawn(move || {
+                let mut rest = String::new();
+                let _ = reader.read_to_string(&mut rest);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exited with {status}");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("daemon did not exit within the deadline");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Belt and braces: if a test panicked before the clean shutdown,
+        // don't leak the child process.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn submit_for(workload: &str, seed: u64) -> SubmitRequest {
+    SubmitRequest {
+        source: SubmitSource::Workload(workload.to_string()),
+        seed,
+        quick: true,
+        ..Default::default()
+    }
+}
+
+fn direct_payload(req: &SubmitRequest) -> String {
+    let compiler = req.build_compiler().expect("valid machine");
+    let circuit = req.resolve_circuit().expect("valid workload");
+    compile_payload(&compiler.compile(&circuit)).encode()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("parallax-fabric-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn router_with_two_shard_processes_matches_direct_compilation() {
+    let shard_a = Daemon::serve(&[]);
+    let shard_b = Daemon::serve(&[]);
+    let router = Daemon::route(&[shard_a.addr, shard_b.addr]);
+
+    // 8 distinct jobs, compiled directly first for the expected bytes.
+    let jobs: Vec<(SubmitRequest, String)> = ["ADD", "MLT", "QAOA", "HLF"]
+        .iter()
+        .flat_map(|w| (0..2u64).map(move |s| submit_for(w, s)))
+        .map(|req| {
+            let want = direct_payload(&req);
+            (req, want)
+        })
+        .collect();
+
+    // 8 concurrent clients, each two passes over every job (offset start
+    // per client so shards see interleaved repeat traffic).
+    let addr = router.addr;
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            let jobs = jobs.clone();
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect to router");
+                for pass in 0..2 {
+                    for i in 0..jobs.len() {
+                        let (req, want) = &jobs[(i + c) % jobs.len()];
+                        let id = (c * 1000 + pass * 100 + i) as u64;
+                        let reply = client
+                            .submit(SubmitRequest { id: Some(id), ..req.clone() })
+                            .expect("routed submit succeeds");
+                        assert_eq!(reply.id, Some(id), "responses must be index-stable");
+                        assert_eq!(
+                            reply.result.encode(),
+                            *want,
+                            "routed result must be byte-identical to direct compilation"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Both shards took forwards (the keyspace actually sharded), and the
+    // fabric topology reports both reachable.
+    let mut control = ServiceClient::connect(addr).expect("connect");
+    let stats = control.stats().expect("router stats");
+    assert_eq!(stats.get("role").and_then(Json::as_str), Some("router"));
+    let forwarded: Vec<u64> = match stats.get("forwarded") {
+        Some(Json::Arr(a)) => a.iter().filter_map(Json::as_u64).collect(),
+        other => panic!("missing forwarded counters: {other:?}"),
+    };
+    assert_eq!(forwarded.len(), 2);
+    assert_eq!(forwarded.iter().sum::<u64>(), 8 * 2 * 8, "every submit was forwarded");
+    assert!(forwarded.iter().all(|&n| n > 0), "one shard owns the whole ring: {forwarded:?}");
+
+    let topo = control.shards().expect("topology");
+    let shards = match topo.get("shards") {
+        Some(Json::Arr(a)) => a.clone(),
+        other => panic!("missing shards: {other:?}"),
+    };
+    assert_eq!(shards.len(), 2);
+    for s in &shards {
+        assert_eq!(s.get("reachable").and_then(Json::as_bool), Some(true), "{topo:?}");
+    }
+
+    // One SHUTDOWN through the router drains the whole fabric; all three
+    // processes exit cleanly.
+    let drained = control.shutdown().expect("fabric shutdown");
+    assert_eq!(drained.get("drained").and_then(Json::as_bool), Some(true));
+    assert_eq!(drained.get("shards_ok").and_then(Json::as_u64), Some(2));
+    drop(control);
+    router.wait();
+    shard_a.wait();
+    shard_b.wait();
+}
+
+#[test]
+fn restarted_shard_serves_previous_results_from_the_disk_tier() {
+    let dir = temp_dir("restart");
+    let dir_str = dir.to_str().expect("utf8 temp dir").to_string();
+    let req = submit_for("ADD", 90_001);
+
+    // First life: compile cold, written through to disk.
+    let shard = Daemon::serve(&["--disk-cache", &dir_str]);
+    let mut client = ServiceClient::connect(shard.addr).expect("connect");
+    let first = client.submit(req.clone()).expect("cold submit");
+    assert!(!first.cached, "first life compiles cold");
+    let stats = client.stats().expect("stats");
+    let disk = stats.get("cache").and_then(|c| c.get("disk")).expect("disk sub-object");
+    assert_eq!(disk.get("enabled").and_then(Json::as_bool), Some(true));
+    assert!(disk.get("stores").and_then(Json::as_u64).unwrap() >= 1, "write-through: {stats:?}");
+    client.shutdown().expect("drain first life");
+    drop(client);
+    shard.wait();
+
+    // Second life, same directory: the in-memory cache is gone, but the
+    // disk tier answers without recompiling.
+    let shard = Daemon::serve(&["--disk-cache", &dir_str]);
+    let mut client = ServiceClient::connect(shard.addr).expect("connect");
+    let revived = client.submit(req.clone()).expect("warm-restart submit");
+    assert!(revived.cached, "restarted shard must answer from the disk tier");
+    assert_eq!(
+        revived.result.encode(),
+        first.result.encode(),
+        "disk-served payload must be byte-identical to the compile that wrote it"
+    );
+    assert_eq!(revived.result.encode(), direct_payload(&req), "and to a direct compile");
+    let stats = client.stats().expect("stats");
+    let disk = stats.get("cache").and_then(|c| c.get("disk")).expect("disk sub-object");
+    assert!(
+        disk.get("hits").and_then(Json::as_u64).unwrap() >= 1,
+        "the disk-hit counter must attest the tier served it: {stats:?}"
+    );
+    assert_eq!(
+        stats.get("completed").and_then(Json::as_u64),
+        Some(0),
+        "nothing may recompile on a disk hit"
+    );
+
+    // The hit was promoted into memory: a repeat stays a hit without
+    // another disk probe.
+    let before = disk.get("hits").and_then(Json::as_u64).unwrap();
+    let repeat = client.submit(req).expect("promoted repeat");
+    assert!(repeat.cached);
+    let stats = client.stats().expect("stats");
+    let after = stats
+        .get("cache")
+        .and_then(|c| c.get("disk"))
+        .and_then(|d| d.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(before, after, "memory answers the promoted key; disk is not re-probed");
+
+    client.shutdown().expect("drain second life");
+    drop(client);
+    shard.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_disk_entries_degrade_to_misses_never_a_panic() {
+    let dir = temp_dir("corrupt");
+    let dir_str = dir.to_str().expect("utf8 temp dir").to_string();
+    let reqs: Vec<SubmitRequest> = (90_002..90_005).map(|seed| submit_for("MLT", seed)).collect();
+
+    // Seed the disk tier with three entries, then vandalize each a
+    // different way: garbage, truncated mid-header, checksum-breaking
+    // bit flip.
+    let shard = Daemon::serve(&["--disk-cache", &dir_str]);
+    let mut client = ServiceClient::connect(shard.addr).expect("connect");
+    let firsts: Vec<String> = reqs
+        .iter()
+        .map(|req| client.submit(req.clone()).expect("cold submit").result.encode())
+        .collect();
+    client.shutdown().expect("drain");
+    drop(client);
+    shard.wait();
+
+    let entries: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("read cache dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "plx"))
+        .collect();
+    assert_eq!(entries.len(), 3, "the first life must have persisted every entry");
+    for (i, path) in entries.iter().enumerate() {
+        match i % 3 {
+            0 => std::fs::write(path, b"garbage, not a cache entry").expect("garbage"),
+            1 => {
+                // Truncate mid-header.
+                let bytes = std::fs::read(path).expect("read entry");
+                std::fs::write(path, &bytes[..bytes.len().min(11)]).expect("truncate");
+            }
+            _ => {
+                // Flip a payload bit so the checksum fails.
+                let mut bytes = std::fs::read(path).expect("read entry");
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x40;
+                std::fs::write(path, &bytes).expect("bit-flip");
+            }
+        }
+    }
+
+    // Second life over the vandalized directory: every probe is a
+    // structured miss, the shard recompiles, and the answers are still
+    // byte-identical — no panic, no garbage served.
+    let shard = Daemon::serve(&["--disk-cache", &dir_str]);
+    let mut client = ServiceClient::connect(shard.addr).expect("connect");
+    for (req, first) in reqs.into_iter().zip(&firsts) {
+        let recompiled = client.submit(req).expect("submit over corrupt cache");
+        assert!(!recompiled.cached, "a corrupt entry must be a miss, not a hit");
+        assert_eq!(
+            recompiled.result.encode(),
+            *first,
+            "recompilation must reproduce the original payload"
+        );
+    }
+    let stats = client.stats().expect("stats");
+    let disk = stats.get("cache").and_then(|c| c.get("disk")).expect("disk sub-object");
+    assert!(disk.get("misses").and_then(Json::as_u64).unwrap() >= 3, "{stats:?}");
+    assert_eq!(disk.get("hits").and_then(Json::as_u64), Some(0), "{stats:?}");
+    client.shutdown().expect("drain");
+    drop(client);
+    shard.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn router_admin_plane_persists_and_flushes_across_shards() {
+    let dir_a = temp_dir("admin-a");
+    let dir_b = temp_dir("admin-b");
+    let shard_a = Daemon::serve(&["--disk-cache", dir_a.to_str().unwrap()]);
+    let shard_b = Daemon::serve(&["--disk-cache", dir_b.to_str().unwrap()]);
+    let router = Daemon::route(&[shard_a.addr, shard_b.addr]);
+    let mut client = ServiceClient::connect(router.addr).expect("connect");
+
+    // Compile a handful of jobs through the router, then persist and
+    // flush every shard through the single admin endpoint.
+    for seed in 0..4u64 {
+        let reply = client.submit(submit_for("HLF", seed)).expect("submit");
+        assert!(!reply.cached);
+    }
+    let persisted = client.cache_persist().expect("fabric-wide persist");
+    assert_eq!(persisted.get("shards_ok").and_then(Json::as_u64), Some(2), "{persisted:?}");
+    let flushed = client.cache_flush().expect("fabric-wide flush");
+    assert_eq!(flushed.get("shards_ok").and_then(Json::as_u64), Some(2));
+
+    // Memory is flushed, but the flush never touches the disk tier: the
+    // repeat is still served as cached (from disk) on whichever shard
+    // owns it, without recompiling.
+    let repeat = client.submit(submit_for("HLF", 0)).expect("repeat after flush");
+    assert!(repeat.cached, "the disk tier must back a flushed memory cache");
+
+    // Resize fans out too; 0 disables every in-memory cache.
+    let resized = client.cache_resize(0).expect("fabric-wide resize");
+    assert_eq!(resized.get("shards_ok").and_then(Json::as_u64), Some(2));
+
+    let drained = client.shutdown().expect("fabric shutdown");
+    assert_eq!(drained.get("drained").and_then(Json::as_bool), Some(true));
+    drop(client);
+    router.wait();
+    shard_a.wait();
+    shard_b.wait();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

@@ -32,7 +32,7 @@ fn direct_payload(req: &SubmitRequest) -> String {
 }
 
 fn test_config() -> ServerConfig {
-    ServerConfig { queue_capacity: 64, cache_capacity: 64, ..Default::default() }
+    ServerConfig { queue_capacity: 64, cache_capacity: 1 << 20, ..Default::default() }
 }
 
 #[test]
@@ -102,11 +102,19 @@ fn eight_concurrent_clients_get_byte_identical_index_stable_results() {
 }
 
 #[test]
-fn repeat_submission_is_a_cache_hit_and_lru_evicts() {
-    let mut server = start(ServerConfig { cache_capacity: 2, ..test_config() }).expect("bind");
+fn repeat_submission_is_a_cache_hit_and_byte_pressure_evicts_lru() {
+    // The cache budget is payload *bytes*: size it so the first two
+    // payloads fit together but adding the third forces out exactly the
+    // least-recently-used entry.
+    let a = submit_for("ADD", 1);
+    let b = submit_for("ADD", 2);
+    let m = submit_for("MLT", 1);
+    let (pa, pb, pm) =
+        (direct_payload(&a).len(), direct_payload(&b).len(), direct_payload(&m).len());
+    let budget = pa + pb + pm - 1;
+    let mut server = start(ServerConfig { cache_capacity: budget, ..test_config() }).expect("bind");
     let mut client = ServiceClient::connect(server.addr()).expect("connect");
 
-    let a = submit_for("ADD", 1);
     let first = client.submit(a.clone()).expect("first ADD");
     assert!(!first.cached);
     let second = client.submit(a.clone()).expect("second ADD");
@@ -114,20 +122,24 @@ fn repeat_submission_is_a_cache_hit_and_lru_evicts() {
     assert_eq!(first.result.encode(), second.result.encode());
 
     // Same circuit, different seed → different fingerprint → miss.
-    let reseeded = client.submit(submit_for("ADD", 2)).expect("reseeded ADD");
+    let reseeded = client.submit(b).expect("reseeded ADD");
     assert!(!reseeded.cached, "a different seed must not hit");
 
-    // Capacity 2: {ADD#2 (MRU), ADD#1}. Insert MLT → evicts ADD#1.
-    client.submit(submit_for("MLT", 1)).expect("MLT");
+    // Weight pa+pb; inserting pm overshoots the budget by exactly one
+    // byte, so the LRU entry (ADD#1) — and only it — is evicted.
+    client.submit(m).expect("MLT");
     let evicted = client.submit(a).expect("ADD after eviction");
-    assert!(!evicted.cached, "LRU entry must have been evicted");
+    assert!(!evicted.cached, "LRU entry must have been evicted by byte pressure");
     assert_eq!(evicted.result.encode(), first.result.encode(), "recompute matches");
 
     let stats = client.stats().expect("stats");
     assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
-    let evictions =
-        stats.get("cache").and_then(|c| c.get("evictions")).and_then(Json::as_u64).unwrap();
-    assert!(evictions >= 1, "eviction must be visible in STATS");
+    let cache = stats.get("cache").expect("cache sub-object");
+    let g = |k: &str| cache.get(k).and_then(Json::as_u64).unwrap();
+    // MLT's insert evicted ADD#1; re-inserting ADD#1 evicted ADD#2.
+    assert_eq!(g("evictions"), 2, "one eviction per over-budget insert");
+    assert_eq!(g("capacity"), budget as u64);
+    assert!(g("weight") <= g("capacity"), "weight must respect the byte budget");
     server.shutdown();
 }
 

@@ -149,9 +149,9 @@ proptest! {
 
         let gates_csr = circuit.qubit_gates_csr();
         let nested_gates = circuit.qubit_gate_indices();
-        for q in 0..circuit.num_qubits() {
+        for (q, nested_row) in nested_gates.iter().enumerate().take(circuit.num_qubits()) {
             let row: Vec<usize> = gates_csr.row(q).iter().map(|&i| i as usize).collect();
-            prop_assert_eq!(&row, &nested_gates[q], "gate row {}", q);
+            prop_assert_eq!(&row, nested_row, "gate row {}", q);
         }
     }
 }

@@ -59,6 +59,30 @@ fn bench_stages(c: &mut Criterion) {
             })
         });
     }
+
+    // The multi-mover ablation arm, on the workloads where it batches
+    // (`experiments multi-mover` posts −14.3% layers on GCM and −21.5% on
+    // QV at seed 0). Same prepared-layout clone pattern as above; the
+    // entries bound the cost of the corridor index + ALAP ordering against
+    // the layers the batching saves (GCM's runtime lands *below* the
+    // single-mover compile because 76 fewer layers also mean fewer
+    // home-return rounds).
+    for name in ["GCM", "QV"] {
+        let bench = parallax_workloads::benchmark(name).unwrap();
+        let circuit = bench.circuit(0);
+        let placement = placement_for(bench.qubits, 0);
+        let config = CompilerConfig { placement, ..CompilerConfig::default() }.with_multi_mover();
+        let machine = MachineSpec::quera_aquila_256();
+        let layout = GraphineLayout::generate(&circuit, &config.placement);
+        let mut prepared = discretize(&circuit, &layout, machine);
+        let selection = select_aod_qubits(&circuit, &mut prepared, &config);
+        group.bench_function(format!("schedule/multi_mover/{name}"), |b| {
+            b.iter(|| {
+                let mut d = prepared.clone();
+                schedule_gates(&circuit, &mut d, &selection, &config)
+            })
+        });
+    }
     group.finish();
 }
 

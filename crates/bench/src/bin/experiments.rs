@@ -4,6 +4,7 @@
 //! ```text
 //! experiments [table2|table3|fig9|fig10|table4|fig11|fig12|fig13|summary|all]
 //!             [--quick] [--seed N] [--trace FILE] [--metrics]
+//! experiments multi-mover [--quick] [--seed N]
 //! experiments sweep-restarts [--quick] [--seed N]
 //! experiments variational-sweep [--quick] [--seed N]
 //! experiments scale [--samples N] [--seed N]
@@ -141,6 +142,21 @@ fn main() {
         let benches = selected_benchmarks(quick);
         let (h, d) = fig13_rows(&benches, seed);
         println!("== Fig. 13: AOD count ablation (Atom-1225) ==\n{}", render_table(&h, &d));
+    }
+
+    // The ROADMAP item 3 scheduling ablation (outside `all`, so the
+    // paper-preset outputs stay byte-identical): default vs multi-mover
+    // layers on the Table III workloads, statevector-verified where the
+    // simulator can hold the circuit.
+    if which == "multi-mover" {
+        let benches = selected_benchmarks(quick);
+        eprintln!("[experiments] multi-mover ablation: {} benchmarks x 2 arms...", benches.len());
+        let rows = multi_mover_ablation(&benches, MachineSpec::quera_aquila_256(), seed);
+        let (h, d) = multi_mover_rows(&rows);
+        println!(
+            "== Multi-mover scheduling ablation (QuEra-256, seed {seed}) ==\n{}",
+            render_table(&h, &d)
+        );
     }
 
     // Tuning mode, deliberately excluded from `all`: every arm re-anneals.

@@ -24,6 +24,8 @@ use parallax_graphine::{GraphineLayout, PlacementConfig};
 pub mod compare;
 pub mod scale;
 use parallax_hardware::{HardwareParams, MachineSpec};
+use parallax_sim::equivalence::parallax_schedule_fidelity;
+use parallax_sim::statevector::MAX_SIM_QUBITS;
 use parallax_sim::{
     baseline_fidelity_inputs, parallax_fidelity_inputs, success_probability, ShotModel,
 };
@@ -368,6 +370,133 @@ pub fn fig12_rows(benches: &[Benchmark], seed: u64) -> (Vec<&'static str>, Vec<V
             format!("{saving:+.1}%"),
         ]);
     }
+    (headers, data)
+}
+
+/// One benchmark's arm of the multi-mover scheduling ablation
+/// (`experiments multi-mover`): the same circuit and cached layout
+/// compiled with the default single-mover Algorithm 1 and with
+/// `SchedulingMode::MultiMover`, side by side.
+#[derive(Debug, Clone)]
+pub struct MultiMoverRow {
+    /// Benchmark acronym.
+    pub name: String,
+    /// Qubit count.
+    pub qubits: usize,
+    /// Executed layers, default single-mover path.
+    pub layers_single: usize,
+    /// Executed layers, multi-mover path.
+    pub layers_multi: usize,
+    /// Multi-mover layers that batched two or more move plans.
+    pub batched_layers: usize,
+    /// Layers saved by batching (movers beyond the first per layer).
+    pub layers_saved: usize,
+    /// Largest number of move plans any layer committed.
+    pub max_movers: usize,
+    /// Candidates deferred by the interference rule.
+    pub conflicts: usize,
+    /// Single-shot circuit runtime, µs, default path.
+    pub runtime_single_us: f64,
+    /// Single-shot circuit runtime, µs, multi-mover path.
+    pub runtime_multi_us: f64,
+    /// Probability of success, default path.
+    pub success_single: f64,
+    /// Probability of success, multi-mover path.
+    pub success_multi: f64,
+    /// Statevector fidelity of the multi-mover schedule's gate order
+    /// against the input circuit (`None` beyond the simulator's
+    /// [`MAX_SIM_QUBITS`] cap). Anything but ~1.0 is a compiler bug.
+    pub fidelity: Option<f64>,
+}
+
+/// Compile each benchmark twice — default and multi-mover — on one shared
+/// cached layout, and statevector-verify every multi-mover schedule the
+/// simulator can hold. The compile-side invariants for the larger circuits
+/// (dependency order, per-layer plan disjointness, batch replay) are
+/// enforced by the scheduler's debug assertions and the umbrella
+/// `multi_mover` suite.
+pub fn multi_mover_ablation(
+    benches: &[Benchmark],
+    machine: MachineSpec,
+    seed: u64,
+) -> Vec<MultiMoverRow> {
+    benches
+        .iter()
+        .map(|bench| {
+            let circuit = bench.circuit(seed);
+            let placement = placement_for(bench.qubits, seed);
+            let layout = cached_layout(&circuit, &machine, &placement);
+            let cfg_single =
+                CompilerConfig { seed, placement: placement.clone(), ..Default::default() };
+            let cfg_multi = cfg_single.clone().with_multi_mover();
+            let single =
+                ParallaxCompiler::new(machine, cfg_single).compile_with_layout(&circuit, &layout);
+            let multi =
+                ParallaxCompiler::new(machine, cfg_multi).compile_with_layout(&circuit, &layout);
+            let fidelity = (circuit.num_qubits() <= MAX_SIM_QUBITS)
+                .then(|| parallax_schedule_fidelity(&circuit, &multi, seed));
+            let inputs_single = parallax_fidelity_inputs(&single);
+            let inputs_multi = parallax_fidelity_inputs(&multi);
+            let mm = &multi.schedule.stats.multi_mover;
+            MultiMoverRow {
+                name: bench.name.to_string(),
+                qubits: bench.qubits,
+                layers_single: single.schedule.stats.layer_count,
+                layers_multi: multi.schedule.stats.layer_count,
+                batched_layers: mm.movers_per_layer[1..].iter().sum(),
+                layers_saved: mm.layers_saved,
+                max_movers: mm.movers_per_layer.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1),
+                conflicts: mm.conflict_rejections,
+                runtime_single_us: inputs_single.runtime_us,
+                runtime_multi_us: inputs_multi.runtime_us,
+                success_single: success_probability(&inputs_single, &machine.params),
+                success_multi: success_probability(&inputs_multi, &machine.params),
+                fidelity,
+            }
+        })
+        .collect()
+}
+
+/// Render [`multi_mover_ablation`] results: layer counts and their delta,
+/// batching evidence, runtime/success movement, and the statevector
+/// verdict per benchmark.
+pub fn multi_mover_rows(rows: &[MultiMoverRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "Bench",
+        "Qubits",
+        "Single",
+        "Multi",
+        "Layers",
+        "Batched",
+        "MaxMovers",
+        "Runtime",
+        "Success",
+        "Statevector",
+    ];
+    let data = rows
+        .iter()
+        .map(|r| {
+            let layers_delta =
+                100.0 * (r.layers_multi as f64 / r.layers_single.max(1) as f64 - 1.0);
+            let runtime_delta = 100.0 * (r.runtime_multi_us / r.runtime_single_us.max(1e-9) - 1.0);
+            let success_delta = 100.0 * (r.success_multi - r.success_single);
+            vec![
+                r.name.clone(),
+                r.qubits.to_string(),
+                r.layers_single.to_string(),
+                r.layers_multi.to_string(),
+                format!("{layers_delta:+.1}%"),
+                r.batched_layers.to_string(),
+                r.max_movers.to_string(),
+                format!("{runtime_delta:+.1}%"),
+                format!("{success_delta:+.2}pp"),
+                match r.fidelity {
+                    Some(f) => format!("{f:.6}"),
+                    None => format!("n/a (>{MAX_SIM_QUBITS}q)"),
+                },
+            ]
+        })
+        .collect();
     (headers, data)
 }
 

@@ -34,6 +34,7 @@ pub mod gate;
 pub mod lower;
 pub mod optimize;
 pub mod qelib;
+pub mod slack;
 pub mod template;
 pub mod unitary;
 
@@ -43,5 +44,6 @@ pub use dag::{layers, DependencyDag};
 pub use gate::Gate;
 pub use lower::{apply_named, circuit_from_qasm_str, from_qasm, LowerError};
 pub use optimize::optimize;
+pub use slack::SlackTable;
 pub use template::{circuit_bits_hash, structural_hash, BindError, CircuitTemplate, TemplateGate};
 pub use unitary::{zyz_decompose, Mat2, C64};

@@ -1,0 +1,235 @@
+//! ASAP/ALAP levels and per-gate slack over the dependency DAG.
+//!
+//! The classic list-scheduling formulation: a gate's ASAP level is the
+//! earliest layer it can occupy (longest predecessor chain), its ALAP
+//! level the latest layer that still fits the circuit's critical-path
+//! depth, and `slack = alap - asap` the scheduling freedom in between.
+//! Zero-slack gates sit on a critical path; slack-rich gates can wait for
+//! an opportunistic batching window. The multi-mover scheduler orders its
+//! movement candidates by this table (zero-slack first), so the gates that
+//! gate the circuit's depth claim the layer's movement budget before
+//! gates that could run later anyway.
+//!
+//! Gate indices are program order, and every dependency edge points from a
+//! lower to a higher index ([`DependencyDag::build`] links each gate to the
+//! *previous* gate on each operand qubit), so both levels are single linear
+//! sweeps over the CSR arrays — no worklist, no fixpoint. The retained
+//! fixpoint twin ([`SlackTable::compute_naive`]) is the differential
+//! oracle per the `docs/DATA_LAYOUT.md` convention.
+
+use crate::dag::DependencyDag;
+
+/// ASAP/ALAP levels and slack for every gate of one circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlackTable {
+    /// Earliest layer each gate can occupy (longest predecessor chain).
+    asap: Vec<u32>,
+    /// Latest layer each gate can occupy without stretching the depth.
+    alap: Vec<u32>,
+    /// Critical-path depth in layers (0 for an empty circuit).
+    depth: u32,
+}
+
+impl SlackTable {
+    /// Compute both level tables with two linear sweeps over `dag`.
+    pub fn compute(dag: &DependencyDag) -> Self {
+        let n = dag.len();
+        let mut asap = vec![0u32; n];
+        for i in 0..n {
+            let mut level = 0;
+            for &p in dag.predecessors(i) {
+                debug_assert!((p as usize) < i, "dependency edge points forward");
+                level = level.max(asap[p as usize] + 1);
+            }
+            asap[i] = level;
+        }
+        let depth = asap.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut alap = vec![depth.saturating_sub(1); n];
+        for i in (0..n).rev() {
+            for &s in dag.successors(i) {
+                alap[i] = alap[i].min(alap[s as usize] - 1);
+            }
+        }
+        Self { asap, alap, depth }
+    }
+
+    /// The fixpoint formulation: iterate relaxation until no level moves.
+    /// Kept as the differential oracle for the linear-sweep build — the
+    /// sweeps exploit the program-order edge direction, the fixpoint does
+    /// not assume it.
+    #[cfg(any(test, debug_assertions))]
+    pub fn compute_naive(dag: &DependencyDag) -> Self {
+        let n = dag.len();
+        let mut asap = vec![0u32; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                for &p in dag.predecessors(i) {
+                    if asap[p as usize] + 1 > asap[i] {
+                        asap[i] = asap[p as usize] + 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let depth = asap.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut alap = vec![depth.saturating_sub(1); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                for &s in dag.successors(i) {
+                    if alap[s as usize] - 1 < alap[i] {
+                        alap[i] = alap[s as usize] - 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Self { asap, alap, depth }
+    }
+
+    /// Earliest layer gate `g` can occupy.
+    pub fn asap(&self, g: usize) -> u32 {
+        self.asap[g]
+    }
+
+    /// Latest layer gate `g` can occupy without stretching the depth.
+    pub fn alap(&self, g: usize) -> u32 {
+        self.alap[g]
+    }
+
+    /// Scheduling freedom of gate `g` in layers (`alap - asap`).
+    pub fn slack(&self, g: usize) -> u32 {
+        self.alap[g] - self.asap[g]
+    }
+
+    /// Whether gate `g` sits on a critical path (zero slack).
+    pub fn is_critical(&self, g: usize) -> bool {
+        self.slack(g) == 0
+    }
+
+    /// Critical-path depth in layers.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of gates covered.
+    pub fn len(&self) -> usize {
+        self.asap.len()
+    }
+
+    /// True for an empty circuit.
+    pub fn is_empty(&self) -> bool {
+        self.asap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::Gate;
+
+    fn fredkin_like() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(1)); // 0
+        c.push(Gate::h(2)); // 1
+        c.push(Gate::cz(1, 2)); // 2
+        c.push(Gate::h(0)); // 3
+        c.push(Gate::cz(0, 1)); // 4
+        c.push(Gate::cz(0, 2)); // 5
+        c.push(Gate::x(1)); // 6
+        c
+    }
+
+    #[test]
+    fn levels_match_layered_structure() {
+        let c = fredkin_like();
+        let t = SlackTable::compute(&DependencyDag::build(&c));
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.asap(0), 0);
+        assert_eq!(t.asap(2), 1);
+        assert_eq!(t.asap(4), 2);
+        assert_eq!(t.asap(5), 3);
+        // h(0) only feeds cz(0,1) at layer 2, so it can wait until layer 1.
+        assert_eq!(t.alap(3), 1);
+        assert_eq!(t.slack(3), 1);
+        // The chain cz(1,2) -> cz(0,1) -> cz(0,2) is critical.
+        for g in [2, 4, 5] {
+            assert!(t.is_critical(g), "gate {g} should be critical");
+        }
+    }
+
+    #[test]
+    fn asap_never_exceeds_alap() {
+        let c = fredkin_like();
+        let t = SlackTable::compute(&DependencyDag::build(&c));
+        for g in 0..t.len() {
+            assert!(t.asap(g) <= t.alap(g));
+            assert_eq!(t.slack(g), t.alap(g) - t.asap(g));
+        }
+    }
+
+    #[test]
+    fn critical_gates_chain_to_full_depth() {
+        // Every zero-slack gate below the last level has a zero-slack
+        // successor one level deeper, so critical gates form a path that
+        // spans the whole depth.
+        let c = fredkin_like();
+        let dag = DependencyDag::build(&c);
+        let t = SlackTable::compute(&dag);
+        for g in 0..t.len() {
+            if t.is_critical(g) && t.asap(g) + 1 < t.depth() {
+                assert!(
+                    dag.successors(g)
+                        .iter()
+                        .any(|&s| t.is_critical(s as usize) && t.asap(s as usize) == t.asap(g) + 1),
+                    "critical gate {g} has no critical successor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(2);
+        let t = SlackTable::compute(&DependencyDag::build(&c));
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn single_gate() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::h(0));
+        let t = SlackTable::compute(&DependencyDag::build(&c));
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.slack(0), 0);
+    }
+
+    #[test]
+    fn sweeps_match_fixpoint_oracle() {
+        for (n, len, seed) in [(4usize, 24usize, 7u64), (6, 60, 11), (9, 120, 13)] {
+            let mut c = Circuit::new(n);
+            // Small LCG-driven mix of U3 and CZ gates.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as usize
+            };
+            for _ in 0..len {
+                let a = next() % n;
+                if next() % 3 == 0 {
+                    c.push(Gate::h(a as u32));
+                } else {
+                    let b = (a + 1 + next() % (n - 1)) % n;
+                    c.push(Gate::cz(a as u32, b as u32));
+                }
+            }
+            let dag = DependencyDag::build(&c);
+            assert_eq!(SlackTable::compute(&dag), SlackTable::compute_naive(&dag));
+        }
+    }
+}

@@ -3,6 +3,25 @@
 use parallax_graphine::PlacementConfig;
 use parallax_hardware::StableHasher;
 
+/// How many AOD move batches the scheduler may commit per layer.
+///
+/// The paper's Algorithm 1 plans exactly one move per layer
+/// ([`SchedulingMode::Single`], the default — every paper preset and
+/// experiment table compiles through this path, byte-identical to
+/// pre-ablation builds). [`SchedulingMode::MultiMover`] is the ROADMAP
+/// item 3 "beyond the paper" arm: several moves share a layer when their
+/// interference corridors are pairwise disjoint, with ASAP/ALAP slack
+/// ordering the candidates. See `docs/SCHEDULING.md` for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulingMode {
+    /// One AOD move batch per layer (paper Algorithm 1, lines 16-17).
+    #[default]
+    Single,
+    /// Batch pairwise-disjoint move plans into one layer, zero-slack
+    /// gates first.
+    MultiMover,
+}
+
 /// Tuning knobs for the Parallax compiler. Defaults follow the paper.
 #[derive(Debug, Clone)]
 pub struct CompilerConfig {
@@ -22,6 +41,8 @@ pub struct CompilerConfig {
     pub oor_weight: f64,
     /// Weight of the blockade-serialization criterion (paper: 0.01).
     pub blockade_weight: f64,
+    /// Movement batching per layer (paper default: one move per layer).
+    pub scheduling: SchedulingMode,
 }
 
 impl Default for CompilerConfig {
@@ -33,6 +54,7 @@ impl Default for CompilerConfig {
             max_move_recursion: 80,
             oor_weight: 0.99,
             blockade_weight: 0.01,
+            scheduling: SchedulingMode::default(),
         }
     }
 }
@@ -46,6 +68,12 @@ impl CompilerConfig {
     /// Disable the home-return behaviour (Fig. 12 ablation arm).
     pub fn without_home_return(mut self) -> Self {
         self.return_home = false;
+        self
+    }
+
+    /// Enable the multi-mover ablation path (ROADMAP item 3).
+    pub fn with_multi_mover(mut self) -> Self {
+        self.scheduling = SchedulingMode::MultiMover;
         self
     }
 
@@ -63,7 +91,8 @@ impl CompilerConfig {
             .write_bool(self.return_home)
             .write_usize(self.max_move_recursion)
             .write_f64(self.oor_weight)
-            .write_f64(self.blockade_weight);
+            .write_f64(self.blockade_weight)
+            .write_bool(self.scheduling == SchedulingMode::MultiMover);
         h.finish()
     }
 }
@@ -85,6 +114,9 @@ mod tests {
     fn ablation_toggle() {
         let c = CompilerConfig::default().without_home_return();
         assert!(!c.return_home);
+        assert_eq!(c.scheduling, SchedulingMode::Single);
+        let c = CompilerConfig::default().with_multi_mover();
+        assert_eq!(c.scheduling, SchedulingMode::MultiMover);
     }
 
     #[test]
@@ -97,5 +129,6 @@ mod tests {
         let mut c = CompilerConfig::quick(1);
         c.oor_weight = 0.5;
         assert_ne!(base, c.fingerprint());
+        assert_ne!(base, CompilerConfig::quick(1).with_multi_mover().fingerprint());
     }
 }

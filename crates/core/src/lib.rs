@@ -96,6 +96,7 @@ pub mod config;
 pub mod discretize;
 pub mod layout_cache;
 pub mod movement;
+pub mod multi_mover;
 pub mod parallel;
 pub mod parallelize;
 pub mod profile;
@@ -105,7 +106,7 @@ pub mod template;
 
 pub use aod_select::{select_aod_qubits, AodSelection};
 pub use compiler::{CompilationResult, ParallaxCompiler, SharedCompiler};
-pub use config::CompilerConfig;
+pub use config::{CompilerConfig, SchedulingMode};
 pub use discretize::{discretize, DiscretizedLayout};
 pub use layout_cache::{
     cached_layout, layout_cache_stats, plan_cache_stats, template_cache_stats, LayoutCache,
@@ -113,6 +114,9 @@ pub use layout_cache::{
     TemplateKey,
 };
 pub use movement::{plan_move_into_range, plan_return_home, MoveFailure, MovePlan};
+#[cfg(any(test, debug_assertions))]
+pub use multi_mover::moves_conflict_naive;
+pub use multi_mover::{corridors_conflict, Corridor};
 
 /// Register core's pull-model metrics (the three cache layers) with the
 /// process-wide `parallax-trace` registry. Once per process; every entry
@@ -126,5 +130,5 @@ pub fn register_observability() {
 pub use parallel::{compile_batch, panic_message, try_compile_batch, BatchJobError};
 pub use parallelize::{replication_plan, sweep_factors, ReplicationPlan};
 pub use queue::{JobQueue, PushError};
-pub use scheduler::{schedule_gates, CompileStats, Schedule, ScheduledLayer};
+pub use scheduler::{schedule_gates, CompileStats, MultiMoverStats, Schedule, ScheduledLayer};
 pub use template::{compiled_template, compiled_template_keyed, template_key, CompiledTemplate};

@@ -47,7 +47,9 @@
 use crate::aod_select::AodSelection;
 use crate::config::CompilerConfig;
 use crate::discretize::DiscretizedLayout;
-use crate::movement::{plan_move_into_range, plan_return_home, MovePlan};
+#[cfg(any(test, debug_assertions))]
+use crate::movement::plan_return_home;
+use crate::movement::{plan_move_into_range, MovePlan};
 use crate::profile::{self, Stage};
 use parallax_circuit::{Circuit, DependencyDag, Gate, QubitGatesCsr};
 use parallax_hardware::{within_blockade, AodMove, AtomArray, CellGeometry, Point};
@@ -74,6 +76,12 @@ pub struct ScheduledLayer {
     pub has_u3: bool,
     /// Whether any CZ gate executes in this layer.
     pub has_cz: bool,
+    /// How many of [`ScheduledLayer::moves`] each committed move plan
+    /// contributed, in commit order. The default scheduler emits at most
+    /// one plan per layer; the multi-mover ablation emits several, and the
+    /// differential suite uses these boundaries to re-check pairwise
+    /// corridor disjointness between concurrent plans.
+    pub mover_plans: Vec<u32>,
 }
 
 /// Aggregate statistics of a compilation (the paper's evaluation metrics).
@@ -123,6 +131,35 @@ pub struct CompileStats {
     /// scheduling-cost counter like the memo hits; the naive twin has no
     /// buckets and reports 0.
     pub bucket_scratch_allocs: usize,
+    /// Home-return entries skipped because the atom's position epoch is
+    /// unchanged since the layer that last moved it — it is already parked
+    /// at home, so the batched return pass drops it without a distance
+    /// re-check. A scheduling-cost counter: the emitted return moves are
+    /// identical with the skip off, and the naive twin (which rebuilds its
+    /// per-layer home list from scratch) reports 0.
+    pub home_return_skips: usize,
+    /// Multi-mover ablation counters (all zero on the default path).
+    pub multi_mover: MultiMoverStats,
+}
+
+/// Counters specific to the [`SchedulingMode::MultiMover`] ablation path.
+///
+/// [`SchedulingMode::MultiMover`]: crate::config::SchedulingMode::MultiMover
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiMoverStats {
+    /// Whether this compile ran the multi-mover path at all.
+    pub enabled: bool,
+    /// Movers-per-layer histogram: `movers_per_layer[k-1]` counts layers
+    /// that committed exactly `k` move plans (the last bucket absorbs 8+).
+    pub movers_per_layer: [usize; 8],
+    /// Extra move plans committed beyond the first of each layer — each
+    /// one is a layer the single-mover rule would have needed on its own,
+    /// so this is the layers-saved estimate the `METRICS` exposition
+    /// reports.
+    pub layers_saved: usize,
+    /// Movement candidates rejected because their corridor came within the
+    /// blockade radius of an already-committed plan's corridor.
+    pub conflict_rejections: usize,
 }
 
 impl CompileStats {
@@ -136,7 +173,7 @@ impl CompileStats {
     pub fn publish_metrics(&self) {
         type StatRow = (parallax_trace::Counter, fn(&CompileStats) -> u64);
         struct Handles {
-            table: [StatRow; 13],
+            table: [StatRow; 18],
         }
         static HANDLES: std::sync::OnceLock<Handles> = std::sync::OnceLock::new();
         let h = HANDLES.get_or_init(|| {
@@ -158,11 +195,36 @@ impl CompileStats {
                     (c("plan_memo_hits"), |s| s.plan_cache_hits as u64),
                     (c("plan_cross_hits"), |s| s.plan_cache_cross_hits as u64),
                     (c("bucket_scratch_allocs"), |s| s.bucket_scratch_allocs as u64),
+                    (c("home_return_skips"), |s| s.home_return_skips as u64),
+                    (c("multi_mover_compiles"), |s| u64::from(s.multi_mover.enabled)),
+                    (c("multi_mover_layers_saved"), |s| s.multi_mover.layers_saved as u64),
+                    (c("multi_mover_conflicts"), |s| s.multi_mover.conflict_rejections as u64),
+                    (c("multi_mover_multi_layers"), |s| {
+                        s.multi_mover.movers_per_layer[1..].iter().sum::<usize>() as u64
+                    }),
                 ],
             }
         });
         for (counter, extract) in &h.table {
             counter.add(extract(self));
+        }
+        if self.multi_mover.enabled {
+            // Movers-per-layer histogram (bucket k holds layers that
+            // committed k move plans; 8+ overflows).
+            static MOVERS: std::sync::OnceLock<parallax_trace::Histogram> =
+                std::sync::OnceLock::new();
+            let h = MOVERS.get_or_init(|| {
+                parallax_trace::histogram(
+                    "parallax_multi_mover_movers_per_layer",
+                    &[],
+                    &[1, 2, 3, 4, 5, 6, 7],
+                )
+            });
+            for (i, &count) in self.multi_mover.movers_per_layer.iter().enumerate() {
+                for _ in 0..count {
+                    h.record(i as u64 + 1);
+                }
+            }
         }
     }
 }
@@ -184,7 +246,7 @@ impl Schedule {
 }
 
 /// Safety factor on scheduling iterations before declaring livelock.
-fn iteration_cap(num_gates: usize) -> usize {
+pub(crate) fn iteration_cap(num_gates: usize) -> usize {
     10 * num_gates + 1000
 }
 
@@ -202,7 +264,7 @@ fn iteration_cap(num_gates: usize) -> usize {
 /// ready exactly when the partner's pointer reaches it. Rebuilding `curr`
 /// from the sorted emitter list therefore reproduces the naive full scan's
 /// gate order at every layer by construction.
-struct Frontier {
+pub(crate) struct Frontier {
     emits: Vec<bool>,
     /// Emitting qubits, ascending (the naive scan's visit order).
     emitters: Vec<u32>,
@@ -241,14 +303,14 @@ impl Frontier {
     }
 
     /// Initial population: one full scan, identical to the naive rebuild.
-    fn seed(&mut self, gates: &[Gate], qubit_gates: &QubitGatesCsr, ptr: &[usize]) {
+    pub(crate) fn seed(&mut self, gates: &[Gate], qubit_gates: &QubitGatesCsr, ptr: &[usize]) {
         for q in 0..self.emits.len() {
             self.refresh(q, gates, qubit_gates, ptr);
         }
     }
 
     /// Update after a layer advanced the pointers of `advanced` qubits.
-    fn advance(
+    pub(crate) fn advance(
         &mut self,
         advanced: &[u32],
         gates: &[Gate],
@@ -269,7 +331,12 @@ impl Frontier {
 
     /// Write the current layer's gate list into `curr` (ascending emitter
     /// order, one gate per emitter — a gate's emitter is unique).
-    fn collect(&self, qubit_gates: &QubitGatesCsr, ptr: &[usize], curr: &mut Vec<usize>) {
+    pub(crate) fn collect(
+        &self,
+        qubit_gates: &QubitGatesCsr,
+        ptr: &[usize],
+        curr: &mut Vec<usize>,
+    ) {
         curr.clear();
         for &q in &self.emitters {
             curr.push(qubit_gates.row(q as usize)[ptr[q as usize]] as usize);
@@ -288,7 +355,7 @@ impl Frontier {
 /// of every accepted gate. The cell math is the hardware crate's
 /// [`CellGeometry`] — the same clamped-superset guarantees as the atom
 /// occupancy index. Cleared per layer via the occupied-cell list.
-struct BlockadeIndex {
+pub(crate) struct BlockadeIndex {
     cells: CellGeometry,
     /// Query reach, µm: the blockade radius plus slack covering
     /// [`within_blockade`]'s `+1e-9` squared-distance epsilon — the
@@ -302,7 +369,7 @@ struct BlockadeIndex {
     /// every capacity growth of a bucket or the occupied list. Feeds
     /// [`CompileStats::bucket_scratch_allocs`] — `clear` keeps capacity,
     /// so a compile's count plateaus once the per-layer working set fits.
-    allocs: usize,
+    pub(crate) allocs: usize,
 }
 
 impl BlockadeIndex {
@@ -317,14 +384,14 @@ impl BlockadeIndex {
         }
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         for &b in &self.occupied {
             self.buckets[b].clear();
         }
         self.occupied.clear();
     }
 
-    fn insert(&mut self, p: Point) {
+    pub(crate) fn insert(&mut self, p: Point) {
         let b = self.cells.cell_of(p);
         if self.buckets[b].is_empty() {
             if self.occupied.len() == self.occupied.capacity() {
@@ -340,7 +407,7 @@ impl BlockadeIndex {
 
     /// Whether any stored endpoint blockades `p` (exactly the naive
     /// all-pairs predicate, restricted to the cells that can contain hits).
-    fn conflicts(&self, p: Point, r: f64, factor: f64) -> bool {
+    pub(crate) fn conflicts(&self, p: Point, r: f64, factor: f64) -> bool {
         let mut hit = false;
         self.cells.for_each_cell_within(p, self.reach_um, |cell| {
             if !hit {
@@ -367,9 +434,9 @@ impl BlockadeIndex {
 /// after the epoch moved on, when an exact comparison shows the AOD
 /// configuration returned to the recorded one (the common case under
 /// home-return, where every layer's moves are undone).
-struct FailedMoveMemo {
+pub(crate) struct FailedMoveMemo {
     entries: HashMap<(u32, u32), MemoEntry>,
-    hits: usize,
+    pub(crate) hits: usize,
 }
 
 struct MemoEntry {
@@ -385,7 +452,7 @@ impl FailedMoveMemo {
     /// Whether a recorded failure for `(mover, target)` is still valid.
     /// Re-arms the epoch fast path when the configuration matches under a
     /// newer epoch.
-    fn still_failed(&mut self, array: &AtomArray, mover: u32, target: u32) -> bool {
+    pub(crate) fn still_failed(&mut self, array: &AtomArray, mover: u32, target: u32) -> bool {
         let Some(entry) = self.entries.get_mut(&(mover, target)) else {
             return false;
         };
@@ -403,7 +470,7 @@ impl FailedMoveMemo {
     }
 
     /// Record that `(mover, target)` failed against the current state.
-    fn record(&mut self, array: &AtomArray, mover: u32, target: u32) {
+    pub(crate) fn record(&mut self, array: &AtomArray, mover: u32, target: u32) {
         let mut aod_snapshot = Vec::new();
         array.aod_snapshot(&mut aod_snapshot);
         self.entries
@@ -423,9 +490,9 @@ impl FailedMoveMemo {
 /// whenever that configuration recurs. Under home-return the configuration
 /// recurs every layer (atoms move out and back), which makes the epoch
 /// re-arm path the steady state on repetitive circuits.
-struct PlanMemo {
+pub(crate) struct PlanMemo {
     entries: HashMap<(u32, u32), PlanMemoEntry>,
-    hits: usize,
+    pub(crate) hits: usize,
 }
 
 struct PlanMemoEntry {
@@ -473,13 +540,13 @@ impl PlanMemo {
 /// [`crate::layout_cache::PlanCache`]. The static half of the key is
 /// computed once per compile (SLM atoms never move while scheduling runs);
 /// the AOD half is re-fingerprinted at most once per position epoch.
-struct PlanCaches {
-    memo: PlanMemo,
+pub(crate) struct PlanCaches {
+    pub(crate) memo: PlanMemo,
     static_fp: u64,
     aod_fp: u64,
     aod_fp_epoch: u64,
     aod_fp_valid: bool,
-    cross_hits: usize,
+    pub(crate) cross_hits: usize,
 }
 
 impl PlanCaches {
@@ -508,7 +575,7 @@ impl PlanCaches {
     /// then the real probe cascade — recording a success in both layers.
     /// Bit-identical to calling the planner directly, by purity plus the
     /// exact-configuration checks on every reuse.
-    fn plan(
+    pub(crate) fn plan(
         &mut self,
         array: &AtomArray,
         mover: u32,
@@ -546,25 +613,45 @@ impl PlanCaches {
 /// naive implementation allocated per layer lives here and is cleared (not
 /// freed) between layers, and the per-layer `effective`-position map is an
 /// index-keyed stamped array instead of a `HashMap`.
-struct SchedulerScratch {
-    frontier: Frontier,
-    curr: Vec<usize>,
-    kept: Vec<usize>,
-    accepted: Vec<usize>,
-    trap_changed: Vec<(usize, u32)>,
-    moved_homes: Vec<(u32, Point)>,
-    advanced: Vec<u32>,
+pub(crate) struct SchedulerScratch {
+    pub(crate) frontier: Frontier,
+    pub(crate) curr: Vec<usize>,
+    pub(crate) kept: Vec<usize>,
+    pub(crate) accepted: Vec<usize>,
+    pub(crate) trap_changed: Vec<(usize, u32)>,
+    pub(crate) advanced: Vec<u32>,
     /// Effective operand positions keyed by gate index, valid when the
     /// stamp matches the current layer.
-    eff_pos: Vec<[Point; 2]>,
-    eff_stamp: Vec<u64>,
-    blockade: BlockadeIndex,
-    memo: FailedMoveMemo,
-    plans: PlanCaches,
+    pub(crate) eff_pos: Vec<[Point; 2]>,
+    pub(crate) eff_stamp: Vec<u64>,
+    pub(crate) blockade: BlockadeIndex,
+    pub(crate) memo: FailedMoveMemo,
+    pub(crate) plans: PlanCaches,
+    /// Per-compile home-return bookkeeping: each AOD atom's home is
+    /// recorded once, the first layer that ever moves it (under
+    /// home-return it is back at that exact position at every layer
+    /// boundary, so the record never goes stale), and `moved_stamp` marks
+    /// the layer that last displaced it. The return pass walks the
+    /// ever-moved list instead of rebuilding a per-layer home list per
+    /// mover — the batching that used to pay one `Vec` push per plan move
+    /// per layer.
+    pub(crate) home_pos: Vec<Point>,
+    pub(crate) moved_list: Vec<u32>,
+    pub(crate) moved_stamp: Vec<u64>,
+    pub(crate) return_moves: Vec<AodMove>,
+    /// Ever-moved atoms the return pass skipped because their position
+    /// epoch is unchanged since the layer that last moved them (they are
+    /// already home). Feeds [`CompileStats::home_return_skips`].
+    pub(crate) return_skips: usize,
 }
 
 impl SchedulerScratch {
-    fn new(num_qubits: usize, num_gates: usize, array: &AtomArray, blockade_um: f64) -> Self {
+    pub(crate) fn new(
+        num_qubits: usize,
+        num_gates: usize,
+        array: &AtomArray,
+        blockade_um: f64,
+    ) -> Self {
         let margin = array.grid().pitch_um();
         Self {
             frontier: Frontier::new(num_qubits),
@@ -572,22 +659,111 @@ impl SchedulerScratch {
             kept: Vec::new(),
             accepted: Vec::new(),
             trap_changed: Vec::new(),
-            moved_homes: Vec::new(),
             advanced: Vec::new(),
             eff_pos: vec![[Point::default(); 2]; num_gates],
             eff_stamp: vec![0; num_gates],
             blockade: BlockadeIndex::new(array.spec().extent_um(), margin, blockade_um),
             memo: FailedMoveMemo::new(),
             plans: PlanCaches::new(array),
+            home_pos: vec![Point::default(); num_qubits],
+            moved_list: Vec::new(),
+            moved_stamp: vec![0; num_qubits],
+            return_moves: Vec::new(),
+            return_skips: 0,
         }
     }
 }
 
+/// Record a committed move batch for the home-return pass: first-ever
+/// movers get their home (current, pre-commit position) recorded, and
+/// every mover is stamped with this layer's guard count. Call **before**
+/// applying the batch. Free function over split [`SchedulerScratch`]
+/// fields so it can run while the layer loop holds borrows of the other
+/// scratch vectors.
+pub(crate) fn record_moved_batch(
+    home_pos: &mut [Point],
+    moved_list: &mut Vec<u32>,
+    moved_stamp: &mut [u64],
+    array: &AtomArray,
+    moves: &[AodMove],
+    guard: u64,
+) {
+    for m in moves {
+        let q = m.q as usize;
+        if moved_stamp[q] == 0 {
+            home_pos[q] = array.position(m.q);
+            moved_list.push(m.q);
+        }
+        moved_stamp[q] = guard;
+    }
+}
+
+/// The batched home-return pass: emit one return move per atom moved this
+/// layer, skip (and count) every ever-moved atom whose position epoch is
+/// unchanged since the last layer — it is parked at home and needs no
+/// distance re-check. Returns the longest return displacement.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn return_home_batch(
+    home_pos: &[Point],
+    moved_list: &[u32],
+    moved_stamp: &[u64],
+    return_moves: &mut Vec<AodMove>,
+    return_skips: &mut usize,
+    array: &mut AtomArray,
+    guard: u64,
+) -> f64 {
+    return_moves.clear();
+    let mut max_distance_um = 0.0f64;
+    for &q in moved_list {
+        if moved_stamp[q as usize] != guard {
+            *return_skips += 1;
+            continue;
+        }
+        let home = home_pos[q as usize];
+        let distance = array.position(q).distance(&home);
+        // Same sub-nanometre filter as `plan_return_home`, so the emitted
+        // moves (and the serialized max distance) stay byte-identical to
+        // the per-layer oracle path.
+        if distance <= 1e-9 {
+            continue;
+        }
+        max_distance_um = max_distance_um.max(distance);
+        return_moves.push(AodMove { q, x: home.x, y: home.y });
+    }
+    if !return_moves.is_empty() {
+        array.apply_aod_moves(return_moves).expect("home configuration is always valid");
+    }
+    max_distance_um
+}
+
 /// Run Algorithm 1. Mutates `layout.array` (atom motion and trap state).
+///
+/// Dispatches on [`CompilerConfig::scheduling`]: the default
+/// [`SchedulingMode::Single`] path is the paper's one-move-per-layer rule,
+/// byte-identical to every pre-ablation build; the
+/// [`SchedulingMode::MultiMover`] path batches disjoint-corridor moves
+/// (see [`crate::multi_mover`]).
+///
+/// [`SchedulingMode::Single`]: crate::config::SchedulingMode::Single
+/// [`SchedulingMode::MultiMover`]: crate::config::SchedulingMode::MultiMover
 pub fn schedule_gates(
     circuit: &Circuit,
     layout: &mut DiscretizedLayout,
-    _selection: &AodSelection,
+    selection: &AodSelection,
+    config: &CompilerConfig,
+) -> Schedule {
+    match config.scheduling {
+        crate::config::SchedulingMode::Single => schedule_gates_single(circuit, layout, config),
+        crate::config::SchedulingMode::MultiMover => {
+            crate::multi_mover::schedule_gates_multi(circuit, layout, selection, config)
+        }
+    }
+}
+
+/// The default one-move-per-layer scheduling loop (paper Algorithm 1).
+fn schedule_gates_single(
+    circuit: &Circuit,
+    layout: &mut DiscretizedLayout,
     config: &CompilerConfig,
 ) -> Schedule {
     let gates = circuit.gates();
@@ -632,8 +808,6 @@ pub fn schedule_gates(
         let mut moved_this_layer = false;
         let mut committed_moves: Vec<AodMove> = Vec::new();
         let mut move_distance_um = 0.0f64;
-        let moved_homes = &mut scratch.moved_homes;
-        moved_homes.clear();
         let mut trap_changes = 0usize;
         // Gates that executed via trap change: (gate, virtually moved qubit).
         let trap_changed = &mut scratch.trap_changed;
@@ -695,9 +869,14 @@ pub fn schedule_gates(
                     }
                     match attempt {
                         Ok(plan) => {
-                            for m in &plan.moves {
-                                moved_homes.push((m.q, layout.array.position(m.q)));
-                            }
+                            record_moved_batch(
+                                &mut scratch.home_pos,
+                                &mut scratch.moved_list,
+                                &mut scratch.moved_stamp,
+                                &layout.array,
+                                &plan.moves,
+                                guard as u64,
+                            );
                             layout
                                 .array
                                 .apply_aod_moves(&plan.moves)
@@ -852,24 +1031,28 @@ pub fn schedule_gates(
         let t_return = profile::begin();
         let sp_return = parallax_trace::span!("schedule.return");
         let mut return_distance_um = 0.0;
-        if config.return_home && !moved_homes.is_empty() {
-            let plan = plan_return_home(&layout.array, moved_homes);
-            return_distance_um = plan.max_distance_um;
-            if !plan.moves.is_empty() {
-                layout
-                    .array
-                    .apply_aod_moves(&plan.moves)
-                    .expect("home configuration is always valid");
-            }
+        if config.return_home {
+            return_distance_um = return_home_batch(
+                &scratch.home_pos,
+                &scratch.moved_list,
+                &scratch.moved_stamp,
+                &mut scratch.return_moves,
+                &mut scratch.return_skips,
+                &mut layout.array,
+                guard as u64,
+            );
         }
         drop(sp_return);
         profile::record(Stage::ScheduleReturn, t_return, 0);
 
         stats.layer_count += 1;
         stats.trap_changes += trap_changes;
+        let mover_plans =
+            if moved_this_layer { vec![committed_moves.len() as u32] } else { Vec::new() };
         layers.push(ScheduledLayer {
             gate_indices: accepted.clone(),
             moves: committed_moves,
+            mover_plans,
             move_distance_um,
             return_distance_um,
             trap_changes,
@@ -881,6 +1064,7 @@ pub fn schedule_gates(
     stats.plan_cache_hits = scratch.plans.memo.hits;
     stats.plan_cache_cross_hits = scratch.plans.cross_hits;
     stats.bucket_scratch_allocs = scratch.blockade.allocs;
+    stats.home_return_skips = scratch.return_skips;
     stats.publish_metrics();
 
     let schedule = Schedule { layers, stats };
@@ -1120,9 +1304,12 @@ pub fn schedule_gates_naive(
 
         stats.layer_count += 1;
         stats.trap_changes += trap_changes;
+        let mover_plans =
+            if moved_this_layer { vec![committed_moves.len() as u32] } else { Vec::new() };
         layers.push(ScheduledLayer {
             gate_indices: accepted,
             moves: committed_moves,
+            mover_plans,
             move_distance_um,
             return_distance_um,
             trap_changes,
@@ -1348,6 +1535,7 @@ mod tests {
         stats.plan_cache_hits = 0;
         stats.plan_cache_cross_hits = 0;
         stats.bucket_scratch_allocs = 0;
+        stats.home_return_skips = 0;
         assert_eq!(stats, s_naive.stats);
         for q in 0..n as u32 {
             assert_eq!(fast.array.position(q), naive.array.position(q), "q{q} position");
@@ -1607,6 +1795,7 @@ mod tests {
                 stats.plan_cache_hits = 0;
                 stats.plan_cache_cross_hits = 0;
                 stats.bucket_scratch_allocs = 0;
+                stats.home_return_skips = 0;
                 prop_assert_eq!(&stats, &s_naive.stats);
                 for q in 0..10u32 {
                     prop_assert_eq!(fast.array.position(q), naive.array.position(q));
@@ -1639,6 +1828,7 @@ mod tests {
                 stats.plan_cache_hits = 0;
                 stats.plan_cache_cross_hits = 0;
                 stats.bucket_scratch_allocs = 0;
+                stats.home_return_skips = 0;
                 prop_assert_eq!(&stats, &s_naive.stats);
             }
         }

@@ -51,6 +51,40 @@ pub fn violates_separation(a: &Point, b: &Point, min_sep: f64) -> bool {
     a.distance_sq(b) < min_sep * min_sep - 1e-9
 }
 
+/// Closest distance between point `p` and the segment `a`-`b`.
+pub fn point_segment_distance(p: &Point, a: &Point, b: &Point) -> f64 {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let len_sq = dx * dx + dy * dy;
+    if len_sq <= 0.0 {
+        return p.distance(a);
+    }
+    let t = (((p.x - a.x) * dx + (p.y - a.y) * dy) / len_sq).clamp(0.0, 1.0);
+    p.distance(&Point::new(a.x + t * dx, a.y + t * dy))
+}
+
+/// Closest distance between segments `a1`-`a2` and `b1`-`b2`.
+///
+/// Used by the multi-mover scheduler's corridor-disjointness rule: two
+/// movement corridors interfere when this distance drops below the
+/// blockade radius. Proper intersection is distance 0; otherwise the
+/// minimum is attained at an endpoint against the other segment.
+pub fn segment_distance(a1: &Point, a2: &Point, b1: &Point, b2: &Point) -> f64 {
+    // Orientation-based proper-intersection test.
+    let cross =
+        |o: &Point, a: &Point, b: &Point| (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+    let (c1, c2) = (cross(a1, a2, b1), cross(a1, a2, b2));
+    let (c3, c4) = (cross(b1, b2, a1), cross(b1, b2, a2));
+    if ((c1 > 0.0 && c2 < 0.0) || (c1 < 0.0 && c2 > 0.0))
+        && ((c3 > 0.0 && c4 < 0.0) || (c3 < 0.0 && c4 > 0.0))
+    {
+        return 0.0;
+    }
+    point_segment_distance(b1, a1, a2)
+        .min(point_segment_distance(b2, a1, a2))
+        .min(point_segment_distance(a1, b1, b2))
+        .min(point_segment_distance(a2, b1, b2))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +123,33 @@ mod tests {
         assert!(violates_separation(&a, &Point::new(2.9, 0.0), 3.0));
         assert!(!violates_separation(&a, &Point::new(3.0, 0.0), 3.0));
         assert!(!violates_separation(&a, &Point::new(3.1, 0.0), 3.0));
+    }
+
+    #[test]
+    fn point_to_segment() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        // Projection inside the segment, beyond either end, degenerate.
+        assert!((point_segment_distance(&Point::new(5.0, 3.0), &a, &b) - 3.0).abs() < 1e-12);
+        assert!((point_segment_distance(&Point::new(-4.0, 3.0), &a, &b) - 5.0).abs() < 1e-12);
+        assert!((point_segment_distance(&Point::new(13.0, 4.0), &a, &b) - 5.0).abs() < 1e-12);
+        assert!((point_segment_distance(&Point::new(3.0, 4.0), &a, &a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_to_segment() {
+        let o = Point::new(0.0, 0.0);
+        let e = Point::new(10.0, 0.0);
+        // Crossing segments touch.
+        assert_eq!(segment_distance(&o, &e, &Point::new(5.0, -2.0), &Point::new(5.0, 2.0)), 0.0);
+        // Parallel segments keep their offset.
+        let d = segment_distance(&o, &e, &Point::new(0.0, 4.0), &Point::new(10.0, 4.0));
+        assert!((d - 4.0).abs() < 1e-12);
+        // Disjoint collinear segments measure endpoint to endpoint.
+        let d = segment_distance(&o, &e, &Point::new(13.0, 0.0), &Point::new(20.0, 0.0));
+        assert!((d - 3.0).abs() < 1e-12);
+        // Skew segments: closest point is an endpoint projection.
+        let d = segment_distance(&o, &e, &Point::new(12.0, 5.0), &Point::new(20.0, 5.0));
+        assert!((d - (4.0f64 + 25.0).sqrt()).abs() < 1e-12);
     }
 }

@@ -70,6 +70,27 @@ impl CellGeometry {
             }
         }
     }
+
+    /// Visit the flat index of every cell overlapping the axis-aligned box
+    /// `[min, max]` grown by `margin` on all sides — a superset of the
+    /// cells containing points within `margin` of the box. The clamp is
+    /// monotone, so out-of-range boxes collapse onto the border cells
+    /// rather than missing anything.
+    pub fn for_each_cell_in_box(
+        &self,
+        min: Point,
+        max: Point,
+        margin: f64,
+        mut f: impl FnMut(usize),
+    ) {
+        let (x0, x1) = (self.axis_cell(min.x - margin), self.axis_cell(max.x + margin));
+        let (y0, y1) = (self.axis_cell(min.y - margin), self.axis_cell(max.y + margin));
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                f(cy * self.dim + cx);
+            }
+        }
+    }
 }
 
 /// The discrete site grid of a machine.
@@ -292,6 +313,26 @@ mod tests {
         assert_eq!(c.axis_cell(-1e6), 0);
         assert_eq!(c.axis_cell(1e6), c.dim() - 1);
         assert!(c.cell_of(Point::new(-50.0, 1e9)) < c.num_cells());
+    }
+
+    #[test]
+    fn cell_geometry_box_query_covers_margin_around_box() {
+        let c = CellGeometry::new(100.0, 7.0, 7.0);
+        let (min, max) = (Point::new(20.0, 30.0), Point::new(45.0, 38.0));
+        let margin = 5.0;
+        let mut visited = vec![false; c.num_cells()];
+        c.for_each_cell_in_box(min, max, margin, |cell| visited[cell] = true);
+        // Every point within `margin` of the box lies in a visited cell.
+        for dx in 0..=70 {
+            for dy in 0..=40 {
+                let p = Point::new(min.x - 5.0 + dx as f64 * 0.5, min.y - 5.0 + dy as f64 * 0.5);
+                let cx = p.x.clamp(min.x, max.x);
+                let cy = p.y.clamp(min.y, max.y);
+                if p.distance(&Point::new(cx, cy)) <= margin {
+                    assert!(visited[c.cell_of(p)], "{p:?} missed");
+                }
+            }
+        }
     }
 
     #[test]

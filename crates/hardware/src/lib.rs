@@ -54,6 +54,9 @@ pub mod params;
 
 pub use array::{AodMove, AtomArray, Trap, Violation};
 pub use fingerprint::StableHasher;
-pub use geometry::{violates_separation, within_blockade, within_interaction, Point};
+pub use geometry::{
+    point_segment_distance, segment_distance, violates_separation, within_blockade,
+    within_interaction, Point,
+};
 pub use grid::{CellGeometry, Site, SiteGrid};
 pub use params::{HardwareParams, MachineSpec};

@@ -167,6 +167,7 @@ impl Metrics {
         let plan_cache = Self::plan_cache_json();
         let template_cache = Self::template_cache_json();
         let profile = Self::profile_json();
+        let multi_mover = Self::multi_mover_json();
         let load = |c: &Counter| Json::Int(c.get());
         Json::obj(vec![
             ("submitted", load(&self.submitted)),
@@ -188,6 +189,7 @@ impl Metrics {
             ("plan_cache", plan_cache),
             ("template_cache", template_cache),
             ("profile", profile),
+            ("multi_mover", multi_mover),
             ("latency", self.latency.to_json()),
         ])
     }
@@ -243,6 +245,27 @@ impl Metrics {
             ("hits", Json::Int(s.hits)),
             ("misses", Json::Int(s.misses)),
             ("evictions", Json::Int(s.evictions)),
+        ])
+    }
+
+    /// The process-wide multi-mover scheduling counters as a `STATS`
+    /// sub-object, read back from the compile-stat registry family
+    /// (`parallax_compile_stat_total{stat="multi_mover_*"}`). All zero
+    /// until a compile runs with `"scheduling":"multi-mover"` — the
+    /// ablation is off by default, and this sub-object is how an operator
+    /// confirms whether a fleet is exercising it.
+    pub fn multi_mover_json() -> Json {
+        let stat = |stat: &str| {
+            Json::Int(
+                parallax_trace::counter("parallax_compile_stat_total", &[("stat", stat)]).get(),
+            )
+        };
+        Json::obj(vec![
+            ("compiles", stat("multi_mover_compiles")),
+            ("multi_layers", stat("multi_mover_multi_layers")),
+            ("layers_saved", stat("multi_mover_layers_saved")),
+            ("conflicts", stat("multi_mover_conflicts")),
+            ("home_return_skips", stat("home_return_skips")),
         ])
     }
 
@@ -323,6 +346,10 @@ mod tests {
             for key in ["len", "capacity", "weight", "hits", "misses", "evictions"] {
                 assert!(lc.get(key).and_then(Json::as_u64).is_some(), "missing {layer}.{key}");
             }
+        }
+        let mm = j.get("multi_mover").expect("multi_mover sub-object");
+        for key in ["compiles", "multi_layers", "layers_saved", "conflicts", "home_return_skips"] {
+            assert!(mm.get(key).and_then(Json::as_u64).is_some(), "missing multi_mover.{key}");
         }
         let profile = j.get("profile").expect("profile sub-object");
         assert!(profile.get("enabled").and_then(Json::as_bool).is_some());

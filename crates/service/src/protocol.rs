@@ -42,7 +42,7 @@
 
 use crate::json::{self, Json};
 use parallax_circuit::{from_qasm, optimize, Circuit};
-use parallax_core::{CompilationResult, CompilerConfig, ParallaxCompiler};
+use parallax_core::{CompilationResult, CompilerConfig, ParallaxCompiler, SchedulingMode};
 use parallax_graphine::PlacementConfig;
 use parallax_hardware::{MachineSpec, StableHasher};
 
@@ -72,6 +72,9 @@ pub struct SubmitRequest {
     pub quick: bool,
     /// Home-return behaviour (Fig. 12 ablation arm).
     pub return_home: bool,
+    /// Scheduler arm (wire key `scheduling`): `"single"` (default, paper
+    /// Algorithm 1) or `"multi-mover"` (the ROADMAP item 3 ablation).
+    pub scheduling: SchedulingMode,
     /// Scheduling priority, 0..=9; higher pops first.
     pub priority: u8,
     /// Optional client-chosen id echoed back in the response, so clients
@@ -213,6 +216,13 @@ fn parse_submit_fields(v: &Json) -> Result<SubmitRequest, String> {
                 .ok_or_else(|| format!("'priority' must be in 0..={MAX_PRIORITY}, got {p}"))?
         }
     };
+    let scheduling = match v.get("scheduling").and_then(Json::as_str) {
+        None | Some("single") => SchedulingMode::Single,
+        Some("multi-mover") => SchedulingMode::MultiMover,
+        Some(other) => {
+            return Err(format!("unknown scheduling '{other}' (use 'single' or 'multi-mover')"))
+        }
+    };
     Ok(SubmitRequest {
         source,
         seed: v.get("seed").and_then(Json::as_u64).unwrap_or(0),
@@ -220,6 +230,7 @@ fn parse_submit_fields(v: &Json) -> Result<SubmitRequest, String> {
         aod_dim: v.get("aod_dim").and_then(Json::as_u64).map(|n| n as usize),
         quick: v.get("quick").and_then(Json::as_bool).unwrap_or(false),
         return_home: v.get("return_home").and_then(Json::as_bool).unwrap_or(true),
+        scheduling,
         priority,
         id: v.get("id").and_then(Json::as_u64),
         trace: v.get("trace_id").and_then(Json::as_str).map(str::to_string),
@@ -285,6 +296,7 @@ impl SubmitRequest {
             seed: self.seed,
             placement,
             return_home: self.return_home,
+            scheduling: self.scheduling,
             ..Default::default()
         }
     }
@@ -422,6 +434,9 @@ fn submit_pairs<'a>(cmd: &'a str, s: &SubmitRequest) -> Vec<(&'a str, Json)> {
     }
     pairs.push(("quick", Json::Bool(s.quick)));
     pairs.push(("return_home", Json::Bool(s.return_home)));
+    if s.scheduling == SchedulingMode::MultiMover {
+        pairs.push(("scheduling", Json::Str("multi-mover".into())));
+    }
     pairs.push(("priority", Json::Int(u64::from(s.priority))));
     if let Some(id) = s.id {
         pairs.push(("id", Json::Int(id)));
@@ -441,6 +456,7 @@ impl Default for SubmitRequest {
             aod_dim: None,
             quick: false,
             return_home: true,
+            scheduling: SchedulingMode::Single,
             priority: DEFAULT_PRIORITY,
             id: None,
             trace: None,
@@ -513,6 +529,7 @@ mod tests {
         assert_eq!(s.priority, DEFAULT_PRIORITY);
         assert!(s.return_home);
         assert!(!s.quick);
+        assert_eq!(s.scheduling, SchedulingMode::Single);
         assert!(s.id.is_none());
 
         let s = submit(
@@ -603,9 +620,14 @@ mod tests {
                 aod_dim: Some(12),
                 quick: true,
                 return_home: false,
+                scheduling: SchedulingMode::Single,
                 priority: 8,
                 id: Some(42),
                 trace: Some("corr-77af".into()),
+            })),
+            Request::Submit(Box::new(SubmitRequest {
+                scheduling: SchedulingMode::MultiMover,
+                ..Default::default()
             })),
             Request::Submit(Box::default()),
             Request::SubmitSweep(Box::new(SweepRequest {
@@ -666,6 +688,20 @@ mod tests {
         );
         assert!(parse_request("{\"cmd\":\"trace\",\"limit\":0}").is_err());
         assert!(parse_request("{\"cmd\":\"trace\",\"limit\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn scheduling_field_parses_and_steers_config() {
+        let s = submit("{\"cmd\":\"submit\",\"workload\":\"QFT\",\"scheduling\":\"single\"}");
+        assert_eq!(s.scheduling, SchedulingMode::Single);
+        let s = submit("{\"cmd\":\"submit\",\"workload\":\"QFT\",\"scheduling\":\"multi-mover\"}");
+        assert_eq!(s.scheduling, SchedulingMode::MultiMover);
+        assert_eq!(s.compiler_config().scheduling, SchedulingMode::MultiMover);
+        assert!(parse_request("{\"cmd\":\"submit\",\"workload\":\"QFT\",\"scheduling\":\"x\"}")
+            .is_err());
+        // Default-mode encodes omit the key: pre-ablation servers keep
+        // accepting lines from new clients.
+        assert!(!encode_request(&Request::Submit(Box::default())).contains("scheduling"));
     }
 
     #[test]

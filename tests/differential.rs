@@ -251,6 +251,7 @@ mod against_naive_oracles {
             stats.plan_cache_hits = 0;
             stats.plan_cache_cross_hits = 0;
             stats.bucket_scratch_allocs = 0;
+            stats.home_return_skips = 0;
             prop_assert_eq!(&stats, &s_naive.stats);
             for q in 0..circuit.num_qubits() as u32 {
                 prop_assert_eq!(fast.array.position(q), naive.array.position(q));
@@ -298,6 +299,7 @@ mod against_naive_oracles {
         stats.plan_cache_hits = 0;
         stats.plan_cache_cross_hits = 0;
         stats.bucket_scratch_allocs = 0;
+        stats.home_return_skips = 0;
         assert_eq!(stats, s_naive.stats);
         for q in 0..40u32 {
             assert_eq!(fast.array.position(q), naive.array.position(q), "q{q} position");
